@@ -1,0 +1,75 @@
+// NVP policy ablation (paper §7 context, after Ma et al. [4]): the paper's
+// on-demand-all-backup (ODAB) controller vs a classic periodic-checkpoint
+// policy, for both NVM technologies across the harvested-power range.
+// ODAB backs up exactly once per outage; periodic checkpointing pays for
+// many redundant backups but needs no energy monitor and loses work on
+// sudden death.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "nvp/nv_processor.h"
+
+using namespace fefet;
+using namespace fefet::nvp;
+
+int main() {
+  const auto traces = standardTraceSet();
+  const auto suite = mibenchSuite();
+
+  bench::banner("policy x technology: average forward progress");
+  std::cout
+      << "trace,odab_fefet,odab_feram,periodic_fefet,periodic_feram\n";
+  double paperPointOdabGain = 0.0, paperPointPeriodicGain = 0.0;
+  for (const auto& nt : traces) {
+    double fp[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+    for (const auto& w : suite) {
+      NvpConfig odab;
+      NvpConfig periodic;
+      periodic.policy = BackupPolicy::kPeriodic;
+      fp[0][0] += simulateNvp(nt.trace, w, fefetNvm(), odab).forwardProgress;
+      fp[0][1] += simulateNvp(nt.trace, w, feramNvm(), odab).forwardProgress;
+      fp[1][0] +=
+          simulateNvp(nt.trace, w, fefetNvm(), periodic).forwardProgress;
+      fp[1][1] +=
+          simulateNvp(nt.trace, w, feramNvm(), periodic).forwardProgress;
+    }
+    const double n = static_cast<double>(suite.size());
+    std::printf("%s,%.4f,%.4f,%.4f,%.4f\n", nt.name.c_str(), fp[0][0] / n,
+                fp[0][1] / n, fp[1][0] / n, fp[1][1] / n);
+    if (nt.name.find("14uW") != std::string::npos) {
+      paperPointOdabGain = fp[0][0] / fp[0][1] - 1.0;
+      paperPointPeriodicGain = fp[1][0] / fp[1][1] - 1.0;
+    }
+  }
+
+  bench::banner("checkpoint-interval sensitivity (periodic, fft, 14 uW)");
+  std::cout << "interval_us,fp_fefet,fp_feram\n";
+  const auto& trace = traces[2].trace;
+  const auto& fft = suite[3];
+  for (double interval : {50e-6, 150e-6, 300e-6, 600e-6, 1200e-6}) {
+    NvpConfig cfg;
+    cfg.policy = BackupPolicy::kPeriodic;
+    cfg.checkpointInterval = interval;
+    std::printf("%.0f,%.4f,%.4f\n", interval * 1e6,
+                simulateNvp(trace, fft, fefetNvm(), cfg).forwardProgress,
+                simulateNvp(trace, fft, feramNvm(), cfg).forwardProgress);
+  }
+
+  bench::Comparison cmp;
+  cmp.add("FEFET gain under ODAB (the paper's setting)", 27.0,
+          paperPointOdabGain * 100.0, "%");
+  cmp.add("FEFET gain under periodic checkpointing", 0.0,
+          paperPointPeriodicGain * 100.0, "%");
+  cmp.addText("FEFET helps under both policies", "yes",
+              (paperPointOdabGain > 0.0 && paperPointPeriodicGain > 0.0)
+                  ? "yes"
+                  : "no",
+              "");
+  cmp.print();
+  std::printf("\nODAB + FEFET is the best corner: cheap non-destructive "
+              "reads make the once-per-outage restore nearly free, and the "
+              "energy monitor avoids periodic checkpointing's redundant "
+              "writes.\n");
+  return 0;
+}

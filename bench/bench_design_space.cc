@@ -1,0 +1,46 @@
+// Reproduces paper §3: the FE-thickness design space — hysteresis onset,
+// the non-volatility threshold ("T_FE > 1.9 nm is required"), the window
+// width at the 2.25 nm design point ("around 500 mV") and the recommended
+// thickness for 0.68 V operation.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/design_space.h"
+#include "core/materials.h"
+
+using namespace fefet;
+
+int main() {
+  core::FefetParams base;
+  base.lk = core::fefetMaterial();
+
+  bench::banner("§3: thickness sweep");
+  std::vector<double> thicknesses;
+  for (double t = 1.0e-9; t <= 2.6e-9; t += 0.1e-9) thicknesses.push_back(t);
+  const auto points = core::sweepThickness(base, thicknesses);
+  std::cout << "t_nm,hysteretic,nonvolatile,window_mV,up_V,down_V,"
+               "cap_Vc_V,on_off_ratio\n";
+  for (const auto& p : points) {
+    std::printf("%.2f,%d,%d,%.0f,%.3f,%.3f,%.3f,%.3g\n", p.feThickness * 1e9,
+                p.hysteretic, p.nonvolatile, p.windowWidth * 1e3,
+                p.upSwitchVoltage, p.downSwitchVoltage,
+                p.standaloneCoerciveVoltage, p.onOffRatio);
+  }
+
+  const double tNv = core::minimumNonvolatileThickness(base, 1.0e-9, 2.5e-9);
+  const double tRec = core::recommendThickness(base, 0.68, 0.1);
+  core::FefetParams design = base;
+  design.feThickness = 2.25e-9;
+  const auto window = core::analyzeHysteresis(design);
+
+  bench::Comparison cmp;
+  cmp.add("non-volatility onset (paper: >1.9 nm)", 1.9, tNv * 1e9, "nm");
+  cmp.add("window width at 2.25 nm (paper: ~500 mV)", 500.0,
+          window.width() * 1e3, "mV");
+  cmp.add("recommended thickness for 0.68 V writes", 2.25, tRec * 1e9, "nm");
+  cmp.add("on/off ratio at the design point", 1e6,
+          core::distinguishability(design, 0.4), "x");
+  cmp.print();
+  return 0;
+}

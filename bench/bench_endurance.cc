@@ -1,0 +1,91 @@
+// Endurance study (extension of the paper's §1 motivation): fatigue
+// curves for the material database, and — the architectural point — how
+// FERAM's destructive reads double-bill its endurance budget while the
+// FEFET's non-destructive reads leave it untouched.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/plot.h"
+#include "core/nvm_macro.h"
+#include "ferro/material_db.h"
+
+using namespace fefet;
+
+int main() {
+  bench::banner("polarization fatigue curves");
+  std::vector<plot::Series> series;
+  for (const char* name : {"pzt", "sbt", "hzo"}) {
+    const auto& m = ferro::findMaterial(name);
+    ferro::FatigueModel model(m.fatigue);
+    plot::Series s;
+    s.label = name;
+    for (double lg = 3.0; lg <= 16.0; lg += 0.25) {
+      s.x.push_back(lg);
+      s.y.push_back(model.retainedFraction(std::pow(10.0, lg)));
+    }
+    series.push_back(s);
+  }
+  plot::ChartOptions chart;
+  chart.title = "retained P_r fraction vs log10(cycles)";
+  chart.xLabel = "log10(program/erase cycles)";
+  chart.yLabel = "P_r(N) / P_r(0)";
+  plot::renderChart(std::cout, series, chart);
+
+  bench::banner("architectural endurance: destructive vs non-destructive reads");
+  // A checkpoint workload: each power cycle writes the state once and
+  // reads it back once.  FERAM's read is destructive, so every power
+  // cycle costs it TWO polarization reversals; the FEFET pays one.
+  core::NvmMacro fefet(core::MacroTechnology::kFefet);
+  core::NvmMacro feram(core::MacroTechnology::kFeram);
+  constexpr int kPowerCycles = 100000;
+  for (int i = 0; i < kPowerCycles; ++i) {
+    fefet.writeWord(0, static_cast<std::uint32_t>(i));
+    fefet.readWord(0);
+    feram.writeWord(0, static_cast<std::uint32_t>(i));
+    feram.readWord(0);
+  }
+  std::printf("after %d checkpoint cycles on one hot word:\n", kPowerCycles);
+  std::printf("  FEFET: %.0f polarization cycles, endurance margin %.4f\n",
+              fefet.worstCaseCycles(), fefet.enduranceMarginRemaining());
+  std::printf("  FERAM: %.0f polarization cycles, endurance margin %.4f\n",
+              feram.worstCaseCycles(), feram.enduranceMarginRemaining());
+
+  bench::banner("cycles to failure at a 50% window requirement");
+  std::cout << "material,endurance_cycles\n";
+  for (const auto& m : ferro::materialDatabase()) {
+    std::printf("%s,%.3g\n", m.name.c_str(),
+                ferro::FatigueModel(m.fatigue).enduranceCycles());
+  }
+
+  bench::banner("wear-out lifetime under the NVP checkpoint rate");
+  // From the Fig. 13 operating point: ~1.3k power cycles per second of
+  // wall time (bench_fig13 backup counts).  Each cycle writes the backup
+  // region once; FERAM's restore read doubles its aging.
+  const double cyclesPerSecond = 1300.0;
+  const double secondsPerYear = 365.25 * 24 * 3600.0;
+  const ferro::FatigueModel fefetFatigue(
+      ferro::findMaterial("dac16-table2").fatigue);
+  const ferro::FatigueModel feramFatigue(ferro::sbtFatigue());
+  const double fefetYears = fefetFatigue.enduranceCycles() /
+                            (cyclesPerSecond * secondsPerYear);
+  const double feramYears = feramFatigue.enduranceCycles() /
+                            (2.0 * cyclesPerSecond * secondsPerYear);
+  std::printf("FEFET backup region: %.3g years to 50%% window loss\n",
+              fefetYears);
+  std::printf("FERAM backup region: %.3g years (reads count double)\n",
+              feramYears);
+
+  bench::Comparison cmp;
+  cmp.add("FERAM aging rate vs FEFET (same workload)", 2.0,
+          feram.worstCaseCycles() / fefet.worstCaseCycles(), "x");
+  cmp.addText("FE-class endurance >= 1e12 (paper §1 motivation)", "yes",
+              ferro::FatigueModel(ferro::sbtFatigue()).enduranceCycles() >=
+                      1e12
+                  ? "yes"
+                  : "no",
+              "");
+  cmp.print();
+  return 0;
+}

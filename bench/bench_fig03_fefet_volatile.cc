@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 3: the FEFET at T_FE = 1.90 nm — hysteresis lies
+// entirely at positive V_GS, so removing the gate bias lets the
+// polarization collapse: no non-volatility.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/plot.h"
+#include "core/fefet.h"
+#include "core/materials.h"
+#include "spice/simulator.h"
+#include "spice/sources.h"
+
+using namespace fefet;
+using spice::Probe;
+using spice::shapes::dc;
+using spice::shapes::pwl;
+
+int main() {
+  core::FefetParams params;
+  params.lk = core::fefetMaterial();
+  params.feThickness = 1.90e-9;
+
+  bench::banner("Fig. 3(a): I_DS-V_GS hysteresis, T_FE = 1.90 nm (volatile)");
+  const auto window = core::analyzeHysteresis(params);
+  const auto up = core::sweepTransfer(params, -1.0, 1.0, 100, 0.05, 0.0);
+  const auto down = core::sweepTransfer(params, 1.0, -1.0, 100, 0.05,
+                                        up.back().internalVoltage);
+  std::cout << "branch,vgs_V,ids_A,P_C_per_m2\n";
+  for (const auto& p : up) {
+    std::printf("up,%.3f,%.6g,%.5f\n", p.vgs, p.drainCurrent, p.polarization);
+  }
+  for (const auto& p : down) {
+    std::printf("down,%.3f,%.6g,%.5f\n", p.vgs, p.drainCurrent,
+                p.polarization);
+  }
+
+  {
+    plot::Series upSeries, downSeries;
+    upSeries.label = "sweep up";
+    downSeries.label = "sweep down";
+    for (const auto& p : up) {
+      upSeries.x.push_back(p.vgs);
+      upSeries.y.push_back(std::max(p.drainCurrent, 1e-16));
+    }
+    for (const auto& p : down) {
+      downSeries.x.push_back(p.vgs);
+      downSeries.y.push_back(std::max(p.drainCurrent, 1e-16));
+    }
+    plot::ChartOptions chart;
+    chart.title = "I_DS-V_GS, T_FE = 1.90 nm: positive-only loop (Fig. 3a)";
+    chart.xLabel = "V_GS [V]";
+    chart.yLabel = "I_DS [A] (log, 0.1 fA floor)";
+    chart.logY = true;
+    plot::renderChart(std::cout, {upSeries, downSeries}, chart);
+  }
+
+  bench::banner("Fig. 3(b): polarization collapses when the bias is removed");
+  spice::Netlist n;
+  auto* vg = n.add<spice::VoltageSource>("Vg", n.node("g"), n.ground(),
+                                         dc(0.0));
+  n.add<spice::VoltageSource>("Vd", n.node("d"), n.ground(), dc(0.0));
+  n.add<spice::VoltageSource>("Vs", n.node("s"), n.ground(), dc(0.0));
+  core::attachFefet(n, "x", "g", "d", "s", params, 0.0);
+  spice::Simulator sim(n);
+  sim.initializeUic();
+  vg->setShape(pwl({{0.0, 0.0}, {1e-9, 0.0}, {1.2e-9, 0.68},
+                    {3.2e-9, 0.68}, {3.4e-9, 0.0}}));
+  spice::TransientOptions options;
+  options.duration = 12e-9;
+  options.dtMax = 20e-12;
+  const auto r = sim.runTransient(
+      options, {Probe::v("g"), Probe::deviceState("x:fe", "P")});
+  bench::dumpWaveform(r.waveform, {"v(g)", "P(x:fe)"}, 40);
+
+  bench::Comparison cmp;
+  cmp.addText("hysteretic", "yes", window.hysteretic ? "yes" : "no", "");
+  cmp.addText("nonvolatile (window spans 0 V)", "no",
+              window.nonvolatile ? "yes" : "no", "");
+  cmp.add("window lower edge (positive only)", 0.1,
+          window.downSwitchVoltage, "V");
+  cmp.add("window upper edge", 0.4, window.upSwitchVoltage, "V");
+  cmp.add("P while biased at 0.68 V", 0.2, r.waveform.valueAt("P(x:fe)", 3e-9),
+          "C/m^2");
+  cmp.add("P after bias removal (falls back)", 0.0,
+          r.waveform.finalValue("P(x:fe)"), "C/m^2");
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 4:
+//  (a) load-line analysis — charge vs voltage of the FE film against the
+//      MOSFET gate: one intersection at T_FE = 1 nm (no hysteresis), three
+//      at 2.25 nm (hysteresis);
+//  (b) coercive-voltage reduction — the FEFET's switching voltages vs the
+//      standalone FE capacitor's coercive voltage across thickness (at
+//      2.5 nm the capacitor needs > 2 V while the FEFET loop stays inside
+//      +/- 1 V).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/design_space.h"
+#include "core/fefet.h"
+#include "core/materials.h"
+#include "ferro/load_line.h"
+#include "xtor/mosfet_model.h"
+
+using namespace fefet;
+
+int main() {
+  core::FefetParams params;
+  params.lk = core::fefetMaterial();
+  const ferro::LandauKhalatnikov lk(params.lk);
+  auto mosModel =
+      std::make_shared<xtor::MosfetModel>(params.mos, params.width);
+  const ferro::MosChargeVoltage mosCurve = [mosModel](double q) {
+    return mosModel->gateVoltageForCharge(q);
+  };
+
+  bench::banner("Fig. 4(a): load line at V_G = 0 (intersection count)");
+  std::cout << "thickness_nm,equilibria,bistable\n";
+  for (double t : {1.0e-9, 1.5e-9, 1.9e-9, 2.25e-9, 2.5e-9}) {
+    const auto result = ferro::analyzeLoadLine(lk, t, mosCurve, 0.0);
+    std::printf("%.2f,%zu,%s\n", t * 1e9, result.equilibria.size(),
+                result.bistable() ? "yes" : "no");
+  }
+
+  std::cout << "\ncharge-voltage branches at T_FE = 2.25 nm "
+               "(Q, V_MOS, V_G - V_FE):\n";
+  const auto ll = ferro::analyzeLoadLine(lk, 2.25e-9, mosCurve, 0.0);
+  std::cout << "q_C_per_m2,mos_branch_V,fe_branch_V\n";
+  const std::size_t stride = ll.chargeGrid.size() / 40 + 1;
+  for (std::size_t i = 0; i < ll.chargeGrid.size(); i += stride) {
+    std::printf("%.4f,%.4f,%.4f\n", ll.chargeGrid[i], ll.mosBranch[i],
+                ll.feBranch[i]);
+  }
+  std::cout << "equilibrium charges:";
+  for (const auto& eq : ll.equilibria) {
+    std::printf(" %.4f(%s)", eq.charge, eq.stable ? "stable" : "unstable");
+  }
+  std::cout << "\n";
+
+  bench::banner("Fig. 4(b): FEFET vs standalone-capacitor switching voltage");
+  const auto points = core::sweepThickness(
+      params, {1.0e-9, 1.5e-9, 1.9e-9, 2.0e-9, 2.25e-9, 2.5e-9});
+  std::cout << "thickness_nm,cap_Vc_V,fefet_up_V,fefet_down_V,nonvolatile\n";
+  for (const auto& p : points) {
+    std::printf("%.2f,%.3f,%.3f,%.3f,%s\n", p.feThickness * 1e9,
+                p.standaloneCoerciveVoltage, p.upSwitchVoltage,
+                p.downSwitchVoltage, p.nonvolatile ? "yes" : "no");
+  }
+
+  bench::Comparison cmp;
+  cmp.add("intersections @ 1 nm (monostable)", 1.0,
+          static_cast<double>(
+              ferro::analyzeLoadLine(lk, 1e-9, mosCurve, 0.0)
+                  .equilibria.size()),
+          "count");
+  cmp.add("intersections @ 2.25 nm (bistable, >= 3)", 3.0,
+          static_cast<double>(ll.equilibria.size()), "count");
+  cmp.add("standalone cap V_c @ 2.5 nm (paper: outside +/-2 V)", 3.11,
+          points.back().standaloneCoerciveVoltage, "V");
+  cmp.add("FEFET loop upper edge @ 2.5 nm (inside +/-1 V)", 1.0,
+          points.back().upSwitchVoltage, "V (must be < 1)");
+  cmp.add("FEFET loop lower edge @ 2.5 nm (inside +/-1 V)", -1.0,
+          points.back().downSwitchVoltage, "V (must be > -1)");
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Figs. 5-6: 2T FEFET cell write/read transient waveforms
+// — write '1', read, write '0', read — with the Table 1 bias levels.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cell2t.h"
+#include "core/materials.h"
+
+using namespace fefet;
+
+int main() {
+  core::Cell2TConfig cfg;
+  cfg.fefet.lk = core::fefetMaterial();
+  core::Cell2T cell(cfg);
+
+  bench::banner("Fig. 6: write '1' (WBL=+0.68 V, WS boosted to 1.36 V)");
+  cell.setStoredBit(false);
+  const auto w1 = cell.write(true, 550e-12);
+  bench::dumpWaveform(w1.waveform,
+                      {"v(wbl)", "v(ws)", "v(g)", "P(cell:fe)"}, 30);
+  std::printf("-> bit=%d, write latency %.0f ps, energy %.3g fJ\n",
+              w1.bitAfter, w1.writeLatency * 1e12, w1.totalEnergy * 1e15);
+
+  bench::banner("Fig. 6: read (RS=0.4 V on drain, gate pinned to 0 V)");
+  const auto r1 = cell.read();
+  bench::dumpWaveform(r1.waveform,
+                      {"v(rs)", "v(ws)", "P(cell:fe)", "id(cell:mos)"}, 30);
+  std::printf("-> read current %.4g uA (bit %d), P before/after unchanged\n",
+              r1.readCurrent * 1e6, r1.bitAfter);
+
+  bench::banner("Fig. 6: write '0' (WBL=-0.68 V)");
+  const auto w0 = cell.write(false, 550e-12);
+  bench::dumpWaveform(w0.waveform,
+                      {"v(wbl)", "v(ws)", "v(g)", "P(cell:fe)"}, 30);
+  std::printf("-> bit=%d, energy %.3g fJ\n", w0.bitAfter,
+              w0.totalEnergy * 1e15);
+
+  bench::banner("Fig. 6: read of the '0'");
+  const auto r0 = cell.read();
+  std::printf("-> read current %.4g pA (bit %d)\n", r0.readCurrent * 1e12,
+              r0.bitAfter);
+
+  bench::banner("Hold: zero standby");
+  const auto h = cell.hold(10e-9);
+  std::printf("-> all lines 0 V for 10 ns: bit retained = %d, energy %.3g aJ\n",
+              h.bitAfter == false, h.totalEnergy * 1e18);
+
+  bench::Comparison cmp;
+  cmp.add("write pulse (Table 3 anchor)", 550.0, 550.0, "ps");
+  cmp.addText("write '1' then read back", "1", w1.bitAfter && r1.bitAfter
+                                                   ? "1"
+                                                   : "0", "");
+  cmp.addText("write '0' then read back", "0",
+              (!w0.bitAfter && !r0.bitAfter) ? "0" : "1", "");
+  cmp.add("read current ratio", 1e6,
+          r1.readCurrent / std::max(r0.readCurrent, 1e-15), "x");
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 7 + Table 1: the 2x3 FEFET array under the
+// proposed bias scheme — selective writes/reads, unaccessed-row isolation,
+// disturb and sneak-current quantification.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/bias_scheme.h"
+#include "core/memory_array.h"
+
+using namespace fefet;
+
+namespace {
+void printState(const core::MemoryArray& arr, const char* label) {
+  std::printf("%s\n", label);
+  for (int r = 0; r < arr.rows(); ++r) {
+    std::printf("  row %d:", r);
+    for (int c = 0; c < arr.cols(); ++c) {
+      std::printf(" %d", arr.bitAt(r, c) ? 1 : 0);
+    }
+    std::printf("\n");
+  }
+}
+}  // namespace
+
+int main() {
+  bench::banner("Table 1: bias conditions of the memory array");
+  core::BiasLevels levels;
+  std::cout << core::describeBiasTable(levels);
+
+  bench::banner("Fig. 7: 2x3 array operations");
+  core::ArrayConfig cfg;
+  core::MemoryArray arr(cfg);
+  arr.setPattern({{false, false, false}, {false, false, false}});
+
+  // Write a checkerboard one bit at a time.
+  double worstDisturb = 0.0, worstSneak = 0.0, totalEnergy = 0.0;
+  int writes = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const bool bit = (r + c) % 2 == 0;
+      const auto res = arr.writeBit(r, c, bit);
+      worstDisturb = std::max(worstDisturb, res.maxUnaccessedDisturb);
+      worstSneak = std::max(worstSneak, res.maxSneakCurrent);
+      totalEnergy += res.totalEnergy;
+      ++writes;
+      if (!res.ok) std::printf("WRITE FAILED at (%d,%d)\n", r, c);
+    }
+  }
+  printState(arr, "after checkerboard writes (expect 1 0 1 / 0 1 0):");
+  std::printf("worst unaccessed-cell disturb: %.4g C/m^2 (states differ by "
+              "~0.22)\n", worstDisturb);
+  std::printf("worst sneak current during writes: %.4g nA\n",
+              worstSneak * 1e9);
+  std::printf("average write energy (cell+lines, 2x3 array): %.3g fJ\n",
+              totalEnergy / writes * 1e15);
+
+  // Read everything back.
+  bool allOk = true;
+  double readDisturb = 0.0, readSneak = 0.0;
+  std::printf("\nread-back currents (uA):\n");
+  for (int r = 0; r < 2; ++r) {
+    std::printf("  row %d:", r);
+    for (int c = 0; c < 3; ++c) {
+      const auto res = arr.readBit(r, c);
+      allOk = allOk && res.ok;
+      readDisturb = std::max(readDisturb, res.maxUnaccessedDisturb);
+      readSneak = std::max(readSneak, res.maxSneakCurrent);
+      std::printf(" %8.3f", res.readCurrent * 1e6);
+    }
+    std::printf("\n");
+  }
+  printState(arr, "after reads (unchanged - non-destructive):");
+  std::printf("worst disturb during reads: %.4g C/m^2\n", readDisturb);
+  std::printf("worst sneak current on unaccessed rows: %.4g nA\n",
+              readSneak * 1e9);
+
+  const auto hold = arr.hold(10e-9);
+
+  bench::Comparison cmp;
+  cmp.addText("checkerboard write+readback", "correct",
+              allOk ? "correct" : "WRONG", "");
+  cmp.add("write disturb on unaccessed cells", 0.0, worstDisturb,
+          "C/m^2 (<< 0.22)");
+  cmp.add("sneak current during reads (eliminated)", 0.0, readSneak * 1e9,
+          "nA");
+  cmp.add("hold-mode energy (zero standby)", 0.0, hold.totalEnergy * 1e18,
+          "aJ");
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces paper Fig. 10: write access time (a) and write energy (b)
+// versus write voltage for the 2T FEFET cell and the 1T-1C FERAM baseline,
+// including the write-failure walls (~0.5 V FEFET / ~1.5 V FERAM) and the
+// iso-write crossover used in Table 3.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/plot.h"
+#include "core/materials.h"
+#include "core/write_explorer.h"
+
+using namespace fefet;
+
+int main() {
+  core::Cell2TConfig fefetCfg;
+  fefetCfg.fefet.lk = core::fefetMaterial();
+  core::FeRamConfig feramCfg;
+  feramCfg.lk = core::feramMaterial();
+
+  bench::banner("Fig. 10(a,b): FEFET write time/energy vs bit-line voltage");
+  const std::vector<double> fefetVolts = {0.45, 0.50, 0.55, 0.60, 0.68,
+                                          0.80, 0.95, 1.10};
+  const auto fefetPoints = core::sweepFefetWrite(fefetCfg, fefetVolts);
+  std::cout << "voltage_V,write_time_ps,write_energy_fJ,status\n";
+  for (const auto& p : fefetPoints) {
+    if (p.failed) {
+      std::printf("%.2f,-,-,WRITE FAILURE\n", p.voltage);
+    } else {
+      std::printf("%.2f,%.0f,%.3g,ok\n", p.voltage, p.writeTime * 1e12,
+                  p.writeEnergy * 1e15);
+    }
+  }
+
+  bench::banner("Fig. 10(a,b): FERAM write time/energy vs write voltage");
+  const std::vector<double> feramVolts = {1.30, 1.40, 1.50, 1.64,
+                                          1.80, 2.00, 2.20};
+  const auto feramPoints = core::sweepFeramWrite(feramCfg, feramVolts);
+  std::cout << "voltage_V,write_time_ps,write_energy_fJ,status\n";
+  for (const auto& p : feramPoints) {
+    if (p.failed) {
+      std::printf("%.2f,-,-,WRITE FAILURE\n", p.voltage);
+    } else {
+      std::printf("%.2f,%.0f,%.3g,ok\n", p.voltage, p.writeTime * 1e12,
+                  p.writeEnergy * 1e15);
+    }
+  }
+
+  {
+    plot::Series fefetSeries, feramSeries;
+    fefetSeries.label = "FEFET";
+    feramSeries.label = "FERAM";
+    for (const auto& p : fefetPoints) {
+      if (p.failed) continue;
+      fefetSeries.x.push_back(p.voltage);
+      fefetSeries.y.push_back(p.writeTime * 1e12);
+    }
+    for (const auto& p : feramPoints) {
+      if (p.failed) continue;
+      feramSeries.x.push_back(p.voltage);
+      feramSeries.y.push_back(p.writeTime * 1e12);
+    }
+    plot::ChartOptions chart;
+    chart.title = "write access time vs voltage (Fig. 10a)";
+    chart.xLabel = "write voltage [V]";
+    chart.yLabel = "t_write [ps]";
+    plot::renderChart(std::cout, {fefetSeries, feramSeries}, chart);
+  }
+
+  bench::banner("write-failure walls and the iso-write (550 ps) solve");
+  const double fefetWall = core::fefetWriteWall(fefetCfg, 0.2, 0.8);
+  const double feramWall = core::feramWriteWall(feramCfg, 1.1, 1.8);
+  const auto isoFefet = core::isoWriteFefet(fefetCfg, 550e-12);
+  const auto isoFeram = core::isoWriteFeram(feramCfg, 550e-12);
+
+  bench::Comparison cmp;
+  cmp.add("FEFET write wall (paper: <0.5 V fails)", 0.5, fefetWall, "V");
+  cmp.add("FERAM write wall (paper: <1.5 V fails)", 1.5, feramWall, "V");
+  cmp.add("iso-write FEFET voltage", 0.68, isoFefet.voltage, "V");
+  cmp.add("iso-write FERAM voltage", 1.64, isoFeram.voltage, "V");
+  cmp.add("iso-write FEFET cell energy", 0.0, isoFefet.writeEnergy * 1e15,
+          "fJ");
+  cmp.add("iso-write FERAM cell energy", 0.0, isoFeram.writeEnergy * 1e15,
+          "fJ");
+  cmp.add("cell-level energy ratio (paper macro: 3.1x)", 3.1,
+          isoFeram.writeEnergy / isoFefet.writeEnergy, "x");
+  cmp.print();
+  return 0;
+}

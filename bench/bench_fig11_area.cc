@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 11: lambda-rule 2x2 layouts of the 2T FEFET cell
+// and the minimum-area 1T-1C FERAM cell; the paper reports a 2.4x area
+// penalty for the FEFET cell.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "layout/layout.h"
+
+using namespace fefet;
+
+int main() {
+  layout::DesignRules rules;
+
+  bench::banner("Fig. 11: cell footprints at W = 65 nm");
+  const auto fefet = layout::fefet2TCell(rules, 65e-9);
+  const auto feram = layout::feram1T1CCell(rules, 65e-9);
+  std::printf("FEFET 2T cell : %.0f x %.0f nm = %.4f um^2\n  %s\n",
+              fefet.width * 1e9, fefet.height * 1e9, fefet.area() * 1e12,
+              fefet.breakdown.c_str());
+  std::printf("FERAM 1T-1C   : %.0f x %.0f nm = %.4f um^2\n  %s\n",
+              feram.width * 1e9, feram.height * 1e9, feram.area() * 1e12,
+              feram.breakdown.c_str());
+
+  bench::banner("2x2 arrays (as drawn in the figure)");
+  const auto fefetArr = layout::tileArray(fefet, 2, 2);
+  const auto feramArr = layout::tileArray(feram, 2, 2);
+  std::printf("FEFET 2x2 : %.0f x %.0f nm = %.4f um^2\n", fefetArr.width * 1e9,
+              fefetArr.height * 1e9, fefetArr.area() * 1e12);
+  std::printf("FERAM 2x2 : %.0f x %.0f nm = %.4f um^2\n", feramArr.width * 1e9,
+              feramArr.height * 1e9, feramArr.area() * 1e12);
+
+  bench::banner("area ratio across transistor widths");
+  std::cout << "width_nm,ratio\n";
+  for (double w : {50e-9, 65e-9, 90e-9, 112.5e-9, 130e-9}) {
+    std::printf("%.1f,%.3f\n", w * 1e9, layout::cellAreaRatio(rules, w));
+  }
+
+  bench::Comparison cmp;
+  cmp.add("FEFET/FERAM cell area ratio", 2.4,
+          layout::cellAreaRatio(rules, 65e-9), "x");
+  cmp.add("2x2 array area ratio", 2.4, fefetArr.area() / feramArr.area(),
+          "x");
+  cmp.print();
+  return 0;
+}

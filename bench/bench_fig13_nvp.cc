@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 13: forward progress of the ODAB nonvolatile
+// processor on MiBench workloads under a Wi-Fi harvester supply, FEFET vs
+// FERAM backup memory (Table 3 parameters).  Paper: 22-38% more forward
+// progress (average 27%), with the largest gains at the lowest power.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/plot.h"
+#include "nvp/nv_processor.h"
+
+using namespace fefet;
+using namespace fefet::nvp;
+
+int main() {
+  const auto traces = standardTraceSet();
+  const auto suite = mibenchSuite();
+  const auto fefet = fefetNvm();
+  const auto feram = feramNvm();
+  const auto& paperTrace = traces[2];  // the paper's operating point
+
+  bench::banner("Fig. 13: forward progress per benchmark (" +
+                paperTrace.name + ", " +
+                std::to_string(paperTrace.trace.meanPower() * 1e6).substr(0, 4) +
+                " uW mean)");
+  std::cout << "benchmark,fp_feram,fp_fefet,gain_percent\n";
+  double sumGain = 0.0, minGain = 1e9, maxGain = -1e9;
+  for (const auto& w : suite) {
+    const auto a = simulateNvp(paperTrace.trace, w, fefet);
+    const auto b = simulateNvp(paperTrace.trace, w, feram);
+    const double gain = a.forwardProgress / b.forwardProgress - 1.0;
+    sumGain += gain;
+    minGain = std::min(minGain, gain);
+    maxGain = std::max(maxGain, gain);
+    std::printf("%s,%.4f,%.4f,%.1f\n", w.name.c_str(), b.forwardProgress,
+                a.forwardProgress, gain * 100.0);
+  }
+
+  {
+    std::vector<plot::Bar> bars;
+    for (const auto& w : suite) {
+      const auto a = simulateNvp(paperTrace.trace, w, fefet);
+      const auto b = simulateNvp(paperTrace.trace, w, feram);
+      bars.push_back({w.name + " FERAM", b.forwardProgress});
+      bars.push_back({w.name + " FEFET", a.forwardProgress});
+    }
+    plot::renderBars(std::cout, bars,
+                     "forward progress per benchmark (Fig. 13)");
+  }
+
+  bench::banner("gain vs harvested power (lowest power = most interrupted)");
+  std::cout << "trace,mean_uW,interruptions_per_s,avg_gain_percent\n";
+  for (const auto& nt : traces) {
+    double sum = 0.0;
+    for (const auto& w : suite) {
+      sum += forwardProgressGain(nt.trace, w, fefet, feram);
+    }
+    std::printf("%s,%.1f,%.0f,%.1f\n", nt.name.c_str(),
+                nt.trace.meanPower() * 1e6, nt.trace.interruptionRate(),
+                sum / suite.size() * 100.0);
+  }
+
+  bench::banner("backup/restore energy budget at the paper point (bitcount)");
+  const auto fA = simulateNvp(paperTrace.trace, suite[0], fefet);
+  const auto fB = simulateNvp(paperTrace.trace, suite[0], feram);
+  std::printf("FEFET: %d cycles, backup %.3g uJ, restore %.3g uJ\n",
+              fA.powerCycles, fA.backupEnergy * 1e6, fA.restoreEnergy * 1e6);
+  std::printf("FERAM: %d cycles, backup %.3g uJ, restore %.3g uJ\n",
+              fB.powerCycles, fB.backupEnergy * 1e6, fB.restoreEnergy * 1e6);
+
+  bench::Comparison cmp;
+  cmp.add("min gain (paper: 22%)", 22.0, minGain * 100.0, "%");
+  cmp.add("max gain (paper: 38%)", 38.0, maxGain * 100.0, "%");
+  cmp.add("average gain (paper: 27%)", 27.0, sumGain / suite.size() * 100.0,
+          "%");
+  cmp.print();
+  return 0;
+}

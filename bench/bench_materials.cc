@@ -1,0 +1,69 @@
+// Material study (extension): why the FEFET needs a hafnia-class
+// ferroelectric.  For each material in the database, derive the critical
+// film thickness for FEFET memory behaviour against the same 45 nm
+// transistor, the device window at a practical thickness, and the
+// endurance budget.  Classic perovskites (PZT/SBT) have coercive fields a
+// hundred times weaker — their critical thickness is a hundred times
+// larger, which is why perovskite FEFETs never scaled and the paper's
+// strong-E_c film (and later HfO2) changed the game.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/fefet.h"
+#include "ferro/material_db.h"
+
+using namespace fefet;
+
+int main() {
+  bench::banner("ferroelectric material database");
+  std::cout << "material,Pr_C_per_m2,Ec_V_per_m,endurance_cycles,notes\n";
+  for (const auto& m : ferro::materialDatabase()) {
+    const ferro::LandauKhalatnikov lk(m.lk);
+    const ferro::FatigueModel fatigue(m.fatigue);
+    std::printf("%s,%.3f,%.3g,%.2g,%s\n", m.name.c_str(),
+                lk.remnantPolarization(), lk.coerciveField(),
+                fatigue.enduranceCycles(), m.notes.c_str());
+  }
+
+  bench::banner("FEFET feasibility per material (same 45 nm transistor)");
+  std::cout << "material,t_crit_nonvolatile_nm,window_at_1.25x_tcrit_mV,"
+               "practical_gate_stack\n";
+  for (const auto& m : ferro::materialDatabase()) {
+    core::FefetParams p;
+    p.lk = m.lk;
+    // Bracket the nonvolatility onset: scale from |alpha|.
+    const double tScale = 9.2 / std::abs(p.lk.alpha);
+    double tNv = 0.0;
+    try {
+      tNv = core::minimumNonvolatileThickness(p, 0.3 * tScale, 4.0 * tScale);
+    } catch (const Error&) {
+      std::printf("%s,-,-,no\n", m.name.c_str());
+      continue;
+    }
+    p.feThickness = 1.25 * tNv;
+    const auto window = core::analyzeHysteresis(p);
+    const bool practical = tNv < 20e-9;  // a plausible gate-stack film
+    std::printf("%s,%.2f,%.0f,%s\n", m.name.c_str(), tNv * 1e9,
+                window.width() * 1e3, practical ? "yes" : "NO");
+  }
+
+  core::FefetParams paper;
+  paper.lk = ferro::findMaterial("dac16-table2").lk;
+  core::FefetParams pzt;
+  pzt.lk = ferro::findMaterial("pzt").lk;
+  const double tPaper =
+      core::minimumNonvolatileThickness(paper, 1e-9, 4e-9);
+  const double tPzt = core::minimumNonvolatileThickness(
+      pzt, 0.3 * 9.2 / std::abs(pzt.lk.alpha),
+      4.0 * 9.2 / std::abs(pzt.lk.alpha));
+
+  bench::Comparison cmp;
+  cmp.add("paper material: nonvolatile onset", 2.0, tPaper * 1e9, "nm");
+  cmp.add("PZT: nonvolatile onset (impractical)", 0.0, tPzt * 1e9, "nm");
+  cmp.add("thickness penalty of weak-Ec perovskite", 0.0, tPzt / tPaper,
+          "x");
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper §6.2.4: the single-domain retention comparison.
+// FERAM (1 nm film, V_c = 1.24 V) is the 10-year reference; the FEFET's
+// lower device-level coercive voltage costs retention, recovered by
+// widening the device (the paper suggests W = 112.5 nm; we report the
+// width our model needs for parity).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/design_space.h"
+#include "core/materials.h"
+
+using namespace fefet;
+
+int main() {
+  core::FefetParams params;
+  params.lk = core::fefetMaterial();
+  constexpr double kArea = 65e-9 * 45e-9;
+
+  bench::banner("§6.2.4: retention (single-domain model, log10 seconds)");
+  const auto cmp = core::compareRetention(params, 1.244, kArea);
+  const double year = 365.25 * 24 * 3600.0;
+
+  std::printf("activation efficiency (calibrated): %.4g\n",
+              cmp.activationEfficiency);
+  std::printf("FERAM  (W=65 nm, Vc=1.244 V): log10(t_ret) = %6.2f  (%.1f "
+              "years)\n",
+              cmp.feramLog10Seconds,
+              std::pow(10.0, cmp.feramLog10Seconds) / year);
+  std::printf("FEFET  (W=65 nm, device Vc):  log10(t_ret) = %6.2f\n",
+              cmp.fefetLog10Seconds);
+  std::printf("FEFET width for retention parity: %.1f nm (paper suggests "
+              "112.5 nm)\n",
+              cmp.fefetWidthForParity * 1e9);
+
+  bench::banner("retention vs FEFET width");
+  std::cout << "width_nm,log10_retention_s\n";
+  const auto window = core::analyzeHysteresis(params);
+  const double vcDevice = 0.5 * window.width();
+  ferro::RetentionModel model;
+  model.calibrateToReference(1.244, 0.4636, kArea, 10.0 * year);
+  for (double w : {65e-9, 90e-9, 112.5e-9, 150e-9, 200e-9, 300e-9}) {
+    const double area = w * 45e-9;
+    std::printf("%.1f,%.2f\n", w * 1e9,
+                model.log10RetentionSeconds(vcDevice, 0.4636, area));
+  }
+
+  bench::Comparison out;
+  out.addText("FEFET retention < FERAM at W=65 nm", "yes",
+              cmp.fefetLog10Seconds < cmp.feramLog10Seconds ? "yes" : "no",
+              "");
+  out.add("width for parity (paper: 112.5 nm)", 112.5,
+          cmp.fefetWidthForParity * 1e9, "nm");
+  out.print();
+  std::printf("\nNote: the paper's parity width assumes its own (unpublished)"
+              " device coercive voltage; our measured window half-width is "
+              "%.3f V, so the parity width differs while the qualitative "
+              "trade-off (area buys retention) is identical.\n", vcDevice);
+  return 0;
+}

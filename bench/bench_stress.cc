@@ -1,0 +1,55 @@
+// Disturb-accumulation stress study (extension of the paper's "disturb-
+// free" claims): hammer patterns against the 2x3 array under the Table 1
+// bias scheme and track whether victim-cell polarization drifts toward
+// the basin boundary as operations accumulate.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/materials.h"
+#include "core/stress.h"
+
+using namespace fefet;
+
+int main() {
+  core::ArrayConfig cfg;
+  cfg.fefet.lk = core::fefetMaterial();
+
+  bench::banner("stress patterns, 30 cycles each (2x3 array)");
+  std::cout << "pattern,operations,states_intact,max_drift,mean_drift,"
+               "max_drift_fraction\n";
+  bool allIntact = true;
+  double worstFraction = 0.0;
+  for (const auto& report : core::runAllStressPatterns(cfg, 30)) {
+    allIntact = allIntact && report.statesIntact;
+    worstFraction = std::max(worstFraction, report.maxDriftFraction);
+    std::printf("%s,%d,%s,%.5f,%.5f,%.4f\n",
+                core::toString(report.pattern).c_str(), report.operations,
+                report.statesIntact ? "yes" : "NO", report.maxDrift,
+                report.meanDrift, report.maxDriftFraction);
+  }
+
+  bench::banner("drift accumulation vs cycle count (column-hammer)");
+  std::cout << "cycles,max_drift_fraction\n";
+  double prev = 0.0;
+  bool saturates = true;
+  for (int cycles : {5, 10, 20, 40}) {
+    const auto r =
+        core::runStress(cfg, core::StressPattern::kColumnHammer, cycles);
+    std::printf("%d,%.4f\n", cycles, r.maxDriftFraction);
+    if (cycles > 5 && r.maxDriftFraction > prev * 2.0 + 0.02) {
+      saturates = false;  // runaway accumulation would be a disturb bug
+    }
+    prev = r.maxDriftFraction;
+  }
+
+  bench::Comparison cmp;
+  cmp.addText("all victim states intact after hammering", "yes",
+              allIntact ? "yes" : "no", "");
+  cmp.add("worst victim drift (fraction of separation)", 0.0, worstFraction,
+          "(1.0 would flip)");
+  cmp.addText("drift saturates instead of accumulating", "yes",
+              saturates ? "yes" : "no", "");
+  cmp.print();
+  return allIntact ? 0 : 1;
+}

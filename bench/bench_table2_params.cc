@@ -1,0 +1,50 @@
+// Reproduces paper Table 2: the simulation parameter card, plus the
+// quantities this reproduction derives/reconstructs from it.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/materials.h"
+#include "ferro/lk_model.h"
+#include "xtor/technology.h"
+
+using namespace fefet;
+
+int main() {
+  bench::banner("Table 2: simulation parameters");
+  const auto& tech = xtor::defaultTechnology();
+  const auto fefetMat = core::fefetMaterial();
+  const auto feramMat = core::feramMaterial();
+
+  TextTable table({"parameter", "value", "source"});
+  table.addRow({"technology node", "45 nm", "Table 2"});
+  table.addRow({"width of the transistors", "65 nm", "Table 2"});
+  table.addRow({"alpha", "-7e9 m/F", "Table 2"});
+  table.addRow({"beta", "3.3e10 m^5/F/C^2", "Table 2"});
+  table.addRow({"gamma", "-0.2e10 m^9/F/C^4", "Table 2"});
+  table.addRow({"metal capacitance", "0.2 fF/um", "Table 2"});
+  table.addRow({"write voltage", "0.68 V", "Table 2"});
+  table.addRow({"read voltage", "0.40 V", "Table 2"});
+  table.addRow({"rho (FEFET gate stack)",
+                strings::generalFormat(fefetMat.rho, 4) + " ohm*m",
+                "reconstructed (550 ps @ 0.68 V)"});
+  table.addRow({"rho (FERAM capacitor)",
+                strings::generalFormat(feramMat.rho, 4) + " ohm*m",
+                "reconstructed (550 ps @ 1.64 V)"});
+  table.addRow({"write-select boost", "1.36 V (2x VDD)", "this work (§4.1)"});
+  table.print(std::cout);
+
+  bench::banner("derived ferroelectric statics (test oracles)");
+  const ferro::LandauKhalatnikov lk(fefetMat);
+  bench::Comparison cmp;
+  cmp.add("remnant polarization", 0.4636, lk.remnantPolarization(), "C/m^2");
+  cmp.add("coercive field", 1.2435, lk.coerciveField() * 1e-9, "GV/m");
+  cmp.add("coercive voltage @1nm (paper: 1.26 V)", 1.26,
+          lk.coerciveField() * 1e-9, "V");
+  cmp.add("double-well barrier", 3.745e8, lk.wellBarrier(), "J/m^3");
+  cmp.print();
+
+  bench::banner("transistor card");
+  std::cout << tech.describe();
+  return 0;
+}

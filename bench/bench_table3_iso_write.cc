@@ -1,0 +1,67 @@
+// Reproduces paper Table 3: the FEFET and FERAM NVM macro parameters at
+// iso write time (550 ps) — bit-line voltage, write time, write energy and
+// read energy — combining the simulated cells (voltage/time) with the
+// macro energy reconstruction (wires + drivers, see macro_energy.h).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/macro_energy.h"
+#include "core/materials.h"
+#include "core/write_explorer.h"
+
+using namespace fefet;
+
+int main() {
+  bench::banner("Table 3 (measured): iso-write 550 ps cell solve");
+  core::Cell2TConfig fefetCfg;
+  fefetCfg.fefet.lk = core::fefetMaterial();
+  core::FeRamConfig feramCfg;
+  feramCfg.lk = core::feramMaterial();
+  const auto isoFefet = core::isoWriteFefet(fefetCfg, 550e-12);
+  const auto isoFeram = core::isoWriteFeram(feramCfg, 550e-12);
+  std::printf("FEFET cell: V=%.3f V, t=%.0f ps, E(cell)=%.3g fJ\n",
+              isoFefet.voltage, isoFefet.writeTime * 1e12,
+              isoFefet.writeEnergy * 1e15);
+  std::printf("FERAM cell: V=%.3f V, t=%.0f ps, E(cell)=%.3g fJ\n",
+              isoFeram.voltage, isoFeram.writeTime * 1e12,
+              isoFeram.writeEnergy * 1e15);
+
+  bench::banner("Table 3 (reconstructed): macro per-word (32b) parameters");
+  core::MacroEnergyModel macro;
+  const auto fefet = macro.fefet();
+  const auto feram = macro.feram();
+  std::printf("FEFET macro: %s\n", fefet.breakdown.c_str());
+  std::printf("FERAM macro: %s\n", feram.breakdown.c_str());
+
+  TextTable table({"", "Bit line voltage", "Write time", "Write energy",
+                   "Read energy"});
+  table.addRow({"FEFET (paper)", "0.68 V", "0.55 ns", "4.82 pJ", "0.28 pJ"});
+  table.addRow({"FEFET (ours)",
+                strings::fixedFormat(fefet.bitLineVoltage, 2) + " V",
+                strings::siFormat(fefet.writeTime, "s"),
+                strings::siFormat(fefet.writeEnergy, "J"),
+                strings::siFormat(fefet.readEnergy, "J")});
+  table.addRow({"FERAM (paper)", "1.64 V", "0.55 ns", "15.0 pJ", "15.5 pJ"});
+  table.addRow({"FERAM (ours)",
+                strings::fixedFormat(feram.bitLineVoltage, 2) + " V",
+                strings::siFormat(feram.writeTime, "s"),
+                strings::siFormat(feram.writeEnergy, "J"),
+                strings::siFormat(feram.readEnergy, "J")});
+  table.print(std::cout);
+
+  bench::banner("headline comparisons (paper abstract)");
+  bench::Comparison cmp;
+  cmp.add("write voltage reduction", 58.5,
+          macro.writeVoltageReduction() * 100.0, "%");
+  cmp.add("write energy reduction", 67.7,
+          macro.writeEnergySavings() * 100.0, "%");
+  cmp.add("iso-write FEFET voltage (simulated cell)", 0.68, isoFefet.voltage,
+          "V");
+  cmp.add("iso-write FERAM voltage (simulated cell)", 1.64, isoFeram.voltage,
+          "V");
+  cmp.add("FEFET read vs FERAM read", 15.5 / 0.28,
+          feram.readEnergy / fefet.readEnergy, "x");
+  cmp.print();
+  return 0;
+}

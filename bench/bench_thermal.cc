@@ -1,0 +1,86 @@
+// Thermal study (extension): the paper's design point across temperature.
+// Heating softens the ferroelectric well (Curie–Weiss) and raises kT —
+// the memory window, write wall and retention all degrade together.  The
+// bench finds the maximum temperature at which the 2.25 nm / 0.68 V design
+// still works and shows the margins' temperature slopes.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/design_space.h"
+#include "core/materials.h"
+#include "ferro/retention.h"
+#include "ferro/thermal.h"
+
+using namespace fefet;
+
+namespace {
+core::FefetParams deviceAt(double temperature) {
+  core::FefetParams p;
+  p.lk = ferro::atTemperature(core::fefetMaterial(), temperature);
+  p.mos.temperature = temperature;
+  // First-order transistor temperature effects: VT -1 mV/K, mobility
+  // ~ (T/300)^-1.5.
+  p.mos.vt0 += -1e-3 * (temperature - 300.0);
+  p.mos.mobility *= std::pow(temperature / 300.0, -1.5);
+  return p;
+}
+}  // namespace
+
+int main() {
+  bench::banner("FEFET design point vs temperature (T_C = 700 K)");
+  std::cout << "T_K,Pr_fraction,window_mV,up_V,down_V,nonvolatile,"
+               "log10_retention_s\n";
+  ferro::RetentionModel retention;
+  const double kArea = 65e-9 * 45e-9;
+  // Calibrate the retention reference at 300 K as usual.
+  retention.calibrateToReference(1.244, 0.4636, kArea,
+                                 10.0 * 365.25 * 24 * 3600.0);
+  double maxOperatingT = 0.0;
+  for (double T : {250.0, 300.0, 350.0, 400.0, 450.0, 500.0}) {
+    const auto device = deviceAt(T);
+    const auto window = core::analyzeHysteresis(device);
+    const ferro::LandauKhalatnikov lk(device.lk);
+    double log10Ret = 0.0;
+    if (window.nonvolatile) {
+      // Device-level coercive voltage shrinks AND kT grows.
+      ferro::RetentionParams rp = retention.params();
+      rp.temperature = T;
+      ferro::RetentionModel hot(rp);
+      log10Ret = hot.log10RetentionSeconds(0.5 * window.width(),
+                                           lk.remnantPolarization(), kArea);
+      if (window.upSwitchVoltage < 0.58 &&
+          window.downSwitchVoltage > -0.58) {
+        maxOperatingT = T;  // still writable at +/-0.68 V with margin
+      }
+    }
+    std::printf("%.0f,%.3f,%.0f,%.3f,%.3f,%d,%.1f\n", T,
+                ferro::remnantFractionAt(T), window.width() * 1e3,
+                window.upSwitchVoltage, window.downSwitchVoltage,
+                window.nonvolatile, log10Ret);
+  }
+
+  bench::banner("compensating by thickness at high temperature");
+  // At 400 K the 2.25 nm design has a slimmer window; a thicker film buys
+  // it back — the design knob works across temperature.
+  std::cout << "T_K,t_nm,window_mV,nonvolatile\n";
+  for (double t : {2.25e-9, 2.5e-9, 2.8e-9}) {
+    auto device = deviceAt(400.0);
+    device.feThickness = t;
+    const auto window = core::analyzeHysteresis(device);
+    std::printf("400,%.2f,%.0f,%d\n", t * 1e9, window.width() * 1e3,
+                window.nonvolatile);
+  }
+
+  const auto w300 = core::analyzeHysteresis(deviceAt(300.0));
+  const auto w400 = core::analyzeHysteresis(deviceAt(400.0));
+  bench::Comparison cmp;
+  cmp.add("window at 300 K", 575.0, w300.width() * 1e3, "mV");
+  cmp.add("window at 400 K (shrinks)", 0.0, w400.width() * 1e3, "mV");
+  cmp.addText("still nonvolatile at 400 K", "-",
+              w400.nonvolatile ? "yes" : "no", "");
+  cmp.add("max T with 0.68 V write margin", 0.0, maxOperatingT, "K");
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// bench_util.h — shared helpers for the figure/table reproduction benches:
+// banner printing, downsampled waveform dumps and paper-vs-measured rows.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "spice/waveform.h"
+
+namespace fefet::bench {
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// One paper-vs-measured comparison row.
+class Comparison {
+ public:
+  Comparison() : table_({"metric", "paper", "measured", "unit"}) {}
+
+  void add(const std::string& metric, double paper, double measured,
+           const std::string& unit, int digits = 3) {
+    table_.addRow({metric, strings::generalFormat(paper, digits),
+                   strings::generalFormat(measured, digits), unit});
+  }
+  void addText(const std::string& metric, const std::string& paper,
+               const std::string& measured, const std::string& unit) {
+    table_.addRow({metric, paper, measured, unit});
+  }
+  void print() const { table_.print(std::cout); }
+
+ private:
+  TextTable table_;
+};
+
+/// Print every Nth sample of selected waveform columns as CSV.
+inline void dumpWaveform(const spice::Waveform& waveform,
+                         const std::vector<std::string>& columns,
+                         std::size_t maxRows = 40) {
+  const auto t = waveform.time();
+  if (t.empty()) return;
+  std::cout << "time_ns";
+  for (const auto& c : columns) std::cout << ',' << c;
+  std::cout << '\n';
+  const std::size_t stride = t.size() > maxRows ? t.size() / maxRows : 1;
+  for (std::size_t i = 0; i < t.size(); i += stride) {
+    std::printf("%.4f", t[i] * 1e9);
+    for (const auto& c : columns) {
+      std::printf(",%.6g", waveform.column(c)[i]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace fefet::bench

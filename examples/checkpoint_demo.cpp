@@ -1,0 +1,80 @@
+// checkpoint_demo — the adoptable API in action: use the word-addressable
+// NVM macro (core/nvm_macro.h) as a checkpoint store for a toy computation
+// and compare the energy bill of FEFET vs FERAM technology for the same
+// checkpoint stream.
+//
+//   $ ./checkpoint_demo [checkpoints]     (default 200)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/nvm_macro.h"
+
+using namespace fefet::core;
+
+namespace {
+/// A toy "processor state": PC + 32 registers.
+struct CpuState {
+  std::uint32_t pc = 0;
+  std::uint32_t regs[32] = {};
+
+  void step() {
+    pc += 4;
+    regs[pc % 32] = regs[(pc + 7) % 32] * 1664525u + 1013904223u;
+  }
+};
+
+void checkpoint(NvmMacro& macro, const CpuState& s, int base) {
+  macro.writeWord(base, s.pc);
+  for (int i = 0; i < 32; ++i) macro.writeWord(base + 1 + i, s.regs[i]);
+}
+
+CpuState restore(NvmMacro& macro, int base) {
+  CpuState s;
+  s.pc = macro.readWord(base).value;
+  for (int i = 0; i < 32; ++i) s.regs[i] = macro.readWord(base + 1 + i).value;
+  return s;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int checkpoints = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  NvmMacro fefet(MacroTechnology::kFefet);
+  NvmMacro feram(MacroTechnology::kFeram);
+  std::printf("macro capacity: %d words of %d bits; FEFET array %.1f um^2, "
+              "FERAM %.1f um^2\n",
+              fefet.wordCount(), fefet.wordBits(), fefet.arrayArea() * 1e12,
+              feram.arrayArea() * 1e12);
+
+  CpuState cpu;
+  for (int k = 0; k < checkpoints; ++k) {
+    for (int i = 0; i < 1000; ++i) cpu.step();
+    checkpoint(fefet, cpu, 0);
+    checkpoint(feram, cpu, 0);
+    // Simulate the power-loss/restore round trip.
+    const CpuState backF = restore(fefet, 0);
+    const CpuState backR = restore(feram, 0);
+    if (backF.pc != cpu.pc || backR.pc != cpu.pc) {
+      std::printf("RESTORE MISMATCH at checkpoint %d\n", k);
+      return 1;
+    }
+  }
+
+  std::printf("\n%d checkpoint+restore cycles of a 33-word CPU state:\n",
+              checkpoints);
+  std::printf("  FEFET: %6.2f nJ total (%d writes, %d reads), endurance "
+              "margin %.6f\n",
+              fefet.totalEnergy() * 1e9, fefet.writeAccesses(),
+              fefet.readAccesses(), fefet.enduranceMarginRemaining());
+  std::printf("  FERAM: %6.2f nJ total (%d writes, %d reads), endurance "
+              "margin %.6f\n",
+              feram.totalEnergy() * 1e9, feram.writeAccesses(),
+              feram.readAccesses(), feram.enduranceMarginRemaining());
+  std::printf("  checkpoint energy ratio: %.1fx in favour of FEFET\n",
+              feram.totalEnergy() / fefet.totalEnergy());
+  std::printf("\nThe asymmetry is the paper's system story: FERAM pays pJ-"
+              "class energy on BOTH directions (destructive reads), FEFET "
+              "only on writes.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+* The paper's Fig. 7 array as a hierarchical deck: six 2T FEFET cells
+* built from one subcircuit.  Writes a '1' into cell (0,0) with the
+* Table 1 biasing (accessed WS boosted, unaccessed WS at -VDD).
+*   ./netlist_sim decks/fefet_array_2x3.sp 1.5n Xc00:int Xc10:int
+.subckt fecell wbl ws rs sl
+Macc wbl ws g NMOS W=65n
+XFE g int FECAP T=2.25n P0=0 W=65n L=45n RHO=0.885
+Mfet rs int sl NMOS W=65n
+.ends
+
+* row lines
+Vws0 ws0 0 PULSE(0 1.36 20p 20p 900p 20p)
+Vws1 ws1 0 PULSE(0 -0.68 20p 20p 900p 20p)
+Vrs0 rs0 0 DC 0
+Vrs1 rs1 0 DC 0
+* column lines
+Vwbl0 wbl0 0 PULSE(0 0.68 60p 20p 700p 20p)
+Vwbl1 wbl1 0 DC 0
+Vwbl2 wbl2 0 DC 0
+Vsl0 sl0 0 DC 0
+Vsl1 sl1 0 DC 0
+Vsl2 sl2 0 DC 0
+
+Xc00 wbl0 ws0 rs0 sl0 fecell
+Xc01 wbl1 ws0 rs0 sl1 fecell
+Xc02 wbl2 ws0 rs0 sl2 fecell
+Xc10 wbl0 ws1 rs1 sl0 fecell
+Xc11 wbl1 ws1 rs1 sl1 fecell
+Xc12 wbl2 ws1 rs1 sl2 fecell
+.end

@@ -1,0 +1,10 @@
+* FERAM 1T-1C destructive read (paper Fig. 9): plate pulse with a floating
+* bit line develops the charge-sharing signal.  Run with:
+*   ./netlist_sim decks/feram_read.sp 3n bl x
+Vwl wl 0 PULSE(0 2.4 20p 20p 2.5n 20p)
+Vpl pl 0 PULSE(0 1.64 100p 20p 1.5n 20p)
+Macc bld wl x NMOS W=65n
+XFE x pl FECAP T=1n P0=0.4636 W=65n L=45n RHO=0.816
+Cbl bl 0 5f
+Rconn bld bl 50
+.end

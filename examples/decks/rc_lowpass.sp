@@ -1,0 +1,6 @@
+* First-order RC low-pass driven by a 1 GHz sine.  Run with:
+*   ./netlist_sim decks/rc_lowpass.sp 5n in out
+Vin in 0 SIN(0 1 1g)
+R1 in out 1k
+C1 out 0 1p
+.end

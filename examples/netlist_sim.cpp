@@ -1,0 +1,115 @@
+// netlist_sim — a tiny command-line circuit simulator on top of the
+// fefet::spice substrate: read a SPICE-flavoured deck, run a DC solve or a
+// transient, and print node voltages / waveform CSV.
+//
+//   $ ./netlist_sim deck.sp                 # DC operating point
+//   $ ./netlist_sim deck.sp 5n node1 node2  # 5 ns transient, CSV of nodes
+//
+// A ready-made deck for the paper's FEFET write path is embedded and used
+// when no file is given:
+//   $ ./netlist_sim
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spice/deck_parser.h"
+#include "spice/simulator.h"
+
+using namespace fefet;
+
+namespace {
+const char* kBuiltinDeck = R"(* FEFET 2T-cell write path (paper Fig. 5a)
+Vws ws 0 PULSE(0 1.36 20p 20p 900p 20p)
+Vwbl wbl 0 PULSE(0 0.68 60p 20p 700p 20p)
+Macc wbl ws g NMOS W=65n
+XFE g int FECAP T=2.25n P0=0 W=65n L=45n RHO=0.885
+Mfet rs int sl NMOS W=65n
+Vrs rs 0 DC 0
+Vsl sl 0 DC 0
+.end
+)";
+}  // namespace
+
+int main(int argc, char** argv) {
+  spice::Netlist netlist;
+  std::string source = "builtin FEFET write-path deck";
+  try {
+    if (argc > 1) {
+      std::ifstream file(argv[1]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open deck '%s'\n", argv[1]);
+        return 1;
+      }
+      source = argv[1];
+      spice::parseDeck(file, netlist);
+    } else {
+      spice::parseDeckString(kBuiltinDeck, netlist);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "parsed %s: %d nodes, %zu devices\n", source.c_str(),
+               netlist.nodeCount(), netlist.devices().size());
+
+  spice::Simulator sim(netlist);
+  if (argc <= 2) {
+    // Transient for the builtin deck (it is all about dynamics); DC for
+    // user decks without a duration argument.
+    if (argc == 1) {
+      sim.initializeUic();
+      spice::TransientOptions options;
+      options.duration = 1.5e-9;
+      const auto r = sim.runTransient(
+          options, {spice::Probe::v("g"), spice::Probe::v("int"),
+                    spice::Probe::deviceState("XFE", "P")});
+      r.waveform.writeCsv(std::cout);
+      std::fprintf(stderr, "final polarization: %.4f C/m^2\n",
+                   r.waveform.finalValue("P(XFE)"));
+      return 0;
+    }
+    try {
+      sim.solveDc();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "DC solve failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("node,voltage\n");
+    for (int id = 1; id <= netlist.nodeCount(); ++id) {
+      std::printf("%s,%.9g\n", netlist.nodeName(id).c_str(),
+                  sim.nodeVoltage(netlist.nodeName(id)));
+    }
+    return 0;
+  }
+
+  // Transient: duration plus probe node names.
+  spice::TransientOptions options;
+  try {
+    options.duration = spice::parseEngineeringValue(argv[2]);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bad duration '%s': %s\n", argv[2], e.what());
+    return 1;
+  }
+  std::vector<spice::Probe> probes;
+  for (int i = 3; i < argc; ++i) probes.push_back(spice::Probe::v(argv[i]));
+  if (probes.empty()) {
+    for (int id = 1; id <= netlist.nodeCount(); ++id) {
+      probes.push_back(spice::Probe::v(netlist.nodeName(id)));
+    }
+  }
+  sim.initializeUic();
+  try {
+    const auto r = sim.runTransient(options, probes);
+    r.waveform.writeCsv(std::cout);
+    std::fprintf(stderr, "%d steps, %d newton iterations\n", r.stats.steps,
+                 r.stats.newtonIterations);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "transient failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// nvp_demo — run the battery-free processor scenario of paper §7: an ODAB
+// nonvolatile processor powered by a bursty Wi-Fi energy harvester,
+// checkpointing into either the FEFET macro or the FERAM baseline.
+//
+//   $ ./nvp_demo [mean_power_uW]          (default 14 uW, the paper point)
+#include <cstdio>
+#include <cstdlib>
+
+#include "nvp/nv_processor.h"
+
+using namespace fefet::nvp;
+
+int main(int argc, char** argv) {
+  const double meanPower = (argc > 1 ? std::atof(argv[1]) : 14.0) * 1e-6;
+
+  WifiTraceParams traceParams;
+  traceParams.meanPower = meanPower;
+  traceParams.duration = 1.0;
+  const auto trace = makeWifiTrace(traceParams);
+  std::printf("Wi-Fi harvester trace: %.1f uW mean, %.0f outages/s, duty "
+              "%.0f%%\n\n",
+              trace.meanPower() * 1e6, trace.interruptionRate(),
+              trace.dutyCycle() * 100.0);
+
+  const auto fefet = fefetNvm();
+  const auto feram = feramNvm();
+  std::printf("%-14s %9s %9s %8s | per power cycle: backup/restore\n",
+              "benchmark", "FP(FERAM)", "FP(FEFET)", "gain");
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& w : mibenchSuite()) {
+    const auto a = simulateNvp(trace, w, fefet);
+    const auto b = simulateNvp(trace, w, feram);
+    const double gain = a.forwardProgress / b.forwardProgress - 1.0;
+    sum += gain;
+    ++n;
+    std::printf("%-14s %9.4f %9.4f %7.1f%% | FEFET %5.0f pJ / %4.0f pJ, "
+                "FERAM %5.0f pJ / %5.0f pJ\n",
+                w.name.c_str(), b.forwardProgress, a.forwardProgress,
+                gain * 100.0,
+                a.backupEnergy / std::max(a.powerCycles, 1) * 1e12,
+                a.restoreEnergy / std::max(a.powerCycles, 1) * 1e12,
+                b.backupEnergy / std::max(b.powerCycles, 1) * 1e12,
+                b.restoreEnergy / std::max(b.powerCycles, 1) * 1e12);
+  }
+  std::printf("\naverage forward-progress gain of FEFET over FERAM: %.1f%%"
+              " (paper: 27%% at its operating point)\n",
+              sum / n * 100.0);
+  std::printf("FERAM pays twice per cycle: expensive writes AND expensive "
+              "destructive-read restores; the FEFET macro's non-destructive "
+              "0.28 pJ reads make restores nearly free.\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper figure/table plus the extension
+# studies.  Outputs land in test_output.txt and bench_output.txt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "##### $b"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace fefet::detail {
+
+void throwRequireFailure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << message << " [" << expr << "] at " << file
+     << ":" << line;
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace fefet::detail

@@ -1,0 +1,54 @@
+// error.h — exception hierarchy used across the library.
+//
+// All failures raise exceptions derived from fefet::Error.  Numerical
+// failures (non-convergence, singular matrices) carry enough context to
+// diagnose the offending circuit or sweep.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fefet {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed user input: unknown node, bad parameter, inconsistent config.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed: Newton did not converge, matrix singular,
+/// root not bracketed, time step underflow.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// A simulation-level failure: write did not complete, sense amplifier did
+/// not resolve, measurement target never crossed.
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwRequireFailure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+}  // namespace detail
+
+/// Precondition check used at public API boundaries.  Throws
+/// InvalidArgumentError with location info when `expr` is false.
+#define FEFET_REQUIRE(expr, message)                                        \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::fefet::detail::throwRequireFailure(#expr, __FILE__, __LINE__,       \
+                                           (message));                     \
+    }                                                                       \
+  } while (false)
+
+}  // namespace fefet

@@ -1,0 +1,219 @@
+#include "common/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fefet::linalg {
+
+void DenseMatrix::setZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+std::vector<double> DenseMatrix::multiply(std::span<const double> x) const {
+  FEFET_REQUIRE(x.size() == cols_, "DenseMatrix::multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
+  FEFET_REQUIRE(lu_.rows() == lu_.cols(), "DenseLu: matrix not square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double maxPivot = 0.0, minPivot = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest magnitude in column k at/below k.
+    std::size_t pivotRow = k;
+    double pivotMag = std::abs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_.at(r, k));
+      if (mag > pivotMag) {
+        pivotMag = mag;
+        pivotRow = r;
+      }
+    }
+    if (pivotMag < 1e-300) {
+      std::ostringstream os;
+      os << "DenseLu: singular matrix at elimination step " << k << " of "
+         << n;
+      throw NumericalError(os.str());
+    }
+    if (pivotRow != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_.at(k, c), lu_.at(pivotRow, c));
+      }
+      std::swap(perm_[k], perm_[pivotRow]);
+    }
+    if (k == 0) {
+      maxPivot = minPivot = pivotMag;
+    } else {
+      maxPivot = std::max(maxPivot, pivotMag);
+      minPivot = std::min(minPivot, pivotMag);
+    }
+    const double pivot = lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_.at(r, k) / pivot;
+      lu_.at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+      }
+    }
+  }
+  pivotRatio_ = (minPivot > 0.0) ? maxPivot / minPivot : 0.0;
+}
+
+std::vector<double> DenseLu::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  FEFET_REQUIRE(b.size() == n, "DenseLu::solve: size mismatch");
+  std::vector<double> x(n);
+  // Apply permutation, then forward substitution on unit-lower L.
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_.at(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward substitution on U.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_.at(i, j) * x[j];
+    x[i] = acc / lu_.at(i, i);
+  }
+  return x;
+}
+
+void SparseMatrix::setZero() {
+  for (auto& row : rows_) row.clear();
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  FEFET_REQUIRE(x.size() == rows_.size(), "SparseMatrix::multiply: size mismatch");
+  std::vector<double> y(rows_.size(), 0.0);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    double acc = 0.0;
+    for (const auto& [c, v] : rows_[r]) acc += v * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::size_t SparseMatrix::nonZeros() const {
+  std::size_t nz = 0;
+  for (const auto& row : rows_) nz += row.size();
+  return nz;
+}
+
+SparseLu::SparseLu(const SparseMatrix& a) {
+  const std::size_t n = a.size();
+  // Working copy of the rows; we eliminate in place.
+  std::vector<std::map<std::size_t, double>> rows(n);
+  for (std::size_t r = 0; r < n; ++r) rows[r] = a.row(r);
+
+  perm_.resize(n);
+  std::vector<std::size_t> rowOf(n);  // position k -> original row index
+  for (std::size_t i = 0; i < n; ++i) rowOf[i] = i;
+
+  lower_.assign(n, {});
+  upper_.assign(n, {});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot: among remaining rows, pick the one with the largest |entry| in
+    // column k (partial pivoting, like the dense path).
+    std::size_t best = n;
+    double bestMag = 0.0;
+    for (std::size_t i = k; i < n; ++i) {
+      const auto& row = rows[rowOf[i]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double mag = std::abs(it->second);
+      if (mag > bestMag) {
+        bestMag = mag;
+        best = i;
+      }
+    }
+    if (best == n || bestMag < 1e-300) {
+      std::ostringstream os;
+      os << "SparseLu: singular matrix at elimination step " << k << " of "
+         << n;
+      throw NumericalError(os.str());
+    }
+    std::swap(rowOf[k], rowOf[best]);
+    const std::size_t prow = rowOf[k];
+    const double pivot = rows[prow][k];
+
+    // Record U row k (entries at columns >= k).
+    upper_[k] = rows[prow];
+
+    // Eliminate column k from all remaining rows that contain it.
+    for (std::size_t i = k + 1; i < n; ++i) {
+      auto& row = rows[rowOf[i]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double factor = it->second / pivot;
+      row.erase(it);
+      lower_[rowOf[i]][k] = factor;
+      if (factor == 0.0) continue;
+      for (auto uit = upper_[k].upper_bound(k); uit != upper_[k].end();
+           ++uit) {
+        row[uit->first] -= factor * uit->second;
+      }
+    }
+  }
+  perm_ = rowOf;
+
+  // Re-key lower_ so that lower_[k] holds the multipliers of the row placed
+  // at position k (in elimination order).
+  std::vector<std::map<std::size_t, double>> lowerByPos(n);
+  for (std::size_t k = 0; k < n; ++k) lowerByPos[k] = lower_[perm_[k]];
+  lower_ = std::move(lowerByPos);
+}
+
+std::vector<double> SparseLu::solve(std::span<const double> b) const {
+  const std::size_t n = perm_.size();
+  FEFET_REQUIRE(b.size() == n, "SparseLu::solve: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution: L has unit diagonal; lower_[i] keys are column
+  // positions (< i) in elimination order.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (const auto& [j, v] : lower_[i]) acc -= v * x[j];
+    x[i] = acc;
+  }
+  // Backward substitution on U.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    double diag = 0.0;
+    for (const auto& [j, v] : upper_[i]) {
+      if (j == i) {
+        diag = v;
+      } else if (j > i) {
+        acc -= v * x[j];
+      }
+    }
+    x[i] = acc / diag;
+  }
+  return x;
+}
+
+double normInf(std::span<const double> v) {
+  double m = 0.0;
+  for (double e : v) m = std::max(m, std::abs(e));
+  return m;
+}
+
+double norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (double e : v) acc += e * e;
+  return std::sqrt(acc);
+}
+
+}  // namespace fefet::linalg

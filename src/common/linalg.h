@@ -1,0 +1,102 @@
+// linalg.h — dense and sparse linear algebra for the MNA solver.
+//
+// DenseMatrix + LU with partial pivoting covers small circuits (cells,
+// sense amplifiers).  SparseMatrix with a row-map LU covers memory arrays,
+// where the MNA matrix is extremely sparse.  The spice::LinearSolver picks
+// between them by size.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace fefet::linalg {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void setZero();
+
+  /// y = A x.
+  std::vector<double> multiply(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square dense matrix.
+/// Throws NumericalError when the matrix is numerically singular.
+class DenseLu {
+ public:
+  explicit DenseLu(DenseMatrix a);
+
+  /// Solve A x = b for x.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Largest pivot magnitude ratio encountered (diagnostic).
+  double conditionEstimate() const { return pivotRatio_; }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  double pivotRatio_ = 0.0;
+};
+
+/// Square sparse matrix stored as one std::map<col,double> per row.
+/// Assembly-friendly (random add), solvable with a fill-in-tolerant LU.
+/// This trades peak speed for simplicity and robustness, which is the right
+/// call for array-scale MNA systems (thousands of nodes, ~5 entries/row).
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(std::size_t n) : rows_(n) {}
+
+  std::size_t size() const { return rows_.size(); }
+
+  void add(std::size_t r, std::size_t c, double v) { rows_[r][c] += v; }
+  void setZero();
+
+  const std::map<std::size_t, double>& row(std::size_t r) const {
+    return rows_[r];
+  }
+
+  std::vector<double> multiply(std::span<const double> x) const;
+  std::size_t nonZeros() const;
+
+ private:
+  std::vector<std::map<std::size_t, double>> rows_;
+};
+
+/// Sparse LU with partial (threshold) pivoting over the row maps.
+class SparseLu {
+ public:
+  explicit SparseLu(const SparseMatrix& a);
+
+  std::vector<double> solve(std::span<const double> b) const;
+
+ private:
+  std::vector<std::map<std::size_t, double>> lower_;  // unit diagonal implied
+  std::vector<std::map<std::size_t, double>> upper_;
+  std::vector<std::size_t> perm_;  // row permutation: perm_[k] = original row
+};
+
+/// Infinity norm of a vector.
+double normInf(std::span<const double> v);
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> v);
+
+}  // namespace fefet::linalg

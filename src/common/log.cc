@@ -1,0 +1,28 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace fefet {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+namespace {
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+}
+
+}  // namespace fefet

@@ -1,0 +1,57 @@
+// log.h — tiny leveled logger.
+//
+// The simulator emits progress/diagnostic messages through this singleton so
+// tests can silence them and benches can raise verbosity.  Not thread-safe by
+// design: the library is single-threaded per simulation.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fefet {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logger.  Default level is kWarn so library users see problems but
+/// not chatter.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void setLevel(LogLevel level) { level_ = level; }
+
+  /// Emit one line at `level` (no-op when below the global threshold).
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define FEFET_LOG(levelArg)                               \
+  if (::fefet::Log::level() > (levelArg)) {               \
+  } else                                                  \
+    ::fefet::detail::LogLine(levelArg)
+
+#define FEFET_TRACE() FEFET_LOG(::fefet::LogLevel::kTrace)
+#define FEFET_DEBUG() FEFET_LOG(::fefet::LogLevel::kDebug)
+#define FEFET_INFO() FEFET_LOG(::fefet::LogLevel::kInfo)
+#define FEFET_WARN() FEFET_LOG(::fefet::LogLevel::kWarn)
+#define FEFET_ERROR() FEFET_LOG(::fefet::LogLevel::kError)
+
+}  // namespace fefet

@@ -1,0 +1,87 @@
+// math.h — scalar numerical utilities: root finding, quadrature, ODE steps,
+// interpolation.  These are the building blocks for the ferroelectric
+// physics (static solves of the Landau polynomial) and for measurement
+// post-processing (threshold crossings, energy integrals).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace fefet::math {
+
+/// Sign of x as -1.0, 0.0 or +1.0.
+double sign(double x);
+
+/// Smooth softplus: log(1 + exp(x)) computed without overflow.
+double softplus(double x);
+
+/// Derivative of softplus, i.e. the logistic function 1/(1+exp(-x)).
+double logistic(double x);
+
+/// Evaluate a polynomial with coefficients in ascending order
+/// (c[0] + c[1] x + c[2] x^2 + ...).
+double polyval(std::span<const double> ascendingCoefficients, double x);
+
+struct RootOptions {
+  double xTolerance = 1e-14;
+  double fTolerance = 0.0;   ///< also accept |f| <= fTolerance
+  int maxIterations = 200;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs
+/// (or one of them to be zero).  Throws NumericalError otherwise.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& options = {});
+
+/// Brent's method (inverse-quadratic + secant + bisection) on [lo, hi].
+/// Same bracketing requirement as bisect(); converges much faster on smooth
+/// functions.
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& options = {});
+
+/// Find all sign changes of f sampled at `samples` uniformly spaced points in
+/// [lo, hi], then polish each bracket with Brent.  Returns roots in
+/// ascending order.  Useful for multi-valued load-line intersections.
+std::vector<double> findAllRoots(const std::function<double(double)>& f,
+                                 double lo, double hi, int samples = 400,
+                                 const RootOptions& options = {});
+
+/// Trapezoidal integral of samples y(x) over possibly non-uniform x.
+/// x and y must have equal size >= 2.
+double trapz(std::span<const double> x, std::span<const double> y);
+
+/// Cumulative trapezoidal integral; result[i] = integral of y up to x[i],
+/// result[0] = 0.
+std::vector<double> cumtrapz(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Linear interpolation of tabulated (x, y) at query point q.  x must be
+/// strictly increasing.  Clamps outside the table.
+double interp1(std::span<const double> x, std::span<const double> y, double q);
+
+/// First time/abscissa at which the sampled waveform y(x) crosses `level`
+/// moving in direction `rising` (true: from below to >= level).  Linear
+/// interpolation between samples.  Throws SimulationError when no crossing
+/// exists.
+double firstCrossing(std::span<const double> x, std::span<const double> y,
+                     double level, bool rising);
+
+/// Does the sampled waveform cross `level` at all (either direction)?
+bool hasCrossing(std::span<const double> y, double level);
+
+/// One classic RK4 step for dy/dt = f(t, y) on a scalar state.
+double rk4Step(const std::function<double(double, double)>& f, double t,
+               double y, double dt);
+
+/// Integrate dy/dt = f(t, y) from t0 to t1 with fixed-step RK4 and record the
+/// trajectory.  Returns (t, y) samples including both endpoints.
+struct Trajectory {
+  std::vector<double> t;
+  std::vector<double> y;
+};
+Trajectory integrateRk4(const std::function<double(double, double)>& f,
+                        double t0, double t1, double y0, int steps);
+
+}  // namespace fefet::math

@@ -1,0 +1,130 @@
+#include "common/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace fefet::plot {
+
+namespace {
+constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@'};
+}
+
+void renderChart(std::ostream& os, const std::vector<Series>& seriesList,
+                 const ChartOptions& options) {
+  FEFET_REQUIRE(!seriesList.empty(), "chart needs at least one series");
+  FEFET_REQUIRE(options.width >= 16 && options.height >= 6,
+                "chart area too small");
+
+  double xMin = std::numeric_limits<double>::infinity();
+  double xMax = -xMin, yMin = xMin, yMax = -xMin;
+  for (const auto& s : seriesList) {
+    FEFET_REQUIRE(s.x.size() == s.y.size(), "series size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double yv = s.y[i];
+      if (options.logY) {
+        if (yv <= 0.0) continue;
+        yv = std::log10(yv);
+      }
+      xMin = std::min(xMin, s.x[i]);
+      xMax = std::max(xMax, s.x[i]);
+      yMin = std::min(yMin, yv);
+      yMax = std::max(yMax, yv);
+    }
+  }
+  FEFET_REQUIRE(std::isfinite(xMin) && std::isfinite(yMin),
+                "chart has no plottable points");
+  if (xMax == xMin) xMax = xMin + 1.0;
+  if (yMax == yMin) yMax = yMin + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  int markerIndex = 0;
+  for (const auto& s : seriesList) {
+    const char marker =
+        s.marker == '*' && markerIndex > 0
+            ? kMarkers[markerIndex % (sizeof(kMarkers) / sizeof(char))]
+            : s.marker;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double yv = s.y[i];
+      if (options.logY) {
+        if (yv <= 0.0) continue;
+        yv = std::log10(yv);
+      }
+      const int col = static_cast<int>(
+          std::lround((s.x[i] - xMin) / (xMax - xMin) * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((yv - yMin) / (yMax - yMin) * (h - 1)));
+      if (col >= 0 && col < w && row >= 0 && row < h) {
+        canvas[static_cast<std::size_t>(h - 1 - row)]
+              [static_cast<std::size_t>(col)] = marker;
+      }
+    }
+    ++markerIndex;
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  const auto yTick = [&](int row) {
+    const double v = yMin + (yMax - yMin) * (h - 1 - row) / (h - 1);
+    return strings::generalFormat(options.logY ? std::pow(10.0, v) : v, 3);
+  };
+  for (int row = 0; row < h; ++row) {
+    const bool labelled = row == 0 || row == h - 1 || row == h / 2;
+    char left[16];
+    std::snprintf(left, sizeof(left), "%9s |",
+                  labelled ? yTick(row).c_str() : "");
+    os << left << canvas[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  char xAxis[160];
+  std::snprintf(xAxis, sizeof(xAxis), "%10s %-12s%*s", " ",
+                strings::generalFormat(xMin, 3).c_str(), w - 12,
+                strings::generalFormat(xMax, 3).c_str());
+  os << xAxis << "  " << options.xLabel << '\n';
+  if (!options.yLabel.empty() || seriesList.size() > 1) {
+    os << "          ";
+    if (!options.yLabel.empty()) os << "y: " << options.yLabel << "  ";
+    if (seriesList.size() > 1) {
+      int idx = 0;
+      for (const auto& s : seriesList) {
+        const char marker =
+            s.marker == '*' && idx > 0
+                ? kMarkers[idx % (sizeof(kMarkers) / sizeof(char))]
+                : s.marker;
+        os << "[" << marker << "] " << s.label << "  ";
+        ++idx;
+      }
+    }
+    os << '\n';
+  }
+}
+
+void renderBars(std::ostream& os, const std::vector<Bar>& bars,
+                const std::string& title, int width) {
+  FEFET_REQUIRE(!bars.empty(), "bar chart needs entries");
+  if (!title.empty()) os << title << '\n';
+  double maxVal = 0.0;
+  std::size_t maxLabel = 0;
+  for (const auto& b : bars) {
+    maxVal = std::max(maxVal, std::abs(b.value));
+    maxLabel = std::max(maxLabel, b.label.size());
+  }
+  if (maxVal == 0.0) maxVal = 1.0;
+  for (const auto& b : bars) {
+    const int len = static_cast<int>(
+        std::lround(std::abs(b.value) / maxVal * width));
+    os << strings::padRight(b.label, maxLabel) << " |"
+       << std::string(static_cast<std::size_t>(len), '#') << ' '
+       << strings::generalFormat(b.value, 4) << '\n';
+  }
+}
+
+}  // namespace fefet::plot

@@ -1,0 +1,42 @@
+// plot.h — ASCII chart rendering for the benchmark harnesses, so figure
+// reproductions look like figures in a terminal: line charts for waveforms
+// and sweeps, scatter for hysteresis loops, horizontal bars for the NVP
+// comparison.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fefet::plot {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+struct ChartOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  std::string xLabel;
+  std::string yLabel;
+  std::string title;
+  bool logY = false;  ///< log10 the y axis (values must be positive)
+};
+
+/// Render one or more (x, y) series on shared axes.  Each series gets its
+/// own marker; a legend line lists label -> marker.
+void renderChart(std::ostream& os, const std::vector<Series>& series,
+                 const ChartOptions& options = {});
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to the widest.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+void renderBars(std::ostream& os, const std::vector<Bar>& bars,
+                const std::string& title = "", int width = 50);
+
+}  // namespace fefet::plot

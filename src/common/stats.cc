@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fefet::stats {
+
+double mean(std::span<const double> v) {
+  FEFET_REQUIRE(!v.empty(), "mean: empty input");
+  double acc = 0.0;
+  for (double e : v) acc += e;
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) {
+  FEFET_REQUIRE(v.size() >= 2, "stddev: need at least 2 samples");
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double e : v) acc += (e - m) * (e - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double minOf(std::span<const double> v) {
+  FEFET_REQUIRE(!v.empty(), "minOf: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double maxOf(std::span<const double> v) {
+  FEFET_REQUIRE(!v.empty(), "maxOf: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double percentile(std::span<const double> v, double p) {
+  FEFET_REQUIRE(!v.empty(), "percentile: empty input");
+  FEFET_REQUIRE(p >= 0.0 && p <= 100.0, "percentile: p outside [0,100]");
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - t) + sorted[hi] * t;
+}
+
+double geomean(std::span<const double> v) {
+  FEFET_REQUIRE(!v.empty(), "geomean: empty input");
+  double acc = 0.0;
+  for (double e : v) {
+    FEFET_REQUIRE(e > 0.0, "geomean: non-positive entry");
+    acc += std::log(e);
+  }
+  return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  std::normal_distribution<double> d(mean, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+int Rng::uniformInt(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+}  // namespace fefet::stats

@@ -1,0 +1,40 @@
+// stats.h — small descriptive-statistics helpers used by the NVP evaluator
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace fefet::stats {
+
+double mean(std::span<const double> v);
+double stddev(std::span<const double> v);  ///< sample (n-1) std deviation
+double minOf(std::span<const double> v);
+double maxOf(std::span<const double> v);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> v, double p);
+
+/// Geometric mean (all entries must be positive).
+double geomean(std::span<const double> v);
+
+/// Deterministic pseudo-random source for workload/trace synthesis.
+/// A thin wrapper over std::mt19937_64 with convenience draws; every
+/// stochastic component takes an explicit seed so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  double uniform(double lo, double hi);
+  double normal(double mean, double sigma);
+  double exponential(double rate);  ///< mean 1/rate
+  int uniformInt(int lo, int hi);   ///< inclusive bounds
+  bool bernoulli(double p);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fefet::stats

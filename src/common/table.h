@@ -1,0 +1,45 @@
+// table.h — console table and CSV writers used by the benchmark harnesses to
+// print the paper's tables and figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fefet {
+
+/// A simple column-aligned text table.  Build with addRow(); print() pads
+/// every column to its widest cell and draws a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Render to a stream.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (convenience for tests).
+  std::string toString() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streaming CSV writer; `row({"a","b"})` quotes cells containing commas.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void row(const std::vector<std::string>& cells);
+  void numericRow(const std::vector<double>& values, int digits = 9);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace fefet

@@ -1,0 +1,80 @@
+// units.h — SI unit helpers, physical constants and user-defined literals.
+//
+// The whole library works in plain SI doubles (volts, amperes, seconds,
+// farads, metres, coulombs per square metre).  These literals exist so that
+// configuration code reads like the paper: `0.68_V`, `550_ps`, `2.25_nm`,
+// `0.2_fF / 1.0_um`.
+#pragma once
+
+namespace fefet {
+
+// ---------------------------------------------------------------------------
+// Physical constants (SI).
+// ---------------------------------------------------------------------------
+namespace constants {
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+/// Thermal voltage kT/q at 300 K [V].
+inline constexpr double kThermalVoltage300K =
+    kBoltzmann * 300.0 / kElementaryCharge;
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsSiO2 = 3.9;
+/// Relative permittivity of silicon.
+inline constexpr double kEpsSi = 11.7;
+}  // namespace constants
+
+// ---------------------------------------------------------------------------
+// User-defined literals.  Each returns a plain double in base SI units.
+// ---------------------------------------------------------------------------
+namespace literals {
+// Voltage.
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// Current.
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+
+// Time.
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ps(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// Capacitance.
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_aF(long double v) { return static_cast<double>(v) * 1e-18; }
+
+// Resistance.
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+
+// Length.
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+// Energy.
+constexpr double operator""_J(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_aJ(long double v) { return static_cast<double>(v) * 1e-18; }
+}  // namespace literals
+
+}  // namespace fefet

@@ -1,0 +1,63 @@
+#include "core/bias_scheme.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace fefet::core {
+
+BiasCondition biasFor(ArrayOp op, RowKind row, const BiasLevels& levels,
+                      bool writeOne) {
+  BiasCondition c;
+  switch (op) {
+    case ArrayOp::kWrite:
+      c.readSelect = 0.0;
+      c.senseLine = 0.0;
+      c.bitLine = writeOne ? levels.vWrite : -levels.vWrite;
+      c.writeSelect = (row == RowKind::kAccessed) ? levels.writeBoost
+                                                  : -levels.vdd;
+      break;
+    case ArrayOp::kRead:
+      c.bitLine = 0.0;
+      c.senseLine = 0.0;
+      if (row == RowKind::kAccessed) {
+        c.readSelect = levels.vRead;
+        c.writeSelect = levels.vdd;  // holds the FEFET gate at the 0V bit line
+      } else {
+        c.readSelect = 0.0;
+        c.writeSelect = 0.0;
+      }
+      break;
+    case ArrayOp::kHold:
+      break;  // everything grounded
+  }
+  return c;
+}
+
+std::string describeBiasTable(const BiasLevels& levels) {
+  TextTable table({"Operation", "Row", "Read select", "Write select",
+                   "Bit line", "Sense line"});
+  const auto volt = [](double v) {
+    return strings::fixedFormat(v, 2) + " V";
+  };
+  const auto addRow = [&](const std::string& op, const std::string& row,
+                          const BiasCondition& c) {
+    table.addRow({op, row, volt(c.readSelect), volt(c.writeSelect),
+                  volt(c.bitLine), volt(c.senseLine)});
+  };
+  addRow("Write", "Accessed",
+         biasFor(ArrayOp::kWrite, RowKind::kAccessed, levels));
+  addRow("Write", "Unaccessed",
+         biasFor(ArrayOp::kWrite, RowKind::kUnaccessed, levels));
+  addRow("Read", "Accessed",
+         biasFor(ArrayOp::kRead, RowKind::kAccessed, levels));
+  addRow("Read", "Unaccessed",
+         biasFor(ArrayOp::kRead, RowKind::kUnaccessed, levels));
+  addRow("Hold", "All", biasFor(ArrayOp::kHold, RowKind::kAccessed, levels));
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace fefet::core

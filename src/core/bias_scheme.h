@@ -1,0 +1,37 @@
+// bias_scheme.h — the array bias conditions of paper Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fefet::core {
+
+enum class ArrayOp { kWrite, kRead, kHold };
+enum class RowKind { kAccessed, kUnaccessed };
+
+/// Line voltages for one (operation, row kind) combination.  For writes the
+/// bit line carries +V_write for a '1' and -V_write for a '0'; `bitLine`
+/// here stores the magnitude with the sign applied by the caller.
+struct BiasCondition {
+  double readSelect = 0.0;
+  double writeSelect = 0.0;
+  double bitLine = 0.0;
+  double senseLine = 0.0;
+};
+
+/// Supply levels the scheme is built from.
+struct BiasLevels {
+  double vdd = 0.68;          ///< V_DD
+  double vWrite = 0.68;       ///< write bit-line magnitude
+  double vRead = 0.40;        ///< read-select (drain) level
+  double writeBoost = 1.36;   ///< boosted write-select level (2x V_DD)
+};
+
+/// Paper Table 1 (with the select-line boost of §4.1 made explicit).
+BiasCondition biasFor(ArrayOp op, RowKind row, const BiasLevels& levels,
+                      bool writeOne = true);
+
+/// Pretty table of all conditions (used by the Table 1 bench).
+std::string describeBiasTable(const BiasLevels& levels);
+
+}  // namespace fefet::core

@@ -1,0 +1,166 @@
+#include "core/cell2t.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math.h"
+#include "xtor/mosfet_model.h"
+
+namespace fefet::core {
+
+using spice::Probe;
+using spice::shapes::dc;
+using spice::shapes::pulse;
+
+Cell2T::Cell2T(const Cell2TConfig& config) : config_(config) {
+  // Quasi-static state targets.
+  const auto stable = stableInternalVoltages(config_.fefet, 0.0);
+  FEFET_REQUIRE(stable.size() >= 2,
+                "Cell2T requires a nonvolatile FEFET (bistable at V_G=0)");
+  psiOff_ = stable.front();
+  for (double s : stable) {
+    if (std::abs(s) < std::abs(psiOff_)) psiOff_ = s;
+  }
+  psiOn_ = *std::max_element(stable.begin(), stable.end());
+  const xtor::MosfetModel mos(config_.fefet.mos, config_.fefet.width);
+  pOn_ = mos.gateChargeDensity(psiOn_);
+  pOff_ = mos.gateChargeDensity(psiOff_);
+  // Basin boundary: the unstable equilibrium between OFF and ON (classify
+  // the stored bit by which basin the committed polarization lies in).
+  const auto allEq = math::findAllRoots(
+      [&](double psi) { return gateVoltageOfInternal(config_.fefet, psi); },
+      psiOff_ + 1e-6, psiOn_ - 1e-6, 4000);
+  pSaddle_ = 0.5 * (pOn_ + pOff_);
+  if (!allEq.empty()) {
+    pSaddle_ = mos.gateChargeDensity(allEq.front());
+  }
+
+  // Netlist: sources on all four lines; access transistor; FEFET.
+  vWbl_ = netlist_.add<spice::VoltageSource>("Vwbl", netlist_.node("wbl"),
+                                             netlist_.ground(), dc(0.0));
+  vWs_ = netlist_.add<spice::VoltageSource>("Vws", netlist_.node("ws"),
+                                            netlist_.ground(), dc(0.0));
+  vRs_ = netlist_.add<spice::VoltageSource>("Vrs", netlist_.node("rs"),
+                                            netlist_.ground(), dc(0.0));
+  vSl_ = netlist_.add<spice::VoltageSource>("Vsl", netlist_.node("sl"),
+                                            netlist_.ground(), dc(0.0));
+  netlist_.add<spice::MosfetDevice>("Macc", netlist_.node("wbl"),
+                                    netlist_.node("ws"), netlist_.node("g"),
+                                    config_.accessMos, config_.accessWidth);
+  fefet_ = attachFefet(netlist_, "cell", "g", "rs", "sl", config_.fefet,
+                       pOff_);
+  sim_ = std::make_unique<spice::Simulator>(netlist_);
+  setStoredBit(false);
+}
+
+void Cell2T::setStoredBit(bool one) {
+  fefet_.fe->setPolarization(one ? pOn_ : pOff_);
+  sim_->setNodeVoltage(netlist_.nodeName(fefet_.internalNode),
+                       one ? psiOn_ : psiOff_);
+  sim_->initializeUic();
+}
+
+bool Cell2T::storedBit() const {
+  return fefet_.fe->polarization() > pSaddle_;
+}
+
+void Cell2T::resetSourceEnergies() {
+  for (auto* src : {vWbl_, vWs_, vRs_, vSl_}) src->resetEnergy();
+}
+
+CellOpResult Cell2T::runOp(double duration, bool isWrite) {
+  resetSourceEnergies();
+  spice::TransientOptions options;
+  options.duration = duration;
+  options.dtMax = duration / 200.0;
+  options.dtInitial = std::min(1e-12, options.dtMax);
+  const std::vector<Probe> probes = {
+      Probe::v("wbl"), Probe::v("ws"), Probe::v("rs"), Probe::v("sl"),
+      Probe::v("g"),
+      Probe::v(netlist_.nodeName(fefet_.internalNode)),
+      Probe::deviceState("cell:fe", "P"),
+      Probe::deviceState("cell:mos", "id"),
+  };
+  auto transient = sim_->runTransient(options, probes);
+
+  CellOpResult result;
+  result.waveform = std::move(transient.waveform);
+  result.finalPolarization = fefet_.fe->polarization();
+  result.bitAfter = storedBit();
+  for (auto* src : {vWbl_, vWs_, vRs_, vSl_}) {
+    result.sourceEnergy[src->name()] = src->energyDelivered();
+    result.totalEnergy += src->energyDelivered();
+  }
+  if (isWrite) {
+    const double threshold = pSaddle_;
+    const auto p = result.waveform.column("P(cell:fe)");
+    if (math::hasCrossing(p, threshold)) {
+      result.writeLatency = math::firstCrossing(
+          result.waveform.time(), p, threshold, p.front() < threshold);
+    }
+  }
+  return result;
+}
+
+CellOpResult Cell2T::write(bool one, double pulseWidth,
+                           std::optional<double> voltageOverride) {
+  const double vw = voltageOverride.value_or(config_.levels.vWrite);
+  const double edge = config_.edgeTime;
+  const double lead = 2.0 * edge;  // WS asserted before the WBL pulse
+  // Boosted select spans the bit-line pulse plus the recovery window, so
+  // the gate is actively held at 0 V while the polarization settles into
+  // its basin (write recovery; a floating gate would freeze P mid-flight).
+  vWs_->setShape(pulse(0.0, config_.levels.writeBoost, edge, edge,
+                       pulseWidth + 4.0 * edge + 0.8 * config_.settleTime,
+                       edge));
+  vWbl_->setShape(pulse(0.0, one ? vw : -vw, lead + edge, edge, pulseWidth,
+                        edge));
+  vRs_->setShape(dc(0.0));
+  vSl_->setShape(dc(0.0));
+  const double duration =
+      lead + pulseWidth + 6.0 * edge + config_.settleTime;
+  return runOp(duration, /*isWrite=*/true);
+}
+
+CellOpResult Cell2T::read(double duration) {
+  const double edge = config_.edgeTime;
+  // WS on with WBL grounded pins the FEFET gate to 0 V during the read.
+  vWs_->setShape(pulse(0.0, config_.levels.vdd, edge, edge,
+                       duration - 6.0 * edge, edge));
+  vWbl_->setShape(dc(0.0));
+  vRs_->setShape(pulse(0.0, config_.levels.vRead, 3.0 * edge, edge,
+                       duration - 10.0 * edge, edge));
+  vSl_->setShape(dc(0.0));
+  auto result = runOp(duration, /*isWrite=*/false);
+  // Plateau current: sample the drain current midway through the RS pulse.
+  const double tSample = 3.0 * edge + 0.5 * (duration - 10.0 * edge);
+  result.readCurrent = result.waveform.valueAt("id(cell:mos)", tSample);
+  return result;
+}
+
+CellOpResult Cell2T::hold(double duration) {
+  vWs_->setShape(dc(0.0));
+  vWbl_->setShape(dc(0.0));
+  vRs_->setShape(dc(0.0));
+  vSl_->setShape(dc(0.0));
+  return runOp(duration, /*isWrite=*/false);
+}
+
+double Cell2T::minimumWritePulse(bool one, double vWrite, double maxPulse,
+                                 double resolution) {
+  const auto attempt = [&](double width) {
+    setStoredBit(!one);
+    const auto r = write(one, width, vWrite);
+    return r.bitAfter == one;
+  };
+  if (!attempt(maxPulse)) return -1.0;
+  double lo = 0.0, hi = maxPulse;
+  while (hi - lo > resolution) {
+    const double mid = 0.5 * (lo + hi);
+    (attempt(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace fefet::core

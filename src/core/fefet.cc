@@ -1,0 +1,191 @@
+#include "core/fefet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math.h"
+#include "xtor/mosfet_model.h"
+
+namespace fefet::core {
+
+FefetInstance attachFefet(spice::Netlist& netlist, const std::string& name,
+                          const std::string& gate, const std::string& drain,
+                          const std::string& source, const FefetParams& params,
+                          double initialPolarization) {
+  FefetInstance inst;
+  const std::string internalName = name + ":int";
+  inst.internalNode = netlist.node(internalName);
+  inst.fe = netlist.add<spice::FeCapDevice>(
+      name + ":fe", netlist.node(gate), inst.internalNode, params.lk,
+      params.feGeometry(), initialPolarization, params.backgroundEpsR);
+  // The internal (floating) gate carries no explicit overlap capacitance:
+  // those parasitics are already absorbed into the effective gate-charge
+  // model, and an isolated internal node with explicit overlaps would trap
+  // charge with no discharge path on simulation timescales (a real MFMIS
+  // gate equilibrates through gate tunneling), skewing the P-psi manifold
+  // after every write.
+  xtor::MosParams mosParams = params.mos;
+  mosParams.overlapCapPerWidth = 0.0;
+  inst.mos = netlist.add<spice::MosfetDevice>(
+      name + ":mos", netlist.node(drain), inst.internalNode,
+      netlist.node(source), mosParams, params.width);
+  return inst;
+}
+
+double gateVoltageOfInternal(const FefetParams& params, double psi) {
+  const xtor::MosfetModel mos(params.mos, params.width);
+  const ferro::LandauKhalatnikov lk(params.lk);
+  return psi + params.feThickness * lk.staticField(mos.gateChargeDensity(psi));
+}
+
+HysteresisWindow analyzeHysteresis(const FefetParams& params, double psiMin,
+                                   double psiMax, int samples) {
+  FEFET_REQUIRE(samples >= 64, "analyzeHysteresis: too few samples");
+  HysteresisWindow window;
+
+  double prevPsi = psiMin;
+  double prevVg = gateVoltageOfInternal(params, psiMin);
+  double prevSlopeSign = 0.0;
+  for (int i = 1; i <= samples; ++i) {
+    const double psi = psiMin + (psiMax - psiMin) * i / samples;
+    const double vg = gateVoltageOfInternal(params, psi);
+    const double slopeSign = math::sign(vg - prevVg);
+    if (prevSlopeSign != 0.0 && slopeSign != 0.0 &&
+        slopeSign != prevSlopeSign) {
+      Fold fold;
+      fold.internalVoltage = prevPsi;
+      fold.gateVoltage = prevVg;
+      fold.isMaximum = prevSlopeSign > 0.0;  // rising then falling = max
+      window.folds.push_back(fold);
+    }
+    if (slopeSign != 0.0) prevSlopeSign = slopeSign;
+    prevPsi = psi;
+    prevVg = vg;
+  }
+
+  window.hysteretic = !window.folds.empty();
+  if (!window.hysteretic) return window;
+
+  // Inversion-branch pair: the two folds with the largest internal
+  // voltages.  By construction of the S-curve, the max (up-switch) sits at
+  // lower psi than the min (down-switch).
+  std::vector<Fold> sorted = window.folds;
+  std::sort(sorted.begin(), sorted.end(), [](const Fold& a, const Fold& b) {
+    return a.internalVoltage > b.internalVoltage;
+  });
+  const Fold* up = nullptr;
+  const Fold* down = nullptr;
+  for (const Fold& f : sorted) {
+    if (!down && !f.isMaximum) {
+      down = &f;
+    } else if (down && !up && f.isMaximum) {
+      up = &f;
+      break;
+    }
+  }
+  if (up && down) {
+    window.upSwitchVoltage = up->gateVoltage;
+    window.downSwitchVoltage = down->gateVoltage;
+    window.nonvolatile =
+        window.downSwitchVoltage < 0.0 && window.upSwitchVoltage > 0.0;
+  }
+  return window;
+}
+
+std::vector<double> stableInternalVoltages(const FefetParams& params,
+                                           double gateVoltage, double psiMin,
+                                           double psiMax, int samples) {
+  const auto residual = [&](double psi) {
+    return gateVoltageOfInternal(params, psi) - gateVoltage;
+  };
+  const auto roots = math::findAllRoots(residual, psiMin, psiMax, samples);
+  std::vector<double> stable;
+  const double h = (psiMax - psiMin) / samples;
+  for (double r : roots) {
+    // Stable where dV_G/dpsi > 0.
+    if (residual(r + 0.25 * h) > residual(r - 0.25 * h)) stable.push_back(r);
+  }
+  return stable;
+}
+
+double stateCurrent(const FefetParams& params, double vgs, double vds,
+                    double psiSeed) {
+  const auto stable = stableInternalVoltages(params, vgs);
+  FEFET_REQUIRE(!stable.empty(), "no stable state at this gate voltage");
+  double best = stable.front();
+  for (double s : stable) {
+    if (std::abs(s - psiSeed) < std::abs(best - psiSeed)) best = s;
+  }
+  const xtor::MosfetModel mos(params.mos, params.width);
+  return mos.idsAt(vds, best, 0.0);
+}
+
+double distinguishability(const FefetParams& params, double vread) {
+  const auto window = analyzeHysteresis(params);
+  FEFET_REQUIRE(window.nonvolatile,
+                "distinguishability needs a nonvolatile device");
+  const auto stable = stableInternalVoltages(params, 0.0);
+  FEFET_REQUIRE(stable.size() >= 2, "expected at least two stable states");
+  const xtor::MosfetModel mos(params.mos, params.width);
+  // OFF: the stable state nearest psi = 0; ON: the largest-psi state on the
+  // inversion branch.
+  double psiOff = stable.front();
+  for (double s : stable) {
+    if (std::abs(s) < std::abs(psiOff)) psiOff = s;
+  }
+  const double psiOn = *std::max_element(stable.begin(), stable.end());
+  const double iOn = mos.idsAt(vread, psiOn, 0.0);
+  const double iOff = mos.idsAt(vread, psiOff, 0.0);
+  FEFET_REQUIRE(iOff > 0.0, "off current vanished");
+  return iOn / iOff;
+}
+
+double minimumNonvolatileThickness(const FefetParams& params, double tLow,
+                                   double tHigh, double tolerance) {
+  FEFET_REQUIRE(tLow > 0.0 && tHigh > tLow,
+                "minimumNonvolatileThickness: bad bracket");
+  const auto nonvolatileAt = [&](double t) {
+    FefetParams p = params;
+    p.feThickness = t;
+    return analyzeHysteresis(p).nonvolatile;
+  };
+  FEFET_REQUIRE(!nonvolatileAt(tLow), "lower bracket already nonvolatile");
+  FEFET_REQUIRE(nonvolatileAt(tHigh), "upper bracket not nonvolatile");
+  while (tHigh - tLow > tolerance) {
+    const double mid = 0.5 * (tLow + tHigh);
+    (nonvolatileAt(mid) ? tHigh : tLow) = mid;
+  }
+  return 0.5 * (tLow + tHigh);
+}
+
+std::vector<TransferPoint> sweepTransfer(const FefetParams& params,
+                                         double vFrom, double vTo, int steps,
+                                         double vds, double startPsi) {
+  FEFET_REQUIRE(steps >= 2, "sweepTransfer: too few steps");
+  const xtor::MosfetModel mos(params.mos, params.width);
+  std::vector<TransferPoint> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  double psi = startPsi;
+  for (int i = 0; i <= steps; ++i) {
+    const double vg = vFrom + (vTo - vFrom) * i / steps;
+    const auto stable = stableInternalVoltages(params, vg);
+    FEFET_REQUIRE(!stable.empty(), "no equilibrium during transfer sweep");
+    // Continuation: stay on the branch nearest the previous state (a fold
+    // annihilation makes the nearest surviving branch the jump target).
+    double best = stable.front();
+    for (double s : stable) {
+      if (std::abs(s - psi) < std::abs(best - psi)) best = s;
+    }
+    psi = best;
+    TransferPoint pt;
+    pt.vgs = vg;
+    pt.internalVoltage = psi;
+    pt.drainCurrent = mos.idsAt(vds, psi, 0.0);
+    pt.polarization = mos.gateChargeDensity(psi);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace fefet::core

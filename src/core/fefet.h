@@ -1,0 +1,117 @@
+// fefet.h — the ferroelectric FET: an FE capacitor (LK dynamics) stacked on
+// the gate of a 45nm MOSFET, plus device-level analysis utilities
+// (paper §2–§3: hysteresis, non-volatility, load lines, fold voltages).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ferro/lk_model.h"
+#include "ferro/fe_capacitor.h"
+#include "spice/fecap_device.h"
+#include "spice/mosfet_device.h"
+#include "spice/netlist.h"
+#include "xtor/technology.h"
+
+namespace fefet::core {
+
+/// Parameters of one FEFET instance.
+struct FefetParams {
+  ferro::LkCoefficients lk;          ///< ferroelectric material
+  double feThickness = 2.25e-9;      ///< T_FE [m] (paper design point)
+  double width = 65e-9;              ///< transistor and FE width [m]
+  xtor::MosParams mos = xtor::nmos45();
+  double backgroundEpsR = 0.0;       ///< linear FE background permittivity
+
+  /// FE film geometry (area = W x L of the gate).
+  ferro::FeGeometry feGeometry() const {
+    return {feThickness, width * mos.length};
+  }
+};
+
+/// Handles to the sub-devices of one FEFET instantiated in a netlist.
+struct FefetInstance {
+  spice::FeCapDevice* fe = nullptr;    ///< gate stack FE (state = stored bit)
+  spice::MosfetDevice* mos = nullptr;  ///< underlying transistor
+  spice::NodeId internalNode = 0;      ///< metal node between FE and gate
+
+  /// Committed polarization [C/m^2].
+  double polarization() const { return fe->polarization(); }
+};
+
+/// Instantiate an FEFET: FE cap from `gate` to a fresh internal node, MOS
+/// gate on the internal node, channel between `drain` and `source`.
+FefetInstance attachFefet(spice::Netlist& netlist, const std::string& name,
+                          const std::string& gate, const std::string& drain,
+                          const std::string& source, const FefetParams& params,
+                          double initialPolarization = 0.0);
+
+// ---------------------------------------------------------------------------
+// Quasi-static device analysis (no circuit solver needed).
+// ---------------------------------------------------------------------------
+
+/// One fold (saddle-node) of the quasi-static V_G(psi) characteristic.
+struct Fold {
+  double internalVoltage = 0.0;  ///< psi at the fold [V]
+  double gateVoltage = 0.0;      ///< external V_G at the fold [V]
+  bool isMaximum = false;        ///< local max (up-switch) vs min (down-switch)
+};
+
+/// The hysteresis analysis of a device at V_DS ~ 0.
+struct HysteresisWindow {
+  std::vector<Fold> folds;       ///< all folds in the swept psi range
+  bool hysteretic = false;       ///< any fold pair exists
+  bool nonvolatile = false;      ///< the inversion-branch window spans V_G=0
+  double upSwitchVoltage = 0.0;  ///< V_G that destabilizes the OFF state
+  double downSwitchVoltage = 0.0;///< V_G that destabilizes the ON state
+  double width() const { return upSwitchVoltage - downSwitchVoltage; }
+};
+
+/// Quasi-static external gate voltage for a given internal node voltage:
+/// V_G(psi) = psi + T_FE * E_s(Q_G(psi)).
+double gateVoltageOfInternal(const FefetParams& params, double psi);
+
+/// Scan V_G(psi) for folds and classify the memory window.  The inversion
+/// branch window is the fold pair with the largest psi values (the pair
+/// between the OFF state and the inversion ON state); accumulation-side
+/// folds are reported but not used for the window.
+HysteresisWindow analyzeHysteresis(const FefetParams& params,
+                                   double psiMin = -4.0, double psiMax = 4.0,
+                                   int samples = 16000);
+
+/// Stable internal-node solutions at a given external V_G (quasi-static).
+std::vector<double> stableInternalVoltages(const FefetParams& params,
+                                           double gateVoltage,
+                                           double psiMin = -4.0,
+                                           double psiMax = 4.0,
+                                           int samples = 16000);
+
+/// Drain current of the stored state: solves the quasi-static equilibrium
+/// nearest to `psiSeed` at V_G = vgs and evaluates the MOS current at the
+/// given drain bias.
+double stateCurrent(const FefetParams& params, double vgs, double vds,
+                    double psiSeed);
+
+/// ON/OFF current ratio at V_GS = 0 with the given read drain bias —
+/// the paper's "distinguishability" (~1e6).
+double distinguishability(const FefetParams& params, double vread);
+
+/// Smallest T_FE for which the device is nonvolatile (window spans V_G=0).
+/// Bisection over [tLow, tHigh].  Paper: just above 1.9 nm.
+double minimumNonvolatileThickness(const FefetParams& params, double tLow,
+                                   double tHigh, double tolerance = 1e-12);
+
+/// One quasi-static branch of the transfer characteristic (Figs. 2a/3a):
+/// sweep V_GS while tracking the continuously-connected equilibrium; at a
+/// fold the state snaps to the surviving branch (the hysteretic jump).
+struct TransferPoint {
+  double vgs = 0.0;
+  double internalVoltage = 0.0;
+  double drainCurrent = 0.0;
+  double polarization = 0.0;
+};
+std::vector<TransferPoint> sweepTransfer(const FefetParams& params,
+                                         double vFrom, double vTo, int steps,
+                                         double vds, double startPsi);
+
+}  // namespace fefet::core

@@ -1,0 +1,164 @@
+#include "core/feram_cell.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math.h"
+
+namespace fefet::core {
+
+using spice::Probe;
+using spice::shapes::dc;
+using spice::shapes::pulse;
+
+FeRamCell::FeRamCell(const FeRamConfig& config) : config_(config) {
+  auto& n = netlist_;
+  // Bit-line driver behind a switch so the BL can float during reads.
+  vBl_ = n.add<spice::VoltageSource>("Vbl", n.node("bld"), n.ground(),
+                                     dc(0.0));
+  blSwitch_ = n.add<spice::TimedSwitch>("Sbl", n.node("bld"), n.node("bl"),
+                                        dc(1.0), 50.0);
+  vWl_ = n.add<spice::VoltageSource>("Vwl", n.node("wl"), n.ground(),
+                                     dc(0.0));
+  vPl_ = n.add<spice::VoltageSource>("Vpl", n.node("pl"), n.ground(),
+                                     dc(0.0));
+  n.add<spice::Capacitor>("Cbl", n.node("bl"), n.ground(),
+                          config_.bitLineCap);
+  n.add<spice::MosfetDevice>("Macc", n.node("bl"), n.node("wl"), n.node("x"),
+                             config_.accessMos, config_.accessWidth);
+  const ferro::LandauKhalatnikov lk(config_.lk);
+  fe_ = n.add<spice::FeCapDevice>("Cfe", n.node("x"), n.node("pl"),
+                                  config_.lk, config_.feGeometry(),
+                                  -lk.remnantPolarization());
+  sim_ = std::make_unique<spice::Simulator>(netlist_);
+  setStoredBit(false);
+}
+
+double FeRamCell::remnantPolarization() const {
+  return ferro::LandauKhalatnikov(config_.lk).remnantPolarization();
+}
+
+void FeRamCell::setStoredBit(bool one) {
+  const double pr = remnantPolarization();
+  fe_->setPolarization(one ? pr : -pr);
+  sim_->initializeUic();
+}
+
+bool FeRamCell::storedBit() const { return fe_->polarization() > 0.0; }
+
+FeRamOpResult FeRamCell::runOp(double duration, bool isWrite) {
+  for (auto* src : {vBl_, vWl_, vPl_}) src->resetEnergy();
+  spice::TransientOptions options;
+  options.duration = duration;
+  options.dtMax = duration / 200.0;
+  options.dtInitial = std::min(1e-12, options.dtMax);
+  const std::vector<Probe> probes = {
+      Probe::v("bl"), Probe::v("wl"), Probe::v("pl"), Probe::v("x"),
+      Probe::deviceState("Cfe", "P"),
+  };
+  auto transient = sim_->runTransient(options, probes);
+
+  FeRamOpResult result;
+  result.waveform = std::move(transient.waveform);
+  result.finalPolarization = fe_->polarization();
+  result.bitAfter = storedBit();
+  for (auto* src : {vBl_, vWl_, vPl_}) {
+    result.sourceEnergy[src->name()] = src->energyDelivered();
+    result.totalEnergy += src->energyDelivered();
+  }
+  if (isWrite) {
+    const auto p = result.waveform.column("P(Cfe)");
+    if (math::hasCrossing(p, 0.0)) {
+      result.writeLatency = math::firstCrossing(result.waveform.time(), p,
+                                                0.0, p.front() < 0.0);
+    }
+  }
+  return result;
+}
+
+FeRamOpResult FeRamCell::write(bool one, double pulseWidth,
+                               std::optional<double> voltageOverride) {
+  const double vw = voltageOverride.value_or(config_.vWrite);
+  const double edge = config_.edgeTime;
+  const double lead = 2.0 * edge;
+  blSwitch_->setControl(dc(1.0));  // BL driven throughout
+  // Word line covers the drive pulse plus write recovery: with BL and PL
+  // back at 0 the storage node is held driven while P saturates to +/-P_r.
+  vWl_->setShape(pulse(0.0, config_.wordLineBoost, edge, edge,
+                       pulseWidth + 4.0 * edge + 0.8 * config_.settleTime,
+                       edge));
+  if (one) {
+    vBl_->setShape(pulse(0.0, vw, lead + edge, edge, pulseWidth, edge));
+    vPl_->setShape(dc(0.0));
+  } else {
+    vBl_->setShape(dc(0.0));
+    vPl_->setShape(pulse(0.0, vw, lead + edge, edge, pulseWidth, edge));
+  }
+  const double duration = lead + pulseWidth + 6.0 * edge + config_.settleTime;
+  return runOp(duration, /*isWrite=*/true);
+}
+
+FeRamOpResult FeRamCell::read() {
+  const double edge = config_.edgeTime;
+  // Phase 1: sense.  BL floats after t0; WL on; PL pulses to vWrite.
+  const double t0 = 4.0 * edge;
+  const double plWidth = 1.2e-9;
+  const double senseAt = t0 + edge + 0.8 * plWidth;
+  const double phase1 = t0 + plWidth + 6.0 * edge;
+
+  blSwitch_->setControl(
+      pulse(1.0, 0.0, t0 - edge, 1e-12, phase1, 1e-12));  // float window
+  vBl_->setShape(dc(0.0));
+  vWl_->setShape(pulse(0.0, config_.wordLineBoost, edge, edge, phase1, edge));
+  vPl_->setShape(pulse(0.0, config_.vWrite, t0, edge, plWidth, edge));
+
+  auto sense = runOp(phase1 + config_.settleTime, /*isWrite=*/false);
+  sense.bitLineSwing = sense.waveform.maximum("v(bl)");
+  const bool readOne =
+      sense.waveform.valueAt("v(bl)", senseAt) > config_.senseThreshold;
+  sense.bitRead = readOne;
+
+  // Phase 2: write back the sensed value (a read of '0' leaves -P_r in
+  // place, but the restore drive also recovers any depolarization).
+  auto restore = write(readOne, 0.8e-9);
+  FeRamOpResult result;
+  result.waveform = std::move(sense.waveform);
+  result.bitRead = readOne;
+  result.bitLineSwing = sense.bitLineSwing;
+  result.finalPolarization = restore.finalPolarization;
+  result.bitAfter = restore.bitAfter;
+  for (const auto& [name, e] : sense.sourceEnergy) {
+    result.sourceEnergy[name] += e;
+  }
+  for (const auto& [name, e] : restore.sourceEnergy) {
+    result.sourceEnergy[name] += e;
+  }
+  result.totalEnergy = sense.totalEnergy + restore.totalEnergy;
+  return result;
+}
+
+FeRamOpResult FeRamCell::hold(double duration) {
+  blSwitch_->setControl(dc(1.0));
+  vBl_->setShape(dc(0.0));
+  vWl_->setShape(dc(0.0));
+  vPl_->setShape(dc(0.0));
+  return runOp(duration, /*isWrite=*/false);
+}
+
+double FeRamCell::minimumWritePulse(bool one, double vWrite, double maxPulse,
+                                    double resolution) {
+  const auto attempt = [&](double width) {
+    setStoredBit(!one);
+    const auto r = write(one, width, vWrite);
+    return r.bitAfter == one;
+  };
+  if (!attempt(maxPulse)) return -1.0;
+  double lo = 0.0, hi = maxPulse;
+  while (hi - lo > resolution) {
+    const double mid = 0.5 * (lo + hi);
+    (attempt(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,30 @@
+// materials.h — the two experimentally-calibrated ferroelectric parameter
+// sets used in the paper ("calibrated to two different sets of
+// experiments", §6.2).  The Landau coefficients come straight from Table 2;
+// the kinetic coefficients are reconstructed from the paper's iso-write
+// anchor (550 ps at 0.68 V for the FEFET cell, 550 ps at 1.64 V for the
+// FERAM cell) via the calibrate* routines below.  The constants returned
+// by fefetMaterial()/feramMaterial() are the cached calibration results so
+// normal users never pay the calibration cost; tests re-run the routines
+// and verify the constants.
+#pragma once
+
+#include "ferro/lk_model.h"
+
+namespace fefet::core {
+
+/// FE gate-stack material of the 2T FEFET cell (rho = 1.368 ohm·m).
+ferro::LkCoefficients fefetMaterial();
+
+/// FE capacitor material of the FERAM baseline (rho reconstructed from the
+/// 1.64 V / 550 ps anchor).
+ferro::LkCoefficients feramMaterial();
+
+/// Re-derive the FEFET rho: bisect until the worst-polarity minimum write
+/// pulse of a default 2T cell equals `targetTime` at `vWrite`.
+double calibrateFefetRho(double vWrite = 0.68, double targetTime = 550e-12);
+
+/// Re-derive the FERAM rho: same procedure on the 1T-1C cell.
+double calibrateFeramRho(double vWrite = 1.64, double targetTime = 550e-12);
+
+}  // namespace fefet::core

@@ -1,0 +1,254 @@
+#include "core/memory_array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math.h"
+#include "spice/passives.h"
+#include "xtor/mosfet_model.h"
+
+namespace fefet::core {
+
+using spice::Probe;
+using spice::shapes::dc;
+using spice::shapes::pulse;
+
+namespace {
+std::string rowName(const std::string& base, int r) {
+  return base + std::to_string(r);
+}
+}  // namespace
+
+MemoryArray::MemoryArray(const ArrayConfig& config) : config_(config) {
+  FEFET_REQUIRE(config_.rows >= 1 && config_.cols >= 1,
+                "array needs at least one cell");
+  // Quasi-static state targets (same math as Cell2T).
+  const auto stable = stableInternalVoltages(config_.fefet, 0.0);
+  FEFET_REQUIRE(stable.size() >= 2, "array requires a nonvolatile FEFET");
+  psiOff_ = stable.front();
+  for (double s : stable) {
+    if (std::abs(s) < std::abs(psiOff_)) psiOff_ = s;
+  }
+  psiOn_ = *std::max_element(stable.begin(), stable.end());
+  const xtor::MosfetModel mos(config_.fefet.mos, config_.fefet.width);
+  pOn_ = mos.gateChargeDensity(psiOn_);
+  pOff_ = mos.gateChargeDensity(psiOff_);
+  const auto allEq = math::findAllRoots(
+      [&](double psi) { return gateVoltageOfInternal(config_.fefet, psi); },
+      psiOff_ + 1e-6, psiOn_ - 1e-6, 4000);
+  pSaddle_ = allEq.empty() ? 0.5 * (pOn_ + pOff_)
+                           : mos.gateChargeDensity(allEq.front());
+
+  auto& n = netlist_;
+  for (int r = 0; r < config_.rows; ++r) {
+    const auto ws = rowName("ws", r);
+    const auto rs = rowName("rs", r);
+    wsSources_.push_back(n.add<spice::VoltageSource>(
+        "V" + ws, n.node(ws), n.ground(), dc(0.0)));
+    rsSources_.push_back(n.add<spice::VoltageSource>(
+        "V" + rs, n.node(rs), n.ground(), dc(0.0)));
+    n.add<spice::Capacitor>("C" + ws, n.node(ws), n.ground(),
+                            config_.rowWireCapPerCell * config_.cols);
+    n.add<spice::Capacitor>("C" + rs, n.node(rs), n.ground(),
+                            config_.rowWireCapPerCell * config_.cols);
+  }
+  for (int c = 0; c < config_.cols; ++c) {
+    const auto wbl = rowName("wbl", c);
+    const auto sl = rowName("sl", c);
+    wblSources_.push_back(n.add<spice::VoltageSource>(
+        "V" + wbl, n.node(wbl), n.ground(), dc(0.0)));
+    slSources_.push_back(n.add<spice::VoltageSource>(
+        "V" + sl, n.node(sl), n.ground(), dc(0.0)));
+    n.add<spice::Capacitor>("C" + wbl, n.node(wbl), n.ground(),
+                            config_.colWireCapPerCell * config_.rows);
+    n.add<spice::Capacitor>("C" + sl, n.node(sl), n.ground(),
+                            config_.colWireCapPerCell * config_.rows);
+  }
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int c = 0; c < config_.cols; ++c) {
+      std::ostringstream id;
+      id << "cell" << r << "_" << c;
+      const std::string gate = id.str() + ":g";
+      n.add<spice::MosfetDevice>(id.str() + ":acc",
+                                 n.node(rowName("wbl", c)),
+                                 n.node(rowName("ws", r)), n.node(gate),
+                                 config_.accessMos, config_.accessWidth);
+      cells_.push_back(attachFefet(n, id.str(), gate, rowName("rs", r),
+                                   rowName("sl", c), config_.fefet, pOff_));
+    }
+  }
+  sim_ = std::make_unique<spice::Simulator>(netlist_);
+  std::vector<std::vector<bool>> zeros(
+      static_cast<std::size_t>(config_.rows),
+      std::vector<bool>(static_cast<std::size_t>(config_.cols), false));
+  setPattern(zeros);
+}
+
+void MemoryArray::setPattern(const std::vector<std::vector<bool>>& bits) {
+  FEFET_REQUIRE(static_cast<int>(bits.size()) == config_.rows,
+                "pattern row count mismatch");
+  for (int r = 0; r < config_.rows; ++r) {
+    FEFET_REQUIRE(static_cast<int>(bits[r].size()) == config_.cols,
+                  "pattern column count mismatch");
+    for (int c = 0; c < config_.cols; ++c) {
+      const bool one = bits[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      cell(r, c).fe->setPolarization(one ? pOn_ : pOff_);
+      sim_->setNodeVoltage(netlist_.nodeName(cell(r, c).internalNode),
+                           one ? psiOn_ : psiOff_);
+    }
+  }
+  sim_->initializeUic();
+}
+
+bool MemoryArray::bitAt(int row, int col) const {
+  return cell(row, col).fe->polarization() > pSaddle_;
+}
+
+std::vector<std::vector<double>> MemoryArray::polarizations() const {
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(config_.rows));
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int c = 0; c < config_.cols; ++c) {
+      out[static_cast<std::size_t>(r)].push_back(cell(r, c).fe->polarization());
+    }
+  }
+  return out;
+}
+
+void MemoryArray::groundAll() {
+  for (auto* s : wsSources_) s->setShape(dc(0.0));
+  for (auto* s : rsSources_) s->setShape(dc(0.0));
+  for (auto* s : wblSources_) s->setShape(dc(0.0));
+  for (auto* s : slSources_) s->setShape(dc(0.0));
+}
+
+ArrayOpResult MemoryArray::runOp(double duration, int accessedRow,
+                                 int accessedCol, bool isRead) {
+  const auto before = polarizations();
+  for (auto* s : wsSources_) s->resetEnergy();
+  for (auto* s : rsSources_) s->resetEnergy();
+  for (auto* s : wblSources_) s->resetEnergy();
+  for (auto* s : slSources_) s->resetEnergy();
+
+  spice::TransientOptions options;
+  options.duration = duration;
+  options.dtMax = duration / 150.0;
+  options.dtInitial = std::min(1e-12, options.dtMax);
+
+  std::vector<Probe> probes;
+  for (int c = 0; c < config_.cols; ++c) {
+    probes.push_back(Probe::i("Vsl" + std::to_string(c)));
+  }
+  for (int r = 0; r < config_.rows; ++r) {
+    probes.push_back(Probe::i("Vrs" + std::to_string(r)));
+  }
+  auto transient = sim_->runTransient(options, probes);
+
+  ArrayOpResult result;
+  const auto after = polarizations();
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int c = 0; c < config_.cols; ++c) {
+      if (r == accessedRow && c == accessedCol) continue;
+      const double dP = std::abs(after[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] -
+                                 before[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+      result.maxUnaccessedDisturb = std::max(result.maxUnaccessedDisturb, dP);
+    }
+  }
+  // Sneak currents.  During a read the whole accessed row legitimately
+  // conducts into its column sense lines (row-parallel read), so sneak
+  // paths are currents on UNACCESSED rows' read-select lines; during
+  // writes and holds no sense line should carry anything at all.
+  if (!isRead) {
+    for (int c = 0; c < config_.cols; ++c) {
+      const auto& col =
+          transient.waveform.column("i(Vsl" + std::to_string(c) + ")");
+      for (double i : col) {
+        result.maxSneakCurrent = std::max(result.maxSneakCurrent, std::abs(i));
+      }
+    }
+  }
+  for (int r = 0; r < config_.rows; ++r) {
+    if (isRead && r == accessedRow) continue;
+    const auto& row =
+        transient.waveform.column("i(Vrs" + std::to_string(r) + ")");
+    for (double i : row) {
+      result.maxSneakCurrent = std::max(result.maxSneakCurrent, std::abs(i));
+    }
+  }
+  if (isRead && accessedRow >= 0) {
+    // Accessed column current plateau (sampled mid-operation); the SL
+    // source absorbs the cell current, so negate its delivered current.
+    const auto t = transient.waveform.time();
+    const std::string label = "i(Vsl" + std::to_string(accessedCol) + ")";
+    result.readCurrent =
+        -transient.waveform.valueAt(label, 0.6 * t.back());
+    result.bitRead = result.readCurrent > config_.readCurrentThreshold;
+  }
+  for (auto* s : wsSources_) result.totalEnergy += s->energyDelivered();
+  for (auto* s : rsSources_) result.totalEnergy += s->energyDelivered();
+  for (auto* s : wblSources_) result.totalEnergy += s->energyDelivered();
+  for (auto* s : slSources_) result.totalEnergy += s->energyDelivered();
+  result.waveform = std::move(transient.waveform);
+  return result;
+}
+
+ArrayOpResult MemoryArray::writeBit(int row, int col, bool one) {
+  FEFET_REQUIRE(row >= 0 && row < config_.rows && col >= 0 &&
+                    col < config_.cols,
+                "writeBit: cell index out of range");
+  groundAll();
+  const double edge = config_.edgeTime;
+  const double width = config_.writePulse;
+  const double lead = 2.0 * edge;
+  // Table 1 write biases: accessed WS boosted, unaccessed WS at -VDD.
+  for (int r = 0; r < config_.rows; ++r) {
+    if (r == row) {
+      wsSources_[static_cast<std::size_t>(r)]->setShape(
+          pulse(0.0, config_.levels.writeBoost, edge, edge,
+                width + 4.0 * edge + 0.8 * config_.settleTime, edge));
+    } else if (config_.negativeUnaccessedSelect) {
+      wsSources_[static_cast<std::size_t>(r)]->setShape(
+          pulse(0.0, -config_.levels.vdd, edge, edge,
+                width + 4.0 * edge + 0.8 * config_.settleTime, edge));
+    } else {
+      wsSources_[static_cast<std::size_t>(r)]->setShape(dc(0.0));
+    }
+  }
+  wblSources_[static_cast<std::size_t>(col)]->setShape(
+      pulse(0.0, one ? config_.levels.vWrite : -config_.levels.vWrite,
+            lead + edge, edge, width, edge));
+  const double duration = lead + width + 6.0 * edge + config_.settleTime;
+  auto result = runOp(duration, row, col, /*isRead=*/false);
+  result.ok = (bitAt(row, col) == one);
+  return result;
+}
+
+ArrayOpResult MemoryArray::readBit(int row, int col) {
+  FEFET_REQUIRE(row >= 0 && row < config_.rows && col >= 0 &&
+                    col < config_.cols,
+                "readBit: cell index out of range");
+  groundAll();
+  const double edge = config_.edgeTime;
+  const double duration = 2e-9;
+  // Accessed row: WS = VDD (gate pinned to the grounded WBL), RS = V_read.
+  wsSources_[static_cast<std::size_t>(row)]->setShape(
+      pulse(0.0, config_.levels.vdd, edge, edge, duration - 6.0 * edge,
+            edge));
+  rsSources_[static_cast<std::size_t>(row)]->setShape(
+      pulse(0.0, config_.levels.vRead, 3.0 * edge, edge,
+            duration - 10.0 * edge, edge));
+  const bool expected = bitAt(row, col);
+  auto result = runOp(duration, row, col, /*isRead=*/true);
+  result.ok = (result.bitRead == expected) && (bitAt(row, col) == expected);
+  return result;
+}
+
+ArrayOpResult MemoryArray::hold(double duration) {
+  groundAll();
+  auto result = runOp(duration, -1, -1, /*isRead=*/false);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace fefet::core

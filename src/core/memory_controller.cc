@@ -1,0 +1,57 @@
+#include "core/memory_controller.h"
+
+#include "common/error.h"
+
+namespace fefet::core {
+
+MemoryController::MemoryController(const ArrayConfig& config, int wordWidth,
+                                   int maxRetries)
+    : array_(config), wordWidth_(wordWidth), maxRetries_(maxRetries) {
+  FEFET_REQUIRE(wordWidth_ >= 1 && wordWidth_ <= 32,
+                "controller word width must be 1..32");
+  FEFET_REQUIRE(config.cols % wordWidth_ == 0,
+                "array columns must be a multiple of the word width");
+  FEFET_REQUIRE(maxRetries_ >= 0, "negative retry budget");
+}
+
+bool MemoryController::writeWord(int row, int word, std::uint32_t value) {
+  FEFET_REQUIRE(word >= 0 && word < wordsPerRow(),
+                "controller write: word index out of range");
+  ++stats_.wordWrites;
+  bool allGood = true;
+  for (int bit = 0; bit < wordWidth_; ++bit) {
+    const int col = word * wordWidth_ + bit;
+    const bool target = (value >> bit) & 1u;
+    auto res = array_.writeBit(row, col, target);
+    stats_.totalEnergy += res.totalEnergy;
+    int retries = 0;
+    // Verify-after-write: the committed state is directly inspectable.
+    while (array_.bitAt(row, col) != target && retries < maxRetries_) {
+      ++retries;
+      ++stats_.bitRetries;
+      res = array_.writeBit(row, col, target);
+      stats_.totalEnergy += res.totalEnergy;
+    }
+    if (array_.bitAt(row, col) != target) {
+      ++stats_.uncorrectable;
+      allGood = false;
+    }
+  }
+  return allGood;
+}
+
+std::uint32_t MemoryController::readWord(int row, int word) {
+  FEFET_REQUIRE(word >= 0 && word < wordsPerRow(),
+                "controller read: word index out of range");
+  ++stats_.wordReads;
+  std::uint32_t value = 0;
+  for (int bit = 0; bit < wordWidth_; ++bit) {
+    const int col = word * wordWidth_ + bit;
+    const auto res = array_.readBit(row, col);
+    stats_.totalEnergy += res.totalEnergy;
+    if (res.bitRead) value |= (1u << bit);
+  }
+  return value;
+}
+
+}  // namespace fefet::core

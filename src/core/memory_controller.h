@@ -1,0 +1,52 @@
+// memory_controller.h — a word-level controller on top of the
+// circuit-level MemoryArray: sequences per-bit writes across a row,
+// verifies after write (re-reads and retries failed bits), and keeps
+// operation/energy statistics.  This is the bridge between the
+// transistor-level array and the word-level NvmMacro abstraction — on
+// small arrays the two can be cross-checked bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_array.h"
+
+namespace fefet::core {
+
+struct ControllerStats {
+  int wordWrites = 0;
+  int wordReads = 0;
+  int bitRetries = 0;        ///< verify-after-write retries issued
+  int uncorrectable = 0;     ///< bits that failed even after retries
+  double totalEnergy = 0.0;  ///< line-driver energy across all ops [J]
+};
+
+class MemoryController {
+ public:
+  /// The controller owns the array.  Word `w` of row `r` occupies columns
+  /// [w*width, (w+1)*width).
+  MemoryController(const ArrayConfig& config, int wordWidth,
+                   int maxRetries = 2);
+
+  int rows() const { return array_.rows(); }
+  int wordsPerRow() const { return array_.cols() / wordWidth_; }
+  int wordWidth() const { return wordWidth_; }
+
+  /// Write a word with verify-after-write; returns true when every bit
+  /// landed (possibly after retries).
+  bool writeWord(int row, int word, std::uint32_t value);
+
+  /// Read a word by per-bit current sensing.
+  std::uint32_t readWord(int row, int word);
+
+  const ControllerStats& stats() const { return stats_; }
+  MemoryArray& array() { return array_; }
+
+ private:
+  MemoryArray array_;
+  int wordWidth_;
+  int maxRetries_;
+  ControllerStats stats_;
+};
+
+}  // namespace fefet::core

@@ -1,0 +1,79 @@
+#include "core/nvm_macro.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "ferro/material_db.h"
+
+namespace fefet::core {
+
+NvmMacro::NvmMacro(MacroTechnology technology, const MacroConfig& config)
+    : technology_(technology),
+      config_(config),
+      numbers_(technology == MacroTechnology::kFefet
+                   ? MacroEnergyModel(config).fefet()
+                   : MacroEnergyModel(config).feram()),
+      fatigue_(technology == MacroTechnology::kFefet
+                   ? ferro::findMaterial("dac16-table2").fatigue
+                   : ferro::sbtFatigue()) {
+  FEFET_REQUIRE(config_.wordBits > 0 && config_.wordBits <= 32,
+                "macro word width must be 1..32 bits");
+  wordCount_ = config_.rows * config_.cols / config_.wordBits;
+  FEFET_REQUIRE(wordCount_ > 0, "macro too small for one word");
+  store_.assign(static_cast<std::size_t>(wordCount_), 0u);
+  cycles_.assign(static_cast<std::size_t>(wordCount_), 0u);
+}
+
+MacroAccess NvmMacro::writeWord(int address, std::uint32_t value) {
+  FEFET_REQUIRE(address >= 0 && address < wordCount_,
+                "macro write address out of range");
+  store_[static_cast<std::size_t>(address)] = value;
+  ++cycles_[static_cast<std::size_t>(address)];
+  ++writes_;
+  totalEnergy_ += numbers_.writeEnergy;
+  MacroAccess access;
+  access.value = value;
+  access.energy = numbers_.writeEnergy;
+  access.latency = numbers_.writeTime;
+  return access;
+}
+
+MacroAccess NvmMacro::readWord(int address) {
+  FEFET_REQUIRE(address >= 0 && address < wordCount_,
+                "macro read address out of range");
+  ++reads_;
+  totalEnergy_ += numbers_.readEnergy;
+  if (technology_ == MacroTechnology::kFeram) {
+    // Destructive read: the cell switches and is written back — a full
+    // program/erase cycle against the fatigue budget.
+    ++cycles_[static_cast<std::size_t>(address)];
+  }
+  MacroAccess access;
+  access.value = store_[static_cast<std::size_t>(address)];
+  access.energy = numbers_.readEnergy;
+  access.latency = ReadTimingModel{}.readTimeSum();
+  return access;
+}
+
+double NvmMacro::arrayArea() const {
+  const auto cell =
+      technology_ == MacroTechnology::kFefet
+          ? layout::fefet2TCell(config_.rules, config_.transistorWidth)
+          : layout::feram1T1CCell(config_.rules, config_.transistorWidth);
+  return layout::tileArray(cell, config_.rows, config_.cols).area();
+}
+
+double NvmMacro::worstCaseCycles() const {
+  return static_cast<double>(
+      *std::max_element(cycles_.begin(), cycles_.end()));
+}
+
+double NvmMacro::enduranceMarginRemaining(double requiredFraction) const {
+  const double worst = worstCaseCycles();
+  if (worst == 0.0) return 1.0;
+  const double retained = fatigue_.retainedFraction(worst);
+  const double floor = requiredFraction;
+  return std::max(0.0, (retained - floor) / (1.0 - floor));
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,74 @@
+// nvm_macro.h — the adoptable top-level component: a word-addressable
+// nonvolatile memory macro with the paper's energetics and timing.
+//
+// Functionally it is a bounds-checked word store; energetically every
+// access is charged with the Table 3 numbers produced by MacroEnergyModel
+// (which itself derives them from layout wires + simulated cells), and
+// timing follows the calibrated write anchor and the eq. (2) read budget.
+// The endurance meter ages the array with the ferro fatigue model — FERAM
+// reads count as cycles too, because its reads are destructive.
+//
+// This is the object the NVP system model consumes (nvmParams()).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/macro_energy.h"
+#include "core/read_timing.h"
+#include "ferro/fatigue.h"
+#include "layout/layout.h"
+
+namespace fefet::core {
+
+enum class MacroTechnology { kFefet, kFeram };
+
+/// Result of one word access.
+struct MacroAccess {
+  std::uint32_t value = 0;   ///< read data (echo of written data on writes)
+  double energy = 0.0;       ///< [J]
+  double latency = 0.0;      ///< [s]
+};
+
+class NvmMacro {
+ public:
+  explicit NvmMacro(MacroTechnology technology,
+                    const MacroConfig& config = MacroConfig());
+
+  MacroTechnology technology() const { return technology_; }
+  int wordCount() const { return wordCount_; }
+  int wordBits() const { return config_.wordBits; }
+
+  MacroAccess writeWord(int address, std::uint32_t value);
+  MacroAccess readWord(int address);
+
+  /// Access-pattern bookkeeping.
+  int writeAccesses() const { return writes_; }
+  int readAccesses() const { return reads_; }
+  double totalEnergy() const { return totalEnergy_; }
+
+  /// The Table 3 row this macro charges per access.
+  const MacroNumbers& numbers() const { return numbers_; }
+
+  /// Macro array footprint [m^2] (cells only, from the layout model).
+  double arrayArea() const;
+
+  /// Worst-cycled word so far and the endurance headroom left for it
+  /// (fraction of remnant polarization remaining per the fatigue model).
+  double worstCaseCycles() const;
+  double enduranceMarginRemaining(double requiredFraction = 0.5) const;
+
+ private:
+  MacroTechnology technology_;
+  MacroConfig config_;
+  MacroNumbers numbers_;
+  ferro::FatigueModel fatigue_;
+  int wordCount_ = 0;
+  std::vector<std::uint32_t> store_;
+  std::vector<std::uint32_t> cycles_;  ///< program/erase cycles per word
+  int writes_ = 0;
+  int reads_ = 0;
+  double totalEnergy_ = 0.0;
+};
+
+}  // namespace fefet::core

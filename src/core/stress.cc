@@ -1,0 +1,131 @@
+#include "core/stress.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fefet::core {
+
+std::string toString(StressPattern pattern) {
+  switch (pattern) {
+    case StressPattern::kColumnHammer: return "column-hammer";
+    case StressPattern::kRowHammer: return "row-hammer";
+    case StressPattern::kReadHammer: return "read-hammer";
+    case StressPattern::kCheckerboardToggle: return "checkerboard-toggle";
+  }
+  return "?";
+}
+
+StressReport runStress(const ArrayConfig& config, StressPattern pattern,
+                       int cycles) {
+  FEFET_REQUIRE(cycles >= 1, "stress needs at least one cycle");
+  MemoryArray array(config);
+  std::vector<std::vector<bool>> checker(
+      config.rows, std::vector<bool>(config.cols, false));
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      checker[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          ((r + c) % 2) == 0;
+    }
+  }
+  array.setPattern(checker);
+  const auto initial = array.polarizations();
+
+  StressReport report;
+  report.pattern = pattern;
+  // Which cells count as victims (never deliberately written)?
+  const auto isVictim = [&](int r, int c) {
+    switch (pattern) {
+      case StressPattern::kColumnHammer:
+      case StressPattern::kReadHammer:
+        return !(r == 0 && c == 0);
+      case StressPattern::kRowHammer:
+        return r != 0;
+      case StressPattern::kCheckerboardToggle:
+        return false;  // every cell is written; checked via statesIntact
+    }
+    return true;
+  };
+
+  for (int k = 0; k < cycles; ++k) {
+    switch (pattern) {
+      case StressPattern::kColumnHammer:
+        array.writeBit(0, 0, k % 2 == 0);
+        ++report.operations;
+        break;
+      case StressPattern::kRowHammer:
+        for (int c = 0; c < config.cols; ++c) {
+          array.writeBit(0, c, (k + c) % 2 == 0);
+          ++report.operations;
+        }
+        break;
+      case StressPattern::kReadHammer:
+        array.readBit(0, 0);
+        ++report.operations;
+        break;
+      case StressPattern::kCheckerboardToggle: {
+        for (int r = 0; r < config.rows; ++r) {
+          for (int c = 0; c < config.cols; ++c) {
+            array.writeBit(r, c, ((r + c + k) % 2) == 0);
+            ++report.operations;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Expected final pattern.
+  auto expected = checker;
+  if (pattern == StressPattern::kColumnHammer) {
+    expected[0][0] = (cycles - 1) % 2 == 0;
+  } else if (pattern == StressPattern::kRowHammer) {
+    for (int c = 0; c < config.cols; ++c) {
+      expected[0][static_cast<std::size_t>(c)] = (cycles - 1 + c) % 2 == 0;
+    }
+  } else if (pattern == StressPattern::kCheckerboardToggle) {
+    for (int r = 0; r < config.rows; ++r) {
+      for (int c = 0; c < config.cols; ++c) {
+        expected[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            ((r + c + cycles - 1) % 2) == 0;
+      }
+    }
+  }
+
+  const auto final = array.polarizations();
+  double driftSum = 0.0;
+  int victims = 0;
+  const double separation = 0.22;  // ON/OFF polarization distance
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      if (array.bitAt(r, c) !=
+          expected[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]) {
+        report.statesIntact = false;
+      }
+      if (!isVictim(r, c)) continue;
+      const double drift = std::abs(
+          final[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] -
+          initial[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+      report.maxDrift = std::max(report.maxDrift, drift);
+      driftSum += drift;
+      ++victims;
+    }
+  }
+  if (victims > 0) report.meanDrift = driftSum / victims;
+  report.maxDriftFraction = report.maxDrift / separation;
+  return report;
+}
+
+std::vector<StressReport> runAllStressPatterns(const ArrayConfig& config,
+                                               int cycles) {
+  std::vector<StressReport> out;
+  for (StressPattern p :
+       {StressPattern::kColumnHammer, StressPattern::kRowHammer,
+        StressPattern::kReadHammer, StressPattern::kCheckerboardToggle}) {
+    out.push_back(runStress(config, p, cycles));
+  }
+  return out;
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,47 @@
+// stress.h — systematic disturb-stress patterns on the FEFET array.
+//
+// The paper argues its bias scheme makes unaccessed cells disturb-free;
+// single operations confirm tiny polarization drift, but the engineering
+// question is *accumulation*: does hammering one row/column/bit thousands
+// of operation-equivalents walk a neighbour across the basin boundary?
+// This module runs the classic stress patterns and tracks per-cell drift
+// against the stored pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/memory_array.h"
+
+namespace fefet::core {
+
+enum class StressPattern {
+  kColumnHammer,       ///< alternating writes to (0, 0); victims share col 0
+  kRowHammer,          ///< alternating writes across row 0; victims in row 1
+  kReadHammer,         ///< repeated reads of (0, 0)
+  kCheckerboardToggle  ///< rewrite the full checkerboard repeatedly
+};
+
+std::string toString(StressPattern pattern);
+
+struct StressReport {
+  StressPattern pattern;
+  int operations = 0;        ///< array operations issued
+  bool statesIntact = true;  ///< every victim still holds its bit
+  double maxDrift = 0.0;     ///< worst |P - P_initial| over victims [C/m^2]
+  double meanDrift = 0.0;
+  /// Worst drift normalized to the ON/OFF separation (1.0 = flipped).
+  double maxDriftFraction = 0.0;
+};
+
+/// Run `cycles` iterations of the pattern on a fresh array and report the
+/// victim-cell statistics.  The array starts with a checkerboard so every
+/// stress has both '1' and '0' victims.
+StressReport runStress(const ArrayConfig& config, StressPattern pattern,
+                       int cycles);
+
+/// All four patterns at the same cycle count.
+std::vector<StressReport> runAllStressPatterns(const ArrayConfig& config,
+                                               int cycles);
+
+}  // namespace fefet::core

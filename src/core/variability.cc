@@ -1,0 +1,111 @@
+#include "core/variability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace fefet::core {
+
+FefetParams perturbDevice(const FefetParams& nominal,
+                          const VariationSpec& spec, stats::Rng& rng) {
+  FefetParams p = nominal;
+  p.mos.vt0 = nominal.mos.vt0 + rng.normal(0.0, spec.vtSigma);
+  p.feThickness =
+      nominal.feThickness *
+      (1.0 + rng.normal(0.0, spec.feThicknessSigmaRel));
+  p.width = nominal.width * (1.0 + rng.normal(0.0, spec.widthSigmaRel));
+  p.lk.alpha = nominal.lk.alpha * (1.0 + rng.normal(0.0, spec.alphaSigmaRel));
+  return p;
+}
+
+DeviceMonteCarlo runDeviceMonteCarlo(const FefetParams& nominal,
+                                     const VariationSpec& spec, int samples,
+                                     double vWrite, double vRead) {
+  FEFET_REQUIRE(samples >= 2, "monte carlo needs at least 2 samples");
+  stats::Rng rng(spec.seed);
+  DeviceMonteCarlo mc;
+  mc.samples = samples;
+  std::vector<double> widths, ratios;
+  mc.upSwitchMin = 1e9;
+  mc.downSwitchMax = -1e9;
+  for (int i = 0; i < samples; ++i) {
+    const auto device = perturbDevice(nominal, spec, rng);
+    const auto window = analyzeHysteresis(device);
+    if (!window.nonvolatile) continue;
+    ++mc.nonvolatileCount;
+    widths.push_back(window.width());
+    mc.upSwitchMin = std::min(mc.upSwitchMin, window.upSwitchVoltage);
+    mc.downSwitchMax = std::max(mc.downSwitchMax, window.downSwitchVoltage);
+    const bool writable = (vWrite > window.upSwitchVoltage) &&
+                          (-vWrite < window.downSwitchVoltage);
+    if (writable) ++mc.writableCount;
+    ratios.push_back(std::log10(distinguishability(device, vRead)));
+  }
+  if (!widths.empty()) {
+    mc.windowWidthMean = stats::mean(widths);
+    if (widths.size() >= 2) mc.windowWidthSigma = stats::stddev(widths);
+    mc.log10RatioMean = stats::mean(ratios);
+    mc.log10RatioMin = stats::minOf(ratios);
+  }
+  return mc;
+}
+
+WriteYield runWriteYield(const Cell2TConfig& nominal,
+                         const VariationSpec& spec, int samples,
+                         double vWrite, double pulseWidth) {
+  FEFET_REQUIRE(samples >= 1, "write yield needs at least one sample");
+  stats::Rng rng(spec.seed);
+  WriteYield result;
+  result.samples = samples;
+  for (int i = 0; i < samples; ++i) {
+    Cell2TConfig cfg = nominal;
+    cfg.fefet = perturbDevice(nominal.fefet, spec, rng);
+    // The access transistor varies independently.
+    cfg.accessMos.vt0 = nominal.accessMos.vt0 + rng.normal(0.0, spec.vtSigma);
+    try {
+      Cell2T cell(cfg);
+      cell.setStoredBit(false);
+      const bool one = cell.write(true, pulseWidth, vWrite).bitAfter;
+      const bool zero = !cell.write(false, pulseWidth, vWrite).bitAfter;
+      if (one && zero) ++result.passes;
+    } catch (const Error&) {
+      // Device fell out of the nonvolatile regime: a yield loss.
+    }
+  }
+  return result;
+}
+
+std::vector<CornerResult> runCorners(const FefetParams& nominal,
+                                     double vRead) {
+  std::vector<CornerResult> out;
+  for (Corner corner : {Corner::kTypical, Corner::kFast, Corner::kSlow}) {
+    FefetParams p = nominal;
+    switch (corner) {
+      case Corner::kTypical:
+        break;
+      case Corner::kFast:
+        p.mos.vt0 = nominal.mos.vt0 - 0.03;
+        p.mos.mobility = nominal.mos.mobility * 1.10;
+        p.feThickness = nominal.feThickness * 0.98;
+        break;
+      case Corner::kSlow:
+        p.mos.vt0 = nominal.mos.vt0 + 0.03;
+        p.mos.mobility = nominal.mos.mobility * 0.90;
+        p.feThickness = nominal.feThickness * 1.02;
+        break;
+    }
+    CornerResult r;
+    r.corner = corner;
+    const auto window = analyzeHysteresis(p);
+    r.nonvolatile = window.nonvolatile;
+    r.upSwitchVoltage = window.upSwitchVoltage;
+    r.downSwitchVoltage = window.downSwitchVoltage;
+    if (window.nonvolatile) r.onOffRatio = distinguishability(p, vRead);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,84 @@
+// variability.h — process-variation analysis of the FEFET memory.
+//
+// The paper's claims (1e6 distinguishability, 0.68 V writes, window
+// spanning 0 V) are nominal-corner statements; this module quantifies how
+// they hold up under local mismatch and global process corners:
+//
+//  * Monte Carlo over device parameters (V_T mismatch, FE thickness and
+//    Landau-coefficient spread, width variation) using the fast
+//    quasi-static window analysis — thousands of samples per second;
+//  * transient write-yield sampling on the full 2T cell (slower);
+//  * classic TT/FF/SS corner analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/cell2t.h"
+#include "core/fefet.h"
+
+namespace fefet::core {
+
+/// 1-sigma variation magnitudes.  Defaults are 45 nm-class local mismatch
+/// plus typical ferroelectric film non-uniformity.
+struct VariationSpec {
+  double vtSigma = 20e-3;            ///< [V] threshold mismatch
+  double feThicknessSigmaRel = 0.02; ///< 2 % film thickness spread
+  double widthSigmaRel = 0.03;       ///< 3 % CD variation
+  double alphaSigmaRel = 0.03;       ///< Landau alpha spread
+  std::uint64_t seed = 1;
+};
+
+/// Draw one perturbed device instance.
+FefetParams perturbDevice(const FefetParams& nominal,
+                          const VariationSpec& spec, stats::Rng& rng);
+
+/// Quasi-static Monte Carlo summary over the device population.
+struct DeviceMonteCarlo {
+  int samples = 0;
+  int nonvolatileCount = 0;      ///< devices whose window still spans 0 V
+  int writableCount = 0;         ///< windows writable at the nominal levels
+  double windowWidthMean = 0.0;  ///< [V]
+  double windowWidthSigma = 0.0;
+  double upSwitchMin = 0.0;      ///< worst-case up fold (stability margin)
+  double downSwitchMax = 0.0;    ///< worst-case down fold
+  double log10RatioMean = 0.0;   ///< on/off distinguishability, log10
+  double log10RatioMin = 0.0;
+};
+
+DeviceMonteCarlo runDeviceMonteCarlo(const FefetParams& nominal,
+                                     const VariationSpec& spec, int samples,
+                                     double vWrite = 0.68,
+                                     double vRead = 0.40);
+
+/// Transient write yield: fraction of sampled cells that complete both
+/// polarities at the given voltage/pulse.  Uses full cell transients, so
+/// keep `samples` modest (tens).
+struct WriteYield {
+  int samples = 0;
+  int passes = 0;
+  double yield() const { return samples ? static_cast<double>(passes) / samples : 0.0; }
+};
+
+WriteYield runWriteYield(const Cell2TConfig& nominal,
+                         const VariationSpec& spec, int samples,
+                         double vWrite, double pulseWidth);
+
+/// Global process corners.
+enum class Corner { kTypical, kFast, kSlow };
+
+struct CornerResult {
+  Corner corner;
+  double upSwitchVoltage = 0.0;
+  double downSwitchVoltage = 0.0;
+  bool nonvolatile = false;
+  double onOffRatio = 0.0;
+};
+
+/// Evaluate the device window across TT/FF/SS (VT -/+30 mV, mobility
+/// +/-10 %, T_FE -/+2 %).
+std::vector<CornerResult> runCorners(const FefetParams& nominal,
+                                     double vRead = 0.40);
+
+}  // namespace fefet::core

@@ -1,0 +1,54 @@
+// write_explorer.h — write-voltage / write-time / write-energy trade-off
+// sweeps for both memory types (paper Fig. 10 and Table 3).
+//
+// "Write access time" at a given voltage is the minimum pulse width that
+// reliably flips the cell (worst polarity of the two); "write failure"
+// means even a long pulse cannot flip it (the voltage is inside the
+// device's hysteresis window / below the coercive wall).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/cell2t.h"
+#include "core/feram_cell.h"
+
+namespace fefet::core {
+
+/// One sweep sample.
+struct WritePoint {
+  double voltage = 0.0;      ///< bit-line magnitude [V]
+  double writeTime = -1.0;   ///< worst-polarity minimum pulse [s]; <0 = fail
+  double writeEnergy = 0.0;  ///< all line drivers, at that pulse width [J]
+  bool failed = false;
+};
+
+/// Sweep the FEFET 2T cell across bit-line voltages.
+std::vector<WritePoint> sweepFefetWrite(const Cell2TConfig& config,
+                                        const std::vector<double>& voltages,
+                                        double maxPulse = 4e-9);
+
+/// Sweep the FERAM 1T-1C cell across write voltages.
+std::vector<WritePoint> sweepFeramWrite(const FeRamConfig& config,
+                                        const std::vector<double>& voltages,
+                                        double maxPulse = 4e-9);
+
+/// Iso-write-time solve: the voltage at which the cell writes in exactly
+/// `targetTime` (bisection on the sweep function).  Returns the achieved
+/// point (voltage, time, energy).  Used to regenerate Table 3.
+WritePoint isoWriteFefet(const Cell2TConfig& config, double targetTime,
+                         double vLo = 0.45, double vHi = 1.2);
+WritePoint isoWriteFeram(const FeRamConfig& config, double targetTime,
+                         double vLo = 1.30, double vHi = 2.6);
+
+/// Smallest voltage at which a write (worst polarity) succeeds at all
+/// within `maxPulse` — the paper's write-failure wall (~0.5 V FEFET,
+/// ~1.5 V FERAM in Fig. 10(a)).
+double fefetWriteWall(const Cell2TConfig& config, double vLo = 0.3,
+                      double vHi = 1.0, double maxPulse = 4e-9,
+                      double tolerance = 5e-3);
+double feramWriteWall(const FeRamConfig& config, double vLo = 1.0,
+                      double vHi = 2.2, double maxPulse = 4e-9,
+                      double tolerance = 5e-3);
+
+}  // namespace fefet::core

@@ -1,0 +1,65 @@
+#include "ferro/fatigue.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace fefet::ferro {
+
+FatigueModel::FatigueModel(const FatigueParams& params) : params_(params) {
+  FEFET_REQUIRE(params_.halfLifeCycles > 0.0, "fatigue: N50 must be positive");
+  FEFET_REQUIRE(params_.steepness > 0.0, "fatigue: steepness must be positive");
+  FEFET_REQUIRE(params_.floorFraction >= 0.0 && params_.floorFraction < 1.0,
+                "fatigue: floor fraction in [0,1)");
+}
+
+double FatigueModel::retainedFraction(double cycles) const {
+  FEFET_REQUIRE(cycles >= 0.0, "fatigue: negative cycle count");
+  if (cycles == 0.0) return 1.0;
+  const double ratio =
+      std::pow(cycles / params_.halfLifeCycles, params_.steepness);
+  return params_.floorFraction +
+         (1.0 - params_.floorFraction) / (1.0 + ratio);
+}
+
+double FatigueModel::cyclesToFraction(double fraction) const {
+  FEFET_REQUIRE(fraction > 0.0 && fraction < 1.0,
+                "fatigue: target fraction in (0,1)");
+  if (fraction <= params_.floorFraction) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Invert the logistic: fraction = floor + (1-floor)/(1+r) with
+  // r = (N/N50)^m.
+  const double r =
+      (1.0 - params_.floorFraction) / (fraction - params_.floorFraction) -
+      1.0;
+  if (r <= 0.0) return 0.0;
+  return params_.halfLifeCycles * std::pow(r, 1.0 / params_.steepness);
+}
+
+FatigueParams pztFatigue() {
+  FatigueParams p;
+  p.halfLifeCycles = 5e10;
+  p.steepness = 0.8;
+  p.floorFraction = 0.15;
+  return p;
+}
+
+FatigueParams sbtFatigue() {
+  FatigueParams p;
+  p.halfLifeCycles = 3e14;
+  p.steepness = 0.9;
+  p.floorFraction = 0.4;
+  return p;
+}
+
+FatigueParams hzoFatigue() {
+  FatigueParams p;
+  p.halfLifeCycles = 2e10;
+  p.steepness = 0.6;
+  p.floorFraction = 0.1;
+  return p;
+}
+
+}  // namespace fefet::ferro

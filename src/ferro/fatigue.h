@@ -1,0 +1,53 @@
+// fatigue.h — ferroelectric endurance (fatigue) model.
+//
+// The paper's motivation table (§1) ranks technologies by endurance: FE
+// memories endure ~1e12-1e15 cycles while ReRAM/PCM fade around 1e6-1e9.
+// Within FE memories, fatigue appears as remnant-polarization loss with
+// cycling (domain-wall pinning).  The standard empirical model is a
+// logistic decay in log-cycles:
+//
+//     P_r(N) = P_r0 * [ f_inf + (1 - f_inf) / (1 + (N / N_50)^m) ]
+//
+// with N_50 the cycle count at the half-way point of the collapse and m
+// the (log) steepness.  A cell fails when the remaining window no longer
+// clears the sensing margin; for the FEFET cell this maps through the
+// load-line to a shrinking hysteresis window.
+#pragma once
+
+namespace fefet::ferro {
+
+struct FatigueParams {
+  double halfLifeCycles = 1e14;  ///< N_50
+  double steepness = 0.7;        ///< m (decades^-1 shape)
+  double floorFraction = 0.2;    ///< f_inf: polarization that never fades
+};
+
+class FatigueModel {
+ public:
+  explicit FatigueModel(const FatigueParams& params = FatigueParams());
+
+  const FatigueParams& params() const { return params_; }
+
+  /// Remaining polarization fraction after `cycles` program/erase cycles.
+  double retainedFraction(double cycles) const;
+
+  /// Cycles until the retained fraction first drops below `fraction`.
+  /// Returns +inf when the floor is above the target.
+  double cyclesToFraction(double fraction) const;
+
+  /// Endurance at a sensing requirement: the FEFET cell needs
+  /// P_r(N) >= requiredFraction * P_r0 for its window to clear the margin.
+  double enduranceCycles(double requiredFraction = 0.5) const {
+    return cyclesToFraction(requiredFraction);
+  }
+
+ private:
+  FatigueParams params_;
+};
+
+/// Representative parameter sets.
+FatigueParams pztFatigue();   ///< classic PZT on Pt electrodes (~1e10-1e12)
+FatigueParams sbtFatigue();   ///< SBT: nearly fatigue-free (>=1e14)
+FatigueParams hzoFatigue();   ///< doped-HfO2: ~1e9-1e11 with wake-up
+
+}  // namespace fefet::ferro

@@ -1,0 +1,79 @@
+#include "ferro/load_line.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math.h"
+
+namespace fefet::ferro {
+
+LoadLineResult analyzeLoadLine(const LandauKhalatnikov& lk, double feThickness,
+                               const MosChargeVoltage& mosPsiOfQ,
+                               double gateVoltage,
+                               const LoadLineOptions& options) {
+  FEFET_REQUIRE(feThickness > 0.0, "load line: FE thickness must be positive");
+  FEFET_REQUIRE(options.samples >= 16, "load line: too few samples");
+
+  LoadLineResult result;
+  const auto residual = [&](double q) {
+    return mosPsiOfQ(q) + feThickness * lk.staticField(q) - gateVoltage;
+  };
+
+  const auto roots = math::findAllRoots(residual, options.chargeMin,
+                                        options.chargeMax, options.samples);
+  for (double q : roots) {
+    LoadLinePoint pt;
+    pt.charge = q;
+    pt.mosVoltage = mosPsiOfQ(q);
+    pt.feVoltage = feThickness * lk.staticField(q);
+    // Stability: total differential "stiffness" d(V_G)/dQ must be positive
+    // (a small charge fluctuation raises the voltage needed, pushing back).
+    const double dq = 1e-6 * (options.chargeMax - options.chargeMin);
+    const double slope = (residual(q + dq) - residual(q - dq)) / (2.0 * dq);
+    pt.stable = slope > 0.0;
+    result.equilibria.push_back(pt);
+  }
+  std::sort(result.equilibria.begin(), result.equilibria.end(),
+            [](const LoadLinePoint& a, const LoadLinePoint& b) {
+              return a.charge < b.charge;
+            });
+
+  result.chargeGrid.reserve(options.samples + 1);
+  result.feBranch.reserve(options.samples + 1);
+  result.mosBranch.reserve(options.samples + 1);
+  for (int i = 0; i <= options.samples; ++i) {
+    const double q = options.chargeMin +
+                     (options.chargeMax - options.chargeMin) *
+                         static_cast<double>(i) / options.samples;
+    result.chargeGrid.push_back(q);
+    result.feBranch.push_back(gateVoltage - feThickness * lk.staticField(q));
+    result.mosBranch.push_back(mosPsiOfQ(q));
+  }
+  return result;
+}
+
+double criticalThicknessForBistability(const LandauKhalatnikov& lk,
+                                       const MosChargeVoltage& mosPsiOfQ,
+                                       double tLow, double tHigh,
+                                       double tolerance) {
+  FEFET_REQUIRE(tLow > 0.0 && tHigh > tLow,
+                "criticalThickness: bad bracket");
+  const auto bistableAt = [&](double t) {
+    return analyzeLoadLine(lk, t, mosPsiOfQ, 0.0).bistable();
+  };
+  FEFET_REQUIRE(!bistableAt(tLow),
+                "criticalThickness: lower bracket already bistable");
+  FEFET_REQUIRE(bistableAt(tHigh),
+                "criticalThickness: upper bracket not bistable");
+  while (tHigh - tLow > tolerance) {
+    const double mid = 0.5 * (tLow + tHigh);
+    if (bistableAt(mid)) {
+      tHigh = mid;
+    } else {
+      tLow = mid;
+    }
+  }
+  return 0.5 * (tLow + tHigh);
+}
+
+}  // namespace fefet::ferro

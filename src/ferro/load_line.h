@@ -1,0 +1,69 @@
+// load_line.h — load-line analysis of the FE film in series with the MOSFET
+// gate (paper Fig. 4(a)).
+//
+// At a given gate voltage V_G, charge balance forces the same areal charge
+// density Q on the FE film and the MOS gate.  Quasi-static equilibrium
+// requires
+//
+//     V_G = psi(Q) + t_FE * E_s(Q)
+//
+// where psi(Q) is the MOS gate voltage needed to hold charge density Q and
+// t_FE * E_s(Q) is the static FE voltage drop.  Plotting Q versus the two
+// voltage contributions — the "load line" — the number of intersection
+// points decides the device regime:
+//   1 intersection  : monostable (no hysteresis; e.g. t_FE = 1 nm),
+//   3 intersections : bistable (hysteresis; e.g. t_FE = 2.25 nm), with the
+//                     outer two stable and the middle one unstable.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ferro/lk_model.h"
+
+namespace fefet::ferro {
+
+/// psi(Q): MOS gate voltage as a function of gate charge density [C/m^2].
+/// Provided by the transistor model (xtor::EkvTransistor::gateVoltageForCharge).
+using MosChargeVoltage = std::function<double(double)>;
+
+struct LoadLinePoint {
+  double charge = 0.0;      ///< equilibrium areal charge density [C/m^2]
+  double mosVoltage = 0.0;  ///< psi(Q) at the equilibrium
+  double feVoltage = 0.0;   ///< t_FE * E_s(Q) at the equilibrium
+  bool stable = false;      ///< d(V_G)/dQ > 0 at this point
+};
+
+struct LoadLineResult {
+  std::vector<LoadLinePoint> equilibria;  ///< sorted by charge
+  /// Sampled curves for plotting: Q grid, FE branch voltage V_G - t*E_s(Q)
+  /// ("available" voltage for the MOSFET) and the MOS demand psi(Q).
+  std::vector<double> chargeGrid;
+  std::vector<double> feBranch;
+  std::vector<double> mosBranch;
+
+  bool bistable() const { return equilibria.size() >= 3; }
+};
+
+struct LoadLineOptions {
+  double chargeMin = -0.30;  ///< [C/m^2]
+  double chargeMax = 0.30;   ///< [C/m^2]
+  int samples = 4000;
+};
+
+/// Solve V_G = psi(Q) + t_FE * E_s(Q) for all equilibrium charges and
+/// classify their stability.
+LoadLineResult analyzeLoadLine(const LandauKhalatnikov& lk, double feThickness,
+                               const MosChargeVoltage& mosPsiOfQ,
+                               double gateVoltage,
+                               const LoadLineOptions& options = {});
+
+/// Smallest FE thickness at which the series device becomes bistable at
+/// V_G = 0 (the hysteresis onset; paper reports ~1.9 nm for non-volatility).
+/// Bisection between tLow (monostable) and tHigh (bistable).
+double criticalThicknessForBistability(const LandauKhalatnikov& lk,
+                                       const MosChargeVoltage& mosPsiOfQ,
+                                       double tLow, double tHigh,
+                                       double tolerance = 1e-12);
+
+}  // namespace fefet::ferro

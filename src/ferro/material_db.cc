@@ -1,0 +1,67 @@
+#include "ferro/material_db.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fefet::ferro {
+
+LkCoefficients lkFromPrEc(double pr, double ec, double rho) {
+  FEFET_REQUIRE(pr > 0.0 && ec > 0.0, "lkFromPrEc: Pr and Ec must be positive");
+  LkCoefficients c;
+  const double alphaMag = 3.0 * std::sqrt(3.0) * ec / (2.0 * pr);
+  c.alpha = -alphaMag;
+  c.beta = alphaMag / (pr * pr);
+  c.gamma = 0.0;
+  c.rho = rho;
+  return c;
+}
+
+std::vector<Material> materialDatabase() {
+  std::vector<Material> db;
+  {
+    Material m;
+    m.name = "dac16-table2";
+    m.notes = "the paper's calibrated set: Pr=46 uC/cm^2, Ec=1.24 MV/cm";
+    m.lk = LkCoefficients{};  // Table 2 values with the calibrated rho
+    m.fatigue = sbtFatigue();
+    db.push_back(m);
+  }
+  {
+    Material m;
+    m.name = "pzt";
+    m.notes = "Pb(Zr,Ti)O3 ceramic: Pr=30 uC/cm^2, Ec=50 kV/cm; fatigues "
+              "on metal electrodes";
+    m.lk = lkFromPrEc(0.30, 5e6, 50.0);
+    m.fatigue = pztFatigue();
+    db.push_back(m);
+  }
+  {
+    Material m;
+    m.name = "sbt";
+    m.notes = "SrBi2Ta2O9: Pr=8 uC/cm^2, Ec=40 kV/cm; nearly fatigue-free";
+    m.lk = lkFromPrEc(0.08, 4e6, 80.0);
+    m.fatigue = sbtFatigue();
+    db.push_back(m);
+  }
+  {
+    Material m;
+    m.name = "hzo";
+    m.notes = "Hf0.5Zr0.5O2: Pr=17 uC/cm^2, Ec=1 MV/cm; the CMOS-"
+              "compatible FEFET workhorse";
+    m.lk = lkFromPrEc(0.17, 1e8, 2.0);
+    m.fatigue = hzoFatigue();
+    db.push_back(m);
+  }
+  return db;
+}
+
+const Material& findMaterial(const std::string& name) {
+  static const std::vector<Material> db = materialDatabase();
+  for (const auto& m : db) {
+    if (m.name == name) return m;
+  }
+  throw InvalidArgumentError("unknown material: " + name);
+}
+
+}  // namespace fefet::ferro

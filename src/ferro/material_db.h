@@ -1,0 +1,41 @@
+// material_db.h — a small library of ferroelectric materials expressed as
+// LK coefficient sets, plus the inverse problem (Landau coefficients from
+// measured remnant polarization and coercive field).
+//
+// The paper's Table 2 set is a strong, thin-film-scalable ferroelectric
+// (P_r ≈ 46 µC/cm², E_c ≈ 1.24 MV/cm — hafnia-class coercive fields with
+// perovskite-class polarization).  The database also carries classic
+// PZT/SBT (large P_r, tiny E_c — great capacitors, unscalable FEFETs) and
+// doped-HfO2 (moderate P_r, MV/cm E_c — the material that made FEFETs
+// practical).  bench_materials uses these to show *why* the FEFET needs a
+// hafnia-class E_c: the critical film thickness for non-volatility scales
+// as 1/(C_ox · |alpha|) and reaches hundreds of nanometres for perovskites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ferro/fatigue.h"
+#include "ferro/lk_model.h"
+
+namespace fefet::ferro {
+
+struct Material {
+  std::string name;
+  std::string notes;
+  LkCoefficients lk;
+  FatigueParams fatigue;
+};
+
+/// Derive 4th-order Landau coefficients (gamma = 0) from measured
+/// (P_r, E_c):  |alpha| = 3*sqrt(3)*E_c / (2*P_r),  beta = |alpha| / P_r^2.
+LkCoefficients lkFromPrEc(double remnantPolarization, double coerciveField,
+                          double rho = 1.0);
+
+/// The built-in material list (paper set first).
+std::vector<Material> materialDatabase();
+
+/// Lookup by name; throws InvalidArgumentError when absent.
+const Material& findMaterial(const std::string& name);
+
+}  // namespace fefet::ferro

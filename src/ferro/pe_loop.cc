@@ -1,0 +1,133 @@
+#include "ferro/pe_loop.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math.h"
+
+namespace fefet::ferro {
+
+namespace {
+/// Triangle wave, period T, amplitude A, starting at 0 and rising:
+/// 0 -> +A (T/4) -> -A (3T/4) -> 0 (T).
+double triangle(double t, double period, double amplitude) {
+  double phase = std::fmod(t, period) / period;  // [0, 1)
+  if (phase < 0.25) return amplitude * (4.0 * phase);
+  if (phase < 0.75) return amplitude * (2.0 - 4.0 * phase);
+  return amplitude * (4.0 * phase - 4.0);
+}
+}  // namespace
+
+double PeLoop::area() const {
+  // Shoelace integral of P dV around the closed loop.
+  double acc = 0.0;
+  const std::size_t n = voltage.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    acc += 0.5 * (polarization[i] + polarization[i - 1]) *
+           (voltage[i] - voltage[i - 1]);
+  }
+  return std::abs(acc);
+}
+
+PeLoop tracePeLoop(const FeCapacitor& capacitor, const PeLoopOptions& options) {
+  FEFET_REQUIRE(options.amplitude > 0.0, "PE loop amplitude must be positive");
+  FEFET_REQUIRE(options.samplesPerPeriod >= 16, "too few samples per period");
+
+  FeCapacitor work = capacitor;
+  const double dt = options.period / options.samplesPerPeriod;
+  const auto drive = [&options](double t) {
+    return triangle(t, options.period, options.amplitude);
+  };
+
+  // Settle: run whole cycles so the state forgets the initial condition.
+  double t = 0.0;
+  for (int cycle = 0; cycle < options.settleCycles; ++cycle) {
+    for (int i = 0; i < options.samplesPerPeriod; ++i) {
+      work.step(drive, t, dt, 2);
+      t += dt;
+    }
+  }
+
+  PeLoop loop;
+  loop.voltage.reserve(options.samplesPerPeriod + 1);
+  loop.field.reserve(options.samplesPerPeriod + 1);
+  loop.polarization.reserve(options.samplesPerPeriod + 1);
+  const double tFe = capacitor.geometry().thickness;
+
+  loop.voltage.push_back(drive(t));
+  loop.field.push_back(drive(t) / tFe);
+  loop.polarization.push_back(work.polarization());
+  for (int i = 0; i < options.samplesPerPeriod; ++i) {
+    work.step(drive, t, dt, 2);
+    t += dt;
+    const double v = drive(t);
+    loop.voltage.push_back(v);
+    loop.field.push_back(v / tFe);
+    loop.polarization.push_back(work.polarization());
+  }
+
+  // Extract remnant and coercive metrics from the recorded cycle.  The
+  // cycle starts at V=0 rising; quarter points split the branches.
+  const int q = options.samplesPerPeriod / 4;
+  auto segment = [&](int from, int to) {
+    return std::pair(
+        std::span<const double>(loop.voltage).subspan(from, to - from + 1),
+        std::span<const double>(loop.polarization).subspan(from, to - from + 1));
+  };
+  // Down branch: +A at q -> -A at 3q. P crosses 0 at the negative coercive
+  // voltage (if the film is hysteretic).
+  {
+    auto [v, p] = segment(q, 3 * q);
+    if (math::hasCrossing(p, 0.0)) {
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        if (p[i - 1] > 0.0 && p[i] <= 0.0) {
+          const double f = p[i - 1] / (p[i - 1] - p[i]);
+          loop.coerciveVoltageDown = v[i - 1] + f * (v[i] - v[i - 1]);
+          break;
+        }
+      }
+    }
+    // Remnant on the way down: P at the V = 0 crossing of the drive.
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (v[i - 1] > 0.0 && v[i] <= 0.0) {
+        const double f = v[i - 1] / (v[i - 1] - v[i]);
+        loop.remnantDown = p[i - 1] + f * (p[i] - p[i - 1]);
+        break;
+      }
+    }
+  }
+  // Up branch: -A at 3q -> back to 0 at 4q, continue into next cycle; use
+  // the wrap plus the initial rise (0 -> +A) recorded at the cycle start.
+  {
+    auto [v, p] = segment(3 * q, 4 * q);
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      if (p[i - 1] < 0.0 && p[i] >= 0.0) {
+        const double f = -p[i - 1] / (p[i] - p[i - 1]);
+        loop.coerciveVoltageUp = v[i - 1] + f * (v[i] - v[i - 1]);
+        break;
+      }
+    }
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (v[i - 1] < 0.0 && v[i] >= 0.0) {
+        const double f = -v[i - 1] / (v[i] - v[i - 1]);
+        loop.remnantUp = p[i - 1] + f * (p[i] - p[i - 1]);
+        break;
+      }
+    }
+    // If P had not yet crossed zero by the time V returned to 0, the
+    // crossing happens on the rising quarter at the start of the cycle.
+    if (loop.coerciveVoltageUp == 0.0) {
+      auto [v2, p2] = segment(0, q);
+      for (std::size_t i = 1; i < p2.size(); ++i) {
+        if (p2[i - 1] < 0.0 && p2[i] >= 0.0) {
+          const double f = -p2[i - 1] / (p2[i] - p2[i - 1]);
+          loop.coerciveVoltageUp = v2[i - 1] + f * (v2[i] - v2[i - 1]);
+          break;
+        }
+      }
+    }
+  }
+  return loop;
+}
+
+}  // namespace fefet::ferro

@@ -1,0 +1,45 @@
+// pe_loop.h — quasi-static and dynamic P–E / P–V hysteresis loop generation
+// (paper Fig. 1(c) and Fig. 4(b)).
+//
+// A loop is traced by driving the FE capacitor with a slow triangular
+// voltage sweep 0 -> +V -> -V -> +V and recording (V, P).  For a
+// ferroelectric film the result is the classic hysteresis loop whose
+// half-width at P = 0 is the coercive voltage.
+#pragma once
+
+#include <vector>
+
+#include "ferro/fe_capacitor.h"
+
+namespace fefet::ferro {
+
+/// One traced loop: parallel arrays of applied voltage, field and
+/// polarization, plus extracted metrics.
+struct PeLoop {
+  std::vector<double> voltage;       ///< applied terminal voltage [V]
+  std::vector<double> field;         ///< E = V / t_FE [V/m]
+  std::vector<double> polarization;  ///< P [C/m^2]
+
+  /// Extracted coercive voltages: applied V at the two P = 0 crossings
+  /// (negative-going and positive-going branches).
+  double coerciveVoltageUp = 0.0;    ///< V at P=0 while sweeping up
+  double coerciveVoltageDown = 0.0;  ///< V at P=0 while sweeping down
+  /// Polarization remaining at V = 0 on the way down from +V (remnant).
+  double remnantUp = 0.0;
+  double remnantDown = 0.0;
+
+  /// Loop area in the (V, P) plane [V·C/m^2]; nonzero area = hysteresis.
+  double area() const;
+};
+
+struct PeLoopOptions {
+  double amplitude = 2.5;      ///< peak applied voltage [V]
+  double period = 200e-9;      ///< sweep period [s]; slow vs rho/|alpha|
+  int samplesPerPeriod = 4000;
+  int settleCycles = 1;        ///< cycles discarded before recording
+};
+
+/// Trace a full hysteresis loop of the given capacitor.
+PeLoop tracePeLoop(const FeCapacitor& capacitor, const PeLoopOptions& options = {});
+
+}  // namespace fefet::ferro

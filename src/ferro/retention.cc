@@ -1,0 +1,60 @@
+#include "ferro/retention.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace fefet::ferro {
+
+RetentionModel::RetentionModel(const RetentionParams& params)
+    : params_(params) {
+  FEFET_REQUIRE(params_.attemptTime > 0.0, "attempt time must be positive");
+  FEFET_REQUIRE(params_.temperature > 0.0, "temperature must be positive");
+  FEFET_REQUIRE(params_.activationEfficiency > 0.0,
+                "activation efficiency must be positive");
+}
+
+double RetentionModel::barrierEnergy(double vc, double pr, double area) const {
+  FEFET_REQUIRE(vc >= 0.0 && pr >= 0.0 && area > 0.0,
+                "retention: non-physical design parameters");
+  return params_.activationEfficiency * vc * pr * area;
+}
+
+double RetentionModel::log10RetentionSeconds(double vc, double pr,
+                                             double area) const {
+  const double kT = constants::kBoltzmann * params_.temperature;
+  return std::log10(params_.attemptTime) +
+         barrierEnergy(vc, pr, area) / kT / std::log(10.0);
+}
+
+double RetentionModel::retentionSeconds(double vc, double pr,
+                                        double area) const {
+  const double lg = log10RetentionSeconds(vc, pr, area);
+  if (lg > 300.0) return 1e300;
+  return std::pow(10.0, lg);
+}
+
+double RetentionModel::calibrateToReference(double vc, double pr, double area,
+                                            double targetSeconds) {
+  FEFET_REQUIRE(targetSeconds > params_.attemptTime,
+                "retention target must exceed the attempt time");
+  const double kT = constants::kBoltzmann * params_.temperature;
+  const double neededBarrier = kT * std::log(targetSeconds / params_.attemptTime);
+  params_.activationEfficiency = neededBarrier / (vc * pr * area);
+  return params_.activationEfficiency;
+}
+
+double RetentionModel::widthForMatchedRetention(double vcA, double areaA,
+                                                double vcB,
+                                                double areaBAtReferenceWidth,
+                                                double referenceWidth) {
+  FEFET_REQUIRE(vcB > 0.0 && areaBAtReferenceWidth > 0.0 &&
+                    referenceWidth > 0.0,
+                "matched retention: non-physical parameters");
+  // Match s*Vc*Pr*A (Pr identical material): A_B = Vc_A A_A / Vc_B.
+  const double neededArea = vcA * areaA / vcB;
+  return referenceWidth * neededArea / areaBAtReferenceWidth;
+}
+
+}  // namespace fefet::ferro

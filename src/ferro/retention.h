@@ -1,0 +1,66 @@
+// retention.h — single-domain retention model (paper §6.2.4).
+//
+// "The retention time is expected to be exponentially proportional to the
+// product of coercive voltage, remnant polarization, and area of the
+// ferroelectric capacitor within single domain approximation."
+//
+//     t_ret = tau0 * exp( s * V_c * P_r * A / (k_B T) )
+//
+// V_c * P_r * A is an energy [J]: the work to move the remnant charge
+// across the coercive voltage, i.e. the scale of the well barrier seen from
+// the terminals.  `s` is a dimensionless activation efficiency < 1 that
+// absorbs nucleation-limited switching (the full film does not flip as one
+// macrospin); it is calibrated once so that the FERAM reference design
+// (t_FE = 1 nm, W = 65 nm, V_c = 1.24 V) retains for 10 years, and then held
+// fixed across designs so that *ratios* between designs are model-driven.
+//
+// Because the exponent spans hundreds of decades across designs, the API
+// works in log10 seconds.
+#pragma once
+
+namespace fefet::ferro {
+
+struct RetentionParams {
+  double attemptTime = 1e-12;        ///< tau0 [s]
+  double temperature = 300.0;        ///< [K]
+  double activationEfficiency = 1.0; ///< s, set via calibrate* below
+};
+
+class RetentionModel {
+ public:
+  explicit RetentionModel(const RetentionParams& params = {});
+
+  const RetentionParams& params() const { return params_; }
+
+  /// Barrier energy [J] for a design: s * Vc * Pr * A.
+  double barrierEnergy(double coerciveVoltage, double remnantPolarization,
+                       double area) const;
+
+  /// log10 of the retention time in seconds.
+  double log10RetentionSeconds(double coerciveVoltage,
+                               double remnantPolarization, double area) const;
+
+  /// Retention time in seconds; saturates at 1e300 to avoid overflow.
+  double retentionSeconds(double coerciveVoltage, double remnantPolarization,
+                          double area) const;
+
+  /// Calibrate the activation efficiency so the given reference design
+  /// retains for `targetSeconds`.  Returns the new efficiency and stores it.
+  double calibrateToReference(double coerciveVoltage,
+                              double remnantPolarization, double area,
+                              double targetSeconds);
+
+  /// Width (same length unit as `referenceWidth`) needed for design B to
+  /// match design A's retention, keeping B's length/thickness fixed:
+  /// scales B's area linearly with width.
+  static double widthForMatchedRetention(double coerciveVoltageA,
+                                         double areaA,
+                                         double coerciveVoltageB,
+                                         double areaBAtReferenceWidth,
+                                         double referenceWidth);
+
+ private:
+  RetentionParams params_;
+};
+
+}  // namespace fefet::ferro

@@ -1,0 +1,33 @@
+#include "ferro/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fefet::ferro {
+
+LkCoefficients atTemperature(const LkCoefficients& base, double temperature,
+                             const ThermalParams& thermal) {
+  FEFET_REQUIRE(temperature > 0.0, "temperature must be positive");
+  FEFET_REQUIRE(thermal.curieTemperature > thermal.referenceTemperature,
+                "Curie temperature must exceed the reference temperature");
+  LkCoefficients c = base;
+  const double scale =
+      (thermal.curieTemperature - temperature) /
+      (thermal.curieTemperature - thermal.referenceTemperature);
+  // Above T_C the film is paraelectric: alpha turns positive.
+  c.alpha = base.alpha * scale;
+  return c;
+}
+
+double remnantFractionAt(double temperature, const ThermalParams& thermal) {
+  const double scale =
+      (thermal.curieTemperature - temperature) /
+      (thermal.curieTemperature - thermal.referenceTemperature);
+  if (scale <= 0.0) return 0.0;
+  // With gamma ~ 0: P_r ~ sqrt(-alpha/beta) ~ sqrt(scale).
+  return std::sqrt(scale);
+}
+
+}  // namespace fefet::ferro

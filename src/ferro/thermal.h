@@ -1,0 +1,34 @@
+// thermal.h — temperature dependence of the ferroelectric.
+//
+// In Landau theory only the quadratic coefficient is strongly
+// temperature-dependent (Curie–Weiss):
+//
+//     alpha(T) = alpha(T_ref) * (T_C - T) / (T_C - T_ref)
+//
+// so heating toward the Curie temperature T_C softens the double well:
+// P_r and E_c shrink and vanish at T_C.  Combined with the kT in the
+// retention exponent, temperature attacks nonvolatile margins twice —
+// the thermal study (bench_thermal) quantifies both for the paper's
+// design point.
+#pragma once
+
+#include "ferro/lk_model.h"
+
+namespace fefet::ferro {
+
+struct ThermalParams {
+  double referenceTemperature = 300.0;  ///< [K] where the base set holds
+  double curieTemperature = 700.0;      ///< [K] ferroelectric T_C
+};
+
+/// Landau set rescaled to temperature T (alpha via Curie–Weiss; beta,
+/// gamma, rho kept — their drift is second-order).
+LkCoefficients atTemperature(const LkCoefficients& base, double temperature,
+                             const ThermalParams& thermal = ThermalParams());
+
+/// Remnant polarization / coercive field ratios vs the reference
+/// temperature (1.0 at T_ref, 0 at and beyond T_C).
+double remnantFractionAt(double temperature,
+                         const ThermalParams& thermal = ThermalParams());
+
+}  // namespace fefet::ferro

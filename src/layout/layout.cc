@@ -1,0 +1,104 @@
+#include "layout/layout.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fefet::layout {
+
+namespace {
+double widthLambdas(const DesignRules& rules, double transistorWidth) {
+  return transistorWidth / rules.lambda;
+}
+}  // namespace
+
+CellFootprint fefet2TCell(const DesignRules& rules, double transistorWidth) {
+  FEFET_REQUIRE(transistorWidth > 0.0, "transistor width must be positive");
+  const double cgp = rules.contactedGatePitch();
+  // Two contacted gates side by side (access NMOS + FEFET) sharing the
+  // gate-node diffusion, plus isolation to the neighbour cell.
+  const double widthL = 2.0 * cgp + rules.activeSpacing;
+  // Active region + margins + isolation + one extra routing track for the
+  // second row line (WS and RS; RS doubling as the read supply avoids a
+  // further track) + the FE-stack via landing pad on the internal node.
+  const double internalNodeContact = 1.0;
+  const double heightL = widthLambdas(rules, transistorWidth) +
+                         2.0 * rules.diffusionMargin + rules.activeSpacing +
+                         rules.metalPitch + internalNodeContact;
+  CellFootprint cell;
+  cell.width = rules.meters(widthL);
+  cell.height = rules.meters(heightL);
+  std::ostringstream os;
+  os << "2T FEFET: width = 2*CGP(" << cgp << "L) + iso("
+     << rules.activeSpacing << "L) = " << widthL << "L; height = W("
+     << widthLambdas(rules, transistorWidth) << "L) + 2*margin("
+     << rules.diffusionMargin << "L) + iso(" << rules.activeSpacing
+     << "L) + track(" << rules.metalPitch << "L) + FE via("
+     << internalNodeContact << "L) = " << heightL << "L";
+  cell.breakdown = os.str();
+  return cell;
+}
+
+CellFootprint feram1T1CCell(const DesignRules& rules,
+                            double transistorWidth) {
+  FEFET_REQUIRE(transistorWidth > 0.0, "transistor width must be positive");
+  const double cgp = rules.contactedGatePitch();
+  // One contacted gate plus isolation; the FE capacitor is stacked in the
+  // back-end directly above the transistor (minimum-area flavour).
+  const double widthL = cgp + rules.activeSpacing;
+  const double heightL = widthLambdas(rules, transistorWidth) +
+                         2.0 * rules.diffusionMargin + rules.activeSpacing +
+                         rules.plateMargin;
+  CellFootprint cell;
+  cell.width = rules.meters(widthL);
+  cell.height = rules.meters(heightL);
+  std::ostringstream os;
+  os << "1T-1C FERAM: width = CGP(" << cgp << "L) + iso("
+     << rules.activeSpacing << "L) = " << widthL << "L; height = W("
+     << widthLambdas(rules, transistorWidth) << "L) + 2*margin("
+     << rules.diffusionMargin << "L) + iso(" << rules.activeSpacing
+     << "L) + plate(" << rules.plateMargin << "L) = " << heightL << "L";
+  cell.breakdown = os.str();
+  return cell;
+}
+
+CellFootprint fefet3TCell(const DesignRules& rules, double transistorWidth) {
+  FEFET_REQUIRE(transistorWidth > 0.0, "transistor width must be positive");
+  const double cgp = rules.contactedGatePitch();
+  // Three contacted gates plus isolation, one further routing track for
+  // the dedicated read word line, plus the FE via.
+  const double widthL = 3.0 * cgp + rules.activeSpacing;
+  const double internalNodeContact = 1.0;
+  const double heightL = widthLambdas(rules, transistorWidth) +
+                         2.0 * rules.diffusionMargin + rules.activeSpacing +
+                         2.0 * rules.metalPitch + internalNodeContact;
+  CellFootprint cell;
+  cell.width = rules.meters(widthL);
+  cell.height = rules.meters(heightL);
+  std::ostringstream os;
+  os << "3T FEFET (ablation): width = 3*CGP(" << cgp << "L) + iso("
+     << rules.activeSpacing << "L) = " << widthL
+     << "L; height adds a second routing track (" << rules.metalPitch
+     << "L) for the read word line = " << heightL << "L";
+  cell.breakdown = os.str();
+  return cell;
+}
+
+ArrayFootprint tileArray(const CellFootprint& cell, int rows, int cols) {
+  FEFET_REQUIRE(rows >= 1 && cols >= 1, "array needs at least one cell");
+  ArrayFootprint a;
+  a.rows = rows;
+  a.cols = cols;
+  a.width = cell.width * cols;
+  a.height = cell.height * rows;
+  a.rowWireLength = a.width;
+  a.colWireLength = a.height;
+  return a;
+}
+
+double cellAreaRatio(const DesignRules& rules, double transistorWidth) {
+  return fefet2TCell(rules, transistorWidth).area() /
+         feram1T1CCell(rules, transistorWidth).area();
+}
+
+}  // namespace fefet::layout

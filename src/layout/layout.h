@@ -1,0 +1,76 @@
+// layout.h — lambda-rule area estimation for the two memory cells
+// (paper Fig. 11: 2x2 layouts; the FEFET 2T cell is 2.4x the minimum-area
+// 1T-1C FERAM cell) and wire-length extraction for the macro energy model.
+//
+// The estimator composes cells from process primitives (contacted gate
+// pitch, metal pitch, diffusion margins) instead of hard-coding areas, so
+// the same rules also give line lengths/pitches for array wire
+// capacitance.  The FERAM baseline uses a stacked capacitor in the
+// back-end (paper Fig. 9(b)), so its footprint is the access transistor
+// plus contacts only — the paper's "worst-case" (minimum-area) comparison.
+#pragma once
+
+#include <string>
+
+namespace fefet::layout {
+
+/// 45 nm-class lambda design rules (lambda = half the drawn gate length).
+struct DesignRules {
+  double lambda = 22.5e-9;     ///< [m]
+  double gateLength = 2.0;     ///< drawn gate length [lambda]
+  double contactSize = 2.0;    ///< contact/via edge [lambda]
+  double gateToContact = 1.5;  ///< poly to contact spacing [lambda]
+  double diffusionMargin = 2.0;///< active overhang beyond gate [lambda]
+  double activeSpacing = 3.0;  ///< active-to-active isolation [lambda]
+  double metalPitch = 6.0;     ///< routing track pitch [lambda]
+  double plateMargin = 2.0;    ///< stacked-cap plate contact margin [lambda]
+
+  double contactedGatePitch() const {
+    return gateLength + 2.0 * gateToContact + contactSize;  // [lambda]
+  }
+  double meters(double lambdas) const { return lambdas * lambda; }
+};
+
+/// A composed rectangular cell footprint.
+struct CellFootprint {
+  double width = 0.0;   ///< bit-line direction [m]
+  double height = 0.0;  ///< word-line direction [m]
+  std::string breakdown;  ///< human-readable derivation
+
+  double area() const { return width * height; }
+};
+
+/// The 2T FEFET cell: access NMOS and FEFET side by side (shared gate-node
+/// diffusion), one extra routing track for the second row line (the RS
+/// line doubles as read supply, saving a further track — paper §6.2.3).
+CellFootprint fefet2TCell(const DesignRules& rules, double transistorWidth);
+
+/// The 1T-1C FERAM cell with a back-end stacked capacitor over the access
+/// transistor (minimum-area flavour of paper Fig. 9(b)).
+CellFootprint feram1T1CCell(const DesignRules& rules, double transistorWidth);
+
+/// A 3T variant with a dedicated read access transistor — the design the
+/// paper's array organization avoids ("eliminates the need for read access
+/// transistors and limits the number of transistors in a cell to two").
+/// Used by the area ablation to quantify what the co-design saves.
+CellFootprint fefet3TCell(const DesignRules& rules, double transistorWidth);
+
+/// Array-level footprint and wire geometry.
+struct ArrayFootprint {
+  int rows = 0;
+  int cols = 0;
+  double width = 0.0;      ///< [m]
+  double height = 0.0;     ///< [m]
+  double rowWireLength = 0.0;  ///< length of one WS/RS (or WL) line [m]
+  double colWireLength = 0.0;  ///< length of one WBL/SL (or BL/PL) line [m]
+
+  double area() const { return width * height; }
+};
+
+ArrayFootprint tileArray(const CellFootprint& cell, int rows, int cols);
+
+/// FEFET-vs-FERAM cell area ratio at the given transistor width (the paper
+/// reports 2.4x at W = 65 nm).
+double cellAreaRatio(const DesignRules& rules, double transistorWidth);
+
+}  // namespace fefet::layout

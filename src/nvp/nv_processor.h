@@ -1,0 +1,77 @@
+// nv_processor.h — the non-pipelined on-demand-all-backup (ODAB)
+// nonvolatile processor of paper Fig. 12, after Ma et al. [4].
+//
+// Energy-driven state machine over a piecewise-constant power trace:
+//
+//   OFF ──(buffer charged past wake threshold)──> RESTORE ──> RUN
+//   RUN ──(buffer below backup reserve)──> BACKUP ──> OFF
+//
+// The storage capacitor integrates harvested power; the core drains
+// `activePower` while running.  On a backup, `backupWords` words are
+// written to the NVM block (write energy/time per word from Table 3); on
+// a restore they are read back (read energy/time per word — this is where
+// FERAM's destructive, expensive reads hurt).  Forward progress is the
+// fraction of wall-clock time spent doing useful computation.
+#pragma once
+
+#include <string>
+
+#include "nvp/power_trace.h"
+#include "nvp/workload.h"
+
+namespace fefet::nvp {
+
+/// NVM macro parameters (paper Table 3).
+struct NvmParams {
+  std::string name;
+  double writeEnergyPerWord = 0.0;  ///< [J]
+  double readEnergyPerWord = 0.0;   ///< [J]
+  double writeTimePerWord = 0.0;    ///< [s]
+  double readTimePerWord = 0.0;     ///< [s]
+};
+
+/// Table 3 rows.
+NvmParams fefetNvm();
+NvmParams feramNvm();
+
+/// Backup policy.  The paper's architecture is on-demand-all-backup
+/// (checkpoint only when the energy buffer hits the reserve); the periodic
+/// policy (checkpoint every `checkpointInterval` of useful compute) is the
+/// classic alternative [4] and is provided for the policy ablation.
+enum class BackupPolicy { kOnDemand, kPeriodic };
+
+struct NvpConfig {
+  double clockFrequency = 8e6;       ///< [Hz]
+  double storageCapacitance = 8e-9;  ///< [F] on-chip/board buffer cap
+  double operatingVoltage = 1.0;     ///< buffer considered "full" level [V]
+  double wakeFraction = 0.55;        ///< start running at this fill level
+  double reserveMargin = 2.0;        ///< backup reserve = margin x E_backup
+  double harvestEfficiency = 0.8;
+  double sleepPower = 80e-9;         ///< controller/retention drain [W]
+  double timeStep = 2e-6;            ///< simulation step [s]
+  BackupPolicy policy = BackupPolicy::kOnDemand;
+  double checkpointInterval = 300e-6;  ///< [s] useful time between periodic
+                                       ///< checkpoints (kPeriodic only)
+};
+
+struct NvpResult {
+  double forwardProgress = 0.0;   ///< useful-compute time / total time
+  double usefulSeconds = 0.0;
+  int powerCycles = 0;            ///< completed backup/restore round trips
+  double backupEnergy = 0.0;      ///< total energy spent in backups [J]
+  double restoreEnergy = 0.0;     ///< total energy spent in restores [J]
+  double backupTime = 0.0;        ///< total time in backups [s]
+  double restoreTime = 0.0;
+};
+
+/// Simulate one workload on one trace with one NVM technology.
+NvpResult simulateNvp(const PowerTrace& trace, const Workload& workload,
+                      const NvmParams& nvm, const NvpConfig& config = {});
+
+/// Convenience: forward-progress improvement of NVM `a` over `b` (e.g.
+/// FEFET over FERAM) on the same trace/workload, as a fraction.
+double forwardProgressGain(const PowerTrace& trace, const Workload& workload,
+                           const NvmParams& a, const NvmParams& b,
+                           const NvpConfig& config = {});
+
+}  // namespace fefet::nvp

@@ -1,0 +1,110 @@
+#include "nvp/power_trace.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace fefet::nvp {
+
+void PowerTrace::addSegment(double duration, double power) {
+  FEFET_REQUIRE(duration > 0.0, "trace segment duration must be positive");
+  FEFET_REQUIRE(power >= 0.0, "trace segment power must be non-negative");
+  durations_.push_back(duration);
+  powers_.push_back(power);
+  totalDuration_ += duration;
+}
+
+double PowerTrace::meanPower() const {
+  FEFET_REQUIRE(totalDuration_ > 0.0, "empty trace");
+  double energy = 0.0;
+  for (std::size_t i = 0; i < durations_.size(); ++i) {
+    energy += durations_[i] * powers_[i];
+  }
+  return energy / totalDuration_;
+}
+
+double PowerTrace::interruptionRate() const {
+  FEFET_REQUIRE(totalDuration_ > 0.0, "empty trace");
+  int interruptions = 0;
+  for (std::size_t i = 1; i < powers_.size(); ++i) {
+    if (powers_[i - 1] > 0.0 && powers_[i] == 0.0) ++interruptions;
+  }
+  return interruptions / totalDuration_;
+}
+
+double PowerTrace::dutyCycle() const {
+  FEFET_REQUIRE(totalDuration_ > 0.0, "empty trace");
+  double on = 0.0;
+  for (std::size_t i = 0; i < durations_.size(); ++i) {
+    if (powers_[i] > 0.0) on += durations_[i];
+  }
+  return on / totalDuration_;
+}
+
+void PowerTrace::scaleToMeanPower(double target) {
+  FEFET_REQUIRE(target > 0.0, "target mean power must be positive");
+  const double factor = target / meanPower();
+  for (double& p : powers_) p *= factor;
+}
+
+PowerTrace makeWifiTrace(const WifiTraceParams& params) {
+  FEFET_REQUIRE(params.duration > 0.0, "trace duration must be positive");
+  stats::Rng rng(params.seed);
+  PowerTrace trace;
+  double t = 0.0;
+  bool on = rng.bernoulli(0.5);
+  while (t < params.duration) {
+    const double mean = on ? params.meanBurst : params.meanOutage;
+    double span = rng.exponential(1.0 / mean);
+    span = std::min(std::max(span, mean * 0.05), params.duration - t);
+    if (on) {
+      // Log-normal burst amplitude around the nominal on-power.
+      const double nominal =
+          params.meanPower * (params.meanBurst + params.meanOutage) /
+          params.meanBurst;
+      const double amp =
+          nominal * std::exp(rng.normal(0.0, params.amplitudeSigma) -
+                             0.5 * params.amplitudeSigma *
+                                 params.amplitudeSigma);
+      trace.addSegment(span, amp);
+    } else {
+      trace.addSegment(span, 0.0);
+    }
+    t += span;
+    on = !on;
+  }
+  trace.scaleToMeanPower(params.meanPower);
+  return trace;
+}
+
+std::vector<NamedTrace> standardTraceSet(std::uint64_t seed) {
+  // Lower-power scenarios are also the more frequently interrupted ones
+  // (shorter bursts, longer outages), as in the paper's harvester data.
+  struct Spec {
+    const char* name;
+    double meanPower;
+    double meanBurst;
+    double meanOutage;
+  };
+  const Spec specs[] = {
+      {"wifi-3uW", 3e-6, 100e-6, 700e-6},
+      {"wifi-6uW", 6e-6, 140e-6, 550e-6},
+      {"wifi-14uW", 14e-6, 210e-6, 410e-6},
+      {"wifi-25uW", 25e-6, 300e-6, 320e-6},
+      {"wifi-50uW", 50e-6, 450e-6, 220e-6},
+  };
+  std::vector<NamedTrace> out;
+  std::uint64_t s = seed;
+  for (const auto& spec : specs) {
+    WifiTraceParams p;
+    p.meanPower = spec.meanPower;
+    p.meanBurst = spec.meanBurst;
+    p.meanOutage = spec.meanOutage;
+    p.seed = s++;
+    out.push_back({spec.name, makeWifiTrace(p)});
+  }
+  return out;
+}
+
+}  // namespace fefet::nvp

@@ -1,0 +1,65 @@
+// power_trace.h — synthetic ambient-energy power traces (paper §7).
+//
+// The paper drives its NVP study with measured Wi-Fi energy-harvester
+// traces [4].  We synthesize statistically similar supplies: bursty
+// on/off behaviour with exponentially distributed burst/outage durations
+// and log-normal burst amplitudes, parameterized by mean power and
+// interruption rate.  Traces are piecewise-constant and deterministic
+// given a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fefet::nvp {
+
+/// Piecewise-constant power supply: segment i spans
+/// [startTime[i], startTime[i] + duration[i]) at `power[i]` watts.
+class PowerTrace {
+ public:
+  void addSegment(double duration, double power);
+
+  double totalDuration() const { return totalDuration_; }
+  std::size_t segmentCount() const { return durations_.size(); }
+  double segmentDuration(std::size_t i) const { return durations_[i]; }
+  double segmentPower(std::size_t i) const { return powers_[i]; }
+
+  /// Time-averaged power [W].
+  double meanPower() const;
+  /// Outages (power-on to power-off transitions) per second.
+  double interruptionRate() const;
+  /// Fraction of time with nonzero power.
+  double dutyCycle() const;
+
+  /// Scale all powers so meanPower() == target.
+  void scaleToMeanPower(double target);
+
+ private:
+  std::vector<double> durations_;
+  std::vector<double> powers_;
+  double totalDuration_ = 0.0;
+};
+
+/// Wi-Fi harvester synthesis parameters.
+struct WifiTraceParams {
+  double duration = 1.0;        ///< trace length [s]
+  double meanPower = 20e-6;     ///< time-averaged harvested power [W]
+  double meanBurst = 250e-6;    ///< mean powered-burst duration [s]
+  double meanOutage = 350e-6;   ///< mean outage duration [s]
+  double amplitudeSigma = 0.6;  ///< log-normal spread of burst power
+  std::uint64_t seed = 1;
+};
+
+/// Generate a bursty RF-harvester trace and normalize it to `meanPower`.
+PowerTrace makeWifiTrace(const WifiTraceParams& params);
+
+/// The named trace set used by the Fig. 13 reproduction: one trace per
+/// power level, lowest power = most frequently interrupted.
+struct NamedTrace {
+  std::string name;
+  PowerTrace trace;
+};
+std::vector<NamedTrace> standardTraceSet(std::uint64_t seed = 7);
+
+}  // namespace fefet::nvp

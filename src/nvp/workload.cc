@@ -1,0 +1,21 @@
+#include "nvp/workload.h"
+
+namespace fefet::nvp {
+
+std::vector<Workload> mibenchSuite() {
+  // Active power reflects datapath intensity; backup words reflect live
+  // architectural state (PC + register file + live buffers) for the
+  // non-pipelined ODAB core.
+  return {
+      {"bitcount", 20e-6, 37, 8e3},
+      {"crc32", 22e-6, 39, 6e3},
+      {"dijkstra", 26e-6, 46, 2e4},
+      {"fft", 30e-6, 56, 4e4},
+      {"qsort", 27e-6, 50, 2.5e4},
+      {"sha", 28e-6, 48, 1.8e4},
+      {"stringsearch", 23e-6, 41, 1.2e4},
+      {"susan", 29e-6, 53, 3e4},
+  };
+}
+
+}  // namespace fefet::nvp

@@ -1,0 +1,26 @@
+// workload.h — MiBench-style workload profiles for the NVP study
+// (paper §7, Fig. 13, testbench of [24]).
+//
+// The NVP model only needs each benchmark's aggregate behaviour: how much
+// power the core draws while running it, and how much architectural state
+// the on-demand-all-backup (ODAB) controller must save/restore (PC +
+// register file + live scratch words).  The profiles below are
+// representative embedded-core numbers, not instruction-accurate traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fefet::nvp {
+
+struct Workload {
+  std::string name;
+  double activePower = 24e-6;  ///< core power while computing [W]
+  int backupWords = 34;        ///< 32-bit words saved on a power failure
+  double cyclesPerItem = 1e4;  ///< cycles per unit of useful work
+};
+
+/// The eight MiBench-named profiles used by the Fig. 13 bench.
+std::vector<Workload> mibenchSuite();
+
+}  // namespace fefet::nvp

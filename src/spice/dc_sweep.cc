@@ -1,0 +1,33 @@
+#include "spice/dc_sweep.h"
+
+#include "common/error.h"
+#include "spice/sources.h"
+
+namespace fefet::spice {
+
+const std::vector<double>& DcSweepResult::probe(
+    const std::string& label) const {
+  const auto it = probes.find(label);
+  FEFET_REQUIRE(it != probes.end(), "no such sweep probe: " + label);
+  return it->second;
+}
+
+DcSweepResult dcSweep(Simulator& simulator, VoltageSource& source,
+                      double from, double to, int steps,
+                      const std::vector<Probe>& probes) {
+  FEFET_REQUIRE(steps >= 1, "dcSweep: steps must be positive");
+  DcSweepResult result;
+  for (const auto& p : probes) result.probes[p.label] = {};
+  for (int i = 0; i <= steps; ++i) {
+    const double value = from + (to - from) * i / steps;
+    source.setShape(shapes::dc(value));
+    simulator.solveDc();
+    result.sweepValues.push_back(value);
+    for (const auto& p : probes) {
+      result.probes[p.label].push_back(simulator.measure(p));
+    }
+  }
+  return result;
+}
+
+}  // namespace fefet::spice

@@ -1,0 +1,35 @@
+// dc_sweep.h — swept DC analysis with continuation.
+//
+// Steps a voltage source through a range, re-solving the operating point
+// at each value while warm-starting Newton from the previous solution, so
+// nonlinear transfer curves (inverter VTCs, diode I-V) come out in one
+// call.  Note: DC is the true steady state — for hysteretic devices whose
+// memory depends on charge history (the FEFET's floating internal gate),
+// DC is the leakage-equilibrated limit, not the quasi-static memory curve;
+// measure those with a slow transient sweep instead.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/simulator.h"
+#include "spice/sources.h"
+
+namespace fefet::spice {
+
+struct DcSweepResult {
+  std::vector<double> sweepValues;
+  std::map<std::string, std::vector<double>> probes;  ///< label -> values
+
+  const std::vector<double>& probe(const std::string& label) const;
+};
+
+/// Sweep `source` from `from` to `to` in `steps` increments (inclusive of
+/// both endpoints), solving DC at each point and recording the probes.
+/// The source's shape is left at the final value.
+DcSweepResult dcSweep(Simulator& simulator, VoltageSource& source,
+                      double from, double to, int steps,
+                      const std::vector<Probe>& probes);
+
+}  // namespace fefet::spice

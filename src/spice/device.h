@@ -1,0 +1,180 @@
+// device.h — the device abstraction of the MNA circuit simulator.
+//
+// The solver works in residual form: for the unknown vector x (node
+// voltages followed by auxiliary unknowns such as source branch currents
+// and ferroelectric polarizations), every device adds its KCL /
+// constraint-equation contributions to the residual F(x) and its partial
+// derivatives to the Jacobian J(x).  Newton–Raphson then solves
+// J·dx = -F.  Dynamic devices keep committed history (charges,
+// polarization) and discretize d/dt with backward Euler or trapezoidal
+// companion forms supplied through the StampContext.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fefet::spice {
+
+/// Node handle.  0 is ground; positive values index named circuit nodes.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
+
+/// Read access to the current Newton iterate.
+class SystemView {
+ public:
+  SystemView(std::span<const double> x, int nodeCount)
+      : x_(x), nodeCount_(nodeCount) {}
+
+  /// Voltage of a node (ground returns 0).
+  double nodeVoltage(NodeId node) const {
+    return node == kGround ? 0.0 : x_[static_cast<std::size_t>(node - 1)];
+  }
+  /// Value of an auxiliary unknown by absolute row index.
+  double aux(int auxRow) const { return x_[static_cast<std::size_t>(auxRow)]; }
+
+  int nodeCount() const { return nodeCount_; }
+  std::span<const double> raw() const { return x_; }
+
+ private:
+  std::span<const double> x_;
+  int nodeCount_;
+};
+
+/// Write access to the Jacobian and residual being assembled.  Rows/columns
+/// attached to ground are silently dropped.  The stamper also accumulates a
+/// per-row magnitude scale used for relative convergence checks.
+class Stamper {
+ public:
+  virtual ~Stamper() = default;
+  virtual void addResidual(int row, double value) = 0;
+  virtual void addJacobian(int row, int col, double value) = 0;
+
+  /// Residual row of a node (-1 for ground = dropped).
+  static int rowOfNode(NodeId node) { return node - 1; }
+};
+
+/// Per-evaluation context handed to Device::stamp().
+struct StampContext {
+  const SystemView& view;
+  Stamper& stamper;
+  bool dc = false;                ///< DC operating point: d/dt == 0
+  double time = 0.0;              ///< evaluation time (end of step) [s]
+  double dt = 0.0;                ///< step size (0 in DC) [s]
+  IntegrationMethod method = IntegrationMethod::kBackwardEuler;
+};
+
+/// Allocation interface passed to Device::setup().
+class SetupContext {
+ public:
+  virtual ~SetupContext() = default;
+  /// Allocate one auxiliary unknown; returns its absolute row index.
+  virtual int allocateAux(const std::string& label) = 0;
+};
+
+/// Helper implementing the companion form of a two-terminal charge element
+/// i = dQ/dt.  Devices own one instance per independent charge.
+///
+/// The "trapezoidal" branch is actually a theta-method with theta = 0.60:
+/// pure trapezoidal (theta = 0.5) has no numerical damping, so the branch
+/// current of a capacitor rings forever at +/-constant amplitude after a
+/// sharp edge; theta slightly above 0.5 damps the ring by (1-theta)/theta
+/// per step while staying near second-order accurate.
+class ChargeIntegrator {
+ public:
+  static constexpr double kTheta = 0.60;
+
+  /// Current and dI/dQ for charge value q at the present iterate.
+  std::pair<double, double> currentFor(double q,
+                                       const StampContext& ctx) const {
+    if (ctx.dc || ctx.dt <= 0.0) return {0.0, 0.0};
+    if (ctx.method == IntegrationMethod::kBackwardEuler) {
+      return {(q - qPrev_) / ctx.dt, 1.0 / ctx.dt};
+    }
+    const double a = 1.0 / (kTheta * ctx.dt);
+    return {(q - qPrev_) * a - (1.0 - kTheta) / kTheta * iPrev_, a};
+  }
+
+  /// Accept the converged end-of-step values.
+  void commit(double q, double i) {
+    qPrev_ = q;
+    iPrev_ = i;
+  }
+
+  /// Accept a converged end-of-step charge, recomputing the branch current
+  /// with the same companion form used during stamping.
+  void commitFrom(double q, double dt, IntegrationMethod method) {
+    double i = 0.0;
+    if (dt > 0.0) {
+      i = (method == IntegrationMethod::kBackwardEuler)
+              ? (q - qPrev_) / dt
+              : (q - qPrev_) / (kTheta * dt) -
+                    (1.0 - kTheta) / kTheta * iPrev_;
+    }
+    qPrev_ = q;
+    iPrev_ = i;
+  }
+
+  /// Set history without recording a current (initial conditions).
+  void initialize(double q) {
+    qPrev_ = q;
+    iPrev_ = 0.0;
+  }
+
+  double charge() const { return qPrev_; }
+
+ private:
+  double qPrev_ = 0.0;
+  double iPrev_ = 0.0;
+};
+
+/// A named (state, value) pair reported by a device for probing.
+struct DeviceState {
+  std::string name;
+  double value;
+};
+
+/// Base class of all circuit devices.  Devices are owned by the Netlist.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Allocate auxiliary unknowns.  Called once when the netlist freezes.
+  virtual void setup(SetupContext&) {}
+
+  /// Write initial guesses for this device's auxiliary unknowns into the
+  /// full solution vector (e.g. the committed polarization).
+  virtual void seedUnknowns(std::vector<double>&) const {}
+
+  /// Add residual/Jacobian contributions for the current iterate.
+  virtual void stamp(const StampContext& ctx) = 0;
+
+  /// Initialize dynamic history from a consistent solution (t = tstart).
+  virtual void initializeState(const SystemView&) {}
+
+  /// Accept the converged solution of the step ending at `time`.
+  virtual void commitStep(const SystemView&, double /*time*/, double /*dt*/,
+                          IntegrationMethod /*method*/) {}
+
+  /// Largest tolerable next step given internal state rates (0 = no limit).
+  virtual double maxStepHint(const SystemView&) const { return 0.0; }
+
+  /// Named internal states for probing (polarization, charges, energies).
+  virtual std::vector<DeviceState> reportState(const SystemView&) const {
+    return {};
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fefet::spice

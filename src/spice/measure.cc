@@ -1,0 +1,117 @@
+#include "spice/measure.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math.h"
+
+namespace fefet::spice::measure {
+
+double riseTime(const Waveform& waveform, const std::string& column,
+                double low, double high) {
+  FEFET_REQUIRE(high > low, "riseTime: high must exceed low");
+  const double span = high - low;
+  const double t10 =
+      waveform.firstCrossing(column, low + 0.1 * span, /*rising=*/true);
+  // The 90% crossing must come after the 10% one.
+  const auto t = waveform.time();
+  const auto y = waveform.column(column);
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (t[i] <= t10) continue;
+    if (y[i - 1] < low + 0.9 * span && y[i] >= low + 0.9 * span) {
+      const double f = (low + 0.9 * span - y[i - 1]) / (y[i] - y[i - 1]);
+      return t[i - 1] + f * (t[i] - t[i - 1]) - t10;
+    }
+  }
+  throw SimulationError("riseTime: waveform never reaches the 90% level");
+}
+
+double fallTime(const Waveform& waveform, const std::string& column,
+                double high, double low) {
+  FEFET_REQUIRE(high > low, "fallTime: high must exceed low");
+  const double span = high - low;
+  const double t90 =
+      waveform.firstCrossing(column, high - 0.1 * span, /*rising=*/false);
+  const auto t = waveform.time();
+  const auto y = waveform.column(column);
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (t[i] <= t90) continue;
+    if (y[i - 1] > low + 0.1 * span && y[i] <= low + 0.1 * span) {
+      const double f = (y[i - 1] - (low + 0.1 * span)) / (y[i - 1] - y[i]);
+      return t[i - 1] + f * (t[i] - t[i - 1]) - t90;
+    }
+  }
+  throw SimulationError("fallTime: waveform never reaches the 10% level");
+}
+
+double delay(const Waveform& waveform, const std::string& fromColumn,
+             double fromLevel, bool fromRising, const std::string& toColumn,
+             double toLevel, bool toRising) {
+  return waveform.firstCrossing(toColumn, toLevel, toRising) -
+         waveform.firstCrossing(fromColumn, fromLevel, fromRising);
+}
+
+double settlingTime(const Waveform& waveform, const std::string& column,
+                    double target, double tolerance) {
+  FEFET_REQUIRE(tolerance > 0.0, "settlingTime: tolerance must be positive");
+  const auto t = waveform.time();
+  const auto y = waveform.column(column);
+  FEFET_REQUIRE(!y.empty(), "settlingTime: empty waveform");
+  // Walk backwards: the settle point is just after the last excursion.
+  std::size_t lastOutside = 0;
+  bool everOutside = false;
+  for (std::size_t i = y.size(); i-- > 0;) {
+    if (std::abs(y[i] - target) > tolerance) {
+      lastOutside = i;
+      everOutside = true;
+      break;
+    }
+  }
+  if (!everOutside) return t.front();
+  FEFET_REQUIRE(std::abs(y.back() - target) <= tolerance,
+                "settlingTime: waveform never settles");
+  return t[lastOutside + 1];
+}
+
+double overshoot(const Waveform& waveform, const std::string& column,
+                 double target) {
+  const double peak = waveform.maximum(column);
+  return peak > target ? peak - target : 0.0;
+}
+
+namespace {
+std::pair<std::vector<double>, std::vector<double>> windowed(
+    const Waveform& waveform, const std::string& column, double t0,
+    double t1) {
+  FEFET_REQUIRE(t1 > t0, "window: empty interval");
+  const auto t = waveform.time();
+  const auto y = waveform.column(column);
+  std::vector<double> tw, yw;
+  tw.push_back(t0);
+  yw.push_back(waveform.valueAt(column, t0));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] > t0 && t[i] < t1) {
+      tw.push_back(t[i]);
+      yw.push_back(y[i]);
+    }
+  }
+  tw.push_back(t1);
+  yw.push_back(waveform.valueAt(column, t1));
+  return {tw, yw};
+}
+}  // namespace
+
+double average(const Waveform& waveform, const std::string& column,
+               double t0, double t1) {
+  const auto [tw, yw] = windowed(waveform, column, t0, t1);
+  return math::trapz(tw, yw) / (t1 - t0);
+}
+
+double rms(const Waveform& waveform, const std::string& column, double t0,
+           double t1) {
+  auto [tw, yw] = windowed(waveform, column, t0, t1);
+  for (double& v : yw) v *= v;
+  return std::sqrt(math::trapz(tw, yw) / (t1 - t0));
+}
+
+}  // namespace fefet::spice::measure

@@ -1,0 +1,44 @@
+// measure.h — .measure-style waveform post-processing: edge timing,
+// settling, overshoot, averages over windows.  Complements the raw
+// accessors on Waveform with the derived quantities circuit benches need.
+#pragma once
+
+#include <string>
+
+#include "spice/waveform.h"
+
+namespace fefet::spice::measure {
+
+/// 10%-90% rise time of the first rising edge between `low` and `high`
+/// levels.  Throws SimulationError when no such edge exists.
+double riseTime(const Waveform& waveform, const std::string& column,
+                double low, double high);
+
+/// 90%-10% fall time of the first falling edge.
+double fallTime(const Waveform& waveform, const std::string& column,
+                double high, double low);
+
+/// Delay from `fromColumn` crossing `fromLevel` to `toColumn` crossing
+/// `toLevel` (both first crossings, given directions).
+double delay(const Waveform& waveform, const std::string& fromColumn,
+             double fromLevel, bool fromRising, const std::string& toColumn,
+             double toLevel, bool toRising);
+
+/// Time after which the column stays within +/-tolerance of `target`
+/// until the end of the trace.  Throws if it never settles.
+double settlingTime(const Waveform& waveform, const std::string& column,
+                    double target, double tolerance);
+
+/// Peak overshoot above `target` (0 when the signal never exceeds it).
+double overshoot(const Waveform& waveform, const std::string& column,
+                 double target);
+
+/// Mean of the column over [t0, t1].
+double average(const Waveform& waveform, const std::string& column,
+               double t0, double t1);
+
+/// RMS of the column over [t0, t1].
+double rms(const Waveform& waveform, const std::string& column, double t0,
+           double t1);
+
+}  // namespace fefet::spice::measure

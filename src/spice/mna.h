@@ -1,0 +1,46 @@
+// mna.h — assembly of the MNA Jacobian/residual and the linear solve.
+//
+// Small systems use dense LU; larger systems (memory arrays) switch to the
+// sparse row-map LU.  The assembler also tracks a per-row magnitude scale
+// (sum of |residual contributions|) so Newton can test convergence
+// relative to the size of the currents actually flowing in each node.
+#pragma once
+
+#include <vector>
+
+#include "common/linalg.h"
+#include "spice/device.h"
+
+namespace fefet::spice {
+
+/// One assembled Newton iteration system.
+class MnaSystem final : public Stamper {
+ public:
+  explicit MnaSystem(int unknowns, bool useSparse);
+
+  void clear();
+
+  void addResidual(int row, double value) override;
+  void addJacobian(int row, int col, double value) override;
+
+  /// Add gmin leakage to ground on every node row (regularization).
+  void addGmin(double gmin, const SystemView& view, int nodeCount);
+
+  /// Solve J dx = -F.  Throws NumericalError if singular.
+  std::vector<double> solveForUpdate();
+
+  const std::vector<double>& residual() const { return residual_; }
+  const std::vector<double>& rowScale() const { return rowScale_; }
+  int size() const { return n_; }
+  bool sparse() const { return useSparse_; }
+
+ private:
+  int n_;
+  bool useSparse_;
+  linalg::DenseMatrix dense_;
+  linalg::SparseMatrix sparseM_;
+  std::vector<double> residual_;
+  std::vector<double> rowScale_;
+};
+
+}  // namespace fefet::spice

@@ -1,0 +1,130 @@
+#include "spice/mosfet_device.h"
+
+#include "common/error.h"
+
+namespace fefet::spice {
+
+MosfetDevice::MosfetDevice(std::string name, NodeId drain, NodeId gate,
+                           NodeId source, const xtor::MosParams& params,
+                           double width, double gateLeak)
+    : Device(std::move(name)),
+      drain_(drain),
+      gate_(gate),
+      source_(source),
+      model_(params, width),
+      gateLeak_(gateLeak),
+      overlapCap_(params.overlapCapPerWidth * width),
+      junctionCap_(params.junctionCapPerWidth * width) {}
+
+double MosfetDevice::channelCharge(const SystemView& view) const {
+  const double vgs =
+      view.nodeVoltage(gate_) - view.nodeVoltage(source_);
+  return model_.gateArea() * model_.gateChargeDensity(vgs);
+}
+
+void MosfetDevice::stamp(const StampContext& ctx) {
+  const auto& view = ctx.view;
+  const double vd = view.nodeVoltage(drain_);
+  const double vg = view.nodeVoltage(gate_);
+  const double vs = view.nodeVoltage(source_);
+  const int rd = Stamper::rowOfNode(drain_);
+  const int rg = Stamper::rowOfNode(gate_);
+  const int rs = Stamper::rowOfNode(source_);
+
+  // --- channel current -------------------------------------------------
+  const auto op = model_.evaluate(vd, vg, vs);
+  const double gms = -(op.gm + op.gds);
+  ctx.stamper.addResidual(rd, op.ids);
+  ctx.stamper.addResidual(rs, -op.ids);
+  ctx.stamper.addJacobian(rd, rd, op.gds);
+  ctx.stamper.addJacobian(rd, rg, op.gm);
+  ctx.stamper.addJacobian(rd, rs, gms);
+  ctx.stamper.addJacobian(rs, rd, -op.gds);
+  ctx.stamper.addJacobian(rs, rg, -op.gm);
+  ctx.stamper.addJacobian(rs, rs, -gms);
+
+  // --- gate leakage (also provides a DC path for floating gates) -------
+  if (gateLeak_ > 0.0) {
+    const double il = gateLeak_ * (vg - vs);
+    ctx.stamper.addResidual(rg, il);
+    ctx.stamper.addResidual(rs, -il);
+    ctx.stamper.addJacobian(rg, rg, gateLeak_);
+    ctx.stamper.addJacobian(rg, rs, -gateLeak_);
+    ctx.stamper.addJacobian(rs, rg, -gateLeak_);
+    ctx.stamper.addJacobian(rs, rs, gateLeak_);
+  }
+
+  if (ctx.dc) return;
+
+  // --- intrinsic gate-channel charge (nonlinear, lumped to source) -----
+  {
+    const double q = channelCharge(view);
+    const auto [i, dIdQ] = chanCharge_.currentFor(q, ctx);
+    const double cgg =
+        model_.gateArea() * model_.gateCapacitanceDensity(vg - vs);
+    const double g = dIdQ * cgg;
+    ctx.stamper.addResidual(rg, i);
+    ctx.stamper.addResidual(rs, -i);
+    ctx.stamper.addJacobian(rg, rg, g);
+    ctx.stamper.addJacobian(rg, rs, -g);
+    ctx.stamper.addJacobian(rs, rg, -g);
+    ctx.stamper.addJacobian(rs, rs, g);
+  }
+  // --- linear charge elements ------------------------------------------
+  const auto stampLinearCap = [&](ChargeIntegrator& integ, NodeId a, NodeId b,
+                                  double c) {
+    if (c <= 0.0) return;
+    const double v = view.nodeVoltage(a) - view.nodeVoltage(b);
+    const auto [i, dIdQ] = integ.currentFor(c * v, ctx);
+    const double g = dIdQ * c;
+    const int ra = Stamper::rowOfNode(a);
+    const int rb = Stamper::rowOfNode(b);
+    ctx.stamper.addResidual(ra, i);
+    ctx.stamper.addResidual(rb, -i);
+    ctx.stamper.addJacobian(ra, ra, g);
+    ctx.stamper.addJacobian(ra, rb, -g);
+    ctx.stamper.addJacobian(rb, ra, -g);
+    ctx.stamper.addJacobian(rb, rb, g);
+  };
+  stampLinearCap(ovlGd_, gate_, drain_, overlapCap_);
+  stampLinearCap(ovlGs_, gate_, source_, overlapCap_);
+  stampLinearCap(junD_, drain_, kGround, junctionCap_);
+  stampLinearCap(junS_, source_, kGround, junctionCap_);
+}
+
+void MosfetDevice::initializeState(const SystemView& view) {
+  const double vd = view.nodeVoltage(drain_);
+  const double vg = view.nodeVoltage(gate_);
+  const double vs = view.nodeVoltage(source_);
+  chanCharge_.initialize(channelCharge(view));
+  ovlGd_.initialize(overlapCap_ * (vg - vd));
+  ovlGs_.initialize(overlapCap_ * (vg - vs));
+  junD_.initialize(junctionCap_ * vd);
+  junS_.initialize(junctionCap_ * vs);
+}
+
+void MosfetDevice::commitStep(const SystemView& view, double /*time*/,
+                              double dt, IntegrationMethod method) {
+  const double vd = view.nodeVoltage(drain_);
+  const double vg = view.nodeVoltage(gate_);
+  const double vs = view.nodeVoltage(source_);
+  chanCharge_.commitFrom(channelCharge(view), dt, method);
+  ovlGd_.commitFrom(overlapCap_ * (vg - vd), dt, method);
+  ovlGs_.commitFrom(overlapCap_ * (vg - vs), dt, method);
+  junD_.commitFrom(junctionCap_ * vd, dt, method);
+  junS_.commitFrom(junctionCap_ * vs, dt, method);
+}
+
+double MosfetDevice::drainCurrent(const SystemView& view) const {
+  return model_.idsAt(view.nodeVoltage(drain_), view.nodeVoltage(gate_),
+                      view.nodeVoltage(source_));
+}
+
+std::vector<DeviceState> MosfetDevice::reportState(
+    const SystemView& view) const {
+  return {{"id", drainCurrent(view)},
+          {"vgs", view.nodeVoltage(gate_) - view.nodeVoltage(source_)},
+          {"vds", view.nodeVoltage(drain_) - view.nodeVoltage(source_)}};
+}
+
+}  // namespace fefet::spice

@@ -1,0 +1,62 @@
+#include "spice/netlist.h"
+
+namespace fefet::spice {
+
+NodeId Netlist::node(const std::string& name) {
+  FEFET_REQUIRE(!name.empty(), "node name must be nonempty");
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = nodeIndex_.find(name);
+  if (it != nodeIndex_.end()) return it->second;
+  FEFET_REQUIRE(!frozen_, "netlist is frozen; cannot create node " + name);
+  const NodeId id = static_cast<NodeId>(nodeNames_.size());
+  nodeNames_.push_back(name);
+  nodeIndex_[name] = id;
+  return id;
+}
+
+bool Netlist::hasNode(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return true;
+  return nodeIndex_.count(name) > 0;
+}
+
+const std::string& Netlist::nodeName(NodeId id) const {
+  FEFET_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodeNames_.size()),
+                "node id out of range");
+  return nodeNames_[static_cast<std::size_t>(id)];
+}
+
+Device* Netlist::find(const std::string& name) const {
+  const auto it = deviceIndex_.find(name);
+  if (it == deviceIndex_.end()) return nullptr;
+  return devices_[it->second].get();
+}
+
+class Netlist::AuxAllocator final : public SetupContext {
+ public:
+  AuxAllocator(int firstRow, std::vector<std::string>& labels)
+      : nextRow_(firstRow), labels_(labels) {}
+
+  int allocateAux(const std::string& label) override {
+    labels_.push_back(label);
+    return nextRow_++;
+  }
+
+ private:
+  int nextRow_;
+  std::vector<std::string>& labels_;
+};
+
+int Netlist::freeze() {
+  if (!frozen_) {
+    AuxAllocator allocator(nodeCount(), auxLabels_);
+    for (const auto& device : devices_) device->setup(allocator);
+    frozen_ = true;
+  }
+  return unknownCount();
+}
+
+int Netlist::unknownCount() const {
+  return nodeCount() + static_cast<int>(auxLabels_.size());
+}
+
+}  // namespace fefet::spice

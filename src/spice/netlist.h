@@ -1,0 +1,87 @@
+// netlist.h — circuit container: named nodes plus owned devices.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "spice/device.h"
+
+namespace fefet::spice {
+
+/// A circuit under construction.  Nodes are created on first use by name;
+/// devices are owned by the netlist.  After freeze() the unknown layout
+/// (node rows followed by auxiliary rows) is fixed.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Get-or-create a named node.
+  NodeId node(const std::string& name);
+
+  /// Ground node (always exists).
+  NodeId ground() const { return kGround; }
+
+  /// True if a node of this name already exists.
+  bool hasNode(const std::string& name) const;
+
+  /// Name of a node id (for diagnostics).
+  const std::string& nodeName(NodeId id) const;
+
+  /// Number of non-ground nodes.
+  int nodeCount() const { return static_cast<int>(nodeNames_.size()) - 1; }
+
+  /// Construct and register a device.  Returns a non-owning pointer valid
+  /// for the netlist lifetime.
+  template <typename T, typename... Args>
+  T* add(Args&&... args) {
+    FEFET_REQUIRE(!frozen_, "netlist is frozen; cannot add devices");
+    auto device = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = device.get();
+    FEFET_REQUIRE(deviceIndex_.find(raw->name()) == deviceIndex_.end(),
+                  "duplicate device name: " + raw->name());
+    deviceIndex_[raw->name()] = devices_.size();
+    devices_.push_back(std::move(device));
+    return raw;
+  }
+
+  /// Find a device by name (nullptr when absent).
+  Device* find(const std::string& name) const;
+
+  /// Find and downcast; throws InvalidArgumentError on missing/mismatch.
+  template <typename T>
+  T* get(const std::string& name) const {
+    Device* d = find(name);
+    FEFET_REQUIRE(d != nullptr, "no such device: " + name);
+    T* t = dynamic_cast<T*>(d);
+    FEFET_REQUIRE(t != nullptr, "device has unexpected type: " + name);
+    return t;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Freeze the netlist: run device setup and assign auxiliary rows.
+  /// Idempotent.  Returns the total unknown count.
+  int freeze();
+
+  bool frozen() const { return frozen_; }
+  int unknownCount() const;
+  const std::vector<std::string>& auxLabels() const { return auxLabels_; }
+
+ private:
+  class AuxAllocator;
+
+  std::map<std::string, NodeId> nodeIndex_;
+  std::vector<std::string> nodeNames_{"0"};  // index 0 = ground
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::map<std::string, std::size_t> deviceIndex_;
+  std::vector<std::string> auxLabels_;
+  bool frozen_ = false;
+};
+
+}  // namespace fefet::spice

@@ -1,0 +1,133 @@
+#include "spice/newton.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace fefet::spice {
+
+NewtonSolver::NewtonSolver(Netlist& netlist, const NewtonOptions& options)
+    : netlist_(netlist),
+      options_(options),
+      system_(netlist.freeze(), netlist.freeze() > 160) {}
+
+NewtonStats NewtonSolver::solve(std::vector<double>& x, bool dc, double time,
+                                double dt, IntegrationMethod method) {
+  return solveWithGmin(x, dc, time, dt, method, options_.gmin);
+}
+
+NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
+                                        double time, double dt,
+                                        IntegrationMethod method,
+                                        double gmin) {
+  const int n = netlist_.unknownCount();
+  const int nodes = netlist_.nodeCount();
+  FEFET_REQUIRE(static_cast<int>(x.size()) == n,
+                "newton: solution vector size mismatch");
+
+  NewtonStats stats;
+  for (int iter = 0; iter < options_.maxIterations; ++iter) {
+    stats.iterations = iter + 1;
+    system_.clear();
+    SystemView view(x, nodes);
+    StampContext ctx{view, system_, dc, time, dt, method};
+    for (const auto& device : netlist_.devices()) device->stamp(ctx);
+    system_.addGmin(gmin, view, nodes);
+
+    std::vector<double> dx;
+    try {
+      dx = system_.solveForUpdate();
+    } catch (const NumericalError&) {
+      // Singular Jacobian mid-iteration: report non-convergence so the
+      // caller can cut the time step or raise gmin.
+      stats.converged = false;
+      return stats;
+    }
+
+    // Damping: clamp per-unknown updates.
+    bool clamped = false;
+    for (int i = 0; i < n; ++i) {
+      const double limit =
+          i < nodes ? options_.maxVoltageStep : options_.maxAuxStep;
+      if (dx[static_cast<std::size_t>(i)] > limit) {
+        dx[static_cast<std::size_t>(i)] = limit;
+        clamped = true;
+      } else if (dx[static_cast<std::size_t>(i)] < -limit) {
+        dx[static_cast<std::size_t>(i)] = -limit;
+        clamped = true;
+      }
+    }
+    double maxUpdate = 0.0;
+    bool updateOk = true;
+    for (int i = 0; i < n; ++i) {
+      const double xi = x[static_cast<std::size_t>(i)];
+      const double di = dx[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = xi + di;
+      const double tol =
+          (i < nodes ? options_.voltageAbsTol : options_.auxAbsTol) +
+          options_.relTol * std::abs(xi);
+      if (std::abs(di) > tol) updateOk = false;
+      maxUpdate = std::max(maxUpdate, std::abs(di));
+    }
+
+    // Residual check on the pre-update residual (already assembled).
+    double resNorm = 0.0;
+    bool residualOk = true;
+    for (int i = 0; i < n; ++i) {
+      const double r = system_.residual()[static_cast<std::size_t>(i)];
+      const double scale = system_.rowScale()[static_cast<std::size_t>(i)];
+      resNorm = std::max(resNorm, std::abs(r));
+      if (std::abs(r) >
+          options_.residualAbsTol + options_.residualRelTol * scale) {
+        residualOk = false;
+      }
+    }
+    stats.finalResidualNorm = resNorm;
+
+    if (updateOk && residualOk && !clamped) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  stats.converged = false;
+  return stats;
+}
+
+NewtonStats NewtonSolver::solveDcWithContinuation(std::vector<double>& x) {
+  // Direct attempt first.
+  std::vector<double> attempt = x;
+  NewtonStats stats = solveWithGmin(attempt, /*dc=*/true, 0.0, 0.0,
+                                    IntegrationMethod::kBackwardEuler,
+                                    options_.gmin);
+  if (stats.converged) {
+    x = attempt;
+    return stats;
+  }
+  // Gmin stepping: start heavily regularized, then relax.
+  FEFET_DEBUG() << "DC: direct solve failed; starting gmin continuation";
+  attempt = x;
+  int totalIters = stats.iterations;
+  for (double gmin = 1e-2; gmin >= options_.gmin * 0.99; gmin *= 0.1) {
+    stats = solveWithGmin(attempt, true, 0.0, 0.0,
+                          IntegrationMethod::kBackwardEuler, gmin);
+    totalIters += stats.iterations;
+    if (!stats.converged) {
+      throw NumericalError(
+          "DC operating point failed during gmin continuation at gmin=" +
+          std::to_string(gmin));
+    }
+  }
+  stats = solveWithGmin(attempt, true, 0.0, 0.0,
+                        IntegrationMethod::kBackwardEuler, options_.gmin);
+  totalIters += stats.iterations;
+  if (!stats.converged) {
+    throw NumericalError("DC operating point failed at final gmin");
+  }
+  x = attempt;
+  stats.iterations = totalIters;
+  return stats;
+}
+
+}  // namespace fefet::spice

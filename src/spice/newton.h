@@ -1,0 +1,59 @@
+// newton.h — damped Newton–Raphson over the MNA residual system, with
+// per-unknown step limiting and optional gmin continuation for hard DC
+// operating points.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/mna.h"
+#include "spice/netlist.h"
+
+namespace fefet::spice {
+
+struct NewtonOptions {
+  int maxIterations = 80;
+  double voltageAbsTol = 1e-6;    ///< [V] update tolerance on node voltages
+  double auxAbsTol = 1e-9;        ///< update tolerance on aux unknowns
+  double relTol = 1e-4;           ///< relative part of both checks
+  double residualAbsTol = 1e-9;   ///< [A]/[V] absolute residual floor
+  double residualRelTol = 1e-6;   ///< residual vs row activity scale
+  double maxVoltageStep = 0.6;    ///< [V] damping clamp per iteration
+  double maxAuxStep = 0.1;        ///< damping clamp on aux unknowns
+  double gmin = 1e-12;            ///< [S] node-to-ground regularization
+};
+
+struct NewtonStats {
+  int iterations = 0;
+  bool converged = false;
+  double finalResidualNorm = 0.0;
+};
+
+/// Solve F(x) = 0 for the frozen netlist at one (DC or transient) instant.
+/// `x` holds the initial guess and receives the solution.
+class NewtonSolver {
+ public:
+  NewtonSolver(Netlist& netlist, const NewtonOptions& options);
+
+  /// One full Newton solve with the supplied stamp-context template (its
+  /// view/stamper fields are filled per iteration).  Returns stats;
+  /// `converged == false` means the caller should cut dt / apply gmin.
+  NewtonStats solve(std::vector<double>& x, bool dc, double time, double dt,
+                    IntegrationMethod method);
+
+  /// DC solve with gmin stepping fallback: tries a direct solve, then a
+  /// sequence of decreasing gmin values.  Throws NumericalError when even
+  /// the continuation fails.
+  NewtonStats solveDcWithContinuation(std::vector<double>& x);
+
+ private:
+  NewtonStats solveWithGmin(std::vector<double>& x, bool dc, double time,
+                            double dt, IntegrationMethod method, double gmin);
+
+  Netlist& netlist_;
+  NewtonOptions options_;
+  MnaSystem system_;
+};
+
+}  // namespace fefet::spice

@@ -1,0 +1,95 @@
+#include "spice/passives.h"
+
+#include "common/error.h"
+
+namespace fefet::spice {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  FEFET_REQUIRE(resistance_ > 0.0, "resistance must be positive");
+}
+
+void Resistor::stamp(const StampContext& ctx) {
+  const double g = 1.0 / resistance_;
+  const double va = ctx.view.nodeVoltage(a_);
+  const double vb = ctx.view.nodeVoltage(b_);
+  const double i = g * (va - vb);
+  const int ra = Stamper::rowOfNode(a_);
+  const int rb = Stamper::rowOfNode(b_);
+  ctx.stamper.addResidual(ra, i);
+  ctx.stamper.addResidual(rb, -i);
+  ctx.stamper.addJacobian(ra, ra, g);
+  ctx.stamper.addJacobian(ra, rb, -g);
+  ctx.stamper.addJacobian(rb, ra, -g);
+  ctx.stamper.addJacobian(rb, rb, g);
+}
+
+double Resistor::current(const SystemView& view) const {
+  return (view.nodeVoltage(a_) - view.nodeVoltage(b_)) / resistance_;
+}
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+  FEFET_REQUIRE(capacitance_ > 0.0, "capacitance must be positive");
+}
+
+void Capacitor::stamp(const StampContext& ctx) {
+  if (ctx.dc) return;
+  const double v = ctx.view.nodeVoltage(a_) - ctx.view.nodeVoltage(b_);
+  const double q = capacitance_ * v;
+  const auto [i, dIdQ] = charge_.currentFor(q, ctx);
+  const double g = dIdQ * capacitance_;
+  const int ra = Stamper::rowOfNode(a_);
+  const int rb = Stamper::rowOfNode(b_);
+  ctx.stamper.addResidual(ra, i);
+  ctx.stamper.addResidual(rb, -i);
+  ctx.stamper.addJacobian(ra, ra, g);
+  ctx.stamper.addJacobian(ra, rb, -g);
+  ctx.stamper.addJacobian(rb, ra, -g);
+  ctx.stamper.addJacobian(rb, rb, g);
+}
+
+void Capacitor::initializeState(const SystemView& view) {
+  const double v = view.nodeVoltage(a_) - view.nodeVoltage(b_);
+  charge_.initialize(capacitance_ * v);
+}
+
+void Capacitor::commitStep(const SystemView& view, double /*time*/,
+                           double dt, IntegrationMethod method) {
+  const double v = view.nodeVoltage(a_) - view.nodeVoltage(b_);
+  charge_.commitFrom(capacitance_ * v, dt, method);
+}
+
+std::vector<DeviceState> Capacitor::reportState(const SystemView& view) const {
+  const double v = view.nodeVoltage(a_) - view.nodeVoltage(b_);
+  return {{"q", capacitance_ * v}};
+}
+
+TimedSwitch::TimedSwitch(std::string name, NodeId a, NodeId b,
+                         Control control, double ron, double roff)
+    : Device(std::move(name)),
+      a_(a),
+      b_(b),
+      control_(std::move(control)),
+      ron_(ron),
+      roff_(roff) {
+  FEFET_REQUIRE(ron_ > 0.0 && roff_ > ron_, "switch needs 0 < Ron < Roff");
+  FEFET_REQUIRE(static_cast<bool>(control_), "switch needs a control shape");
+}
+
+void TimedSwitch::stamp(const StampContext& ctx) {
+  const double g = (control_(ctx.time) > 0.5) ? 1.0 / ron_ : 1.0 / roff_;
+  const double va = ctx.view.nodeVoltage(a_);
+  const double vb = ctx.view.nodeVoltage(b_);
+  const double i = g * (va - vb);
+  const int ra = Stamper::rowOfNode(a_);
+  const int rb = Stamper::rowOfNode(b_);
+  ctx.stamper.addResidual(ra, i);
+  ctx.stamper.addResidual(rb, -i);
+  ctx.stamper.addJacobian(ra, ra, g);
+  ctx.stamper.addJacobian(ra, rb, -g);
+  ctx.stamper.addJacobian(rb, ra, -g);
+  ctx.stamper.addJacobian(rb, rb, g);
+}
+
+}  // namespace fefet::spice

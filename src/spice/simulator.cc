@@ -1,0 +1,142 @@
+#include "spice/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace fefet::spice {
+
+Simulator::Simulator(Netlist& netlist, const NewtonOptions& newton)
+    : netlist_(netlist), newtonOptions_(newton), newton_(netlist, newton) {
+  netlist_.freeze();
+}
+
+NewtonStats Simulator::solveDc() {
+  initializeUic();
+  const NewtonStats stats = newton_.solveDcWithContinuation(x_);
+  SystemView view(x_, netlist_.nodeCount());
+  for (const auto& device : netlist_.devices()) device->initializeState(view);
+  stateValid_ = true;
+  return stats;
+}
+
+void Simulator::initializeUic() {
+  const std::size_t n = static_cast<std::size_t>(netlist_.unknownCount());
+  if (x_.size() != n) x_.assign(n, 0.0);
+  for (const auto& device : netlist_.devices()) device->seedUnknowns(x_);
+  SystemView view(x_, netlist_.nodeCount());
+  for (const auto& device : netlist_.devices()) device->initializeState(view);
+  stateValid_ = true;
+}
+
+double Simulator::nodeVoltage(const std::string& name) const {
+  FEFET_REQUIRE(!x_.empty(), "no solution available yet");
+  FEFET_REQUIRE(netlist_.hasNode(name), "no such node: " + name);
+  const NodeId id = const_cast<Netlist&>(netlist_).node(name);
+  SystemView view(x_, netlist_.nodeCount());
+  return view.nodeVoltage(id);
+}
+
+void Simulator::setNodeVoltage(const std::string& name, double value) {
+  const std::size_t n = static_cast<std::size_t>(netlist_.unknownCount());
+  if (x_.size() != n) x_.assign(n, 0.0);
+  const NodeId id = netlist_.node(name);
+  if (id != kGround) x_[static_cast<std::size_t>(id - 1)] = value;
+}
+
+double Simulator::measure(const Probe& probe) const {
+  FEFET_REQUIRE(!x_.empty(), "no solution available yet");
+  SystemView view(x_, netlist_.nodeCount());
+  return probeValue(probe, view);
+}
+
+double Simulator::probeValue(const Probe& probe,
+                             const SystemView& view) const {
+  if (probe.kind == Probe::Kind::kNodeVoltage) {
+    const NodeId id = const_cast<Netlist&>(netlist_).node(probe.target);
+    return view.nodeVoltage(id);
+  }
+  const Device* device = netlist_.find(probe.target);
+  FEFET_REQUIRE(device != nullptr, "no such device: " + probe.target);
+  for (const auto& st : device->reportState(view)) {
+    if (st.name == probe.state) return st.value;
+  }
+  throw InvalidArgumentError("device " + probe.target + " has no state '" +
+                             probe.state + "'");
+}
+
+TransientResult Simulator::runTransient(const TransientOptions& options,
+                                        const std::vector<Probe>& probes) {
+  FEFET_REQUIRE(options.duration > 0.0, "transient duration must be positive");
+  if (!stateValid_) initializeUic();
+
+  const double dtMax =
+      options.dtMax > 0.0 ? options.dtMax : options.duration / 50.0;
+  double dt = std::min(options.dtInitial, dtMax);
+
+  TransientResult result;
+  for (const auto& probe : probes) result.waveform.addColumn(probe.label);
+
+  const int nodes = netlist_.nodeCount();
+  const auto record = [&](double t) {
+    SystemView view(x_, nodes);
+    std::vector<double> values;
+    values.reserve(probes.size());
+    for (const auto& probe : probes) values.push_back(probeValue(probe, view));
+    result.waveform.appendSample(t, values);
+  };
+  record(0.0);
+
+  double t = 0.0;
+  bool firstStep = true;
+  while (t < options.duration * (1.0 - 1e-12)) {
+    dt = std::min(dt, options.duration - t);
+    // Honor device step-size hints (e.g. fast polarization switching).
+    {
+      SystemView view(x_, nodes);
+      for (const auto& device : netlist_.devices()) {
+        const double hint = device->maxStepHint(view);
+        if (hint > 0.0) dt = std::min(dt, std::max(hint, options.dtMin * 10));
+      }
+    }
+    const IntegrationMethod method =
+        firstStep ? IntegrationMethod::kBackwardEuler : options.method;
+
+    std::vector<double> trial = x_;
+    const NewtonStats stats =
+        newton_.solve(trial, /*dc=*/false, t + dt, dt, method);
+    result.stats.newtonIterations += stats.iterations;
+    if (!stats.converged) {
+      ++result.stats.rejectedSteps;
+      dt *= 0.5;
+      if (dt < options.dtMin) {
+        std::ostringstream os;
+        os << "transient step underflow at t=" << t
+           << " s (dt=" << dt << " s, residual=" << stats.finalResidualNorm
+           << ")";
+        throw NumericalError(os.str());
+      }
+      continue;
+    }
+
+    x_ = std::move(trial);
+    t += dt;
+    ++result.stats.steps;
+    firstStep = false;
+    {
+      SystemView view(x_, nodes);
+      for (const auto& device : netlist_.devices()) {
+        device->commitStep(view, t, dt, method);
+      }
+    }
+    record(t);
+    if (stats.iterations <= options.easyIterations) {
+      dt = std::min(dt * options.growthFactor, dtMax);
+    }
+  }
+  return result;
+}
+
+}  // namespace fefet::spice

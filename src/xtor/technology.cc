@@ -1,0 +1,28 @@
+#include "xtor/technology.h"
+
+#include <sstream>
+
+namespace fefet::xtor {
+
+std::string Technology::describe() const {
+  std::ostringstream os;
+  os << "Technology node        : " << nodeLength * 1e9 << " nm\n"
+     << "Transistor width       : " << transistorWidth * 1e9 << " nm\n"
+     << "Metal capacitance      : " << metalCapPerLength * 1e15 * 1e-6
+     << " fF/um\n"
+     << "Write voltage (VDD)    : " << vdd << " V\n"
+     << "Read voltage           : " << vread << " V\n"
+     << "Write-select boost     : " << writeSelectBoost << " V\n"
+     << "NMOS VT / n / Cox      : " << nmos.vt0 << " V / " << nmos.slopeFactor
+     << " / " << nmos.cox << " F/m^2\n"
+     << "PMOS VT / mobility     : " << pmos.vt0 << " V / " << pmos.mobility
+     << " m^2/Vs\n";
+  return os.str();
+}
+
+const Technology& defaultTechnology() {
+  static const Technology tech{};
+  return tech;
+}
+
+}  // namespace fefet::xtor

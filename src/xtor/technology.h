@@ -1,0 +1,30 @@
+// technology.h — the 45 nm technology card shared by every experiment
+// (paper Table 2) plus derived convenience quantities.
+#pragma once
+
+#include <string>
+
+#include "xtor/mosfet_model.h"
+
+namespace fefet::xtor {
+
+/// Paper Table 2 "Simulation parameters" plus the reconstructed values this
+/// reproduction adds (see DESIGN.md §2).
+struct Technology {
+  double nodeLength = 45e-9;          ///< technology node [m]
+  double transistorWidth = 65e-9;     ///< default device width [m]
+  double metalCapPerLength = 0.2e-15 / 1e-6;  ///< 0.2 fF/um [F/m]
+  double vdd = 0.68;                  ///< array supply / write voltage [V]
+  double vread = 0.40;                ///< read (drain) voltage [V]
+  double writeSelectBoost = 1.36;     ///< boosted write-select level (2x VDD)
+  MosParams nmos = nmos45();
+  MosParams pmos = pmos45();
+
+  /// Pretty-printable summary (one line per parameter).
+  std::string describe() const;
+};
+
+/// The default technology instance used by cells, arrays and benches.
+const Technology& defaultTechnology();
+
+}  // namespace fefet::xtor

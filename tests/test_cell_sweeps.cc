@@ -1,0 +1,121 @@
+// Cross-parameter property sweeps: the full cell lifecycle across the
+// nonvolatile thickness range, sense-chain correctness across thickness,
+// and transistor temperature laws.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/cell2t.h"
+#include "core/materials.h"
+#include "core/sense_amp.h"
+#include "xtor/mosfet_model.h"
+
+namespace fefet {
+namespace {
+
+// ---------------------------------------------------------------------
+// Full write/read/hold lifecycle at every nonvolatile design thickness.
+// ---------------------------------------------------------------------
+class CellAcrossThickness : public ::testing::TestWithParam<double> {};
+
+TEST_P(CellAcrossThickness, FullLifecycle) {
+  core::Cell2TConfig cfg;
+  cfg.fefet.lk = core::fefetMaterial();
+  cfg.fefet.feThickness = GetParam();
+  // Thicker films need larger bit-line swing (wider window).
+  const auto window = core::analyzeHysteresis(cfg.fefet);
+  ASSERT_TRUE(window.nonvolatile);
+  const double vw = std::max(0.68, std::max(window.upSwitchVoltage,
+                                            -window.downSwitchVoltage) +
+                                       0.25);
+  cfg.levels.vWrite = vw;
+  cfg.levels.writeBoost = 2.0 * vw;
+  core::Cell2T cell(cfg);
+
+  cell.setStoredBit(false);
+  ASSERT_TRUE(cell.write(true, 2e-9).bitAfter) << "t=" << GetParam();
+  ASSERT_TRUE(cell.hold(20e-9).bitAfter);
+  const auto r1 = cell.read();
+  EXPECT_TRUE(r1.bitAfter);
+  EXPECT_GT(r1.readCurrent, 1e-5);
+  ASSERT_FALSE(cell.write(false, 2.5e-9).bitAfter);
+  const auto r0 = cell.read();
+  EXPECT_FALSE(r0.bitAfter);
+  EXPECT_GT(r1.readCurrent / std::max(r0.readCurrent, 1e-15), 1e4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thicknesses, CellAcrossThickness,
+                         ::testing::Values(2.1e-9, 2.25e-9, 2.4e-9));
+
+// ---------------------------------------------------------------------
+// The sense chain digitizes correctly across the design range too.
+// ---------------------------------------------------------------------
+class SenseAcrossThickness : public ::testing::TestWithParam<double> {};
+
+TEST_P(SenseAcrossThickness, DigitizesBothStates) {
+  core::SenseAmpConfig cfg;
+  cfg.fefet.lk = core::fefetMaterial();
+  cfg.fefet.feThickness = GetParam();
+  core::SenseAmpCircuit circuit(cfg);
+  EXPECT_TRUE(circuit.simulateRead(true).bitRead);
+  EXPECT_FALSE(circuit.simulateRead(false).bitRead);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thicknesses, SenseAcrossThickness,
+                         ::testing::Values(2.1e-9, 2.25e-9, 2.4e-9));
+
+// ---------------------------------------------------------------------
+// Transistor temperature laws.
+// ---------------------------------------------------------------------
+class MosfetAcrossTemperature : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetAcrossTemperature, SubthresholdSlopeScalesWithT) {
+  const double temperature = GetParam();
+  xtor::MosParams params = xtor::nmos45();
+  params.temperature = temperature;
+  const xtor::MosfetModel m(params, 65e-9);
+  const double i1 = m.idsAt(1.0, 0.10, 0.0);
+  const double i2 = m.idsAt(1.0, 0.20, 0.0);
+  const double ssMeasured = 0.1 / std::log10(i2 / i1) * 1e3;  // mV/dec
+  const double ssExpected = params.slopeFactor *
+                            constants::kBoltzmann * temperature /
+                            constants::kElementaryCharge * std::log(10.0) *
+                            1e3;
+  EXPECT_NEAR(ssMeasured, ssExpected, 0.12 * ssExpected);
+}
+
+TEST_P(MosfetAcrossTemperature, LeakageGrowsWithT) {
+  const double temperature = GetParam();
+  xtor::MosParams hot = xtor::nmos45();
+  hot.temperature = temperature + 50.0;
+  xtor::MosParams cold = xtor::nmos45();
+  cold.temperature = temperature;
+  EXPECT_GT(xtor::MosfetModel(hot, 65e-9).idsAt(1.0, 0.0, 0.0),
+            xtor::MosfetModel(cold, 65e-9).idsAt(1.0, 0.0, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, MosfetAcrossTemperature,
+                         ::testing::Values(250.0, 300.0, 350.0, 400.0));
+
+// ---------------------------------------------------------------------
+// Write-energy monotonicity in voltage at fixed pulse width.
+// ---------------------------------------------------------------------
+class EnergyVsVoltage : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergyVsVoltage, MoreVoltageMoreEnergy) {
+  core::Cell2TConfig cfg;
+  cfg.fefet.lk = core::fefetMaterial();
+  core::Cell2T cell(cfg);
+  const double v = GetParam();
+  cell.setStoredBit(false);
+  const double e1 = cell.write(true, 1.5e-9, v).totalEnergy;
+  cell.setStoredBit(false);
+  const double e2 = cell.write(true, 1.5e-9, v + 0.15).totalEnergy;
+  EXPECT_GT(e2, e1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, EnergyVsVoltage,
+                         ::testing::Values(0.55, 0.68, 0.85));
+
+}  // namespace
+}  // namespace fefet

@@ -1,0 +1,111 @@
+// Unit tests for common: stats, RNG, formatting, tables, units, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace fefet {
+namespace {
+
+using namespace fefet::literals;
+
+TEST(Units, LiteralsProduceSiValues) {
+  EXPECT_DOUBLE_EQ(0.68_V, 0.68);
+  EXPECT_DOUBLE_EQ(550.0_ps, 550e-12);
+  EXPECT_DOUBLE_EQ(2.25_nm, 2.25e-9);
+  EXPECT_DOUBLE_EQ(0.2_fF, 0.2e-15);
+  EXPECT_DOUBLE_EQ(4.82_pJ, 4.82e-12);
+  EXPECT_DOUBLE_EQ(1.0_MOhm, 1e6);
+}
+
+TEST(Units, ThermalVoltage) {
+  EXPECT_NEAR(constants::kThermalVoltage300K, 0.02585, 1e-4);
+}
+
+TEST(Stats, Descriptives) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(v), 2.5);
+  EXPECT_NEAR(stats::stddev(v), 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(stats::minOf(v), 1.0);
+  EXPECT_DOUBLE_EQ(stats::maxOf(v), 4.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 100.0), 4.0);
+  EXPECT_NEAR(stats::geomean(std::vector<double>{1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GuardsEmptyInput) {
+  EXPECT_THROW(stats::mean({}), InvalidArgumentError);
+  EXPECT_THROW(stats::geomean(std::vector<double>{1.0, -1.0}),
+               InvalidArgumentError);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  stats::Rng a(42), b(42), c(43);
+  const double x = a.uniform(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(x, b.uniform(0.0, 1.0));
+  EXPECT_NE(x, c.uniform(0.0, 1.0));
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  stats::Rng rng(7);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(4.0);
+  EXPECT_NEAR(acc / n, 0.25, 0.02);
+}
+
+TEST(Strings, SiFormat) {
+  EXPECT_EQ(strings::siFormat(550e-12, "s"), "550 ps");
+  EXPECT_EQ(strings::siFormat(0.68, "V"), "680 mV");
+  EXPECT_EQ(strings::siFormat(4.82e-12, "J"), "4.82 pJ");
+  EXPECT_EQ(strings::siFormat(0.0, "A"), "0 A");
+  EXPECT_EQ(strings::siFormat(-1.5e6, "Hz"), "-1.5 MHz");
+}
+
+TEST(Strings, FixedAndPad) {
+  EXPECT_EQ(strings::fixedFormat(0.6789, 2), "0.68");
+  EXPECT_EQ(strings::padLeft("x", 3), "  x");
+  EXPECT_EQ(strings::padRight("x", 3), "x  ");
+  EXPECT_EQ(strings::join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  EXPECT_EQ(t.rowCount(), 2u);
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), InvalidArgumentError);
+}
+
+TEST(CsvWriter, QuotesSpecialCells) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "a,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    FEFET_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fefet

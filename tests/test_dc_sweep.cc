@@ -1,0 +1,112 @@
+// Tests of the swept-DC analysis with continuation — including
+// circuit-level FEFET hysteresis extraction (up/down sweeps trace
+// different branches) validated against the quasi-static analysis.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/fefet.h"
+#include "core/materials.h"
+#include "spice/dc_sweep.h"
+#include "spice/mosfet_device.h"
+#include "spice/netlist.h"
+#include "spice/passives.h"
+#include "spice/sources.h"
+
+namespace fefet::spice {
+namespace {
+
+using shapes::dc;
+
+TEST(DcSweep, LinearDividerScalesWithInput) {
+  Netlist n;
+  auto* v = n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(0.0));
+  n.add<Resistor>("R1", n.node("in"), n.node("mid"), 1e3);
+  n.add<Resistor>("R2", n.node("mid"), n.ground(), 1e3);
+  Simulator sim(n);
+  const auto result = dcSweep(sim, *v, 0.0, 2.0, 10, {Probe::v("mid")});
+  ASSERT_EQ(result.sweepValues.size(), 11u);
+  for (std::size_t i = 0; i < result.sweepValues.size(); ++i) {
+    EXPECT_NEAR(result.probe("v(mid)")[i], 0.5 * result.sweepValues[i],
+                1e-6);
+  }
+}
+
+TEST(DcSweep, InverterTransferCurve) {
+  Netlist n;
+  n.add<VoltageSource>("Vdd", n.node("vdd"), n.ground(), dc(0.68));
+  auto* vin = n.add<VoltageSource>("Vin", n.node("in"), n.ground(), dc(0.0));
+  n.add<MosfetDevice>("MP", n.node("out"), n.node("in"), n.node("vdd"),
+                      xtor::pmos45(), 260e-9);
+  n.add<MosfetDevice>("MN", n.node("out"), n.node("in"), n.ground(),
+                      xtor::nmos45(), 130e-9);
+  Simulator sim(n);
+  const auto vtc = dcSweep(sim, *vin, 0.0, 0.68, 34, {Probe::v("out")});
+  const auto& out = vtc.probe("v(out)");
+  // Monotone falling, rail to rail.
+  EXPECT_NEAR(out.front(), 0.68, 0.02);
+  EXPECT_NEAR(out.back(), 0.0, 0.02);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i], out[i - 1] + 1e-6);
+  }
+}
+
+TEST(SlowTransientSweep, FefetHysteresisMatchesQuasiStaticAnalysis) {
+  // A slow triangular gate sweep on a full circuit-level FEFET is the
+  // curve-tracer measurement of the hysteresis: the internal node jumps
+  // near the quasi-static fold voltages.  (Plain DC would instead find the
+  // leakage-equilibrated state — see dc_sweep.h.)
+  core::FefetParams params;
+  params.lk = core::fefetMaterial();
+  Netlist n;
+  auto* vg = n.add<VoltageSource>("Vg", n.node("g"), n.ground(), dc(0.0));
+  n.add<VoltageSource>("Vd", n.node("d"), n.ground(), dc(0.05));
+  n.add<VoltageSource>("Vs", n.node("s"), n.ground(), dc(0.0));
+  core::attachFefet(n, "x", "g", "d", "s", params, 0.0);
+  Simulator sim(n);
+  sim.initializeUic();
+
+  // 0 -> +1 V -> -1 V -> 0 triangle over 120 ns.
+  vg->setShape(shapes::pwl(
+      {{0.0, 0.0}, {30e-9, 1.0}, {90e-9, -1.0}, {120e-9, 0.0}}));
+  TransientOptions options;
+  options.duration = 120e-9;
+  options.dtMax = 100e-12;
+  const auto r = sim.runTransient(
+      options, {Probe::v("g"), Probe::v("x:int")});
+
+  // Up-switch: the internal node snaps up during the rising quarter.
+  const auto t = r.waveform.time();
+  const auto& vgCol = r.waveform.column("v(g)");
+  const auto& vi = r.waveform.column("v(x:int)");
+  double upJump = 0.0, downJump = 0.0, bestUp = 0.0, bestDown = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double dvi = vi[i] - vi[i - 1];
+    if (t[i] < 30e-9 && dvi > bestUp) {
+      bestUp = dvi;
+      upJump = vgCol[i];
+    }
+    if (t[i] >= 30e-9 && t[i] < 90e-9 && -dvi > bestDown) {
+      bestDown = -dvi;
+      downJump = vgCol[i];
+    }
+  }
+  const auto window = core::analyzeHysteresis(params);
+  // Kinetics push the measured jumps slightly outward of the static folds.
+  EXPECT_NEAR(upJump, window.upSwitchVoltage, 0.12);
+  EXPECT_GE(upJump, window.upSwitchVoltage - 0.02);
+  EXPECT_NEAR(downJump, window.downSwitchVoltage, 0.12);
+  EXPECT_LE(downJump, window.downSwitchVoltage + 0.02);
+  EXPECT_GT(upJump, downJump);  // hysteresis: branches differ
+}
+
+TEST(DcSweep, RejectsBadSteps) {
+  Netlist n;
+  auto* v = n.add<VoltageSource>("V1", n.node("a"), n.ground(), dc(0.0));
+  n.add<Resistor>("R", n.node("a"), n.ground(), 1e3);
+  Simulator sim(n);
+  EXPECT_THROW(dcSweep(sim, *v, 0.0, 1.0, 0, {Probe::v("a")}),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet::spice

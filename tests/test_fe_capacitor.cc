@@ -1,0 +1,153 @@
+// Tests of the standalone ferroelectric capacitor dynamics and the
+// P-E loop tracer (paper Fig. 1(c) / Fig. 4(b) substrate).
+#include "ferro/fe_capacitor.h"
+#include "ferro/pe_loop.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fefet::ferro {
+namespace {
+
+LkCoefficients fastMaterial() {
+  LkCoefficients c;
+  c.rho = 1.0;
+  return c;
+}
+
+FeGeometry paperGeometry(double thickness) {
+  return {thickness, 65e-9 * 45e-9};
+}
+
+TEST(FeCapacitor, CoerciveVoltageScalesWithThickness) {
+  const FeCapacitor thin(fastMaterial(), paperGeometry(1e-9));
+  const FeCapacitor thick(fastMaterial(), paperGeometry(2.5e-9));
+  EXPECT_NEAR(thin.coerciveVoltage(), 1.244, 0.01);
+  EXPECT_NEAR(thick.coerciveVoltage(), 3.11, 0.02);
+  // Paper Fig. 4(b): the standalone 2.5 nm film's loop extends outside
+  // +/- 2 V.
+  EXPECT_GT(thick.coerciveVoltage(), 2.0);
+}
+
+TEST(FeCapacitor, SwitchesAboveCoerciveVoltage) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  const double t = cap.switchingTime(1.64);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 5e-9);
+}
+
+TEST(FeCapacitor, RefusesSubCoerciveSwitching) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  EXPECT_THROW(cap.switchingTime(1.0), SimulationError);
+}
+
+TEST(FeCapacitor, SwitchingFasterAtHigherVoltage) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  EXPECT_GT(cap.switchingTime(1.5), cap.switchingTime(2.0));
+  EXPECT_GT(cap.switchingTime(2.0), cap.switchingTime(2.5));
+}
+
+TEST(FeCapacitor, SwitchingTimeProportionalToRho) {
+  LkCoefficients slow = fastMaterial();
+  slow.rho = 2.0;
+  FeCapacitor fast(fastMaterial(), paperGeometry(1e-9));
+  FeCapacitor slowCap(slow, paperGeometry(1e-9));
+  const double ratio = slowCap.switchingTime(1.8) / fast.switchingTime(1.8);
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(FeCapacitor, PolarizationRetainedAtZeroBias) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(2.25e-9));
+  const double pr = cap.lk().remnantPolarization();
+  cap.setPolarization(pr);
+  for (int i = 0; i < 100; ++i) cap.stepConstant(0.0, 1e-10);
+  EXPECT_NEAR(cap.polarization(), pr, 1e-6);
+  cap.setPolarization(-pr);
+  for (int i = 0; i < 100; ++i) cap.stepConstant(0.0, 1e-10);
+  EXPECT_NEAR(cap.polarization(), -pr, 1e-6);
+}
+
+TEST(FeCapacitor, DepolarizedStateRelaxesToWell) {
+  // P = 0 is the unstable hilltop: any perturbation rolls into a well.
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  cap.setPolarization(0.01);
+  for (int i = 0; i < 2000; ++i) cap.stepConstant(0.0, 1e-11);
+  EXPECT_NEAR(cap.polarization(), cap.lk().remnantPolarization(), 1e-3);
+}
+
+TEST(FeCapacitor, ChargeFromPolarizationChange) {
+  const FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  const double a = 65e-9 * 45e-9;
+  EXPECT_DOUBLE_EQ(cap.chargeFromPolarizationChange(0.9), 0.9 * a);
+}
+
+TEST(PeLoop, FullLoopHasPaperShape) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  PeLoopOptions options;
+  options.amplitude = 2.5;
+  options.period = 100e-9;
+  const PeLoop loop = tracePeLoop(cap, options);
+  const double pr = cap.lk().remnantPolarization();
+  // Saturates near the wells and retains ~P_r at zero bias.
+  EXPECT_NEAR(std::abs(loop.remnantDown), pr, 0.05 * pr);
+  EXPECT_NEAR(std::abs(loop.remnantUp), pr, 0.05 * pr);
+  EXPECT_GT(loop.remnantDown, 0.0);
+  EXPECT_LT(loop.remnantUp, 0.0);
+  // Coercive voltages near the static value (slightly larger: kinetics).
+  EXPECT_NEAR(loop.coerciveVoltageUp, cap.coerciveVoltage(), 0.35);
+  EXPECT_NEAR(loop.coerciveVoltageDown, -cap.coerciveVoltage(), 0.35);
+  EXPECT_GT(loop.coerciveVoltageUp, 0.0);
+  EXPECT_LT(loop.coerciveVoltageDown, 0.0);
+  // Hysteresis encloses area.
+  EXPECT_GT(loop.area(), 0.5 * (2.0 * pr) * cap.coerciveVoltage());
+}
+
+TEST(PeLoop, SubCoerciveLoopIsMinor) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  PeLoopOptions minor;
+  minor.amplitude = 0.6;  // well below Vc = 1.244
+  minor.period = 100e-9;
+  PeLoopOptions full;
+  full.amplitude = 2.5;
+  full.period = 100e-9;
+  EXPECT_LT(tracePeLoop(cap, minor).area(),
+            0.1 * tracePeLoop(cap, full).area());
+}
+
+TEST(PeLoop, SlowerSweepApproachesStaticCoercive) {
+  FeCapacitor cap(fastMaterial(), paperGeometry(1e-9));
+  PeLoopOptions fast;
+  fast.amplitude = 2.5;
+  fast.period = 20e-9;
+  PeLoopOptions slow = fast;
+  slow.period = 400e-9;
+  const double vcFast = tracePeLoop(cap, fast).coerciveVoltageUp;
+  const double vcSlow = tracePeLoop(cap, slow).coerciveVoltageUp;
+  const double vcStatic = cap.coerciveVoltage();
+  EXPECT_GT(vcFast, vcSlow);          // kinetics widen the loop
+  EXPECT_GT(vcSlow, vcStatic * 0.98); // never below static
+  EXPECT_LT(vcSlow - vcStatic, vcFast - vcStatic);
+}
+
+// Property sweep over thickness: loop coercive voltage tracks t_FE * E_c.
+class LoopVsThickness : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoopVsThickness, CoerciveVoltageTracksThickness) {
+  const double t = GetParam();
+  FeCapacitor cap(fastMaterial(), paperGeometry(t));
+  PeLoopOptions options;
+  options.amplitude = 2.0 * cap.coerciveVoltage();
+  options.period = 200e-9;
+  const PeLoop loop = tracePeLoop(cap, options);
+  EXPECT_NEAR(loop.coerciveVoltageUp, cap.coerciveVoltage(),
+              0.25 * cap.coerciveVoltage());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thicknesses, LoopVsThickness,
+                         ::testing::Values(0.5e-9, 1e-9, 1.5e-9, 2.25e-9,
+                                           3e-9));
+
+}  // namespace
+}  // namespace fefet::ferro

@@ -1,0 +1,140 @@
+// Tests of the FERAM array (row-granular access) and the thermal model.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/feram_array.h"
+#include "core/fefet.h"
+#include "core/materials.h"
+#include "ferro/thermal.h"
+
+namespace fefet {
+namespace {
+
+core::FeRamArrayConfig smallArray() {
+  core::FeRamArrayConfig cfg;
+  cfg.cell.lk = core::feramMaterial();
+  return cfg;
+}
+
+TEST(FeRamArray, PatternRoundTrip) {
+  core::FeRamArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, true, false}});
+  EXPECT_TRUE(arr.bitAt(0, 0));
+  EXPECT_FALSE(arr.bitAt(0, 1));
+  EXPECT_TRUE(arr.bitAt(1, 1));
+}
+
+TEST(FeRamArray, WriteRowSetsAllColumns) {
+  core::FeRamArray arr(smallArray());
+  const auto res = arr.writeRow(0, {true, true, false});
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(arr.bitAt(0, 0));
+  EXPECT_TRUE(arr.bitAt(0, 1));
+  EXPECT_FALSE(arr.bitAt(0, 2));
+}
+
+TEST(FeRamArray, WriteRowLeavesOtherRowsAlone) {
+  core::FeRamArray arr(smallArray());
+  arr.setPattern({{false, false, false}, {true, false, true}});
+  EXPECT_TRUE(arr.writeRow(0, {true, true, true}).ok);
+  EXPECT_TRUE(arr.bitAt(1, 0));
+  EXPECT_FALSE(arr.bitAt(1, 1));
+  EXPECT_TRUE(arr.bitAt(1, 2));
+}
+
+TEST(FeRamArray, ReadRowSensesAndRestores) {
+  core::FeRamArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, false, false}});
+  const auto res = arr.readRow(0);
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.bitsRead.size(), 3u);
+  EXPECT_TRUE(res.bitsRead[0]);
+  EXPECT_FALSE(res.bitsRead[1]);
+  EXPECT_TRUE(res.bitsRead[2]);
+  // Restored after the destructive read.
+  EXPECT_TRUE(arr.bitAt(0, 0));
+  EXPECT_FALSE(arr.bitAt(0, 1));
+  EXPECT_TRUE(arr.bitAt(0, 2));
+}
+
+TEST(FeRamArray, UpdateBitIsRowGranularButCorrect) {
+  core::FeRamArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, true, false}});
+  const auto res = arr.updateBit(0, 1, true);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(arr.bitAt(0, 0));
+  EXPECT_TRUE(arr.bitAt(0, 1));
+  EXPECT_TRUE(arr.bitAt(0, 2));
+  // Row-granularity makes it far costlier than a single-cell write.
+  core::FeRamCell cell(smallArray().cell);
+  cell.setStoredBit(false);
+  const double oneCell = cell.write(true, 700e-12).totalEnergy;
+  EXPECT_GT(res.totalEnergy, 3.0 * oneCell);
+}
+
+TEST(FeRamArray, RejectsBadArguments) {
+  core::FeRamArray arr(smallArray());
+  EXPECT_THROW(arr.writeRow(5, {true, true, true}), InvalidArgumentError);
+  EXPECT_THROW(arr.writeRow(0, {true}), InvalidArgumentError);
+  EXPECT_THROW(arr.updateBit(0, 9, true), InvalidArgumentError);
+}
+
+TEST(Thermal, CurieWeissScalesAlpha) {
+  const auto base = core::fefetMaterial();
+  const auto hot = ferro::atTemperature(base, 500.0);
+  EXPECT_NEAR(hot.alpha, base.alpha * 0.5, std::abs(base.alpha) * 1e-9);
+  const auto ref = ferro::atTemperature(base, 300.0);
+  EXPECT_DOUBLE_EQ(ref.alpha, base.alpha);
+  // Above the Curie point alpha turns positive: paraelectric.
+  const auto para = ferro::atTemperature(base, 750.0);
+  EXPECT_GT(para.alpha, 0.0);
+  EXPECT_FALSE(ferro::LandauKhalatnikov(para).isFerroelectric());
+}
+
+TEST(Thermal, RemnantFractionFollowsSqrtLaw) {
+  EXPECT_DOUBLE_EQ(ferro::remnantFractionAt(300.0), 1.0);
+  EXPECT_NEAR(ferro::remnantFractionAt(500.0), std::sqrt(0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(ferro::remnantFractionAt(700.0), 0.0);
+  EXPECT_DOUBLE_EQ(ferro::remnantFractionAt(800.0), 0.0);
+}
+
+TEST(Thermal, PrAndEcShrinkTowardCurie) {
+  const auto base = core::fefetMaterial();
+  const ferro::LandauKhalatnikov cold(ferro::atTemperature(base, 300.0));
+  const ferro::LandauKhalatnikov hot(ferro::atTemperature(base, 500.0));
+  EXPECT_LT(hot.remnantPolarization(), cold.remnantPolarization());
+  EXPECT_LT(hot.coerciveField(), cold.coerciveField());
+}
+
+TEST(Thermal, MemoryWindowShrinksWithTemperature) {
+  core::FefetParams cold;
+  cold.lk = core::fefetMaterial();
+  core::FefetParams hot = cold;
+  hot.lk = ferro::atTemperature(cold.lk, 380.0);
+  const auto wCold = core::analyzeHysteresis(cold);
+  const auto wHot = core::analyzeHysteresis(hot);
+  ASSERT_TRUE(wCold.nonvolatile);
+  EXPECT_LT(wHot.width(), wCold.width());
+}
+
+TEST(Thermal, ThicknessCompensatesHeat) {
+  // At 400 K the 2.25 nm design is volatile; 2.8 nm restores the window.
+  core::FefetParams hot;
+  hot.lk = ferro::atTemperature(core::fefetMaterial(), 400.0);
+  hot.feThickness = 2.25e-9;
+  EXPECT_FALSE(core::analyzeHysteresis(hot).nonvolatile);
+  hot.feThickness = 2.8e-9;
+  EXPECT_TRUE(core::analyzeHysteresis(hot).nonvolatile);
+}
+
+TEST(Thermal, RejectsBadTemperatures) {
+  EXPECT_THROW(ferro::atTemperature(core::fefetMaterial(), -1.0),
+               InvalidArgumentError);
+  ferro::ThermalParams bad;
+  bad.curieTemperature = 200.0;
+  EXPECT_THROW(ferro::atTemperature(core::fefetMaterial(), 300.0, bad),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet

@@ -1,0 +1,124 @@
+// Unit tests for common/linalg.h: dense and sparse LU solvers.
+#include "common/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace fefet::linalg {
+namespace {
+
+TEST(DenseMatrix, MultiplyIdentityLike) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  const std::vector<double> x = {1.0, -1.0};
+  const auto y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+}
+
+TEST(DenseLu, Solves2x2) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 3.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 4.0;
+  DenseLu lu(a);
+  const auto x = lu.solve(std::vector<double>{7.0, 9.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 0.0;
+  DenseLu lu(a);
+  const auto x = lu.solve(std::vector<double>{5.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(DenseLu, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0; a.at(1, 1) = 4.0;
+  EXPECT_THROW(DenseLu{a}, NumericalError);
+}
+
+TEST(SparseMatrix, AccumulatesAndCounts) {
+  SparseMatrix m(3);
+  m.add(0, 0, 1.0);
+  m.add(0, 0, 2.0);
+  m.add(2, 1, -1.0);
+  EXPECT_EQ(m.nonZeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.row(0).at(0), 3.0);
+}
+
+TEST(SparseLu, SolvesTridiagonal) {
+  const std::size_t n = 50;
+  SparseMatrix m(n);
+  std::vector<double> b(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add(i, i, 2.0);
+    if (i > 0) m.add(i, i - 1, -1.0);
+    if (i + 1 < n) m.add(i, i + 1, -1.0);
+  }
+  SparseLu lu(m);
+  const auto x = lu.solve(b);
+  const auto back = m.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], 1.0, 1e-9);
+}
+
+TEST(SparseLu, DetectsSingular) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.add(1, 0, 1.0);  // column 1 empty -> singular
+  EXPECT_THROW(SparseLu{m}, NumericalError);
+}
+
+TEST(Norms, InfAndTwo) {
+  const std::vector<double> v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(normInf(v), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+}
+
+// Property sweep: sparse LU agrees with dense LU on random sparse systems
+// with partial pivoting stress (large off-diagonal entries).
+class SparseVsDense : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseVsDense, AgreeOnRandomSystems) {
+  const int n = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(n) * 977u + 13u);
+  DenseMatrix d(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  SparseMatrix s(static_cast<std::size_t>(n));
+  // Diagonally-influenced random sparse pattern plus a few large
+  // off-diagonal couplings to exercise pivoting.
+  for (int i = 0; i < n; ++i) {
+    const double diag = rng.uniform(0.5, 2.0);
+    d.at(i, i) += diag;
+    s.add(i, i, diag);
+    for (int k = 0; k < 3; ++k) {
+      const int j = rng.uniformInt(0, n - 1);
+      const double v = rng.uniform(-3.0, 3.0);
+      d.at(i, j) += v;
+      s.add(i, j, v);
+    }
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+
+  const auto xd = DenseLu(d).solve(b);
+  const auto xs = SparseLu(s).solve(b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(xs[static_cast<std::size_t>(i)], xd[static_cast<std::size_t>(i)], 1e-7)
+        << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseVsDense,
+                         ::testing::Values(2, 5, 10, 25, 60, 120));
+
+}  // namespace
+}  // namespace fefet::linalg

@@ -1,0 +1,108 @@
+// Tests of the load-line analysis (paper Fig. 4(a)): intersections of the
+// FE Q-V characteristic with a MOS charge-voltage curve.
+#include "ferro/load_line.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "xtor/mosfet_model.h"
+
+namespace fefet::ferro {
+namespace {
+
+/// psi(Q) of the real 45nm card (through the compact model's inverse).
+MosChargeVoltage mosCurve() {
+  auto model = std::make_shared<xtor::MosfetModel>(xtor::nmos45(), 65e-9);
+  return [model](double q) { return model->gateVoltageForCharge(q); };
+}
+
+TEST(LoadLine, ThinFilmMonostable) {
+  // Paper Fig. 4(a): T_FE = 1 nm has a single intersection at V_G = 0.
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const auto result = analyzeLoadLine(lk, 1e-9, mosCurve(), 0.0);
+  EXPECT_EQ(result.equilibria.size(), 1u);
+  EXPECT_FALSE(result.bistable());
+  EXPECT_TRUE(result.equilibria.front().stable);
+}
+
+TEST(LoadLine, ThickFilmBistable) {
+  // T_FE = 2.25 nm: three or more intersections (outer stable pair).
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const auto result = analyzeLoadLine(lk, 2.25e-9, mosCurve(), 0.0);
+  EXPECT_GE(result.equilibria.size(), 3u);
+  EXPECT_TRUE(result.bistable());
+  int stable = 0;
+  for (const auto& eq : result.equilibria) stable += eq.stable ? 1 : 0;
+  EXPECT_GE(stable, 2);
+}
+
+TEST(LoadLine, EquilibriaSatisfyKirchhoff) {
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const auto mos = mosCurve();
+  const double vg = 0.2;
+  const auto result = analyzeLoadLine(lk, 2.25e-9, mos, vg);
+  for (const auto& eq : result.equilibria) {
+    EXPECT_NEAR(eq.mosVoltage + eq.feVoltage, vg, 1e-6);
+    EXPECT_NEAR(eq.mosVoltage, mos(eq.charge), 1e-9);
+  }
+}
+
+TEST(LoadLine, SampledBranchesProvided) {
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const auto result = analyzeLoadLine(lk, 2.25e-9, mosCurve(), 0.0);
+  ASSERT_EQ(result.chargeGrid.size(), result.feBranch.size());
+  ASSERT_EQ(result.chargeGrid.size(), result.mosBranch.size());
+  EXPECT_GT(result.chargeGrid.size(), 100u);
+}
+
+TEST(LoadLine, CriticalThicknessNearTwoNm) {
+  // Bistability at V_G = 0 appears at the paper's nonvolatility onset.
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const double tc =
+      criticalThicknessForBistability(lk, mosCurve(), 1.0e-9, 2.5e-9);
+  EXPECT_GT(tc, 1.8e-9);
+  EXPECT_LT(tc, 2.2e-9);
+}
+
+TEST(LoadLine, CriticalThicknessBracketsValidated) {
+  LandauKhalatnikov lk{LkCoefficients{}};
+  EXPECT_THROW(
+      criticalThicknessForBistability(lk, mosCurve(), 2.2e-9, 2.5e-9),
+      InvalidArgumentError);  // lower bracket already bistable
+  EXPECT_THROW(
+      criticalThicknessForBistability(lk, mosCurve(), 0.5e-9, 1.0e-9),
+      InvalidArgumentError);  // upper bracket not bistable
+}
+
+TEST(LoadLine, LinearCapacitorReferenceCase) {
+  // Against an ideal linear capacitor psi = Q/C the bistability threshold
+  // is exactly t|alpha| = 1/C; check both sides.
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const double c = 0.1;  // F/m^2
+  const MosChargeVoltage linear = [c](double q) { return q / c; };
+  const double tCrit = 1.0 / (c * 7e9);
+  EXPECT_FALSE(analyzeLoadLine(lk, 0.9 * tCrit, linear, 0.0).bistable());
+  EXPECT_TRUE(analyzeLoadLine(lk, 1.2 * tCrit, linear, 0.0).bistable());
+}
+
+// Property sweep: gate voltage shifts the equilibrium set monotonically
+// (the largest stable charge grows with V_G).
+class LoadLineVsBias : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadLineVsBias, LargestChargeGrowsWithGateVoltage) {
+  LandauKhalatnikov lk{LkCoefficients{}};
+  const auto mos = mosCurve();
+  const double vg = GetParam();
+  const auto lo = analyzeLoadLine(lk, 2.25e-9, mos, vg);
+  const auto hi = analyzeLoadLine(lk, 2.25e-9, mos, vg + 0.2);
+  ASSERT_FALSE(lo.equilibria.empty());
+  ASSERT_FALSE(hi.equilibria.empty());
+  EXPECT_GE(hi.equilibria.back().charge, lo.equilibria.back().charge - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(GateBiases, LoadLineVsBias,
+                         ::testing::Values(-0.4, -0.2, 0.0, 0.2, 0.4, 0.6));
+
+}  // namespace
+}  // namespace fefet::ferro

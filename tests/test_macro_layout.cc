@@ -1,0 +1,131 @@
+// Tests of the layout/area estimator (paper Fig. 11: 2.4x cell area) and
+// the macro energy reconstruction (paper Table 3).
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/design_space.h"
+#include "core/macro_energy.h"
+#include "core/materials.h"
+#include "layout/layout.h"
+
+namespace fefet {
+namespace {
+
+TEST(Layout, CellAreaRatioIsAboutTwoPointFour) {
+  layout::DesignRules rules;
+  const double ratio = layout::cellAreaRatio(rules, 65e-9);
+  EXPECT_NEAR(ratio, 2.4, 0.1);
+}
+
+TEST(Layout, FootprintsPositiveAndDocumented) {
+  layout::DesignRules rules;
+  const auto fefet = layout::fefet2TCell(rules, 65e-9);
+  const auto feram = layout::feram1T1CCell(rules, 65e-9);
+  EXPECT_GT(fefet.area(), feram.area());
+  EXPECT_GT(feram.area(), 0.0);
+  EXPECT_NE(fefet.breakdown.find("2T FEFET"), std::string::npos);
+  EXPECT_NE(feram.breakdown.find("1T-1C"), std::string::npos);
+}
+
+TEST(Layout, TwoByTwoArrayTilesLikeFig11) {
+  layout::DesignRules rules;
+  const auto cell = layout::fefet2TCell(rules, 65e-9);
+  const auto arr = layout::tileArray(cell, 2, 2);
+  EXPECT_DOUBLE_EQ(arr.area(), 4.0 * cell.area());
+  EXPECT_DOUBLE_EQ(arr.rowWireLength, 2.0 * cell.width);
+  EXPECT_DOUBLE_EQ(arr.colWireLength, 2.0 * cell.height);
+}
+
+TEST(Layout, RatioGrowsWithNarrowerDevices) {
+  // The 2T penalty is relatively worse for narrow transistors (fixed
+  // overheads dominate); ratio must stay in a sane band either way.
+  layout::DesignRules rules;
+  const double r50 = layout::cellAreaRatio(rules, 50e-9);
+  const double r130 = layout::cellAreaRatio(rules, 130e-9);
+  EXPECT_GT(r50, 1.5);
+  EXPECT_LT(r130, 3.0);
+}
+
+TEST(Layout, RejectsBadInputs) {
+  layout::DesignRules rules;
+  EXPECT_THROW(layout::fefet2TCell(rules, 0.0), InvalidArgumentError);
+  const auto cell = layout::feram1T1CCell(rules, 65e-9);
+  EXPECT_THROW(layout::tileArray(cell, 0, 4), InvalidArgumentError);
+}
+
+TEST(MacroEnergy, ReconstructsTable3WithinTenPercent) {
+  core::MacroEnergyModel model;
+  const auto fefet = model.fefet();
+  const auto feram = model.feram();
+  EXPECT_DOUBLE_EQ(fefet.bitLineVoltage, 0.68);
+  EXPECT_DOUBLE_EQ(feram.bitLineVoltage, 1.64);
+  EXPECT_NEAR(fefet.writeEnergy, 4.82e-12, 0.5e-12);
+  EXPECT_NEAR(fefet.readEnergy, 0.28e-12, 0.04e-12);
+  EXPECT_NEAR(feram.writeEnergy, 15.0e-12, 1.5e-12);
+  EXPECT_NEAR(feram.readEnergy, 15.5e-12, 1.6e-12);
+}
+
+TEST(MacroEnergy, AbstractHeadlineNumbers) {
+  core::MacroEnergyModel model;
+  // Paper abstract: write voltage 58.5% lower, write energy 67.7% lower.
+  EXPECT_NEAR(model.writeVoltageReduction(), 0.585, 0.005);
+  EXPECT_NEAR(model.writeEnergySavings(), 0.677, 0.05);
+}
+
+TEST(MacroEnergy, BreakdownStringsPresent) {
+  core::MacroEnergyModel model;
+  EXPECT_NE(model.fefet().breakdown.find("WSacc"), std::string::npos);
+  EXPECT_NE(model.feram().breakdown.find("WL"), std::string::npos);
+}
+
+TEST(MacroEnergy, ScalesWithArrayGeometry) {
+  core::MacroConfig small;
+  small.rows = 64;
+  small.cols = 64;
+  core::MacroEnergyModel bigModel;
+  core::MacroEnergyModel smallModel(small);
+  EXPECT_LT(smallModel.fefet().writeEnergy, bigModel.fefet().writeEnergy);
+  EXPECT_LT(smallModel.feram().writeEnergy, bigModel.feram().writeEnergy);
+}
+
+TEST(DesignSpace, ThicknessSweepReproducesSection3) {
+  core::FefetParams base;
+  base.lk = core::fefetMaterial();
+  const auto points = core::sweepThickness(
+      base, {1.0e-9, 1.5e-9, 1.9e-9, 2.25e-9, 2.5e-9});
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_FALSE(points[0].hysteretic);   // 1.0 nm
+  EXPECT_FALSE(points[2].nonvolatile);  // 1.9 nm: volatile hysteresis
+  EXPECT_TRUE(points[2].hysteretic);
+  EXPECT_TRUE(points[3].nonvolatile);   // 2.25 nm: the design point
+  EXPECT_GT(points[3].onOffRatio, 1e5);
+  // Standalone coercive voltage grows linearly with thickness.
+  EXPECT_NEAR(points[0].standaloneCoerciveVoltage, 1.244, 0.01);
+  EXPECT_NEAR(points[4].standaloneCoerciveVoltage, 3.11, 0.02);
+}
+
+TEST(DesignSpace, RecommendsThePaperThickness) {
+  core::FefetParams base;
+  base.lk = core::fefetMaterial();
+  const double t = core::recommendThickness(base, 0.68, 0.1);
+  EXPECT_GT(t, 2.05e-9);
+  EXPECT_LT(t, 2.45e-9);
+}
+
+TEST(DesignSpace, RetentionComparisonMatchesPaperNarrative) {
+  core::FefetParams base;
+  base.lk = core::fefetMaterial();
+  const auto cmp = core::compareRetention(base, 1.244, 65e-9 * 45e-9);
+  // FERAM reference calibrated to ten years.
+  EXPECT_NEAR(cmp.feramLog10Seconds, std::log10(10 * 365.25 * 24 * 3600.0),
+              0.01);
+  // FEFET at the same size retains less (paper §6.2.4)...
+  EXPECT_LT(cmp.fefetLog10Seconds, cmp.feramLog10Seconds);
+  // ...and a width increase restores parity; the paper suggests 112.5 nm,
+  // our measured window gives the same order of magnitude.
+  EXPECT_GT(cmp.fefetWidthForParity, 65e-9);
+  EXPECT_LT(cmp.fefetWidthForParity, 65e-9 * 10.0);
+}
+
+}  // namespace
+}  // namespace fefet

@@ -1,0 +1,127 @@
+// Tests of the ferroelectric material database, the (Pr, Ec) -> Landau
+// inversion, and the fatigue/endurance model.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/fefet.h"
+#include "ferro/fatigue.h"
+#include "ferro/lk_model.h"
+#include "ferro/material_db.h"
+
+namespace fefet::ferro {
+namespace {
+
+TEST(LkFromPrEc, RoundTripsThroughTheModel) {
+  for (const auto& [pr, ec] : std::initializer_list<std::pair<double, double>>{
+           {0.30, 5e6}, {0.17, 1e8}, {0.08, 4e6}, {0.4636, 1.2435e9}}) {
+    const auto c = lkFromPrEc(pr, ec);
+    LandauKhalatnikov lk(c);
+    EXPECT_NEAR(lk.remnantPolarization(), pr, 1e-9 * pr) << pr;
+    EXPECT_NEAR(lk.coerciveField(), ec, 1e-6 * ec) << ec;
+  }
+}
+
+TEST(LkFromPrEc, RejectsNonPhysical) {
+  EXPECT_THROW(lkFromPrEc(0.0, 1e6), InvalidArgumentError);
+  EXPECT_THROW(lkFromPrEc(0.2, -1.0), InvalidArgumentError);
+}
+
+TEST(MaterialDb, ContainsTheExpectedEntries) {
+  const auto db = materialDatabase();
+  ASSERT_EQ(db.size(), 4u);
+  EXPECT_EQ(db[0].name, "dac16-table2");
+  EXPECT_NO_THROW(findMaterial("pzt"));
+  EXPECT_NO_THROW(findMaterial("hzo"));
+  EXPECT_THROW(findMaterial("unobtanium"), InvalidArgumentError);
+}
+
+TEST(MaterialDb, PaperMaterialMatchesTable2) {
+  const auto& m = findMaterial("dac16-table2");
+  LandauKhalatnikov lk(m.lk);
+  EXPECT_NEAR(lk.remnantPolarization(), 0.4636, 2e-4);
+  EXPECT_NEAR(lk.coerciveField(), 1.2435e9, 2e6);
+}
+
+TEST(MaterialDb, CoerciveFieldDecidesFefetScalability) {
+  // The critical FE thickness for FEFET non-volatility scales inversely
+  // with |alpha| ~ Ec/Pr: hafnia-class fields give nm films; perovskites
+  // would need hundreds of nm (impractical gate stacks).
+  const auto tCritOf = [](const std::string& name) {
+    core::FefetParams p;
+    p.lk = findMaterial(name).lk;
+    // |alpha| * t_crit ~ 1/Cox: estimate, then verify with the window
+    // analysis at 1.5x the estimate.
+    const double alphaMag = std::abs(p.lk.alpha);
+    const double tEstimate = 9.2 / alphaMag;
+    p.feThickness = 1.5 * tEstimate;
+    return std::pair(tEstimate, core::analyzeHysteresis(p).hysteretic);
+  };
+  const auto [tPaper, hPaper] = tCritOf("dac16-table2");
+  const auto [tHzo, hHzo] = tCritOf("hzo");
+  const auto [tPzt, hPzt] = tCritOf("pzt");
+  EXPECT_LT(tPaper, 3e-9);
+  EXPECT_LT(tHzo, 15e-9);   // nm-class: practical
+  EXPECT_GT(tPzt, 100e-9);  // PZT: impractical as a gate stack
+  EXPECT_TRUE(hPaper);
+  EXPECT_TRUE(hHzo);
+  EXPECT_TRUE(hPzt);  // hysteretic too, just at absurd thickness
+}
+
+TEST(Fatigue, FreshFilmIsPristine) {
+  FatigueModel model;
+  EXPECT_DOUBLE_EQ(model.retainedFraction(0.0), 1.0);
+  EXPECT_NEAR(model.retainedFraction(1.0), 1.0, 1e-6);
+}
+
+TEST(Fatigue, HalfLifeDefinition) {
+  FatigueParams p;
+  p.halfLifeCycles = 1e10;
+  p.floorFraction = 0.0;
+  FatigueModel model(p);
+  EXPECT_NEAR(model.retainedFraction(1e10), 0.5, 1e-12);
+}
+
+TEST(Fatigue, MonotoneDecayTowardFloor) {
+  FatigueModel model(pztFatigue());
+  double prev = 1.0;
+  for (double n = 1e3; n <= 1e16; n *= 10.0) {
+    const double f = model.retainedFraction(n);
+    EXPECT_LE(f, prev);
+    EXPECT_GE(f, model.params().floorFraction);
+    prev = f;
+  }
+}
+
+TEST(Fatigue, CyclesToFractionInvertsRetained) {
+  FatigueModel model(hzoFatigue());
+  const double n = model.cyclesToFraction(0.6);
+  EXPECT_NEAR(model.retainedFraction(n), 0.6, 1e-9);
+}
+
+TEST(Fatigue, FloorMakesTargetUnreachable) {
+  FatigueParams p;
+  p.floorFraction = 0.4;
+  FatigueModel model(p);
+  EXPECT_TRUE(std::isinf(model.cyclesToFraction(0.3)));
+}
+
+TEST(Fatigue, EnduranceOrderingSbtBestHzoWorst) {
+  const double sbt = FatigueModel(sbtFatigue()).enduranceCycles();
+  const double pzt = FatigueModel(pztFatigue()).enduranceCycles();
+  const double hzo = FatigueModel(hzoFatigue()).enduranceCycles();
+  EXPECT_GT(sbt, pzt);
+  EXPECT_GT(pzt, hzo * 0.1);  // same ballpark, PZT slightly better
+  EXPECT_GT(sbt, 1e13);       // the "high endurance" claim for FE memories
+}
+
+TEST(Fatigue, RejectsBadParameters) {
+  FatigueParams p;
+  p.halfLifeCycles = 0.0;
+  EXPECT_THROW(FatigueModel{p}, InvalidArgumentError);
+  FatigueParams q;
+  q.floorFraction = 1.0;
+  EXPECT_THROW(FatigueModel{q}, InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet::ferro

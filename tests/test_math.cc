@@ -1,0 +1,178 @@
+// Unit tests for common/math.h: root finding, quadrature, interpolation,
+// crossings and ODE helpers.
+#include "common/math.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fefet::math {
+namespace {
+
+TEST(Sign, Basics) {
+  EXPECT_EQ(sign(3.0), 1.0);
+  EXPECT_EQ(sign(-0.5), -1.0);
+  EXPECT_EQ(sign(0.0), 0.0);
+}
+
+TEST(Softplus, MatchesLogFormula) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(softplus(x), std::log1p(std::exp(x)), 1e-12);
+  }
+}
+
+TEST(Softplus, LargeArgumentsDoNotOverflow) {
+  EXPECT_DOUBLE_EQ(softplus(1000.0), 1000.0);
+  EXPECT_NEAR(softplus(-1000.0), 0.0, 1e-300);
+}
+
+TEST(Logistic, IsDerivativeOfSoftplus) {
+  const double h = 1e-6;
+  for (double x : {-5.0, -0.3, 0.0, 0.7, 4.0}) {
+    const double numeric = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+    EXPECT_NEAR(logistic(x), numeric, 1e-8);
+  }
+}
+
+TEST(Logistic, SymmetricAroundHalf) {
+  EXPECT_NEAR(logistic(0.3) + logistic(-0.3), 1.0, 1e-14);
+}
+
+TEST(Polyval, AscendingCoefficients) {
+  const double c[] = {1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(polyval(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 17.0);
+}
+
+TEST(Bisect, FindsRootOfCubic) {
+  const auto f = [](double x) { return x * x * x - 2.0; };
+  EXPECT_NEAR(bisect(f, 0.0, 2.0), std::cbrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ThrowsWithoutBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(bisect(f, -1.0, 1.0), NumericalError);
+}
+
+TEST(Brent, FindsRootFasterThanBisection) {
+  int evals = 0;
+  const auto f = [&evals](double x) {
+    ++evals;
+    return std::exp(x) - 5.0;
+  };
+  EXPECT_NEAR(brent(f, 0.0, 5.0), std::log(5.0), 1e-10);
+  EXPECT_LT(evals, 30);
+}
+
+TEST(Brent, HandlesRootAtBracketEdge) {
+  const auto f = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(brent(f, 0.0, 1.0), 0.0);
+}
+
+TEST(FindAllRoots, LocatesAllThreeCubicRoots) {
+  // x(x-1)(x+1) = x^3 - x.
+  const auto f = [](double x) { return x * x * x - x; };
+  const auto roots = findAllRoots(f, -2.0, 2.0, 400);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], -1.0, 1e-9);
+  EXPECT_NEAR(roots[1], 0.0, 1e-9);
+  EXPECT_NEAR(roots[2], 1.0, 1e-9);
+}
+
+TEST(FindAllRoots, EmptyWhenNoRoots) {
+  const auto f = [](double x) { return x * x + 0.5; };
+  EXPECT_TRUE(findAllRoots(f, -1.0, 1.0).empty());
+}
+
+TEST(Trapz, IntegratesLinearExactly) {
+  const std::vector<double> x = {0.0, 0.5, 1.0, 2.0};
+  const std::vector<double> y = {0.0, 1.0, 2.0, 4.0};  // y = 2x
+  EXPECT_NEAR(trapz(x, y), 4.0, 1e-14);
+}
+
+TEST(Trapz, QuadraticConverges) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 1000; ++i) {
+    x.push_back(i / 1000.0);
+    y.push_back(x.back() * x.back());
+  }
+  EXPECT_NEAR(trapz(x, y), 1.0 / 3.0, 1e-6);
+}
+
+TEST(Cumtrapz, LastEqualsTrapz) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.5};
+  const std::vector<double> y = {1.0, 3.0, 2.0, 0.5};
+  const auto c = cumtrapz(x, y);
+  ASSERT_EQ(c.size(), x.size());
+  EXPECT_DOUBLE_EQ(c.front(), 0.0);
+  EXPECT_NEAR(c.back(), trapz(x, y), 1e-14);
+}
+
+TEST(Interp1, InterpolatesAndClamps) {
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  const std::vector<double> y = {0.0, 10.0, 0.0};
+  EXPECT_NEAR(interp1(x, y, 0.5), 5.0, 1e-14);
+  EXPECT_NEAR(interp1(x, y, 1.5), 5.0, 1e-14);
+  EXPECT_DOUBLE_EQ(interp1(x, y, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp1(x, y, 3.0), 0.0);
+}
+
+TEST(FirstCrossing, RisingAndFalling) {
+  const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {0.0, 2.0, 2.0, -2.0};
+  EXPECT_NEAR(firstCrossing(t, y, 1.0, true), 0.5, 1e-12);
+  EXPECT_NEAR(firstCrossing(t, y, 0.0, false), 2.5, 1e-12);
+}
+
+TEST(FirstCrossing, ThrowsWhenAbsent) {
+  const std::vector<double> t = {0.0, 1.0};
+  const std::vector<double> y = {0.0, 0.5};
+  EXPECT_THROW(firstCrossing(t, y, 2.0, true), SimulationError);
+}
+
+TEST(HasCrossing, DetectsBothDirections) {
+  const std::vector<double> up = {0.0, 1.0};
+  const std::vector<double> down = {1.0, 0.0};
+  EXPECT_TRUE(hasCrossing(up, 0.5));
+  EXPECT_TRUE(hasCrossing(down, 0.5));
+  EXPECT_FALSE(hasCrossing(up, 2.0));
+}
+
+TEST(Rk4, ExponentialDecayAccurate) {
+  // dy/dt = -y, y(0) = 1 -> y(1) = e^-1.
+  const auto f = [](double, double y) { return -y; };
+  const auto tr = integrateRk4(f, 0.0, 1.0, 1.0, 100);
+  EXPECT_NEAR(tr.y.back(), std::exp(-1.0), 1e-9);
+  EXPECT_EQ(tr.t.size(), 101u);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  const auto f = [](double t, double y) { return t * y; };
+  const double exact = std::exp(0.5);  // y' = t y, y(0)=1 -> e^{t^2/2}
+  const double e1 =
+      std::abs(integrateRk4(f, 0.0, 1.0, 1.0, 10).y.back() - exact);
+  const double e2 =
+      std::abs(integrateRk4(f, 0.0, 1.0, 1.0, 20).y.back() - exact);
+  EXPECT_GT(e1 / e2, 12.0);  // ~16x for 4th order
+}
+
+// Property sweep: brent and bisect agree on a family of transcendental
+// functions.
+class RootAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootAgreement, BrentMatchesBisect) {
+  const double k = GetParam();
+  const auto f = [k](double x) { return std::tanh(x) - k; };
+  const double a = brent(f, -5.0, 5.0);
+  const double b = bisect(f, -5.0, 5.0);
+  EXPECT_NEAR(a, b, 1e-8);
+  EXPECT_NEAR(a, std::atanh(k), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(TanhLevels, RootAgreement,
+                         ::testing::Values(-0.9, -0.5, -0.1, 0.0, 0.3, 0.7,
+                                           0.95));
+
+}  // namespace
+}  // namespace fefet::math

@@ -1,0 +1,207 @@
+// Tests of the 2xN / NxN FEFET array with the Table 1 bias scheme
+// (paper Fig. 7): selective access, unaccessed-cell isolation, sneak
+// currents and half-select safety.
+#include <gtest/gtest.h>
+
+#include "core/bias_scheme.h"
+#include "core/memory_array.h"
+
+namespace fefet::core {
+namespace {
+
+ArrayConfig smallArray() {
+  ArrayConfig cfg;  // 2x3 like the paper's Fig. 7
+  return cfg;
+}
+
+TEST(BiasScheme, MatchesPaperTable1) {
+  BiasLevels levels;
+  const auto wAcc = biasFor(ArrayOp::kWrite, RowKind::kAccessed, levels);
+  EXPECT_DOUBLE_EQ(wAcc.readSelect, 0.0);
+  EXPECT_DOUBLE_EQ(wAcc.writeSelect, levels.writeBoost);
+  EXPECT_DOUBLE_EQ(wAcc.bitLine, levels.vWrite);
+  EXPECT_DOUBLE_EQ(wAcc.senseLine, 0.0);
+
+  const auto wAccZero =
+      biasFor(ArrayOp::kWrite, RowKind::kAccessed, levels, false);
+  EXPECT_DOUBLE_EQ(wAccZero.bitLine, -levels.vWrite);
+
+  const auto wUn = biasFor(ArrayOp::kWrite, RowKind::kUnaccessed, levels);
+  EXPECT_DOUBLE_EQ(wUn.writeSelect, -levels.vdd);
+
+  const auto rAcc = biasFor(ArrayOp::kRead, RowKind::kAccessed, levels);
+  EXPECT_DOUBLE_EQ(rAcc.readSelect, levels.vRead);
+  EXPECT_DOUBLE_EQ(rAcc.writeSelect, levels.vdd);
+  EXPECT_DOUBLE_EQ(rAcc.bitLine, 0.0);
+
+  const auto rUn = biasFor(ArrayOp::kRead, RowKind::kUnaccessed, levels);
+  EXPECT_DOUBLE_EQ(rUn.readSelect, 0.0);
+  EXPECT_DOUBLE_EQ(rUn.writeSelect, 0.0);
+
+  const auto hold = biasFor(ArrayOp::kHold, RowKind::kAccessed, levels);
+  EXPECT_DOUBLE_EQ(hold.readSelect, 0.0);
+  EXPECT_DOUBLE_EQ(hold.writeSelect, 0.0);
+  EXPECT_DOUBLE_EQ(hold.bitLine, 0.0);
+  EXPECT_DOUBLE_EQ(hold.senseLine, 0.0);
+
+  const std::string table = describeBiasTable(levels);
+  EXPECT_NE(table.find("Unaccessed"), std::string::npos);
+  EXPECT_NE(table.find("-0.68"), std::string::npos);
+}
+
+TEST(MemoryArray, PatternSetAndReadBack) {
+  MemoryArray arr(smallArray());
+  const std::vector<std::vector<bool>> pattern = {{true, false, true},
+                                                  {false, true, false}};
+  arr.setPattern(pattern);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(arr.bitAt(r, c), pattern[r][c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(MemoryArray, WriteEveryCellIndividually) {
+  MemoryArray arr(smallArray());
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const auto res = arr.writeBit(r, c, true);
+      EXPECT_TRUE(res.ok) << r << "," << c;
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_TRUE(arr.bitAt(r, c));
+    }
+  }
+}
+
+TEST(MemoryArray, WritePreservesNeighbours) {
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, true, false}});
+  const auto res = arr.writeBit(0, 1, true);
+  EXPECT_TRUE(res.ok);
+  // All other cells unchanged.
+  EXPECT_TRUE(arr.bitAt(0, 0));
+  EXPECT_TRUE(arr.bitAt(0, 2));
+  EXPECT_FALSE(arr.bitAt(1, 0));
+  EXPECT_TRUE(arr.bitAt(1, 1));
+  EXPECT_FALSE(arr.bitAt(1, 2));
+  // Quantified disturb: well below the state separation (~0.22 C/m^2).
+  EXPECT_LT(res.maxUnaccessedDisturb, 0.03);
+}
+
+TEST(MemoryArray, HalfSelectSafety) {
+  // Writing one column must not flip same-row cells on other columns even
+  // after repeated writes (their gates see 0 V, inside the window).
+  MemoryArray arr(smallArray());
+  arr.setPattern({{false, true, false}, {false, false, false}});
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_TRUE(arr.writeBit(0, 0, k % 2 == 0).ok);
+  }
+  EXPECT_TRUE(arr.bitAt(0, 1));
+  EXPECT_FALSE(arr.bitAt(0, 2));
+}
+
+TEST(MemoryArray, NegativeSelectIsolatesUnaccessedRows) {
+  // Paper §4.1: unaccessed WS at -VDD keeps access transistors off even
+  // with the bit line at -V_write.  Writing 0 repeatedly into row 0 must
+  // not leak into row 1 of the same column.
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, true, true}, {true, true, true}});
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_TRUE(arr.writeBit(0, 0, false).ok);
+    EXPECT_TRUE(arr.writeBit(0, 0, true).ok);
+  }
+  EXPECT_TRUE(arr.bitAt(1, 0));
+}
+
+TEST(MemoryArray, ReadBackPattern) {
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, true, false}});
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const auto res = arr.readBit(r, c);
+      EXPECT_TRUE(res.ok) << r << "," << c;
+      EXPECT_EQ(res.bitRead, arr.bitAt(r, c));
+    }
+  }
+}
+
+TEST(MemoryArray, ReadCurrentsSeparated) {
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, false, false}, {false, false, false}});
+  const double i1 = arr.readBit(0, 0).readCurrent;
+  const double i0 = arr.readBit(0, 1).readCurrent;
+  EXPECT_GT(i1, 1e-5);
+  EXPECT_LT(i0, 1e-7);
+}
+
+TEST(MemoryArray, SneakCurrentsEliminated) {
+  // Paper: fixed-voltage (virtual ground) sensing eliminates sneak paths.
+  // During a read, unaccessed sense lines and read-select lines carry only
+  // leakage-level current.
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, true, true}, {true, true, true}});  // worst case
+  const auto res = arr.readBit(0, 1);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.maxSneakCurrent, 2e-6);  // vs the ~200 uA read current
+}
+
+TEST(MemoryArray, ReadDoesNotDisturbArray) {
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, true, false}});
+  const auto before = arr.polarizations();
+  for (int k = 0; k < 3; ++k) arr.readBit(0, 0);
+  const auto after = arr.polarizations();
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(after[r][c], before[r][c], 0.05) << r << "," << c;
+    }
+  }
+}
+
+TEST(MemoryArray, HoldIsQuiet) {
+  MemoryArray arr(smallArray());
+  arr.setPattern({{true, false, true}, {false, true, false}});
+  const auto res = arr.hold(5e-9);
+  EXPECT_TRUE(res.ok);
+  EXPECT_LT(res.maxUnaccessedDisturb, 1e-3);
+  EXPECT_LT(res.totalEnergy, 1e-15);  // zero standby claim
+}
+
+TEST(MemoryArray, RejectsBadIndices) {
+  MemoryArray arr(smallArray());
+  EXPECT_THROW(arr.writeBit(2, 0, true), InvalidArgumentError);
+  EXPECT_THROW(arr.readBit(0, 3), InvalidArgumentError);
+  EXPECT_THROW(arr.setPattern({{true}}), InvalidArgumentError);
+}
+
+// Property sweep over array shapes: every corner cell is writable and
+// readable without disturbing the opposite corner.
+struct Shape {
+  int rows, cols;
+};
+class ArrayShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ArrayShapes, CornerAccessPreservesOppositeCorner) {
+  ArrayConfig cfg;
+  cfg.rows = GetParam().rows;
+  cfg.cols = GetParam().cols;
+  MemoryArray arr(cfg);
+  std::vector<std::vector<bool>> pattern(
+      cfg.rows, std::vector<bool>(cfg.cols, false));
+  pattern[cfg.rows - 1][cfg.cols - 1] = true;
+  arr.setPattern(pattern);
+  EXPECT_TRUE(arr.writeBit(0, 0, true).ok);
+  EXPECT_TRUE(arr.readBit(0, 0).bitRead);
+  EXPECT_TRUE(arr.bitAt(cfg.rows - 1, cfg.cols - 1));
+  EXPECT_TRUE(arr.readBit(cfg.rows - 1, cfg.cols - 1).bitRead);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ArrayShapes,
+                         ::testing::Values(Shape{1, 2}, Shape{2, 2},
+                                           Shape{2, 3}, Shape{4, 4}));
+
+}  // namespace
+}  // namespace fefet::core

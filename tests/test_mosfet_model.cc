@@ -1,0 +1,167 @@
+// Tests of the EKV-style compact transistor model (xtor/mosfet_model.h).
+#include "xtor/mosfet_model.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace fefet::xtor {
+namespace {
+
+MosfetModel nmos() { return MosfetModel(nmos45(), 65e-9); }
+
+TEST(Mosfet, SubthresholdSlopeNear90mVPerDecade) {
+  const auto m = nmos();
+  const double i1 = m.idsAt(1.0, 0.10, 0.0);
+  const double i2 = m.idsAt(1.0, 0.20, 0.0);
+  const double decadesPerVolt = std::log10(i2 / i1) / 0.1;
+  const double ss = 1000.0 / decadesPerVolt;  // mV/dec
+  EXPECT_NEAR(ss, 90.0, 8.0);
+}
+
+TEST(Mosfet, OffAndOnCurrents) {
+  const auto m = nmos();
+  const double ioff = m.idsAt(1.0, 0.0, 0.0);
+  const double ion = m.idsAt(1.0, 1.0, 0.0);
+  EXPECT_LT(ioff, 1e-9);
+  EXPECT_GT(ioff, 1e-13);
+  EXPECT_GT(ion, 2e-5);
+  EXPECT_GT(ion / ioff, 1e5);
+}
+
+TEST(Mosfet, TriodeVsSaturation) {
+  const auto m = nmos();
+  const double itriode = m.idsAt(0.05, 0.8, 0.0);
+  const double isat = m.idsAt(0.8, 0.8, 0.0);
+  EXPECT_GT(isat, itriode);
+  // Deep in saturation current saturates (CLM-limited growth only).
+  const double isat2 = m.idsAt(1.2, 0.8, 0.0);
+  EXPECT_LT((isat2 - isat) / isat, 0.25);
+}
+
+TEST(Mosfet, CurrentIsAntisymmetricUnderTerminalSwap) {
+  const auto m = nmos();
+  for (double vg : {0.3, 0.6, 1.0}) {
+    const double fwd = m.idsAt(0.5, vg, 0.1);
+    const double rev = m.idsAt(0.1, vg, 0.5);
+    EXPECT_NEAR(fwd, -rev, std::abs(fwd) * 1e-9);
+  }
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  const auto n = nmos();
+  MosParams pp = pmos45();
+  pp.mobility = nmos45().mobility;  // equalize drive for the mirror test
+  const MosfetModel p(pp, 65e-9);
+  const double in = n.idsAt(0.5, 0.8, 0.0);
+  const double ip = p.idsAt(-0.5, -0.8, 0.0);
+  EXPECT_NEAR(ip, -in, std::abs(in) * 1e-9);
+}
+
+TEST(Mosfet, ZeroVdsZeroCurrent) {
+  const auto m = nmos();
+  EXPECT_NEAR(m.idsAt(0.0, 1.0, 0.0), 0.0, 1e-15);
+}
+
+TEST(Mosfet, GateChargeMonotonic) {
+  const auto m = nmos();
+  double prev = m.gateChargeDensity(-2.0);
+  for (double v = -1.95; v <= 3.0; v += 0.05) {
+    const double q = m.gateChargeDensity(v);
+    EXPECT_GT(q, prev) << "at vgs=" << v;
+    prev = q;
+  }
+}
+
+TEST(Mosfet, GateChargeBranches) {
+  const auto m = nmos();
+  // Deep subthreshold: essentially no charge.
+  EXPECT_LT(std::abs(m.gateChargeDensity(0.0)), 1e-3);
+  // Strong inversion: positive; accumulation: negative.
+  EXPECT_GT(m.gateChargeDensity(1.5), 0.05);
+  EXPECT_LT(m.gateChargeDensity(-1.8), -0.05);
+}
+
+TEST(Mosfet, CapacitanceIsChargeDerivative) {
+  const auto m = nmos();
+  const double h = 1e-5;
+  for (double v : {-1.5, -0.5, 0.0, 0.45, 1.0, 2.0}) {
+    const double numeric =
+        (m.gateChargeDensity(v + h) - m.gateChargeDensity(v - h)) / (2.0 * h);
+    EXPECT_NEAR(m.gateCapacitanceDensity(v), numeric,
+                std::abs(numeric) * 1e-3 + 1e-9)
+        << "at vgs=" << v;
+  }
+}
+
+TEST(Mosfet, CapacitanceBelowOxideLimit) {
+  const auto m = nmos();
+  for (double v = -2.0; v <= 3.0; v += 0.1) {
+    EXPECT_LE(m.gateCapacitanceDensity(v), m.params().cox * 1.0001);
+    EXPECT_GE(m.gateCapacitanceDensity(v), 0.0);
+  }
+}
+
+TEST(Mosfet, ChargeStiffeningReducesHighFieldCapacitance) {
+  // The quadratic stiffening term makes C fall off in strong inversion.
+  const auto m = nmos();
+  EXPECT_LT(m.gateCapacitanceDensity(3.0), m.gateCapacitanceDensity(0.8));
+}
+
+TEST(Mosfet, GateVoltageForChargeIsInverse) {
+  const auto m = nmos();
+  for (double q : {-0.1, -0.01, 0.005, 0.05, 0.2}) {
+    EXPECT_NEAR(m.gateChargeDensity(m.gateVoltageForCharge(q)), q,
+                std::abs(q) * 1e-6 + 1e-12);
+  }
+}
+
+TEST(Mosfet, EffectiveThresholdDropsWithDibl) {
+  const auto m = nmos();
+  EXPECT_LT(m.effectiveThreshold(1.0), m.effectiveThreshold(0.0));
+}
+
+TEST(Mosfet, RejectsBadParameters) {
+  EXPECT_THROW(MosfetModel(nmos45(), 0.0), InvalidArgumentError);
+  MosParams bad = nmos45();
+  bad.cox = -1.0;
+  EXPECT_THROW(MosfetModel(bad, 65e-9), InvalidArgumentError);
+}
+
+TEST(Mosfet, DescribeMentionsGeometry) {
+  EXPECT_NE(nmos().describe().find("65"), std::string::npos);
+}
+
+// Property sweep: analytic gm/gds match finite differences over a bias grid
+// (both operating quadrants, including swapped source/drain).
+struct Bias {
+  double vd, vg, vs;
+};
+class DerivativeCheck : public ::testing::TestWithParam<Bias> {};
+
+TEST_P(DerivativeCheck, AnalyticMatchesNumeric) {
+  const auto m = nmos();
+  const auto [vd, vg, vs] = GetParam();
+  const auto op = m.evaluate(vd, vg, vs);
+  const double h = 1e-6;
+  const double gmNum =
+      (m.idsAt(vd, vg + h, vs) - m.idsAt(vd, vg - h, vs)) / (2.0 * h);
+  const double gdsNum =
+      (m.idsAt(vd + h, vg, vs) - m.idsAt(vd - h, vg, vs)) / (2.0 * h);
+  const double scale = std::abs(op.ids) + 1e-9;
+  EXPECT_NEAR(op.gm, gmNum, scale * 1e-2 + std::abs(gmNum) * 1e-4);
+  EXPECT_NEAR(op.gds, gdsNum, scale * 1e-2 + std::abs(gdsNum) * 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, DerivativeCheck,
+    ::testing::Values(Bias{0.4, 0.0, 0.0}, Bias{0.4, 0.3, 0.0},
+                      Bias{0.4, 0.68, 0.0}, Bias{1.0, 1.0, 0.0},
+                      Bias{0.05, 0.8, 0.0}, Bias{0.0, 0.5, 0.4},
+                      Bias{0.1, 0.5, 0.4}, Bias{-0.3, 0.5, 0.0},
+                      Bias{0.3, 2.0, 0.0}, Bias{0.68, 1.36, 0.68}));
+
+}  // namespace
+}  // namespace fefet::xtor

@@ -1,0 +1,95 @@
+// Tests of the word-addressable NVM macro facade (core/nvm_macro.h).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/nvm_macro.h"
+
+namespace fefet::core {
+namespace {
+
+TEST(NvmMacro, CapacityFromGeometry) {
+  NvmMacro macro(MacroTechnology::kFefet);
+  // 256 x 256 bits / 32-bit words = 2048 words.
+  EXPECT_EQ(macro.wordCount(), 2048);
+  EXPECT_EQ(macro.wordBits(), 32);
+}
+
+TEST(NvmMacro, WriteReadRoundTrip) {
+  NvmMacro macro(MacroTechnology::kFefet);
+  macro.writeWord(7, 0xDEADBEEF);
+  macro.writeWord(0, 0x12345678);
+  EXPECT_EQ(macro.readWord(7).value, 0xDEADBEEFu);
+  EXPECT_EQ(macro.readWord(0).value, 0x12345678u);
+  EXPECT_EQ(macro.readWord(1).value, 0u);  // untouched words read zero
+}
+
+TEST(NvmMacro, ChargesTable3Energies) {
+  NvmMacro fefet(MacroTechnology::kFefet);
+  NvmMacro feram(MacroTechnology::kFeram);
+  const auto wf = fefet.writeWord(0, 1);
+  const auto wr = feram.writeWord(0, 1);
+  EXPECT_NEAR(wf.energy, 4.82e-12, 0.5e-12);
+  EXPECT_NEAR(wr.energy, 15.0e-12, 1.5e-12);
+  const auto rf = fefet.readWord(0);
+  const auto rr = feram.readWord(0);
+  EXPECT_NEAR(rf.energy, 0.28e-12, 0.05e-12);
+  EXPECT_NEAR(rr.energy, 15.5e-12, 1.6e-12);
+  EXPECT_NEAR(wf.latency, 0.55e-9, 1e-12);
+  EXPECT_NEAR(rf.latency, 3.0e-9, 1e-12);
+}
+
+TEST(NvmMacro, AccumulatesEnergyAndCounts) {
+  NvmMacro macro(MacroTechnology::kFefet);
+  for (int i = 0; i < 10; ++i) macro.writeWord(i, 1u);
+  for (int i = 0; i < 5; ++i) macro.readWord(i);
+  EXPECT_EQ(macro.writeAccesses(), 10);
+  EXPECT_EQ(macro.readAccesses(), 5);
+  EXPECT_NEAR(macro.totalEnergy(),
+              10 * macro.numbers().writeEnergy +
+                  5 * macro.numbers().readEnergy,
+              1e-18);
+}
+
+TEST(NvmMacro, BoundsChecked) {
+  NvmMacro macro(MacroTechnology::kFefet);
+  EXPECT_THROW(macro.writeWord(-1, 0), InvalidArgumentError);
+  EXPECT_THROW(macro.readWord(macro.wordCount()), InvalidArgumentError);
+}
+
+TEST(NvmMacro, FeramAreaSmallerButReadsAge) {
+  NvmMacro fefet(MacroTechnology::kFefet);
+  NvmMacro feram(MacroTechnology::kFeram);
+  // Fig. 11: the 2T cell costs ~2.4x area.
+  EXPECT_NEAR(fefet.arrayArea() / feram.arrayArea(), 2.4, 0.1);
+  // Destructive FERAM reads count against endurance; FEFET reads do not.
+  for (int i = 0; i < 100; ++i) {
+    fefet.readWord(0);
+    feram.readWord(0);
+  }
+  EXPECT_DOUBLE_EQ(fefet.worstCaseCycles(), 0.0);
+  EXPECT_DOUBLE_EQ(feram.worstCaseCycles(), 100.0);
+}
+
+TEST(NvmMacro, EnduranceMarginDecreasesWithCycling) {
+  NvmMacro macro(MacroTechnology::kFefet);
+  EXPECT_DOUBLE_EQ(macro.enduranceMarginRemaining(), 1.0);
+  for (int i = 0; i < 1000; ++i) macro.writeWord(0, i);
+  const double afterThousand = macro.enduranceMarginRemaining();
+  EXPECT_LE(afterThousand, 1.0);
+  EXPECT_GT(afterThousand, 0.99);  // 1e3 cycles is nothing for FE
+}
+
+TEST(NvmMacro, CustomGeometry) {
+  MacroConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.wordBits = 16;
+  NvmMacro macro(MacroTechnology::kFeram, cfg);
+  EXPECT_EQ(macro.wordCount(), 256);
+  // Smaller array -> shorter wires -> cheaper accesses.
+  NvmMacro big(MacroTechnology::kFeram);
+  EXPECT_LT(macro.numbers().writeEnergy, big.numbers().writeEnergy);
+}
+
+}  // namespace
+}  // namespace fefet::core

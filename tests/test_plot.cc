@@ -1,0 +1,87 @@
+// Tests of the ASCII chart renderer.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/plot.h"
+
+namespace fefet::plot {
+namespace {
+
+Series ramp() {
+  Series s;
+  s.label = "ramp";
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(2.0 * i);
+  }
+  return s;
+}
+
+TEST(Chart, RendersMarkersAndAxes) {
+  std::ostringstream os;
+  ChartOptions options;
+  options.title = "a ramp";
+  options.xLabel = "t";
+  renderChart(os, {ramp()}, options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a ramp"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+  EXPECT_NE(out.find(" t"), std::string::npos);
+  // Min and max y ticks present.
+  EXPECT_NE(out.find("0"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+TEST(Chart, MultipleSeriesGetDistinctMarkers) {
+  Series a = ramp();
+  Series b = ramp();
+  b.label = "flat";
+  std::fill(b.y.begin(), b.y.end(), 5.0);
+  std::ostringstream os;
+  renderChart(os, {a, b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[*] ramp"), std::string::npos);
+  EXPECT_NE(out.find("[+] flat"), std::string::npos);
+}
+
+TEST(Chart, LogScaleHandlesDecades) {
+  Series s;
+  s.label = "decades";
+  for (int i = 0; i <= 6; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(std::pow(10.0, i));
+  }
+  std::ostringstream os;
+  ChartOptions options;
+  options.logY = true;
+  renderChart(os, {s}, options);
+  EXPECT_NE(os.str().find("1e+06"), std::string::npos);
+}
+
+TEST(Chart, RejectsEmptyAndMismatched) {
+  std::ostringstream os;
+  EXPECT_THROW(renderChart(os, {}), InvalidArgumentError);
+  Series bad;
+  bad.x = {1.0};
+  EXPECT_THROW(renderChart(os, {bad}), InvalidArgumentError);
+}
+
+TEST(Bars, ScaledToWidest) {
+  std::ostringstream os;
+  renderBars(os, {{"feram", 0.25}, {"fefet", 0.5}}, "fp", 20);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fefet |####################"), std::string::npos);
+  EXPECT_NE(out.find("feram |##########"), std::string::npos);
+}
+
+TEST(Bars, RejectsEmpty) {
+  std::ostringstream os;
+  EXPECT_THROW(renderBars(os, {}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet::plot

@@ -1,0 +1,109 @@
+// Tests of the transistor-level current-sensing read circuit (paper Fig. 8
+// and §5): digitization, virtual ground, non-destructive reads, timing.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/read_timing.h"
+#include "core/sense_amp.h"
+
+namespace fefet::core {
+namespace {
+
+TEST(ReadTiming, PaperEquationTwo) {
+  ReadTimingModel model;
+  // Eq. (2) as printed gives 2.5 ns with the paper's component estimates...
+  EXPECT_NEAR(model.readTimeEq2(), 2.5e-9, 1e-12);
+  // ...while the paper's quoted total (3.0 ns) is the plain sum.
+  EXPECT_NEAR(model.readTimeSum(), 3.0e-9, 1e-12);
+}
+
+TEST(ReadTiming, MaxSelectsSlowerOfPreAndDecode) {
+  ReadTimingModel model;
+  model.tDec = 0.9e-9;
+  EXPECT_NEAR(model.readTimeEq2(), 0.9e-9 + 1.5e-9 + 0.5e-9, 1e-15);
+}
+
+class SenseAmpTest : public ::testing::Test {
+ protected:
+  SenseAmpCircuit& circuit() {
+    static SenseAmpCircuit instance{SenseAmpConfig{}};
+    return instance;
+  }
+};
+
+TEST_F(SenseAmpTest, ReadsStoredOne) {
+  const auto r = circuit().simulateRead(true);
+  EXPECT_TRUE(r.bitRead);
+  // VSA reaches the supply rail (paper: "V_SA equal to VDD").
+  EXPECT_NEAR(r.waveform.finalValue("v(vsa)"), 0.68, 0.05);
+}
+
+TEST_F(SenseAmpTest, ReadsStoredZero) {
+  const auto r = circuit().simulateRead(false);
+  EXPECT_FALSE(r.bitRead);
+  EXPECT_NEAR(r.waveform.finalValue("v(vsa)"), 0.0, 0.05);
+  // VSENSE decays after pre-charge for a '0' (Fig. 8(b)).
+  EXPECT_LT(r.waveform.finalValue("v(vsense)"), 0.15);
+}
+
+TEST_F(SenseAmpTest, VirtualGroundMaintained) {
+  // The clamping driver holds the sense line near 0 V in both states.
+  for (bool bit : {true, false}) {
+    const auto r = circuit().simulateRead(bit);
+    EXPECT_LT(r.senseLineMax, 0.2) << "bit=" << bit;
+    EXPECT_GT(r.waveform.minimum("v(sl)"), -0.2) << "bit=" << bit;
+  }
+}
+
+TEST_F(SenseAmpTest, ReadIsNonDestructive) {
+  // The FEFET polarization is unchanged by the full read chain.
+  for (bool bit : {true, false}) {
+    const auto r = circuit().simulateRead(bit);
+    const auto p = r.waveform.column("P(cell:fe)");
+    const double p0 = p.front();
+    EXPECT_NEAR(p.back(), p0, 0.05 * 0.22) << "bit=" << bit;
+  }
+}
+
+TEST_F(SenseAmpTest, PrechargeReachesTargetQuickly) {
+  const auto r = circuit().simulateRead(true);
+  ASSERT_GE(r.tPreAchieved, 0.0);
+  // Well inside the paper's 0.5 ns pre-charge budget.
+  EXPECT_LT(r.tPreAchieved, 0.5e-9);
+}
+
+TEST_F(SenseAmpTest, SenseResolvesWithinPaperBudget) {
+  const auto r = circuit().simulateRead(true);
+  ASSERT_GE(r.tSa, 0.0);
+  // The paper budgets t_sa = 1.5 ns; our idealized parasitics resolve
+  // faster, but never slower than the budget.
+  EXPECT_LT(r.tSa, 1.5e-9);
+}
+
+TEST_F(SenseAmpTest, ReadEnergiesOrdered) {
+  // Reading a '1' burns the conveyed cell current; a '0' read is cheap.
+  const double e1 = circuit().simulateRead(true).readEnergy;
+  const double e0 = circuit().simulateRead(false).readEnergy;
+  EXPECT_GT(e1, e0);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_LT(e1, 10e-12);
+}
+
+TEST(SenseAmpConfigTest, AlternatingReadsStayCorrect) {
+  SenseAmpCircuit circuit{SenseAmpConfig{}};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(circuit.simulateRead(true).bitRead) << i;
+    EXPECT_FALSE(circuit.simulateRead(false).bitRead) << i;
+  }
+}
+
+TEST(SenseAmpConfigTest, WorksAtSlowerPrecharge) {
+  SenseAmpConfig cfg;
+  cfg.tPre = 1.0e-9;
+  SenseAmpCircuit circuit{cfg};
+  EXPECT_TRUE(circuit.simulateRead(true).bitRead);
+  EXPECT_FALSE(circuit.simulateRead(false).bitRead);
+}
+
+}  // namespace
+}  // namespace fefet::core

@@ -1,0 +1,154 @@
+// Tests of the additional circuit devices: diode, inductor, VCVS, VCCS.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "spice/extras.h"
+#include "spice/netlist.h"
+#include "spice/passives.h"
+#include "spice/simulator.h"
+#include "spice/sources.h"
+
+namespace fefet::spice {
+namespace {
+
+using shapes::dc;
+using shapes::pulse;
+using shapes::sine;
+
+TEST(Diode, ForwardDropNearSixHundredMillivolts) {
+  // 1 V through 1 kOhm into a diode: drop ~0.6 V, current ~0.4 mA.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("d"), 1000.0);
+  n.add<Diode>("D", n.node("d"), n.ground());
+  Simulator sim(n);
+  sim.solveDc();
+  const double vd = sim.nodeVoltage("d");
+  EXPECT_GT(vd, 0.45);
+  EXPECT_LT(vd, 0.75);
+  EXPECT_NEAR((1.0 - vd) / 1000.0, 4e-4, 1.5e-4);
+}
+
+TEST(Diode, ReverseBlocksCurrent) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(-1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("d"), 1000.0);
+  n.add<Diode>("D", n.node("d"), n.ground());
+  Simulator sim(n);
+  sim.solveDc();
+  // Reverse leakage is ~Is: the node follows the source.
+  EXPECT_NEAR(sim.nodeVoltage("d"), -1.0, 1e-3);
+}
+
+TEST(Diode, HalfWaveRectifier) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(),
+                       sine(0.0, 1.5, 100e6));
+  n.add<Diode>("D", n.node("in"), n.node("out"));
+  n.add<Resistor>("RL", n.node("out"), n.ground(), 10e3);
+  n.add<Capacitor>("CL", n.node("out"), n.ground(), 10e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 50e-9;
+  options.dtMax = 0.2e-9;
+  const auto r = sim.runTransient(options, {Probe::v("out")});
+  // Peak-detects to roughly amplitude minus a diode drop; never negative.
+  EXPECT_GT(r.waveform.maximum("v(out)"), 0.6);
+  EXPECT_GT(r.waveform.minimum("v(out)"), -0.05);
+}
+
+TEST(Diode, RejectsBadParameters) {
+  Netlist n;
+  Diode::Params bad;
+  bad.saturationCurrent = 0.0;
+  EXPECT_THROW(
+      n.add<Diode>("D", n.node("a"), n.ground(), bad),
+      InvalidArgumentError);
+}
+
+TEST(Inductor, DcShortCircuit) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("x"), 1000.0);
+  n.add<Inductor>("L", n.node("x"), n.ground(), 1e-9);
+  Simulator sim(n);
+  sim.solveDc();
+  EXPECT_NEAR(sim.nodeVoltage("x"), 0.0, 1e-6);
+}
+
+TEST(Inductor, RlRiseTimeMatchesAnalytic) {
+  // 1 V step into R = 100 Ohm + L = 100 nH: i(t) = (V/R)(1 - e^{-t/tau}),
+  // tau = 1 ns.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(),
+                       pulse(0.0, 1.0, 0.0, 1e-12, 1.0, 1e-12));
+  n.add<Resistor>("R", n.node("in"), n.node("x"), 100.0);
+  n.add<Inductor>("L", n.node("x"), n.ground(), 100e-9);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 5e-9;
+  options.dtMax = 10e-12;
+  const auto r = sim.runTransient(
+      options, {Probe::deviceState("L", "i"), Probe::v("x")});
+  for (double t : {1e-9, 2e-9, 4e-9}) {
+    const double expected = (1.0 / 100.0) * (1.0 - std::exp(-t / 1e-9));
+    EXPECT_NEAR(r.waveform.valueAt("i(L)", t), expected, 6e-4) << t;
+  }
+}
+
+TEST(Inductor, LcOscillatorRings) {
+  // Pre-charged C across L: resonant ringing at f = 1/(2 pi sqrt(LC)).
+  Netlist n;
+  n.add<Inductor>("L", n.node("x"), n.ground(), 10e-9);
+  n.add<Capacitor>("C", n.node("x"), n.ground(), 10e-12);
+  Simulator sim(n);
+  sim.setNodeVoltage("x", 1.0);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 4e-9;
+  options.dtMax = 5e-12;
+  const auto r = sim.runTransient(options, {Probe::v("x")});
+  // f ~ 503 MHz -> half period ~ 0.99 ns: voltage crosses zero around there.
+  const double tZero = r.waveform.firstCrossing("v(x)", 0.0, false);
+  EXPECT_NEAR(tZero, 0.5e-9, 0.15e-9);
+  // It should ring back negative substantially (damped only numerically).
+  EXPECT_LT(r.waveform.minimum("v(x)"), -0.6);
+}
+
+TEST(Vcvs, AmplifiesControlVoltage) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("c"), n.ground(), dc(0.25));
+  n.add<Vcvs>("E1", n.node("o"), n.ground(), n.node("c"), n.ground(), 4.0);
+  n.add<Resistor>("RL", n.node("o"), n.ground(), 1e3);
+  Simulator sim(n);
+  sim.solveDc();
+  EXPECT_NEAR(sim.nodeVoltage("o"), 1.0, 1e-9);
+}
+
+TEST(Vccs, ProducesTransconductanceCurrent) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("c"), n.ground(), dc(0.5));
+  // gm = 1 mS from node o to ground, loaded by 2 kOhm from a 0 V source:
+  // i = 0.5 mA out of "o" -> v(o) = -1 V across the load.
+  n.add<Vccs>("G1", n.node("o"), n.ground(), n.node("c"), n.ground(), 1e-3);
+  n.add<Resistor>("RL", n.node("o"), n.ground(), 2e3);
+  Simulator sim(n);
+  sim.solveDc();
+  EXPECT_NEAR(sim.nodeVoltage("o"), -1.0, 1e-6);
+}
+
+TEST(Vcvs, DifferentialControl) {
+  Netlist n;
+  n.add<VoltageSource>("Va", n.node("a"), n.ground(), dc(0.8));
+  n.add<VoltageSource>("Vb", n.node("b"), n.ground(), dc(0.3));
+  n.add<Vcvs>("E1", n.node("o"), n.ground(), n.node("a"), n.node("b"), 2.0);
+  n.add<Resistor>("RL", n.node("o"), n.ground(), 1e3);
+  Simulator sim(n);
+  sim.solveDc();
+  EXPECT_NEAR(sim.nodeVoltage("o"), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fefet::spice

@@ -1,0 +1,67 @@
+// Tests of the disturb-stress harness.
+#include <gtest/gtest.h>
+
+#include "core/stress.h"
+
+namespace fefet::core {
+namespace {
+
+ArrayConfig smallArray() { return ArrayConfig{}; }
+
+TEST(Stress, ColumnHammerLeavesVictimsIntact) {
+  const auto r = runStress(smallArray(), StressPattern::kColumnHammer, 8);
+  EXPECT_TRUE(r.statesIntact);
+  EXPECT_EQ(r.operations, 8);
+  EXPECT_LT(r.maxDriftFraction, 0.25);
+}
+
+TEST(Stress, RowHammerLeavesOtherRowIntact) {
+  const auto r = runStress(smallArray(), StressPattern::kRowHammer, 4);
+  EXPECT_TRUE(r.statesIntact);
+  EXPECT_EQ(r.operations, 4 * 3);
+  EXPECT_LT(r.maxDriftFraction, 0.25);
+}
+
+TEST(Stress, ReadHammerIsGentlest) {
+  const auto read = runStress(smallArray(), StressPattern::kReadHammer, 10);
+  const auto write =
+      runStress(smallArray(), StressPattern::kColumnHammer, 10);
+  EXPECT_TRUE(read.statesIntact);
+  EXPECT_LE(read.maxDrift, write.maxDrift + 0.01);
+}
+
+TEST(Stress, CheckerboardToggleAlwaysLandsCorrectly) {
+  const auto r =
+      runStress(smallArray(), StressPattern::kCheckerboardToggle, 3);
+  EXPECT_TRUE(r.statesIntact);
+  EXPECT_EQ(r.operations, 3 * 6);
+}
+
+TEST(Stress, DriftSaturatesWithCycles) {
+  const auto a = runStress(smallArray(), StressPattern::kColumnHammer, 6);
+  const auto b = runStress(smallArray(), StressPattern::kColumnHammer, 24);
+  // 4x the operations must not produce 4x the drift (no runaway walk).
+  EXPECT_LT(b.maxDrift, 2.0 * a.maxDrift + 0.01);
+  EXPECT_TRUE(b.statesIntact);
+}
+
+TEST(Stress, AllPatternsRun) {
+  const auto reports = runAllStressPatterns(smallArray(), 2);
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.statesIntact) << toString(r.pattern);
+  }
+}
+
+TEST(Stress, NamesAreStable) {
+  EXPECT_EQ(toString(StressPattern::kColumnHammer), "column-hammer");
+  EXPECT_EQ(toString(StressPattern::kReadHammer), "read-hammer");
+}
+
+TEST(Stress, RejectsZeroCycles) {
+  EXPECT_THROW(runStress(smallArray(), StressPattern::kColumnHammer, 0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet::core

@@ -1,0 +1,133 @@
+// Tests of the process-variation analysis (core/variability.h).
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/materials.h"
+#include "core/variability.h"
+
+namespace fefet::core {
+namespace {
+
+FefetParams nominal() {
+  FefetParams p;
+  p.lk = fefetMaterial();
+  return p;
+}
+
+TEST(Variability, PerturbIsDeterministicPerSeed) {
+  VariationSpec spec;
+  stats::Rng a(5), b(5);
+  const auto pa = perturbDevice(nominal(), spec, a);
+  const auto pb = perturbDevice(nominal(), spec, b);
+  EXPECT_DOUBLE_EQ(pa.mos.vt0, pb.mos.vt0);
+  EXPECT_DOUBLE_EQ(pa.feThickness, pb.feThickness);
+}
+
+TEST(Variability, PerturbationMagnitudesMatchSpec) {
+  VariationSpec spec;
+  stats::Rng rng(11);
+  std::vector<double> dvt, dt;
+  for (int i = 0; i < 2000; ++i) {
+    const auto p = perturbDevice(nominal(), spec, rng);
+    dvt.push_back(p.mos.vt0 - nominal().mos.vt0);
+    dt.push_back(p.feThickness / nominal().feThickness - 1.0);
+  }
+  EXPECT_NEAR(stats::stddev(dvt), spec.vtSigma, 0.1 * spec.vtSigma);
+  EXPECT_NEAR(stats::stddev(dt), spec.feThicknessSigmaRel,
+              0.1 * spec.feThicknessSigmaRel);
+  EXPECT_NEAR(stats::mean(dvt), 0.0, 2e-3);
+}
+
+TEST(Variability, NominalSpreadKeepsMostDevicesNonvolatile) {
+  const auto mc = runDeviceMonteCarlo(nominal(), VariationSpec{}, 400);
+  EXPECT_EQ(mc.samples, 400);
+  // At the 2.25 nm design point the window has healthy margin: >90 %
+  // of devices stay nonvolatile and writable at 0.68 V.
+  EXPECT_GT(mc.nonvolatileCount, 360);
+  EXPECT_GT(mc.writableCount, 340);
+  EXPECT_NEAR(mc.windowWidthMean, 0.57, 0.08);
+  EXPECT_GT(mc.windowWidthSigma, 0.0);
+  // Distinguishability stays enormous even at the worst sample.
+  EXPECT_GT(mc.log10RatioMin, 4.5);
+}
+
+TEST(Variability, LargerSpreadCostsYield) {
+  VariationSpec mild;
+  VariationSpec harsh;
+  harsh.feThicknessSigmaRel = 0.06;
+  harsh.vtSigma = 50e-3;
+  harsh.seed = mild.seed;
+  const auto a = runDeviceMonteCarlo(nominal(), mild, 300);
+  const auto b = runDeviceMonteCarlo(nominal(), harsh, 300);
+  EXPECT_LE(b.writableCount, a.writableCount);
+  EXPECT_GT(b.windowWidthSigma, a.windowWidthSigma);
+}
+
+TEST(Variability, ThinnerDesignPointIsFragile) {
+  // Just above the 2.0 nm non-volatility onset, variation knocks a large
+  // fraction of devices volatile — the quantitative backing for the
+  // paper's choice of 2.25 nm ("balance between stability and ...").
+  FefetParams thin = nominal();
+  thin.feThickness = 2.05e-9;
+  const auto mcThin = runDeviceMonteCarlo(thin, VariationSpec{}, 300);
+  const auto mcNom = runDeviceMonteCarlo(nominal(), VariationSpec{}, 300);
+  EXPECT_LT(mcThin.nonvolatileCount, mcNom.nonvolatileCount);
+  EXPECT_LT(mcThin.nonvolatileCount, 270);  // clearly lossy
+}
+
+TEST(Variability, WriteYieldAtNominalConditions) {
+  Cell2TConfig cfg;
+  cfg.fefet = nominal();
+  // Generous pulse (800 ps) at the nominal 0.68 V: high yield.
+  const auto y = runWriteYield(cfg, VariationSpec{}, 12, 0.68, 800e-12);
+  EXPECT_EQ(y.samples, 12);
+  EXPECT_GE(y.yield(), 0.75);
+}
+
+TEST(Variability, WriteYieldCollapsesNearTheWall) {
+  Cell2TConfig cfg;
+  cfg.fefet = nominal();
+  const auto y = runWriteYield(cfg, VariationSpec{}, 10, 0.40, 800e-12);
+  EXPECT_LE(y.yield(), 0.5);
+}
+
+TEST(Corners, AllThreeCornersStayFunctional) {
+  const auto corners = runCorners(nominal());
+  ASSERT_EQ(corners.size(), 3u);
+  for (const auto& c : corners) {
+    EXPECT_TRUE(c.nonvolatile);
+    EXPECT_GT(c.onOffRatio, 1e4);
+    EXPECT_GT(c.upSwitchVoltage, 0.2);
+    EXPECT_LT(c.downSwitchVoltage, -0.02);
+  }
+}
+
+TEST(Corners, ThicknessShiftsDominateWindowEdges) {
+  const auto corners = runCorners(nominal());
+  // Fast corner (thinner film) has the narrower window.
+  const auto& tt = corners[0];
+  const auto& ff = corners[1];
+  const auto& ss = corners[2];
+  EXPECT_LT(ff.upSwitchVoltage - ff.downSwitchVoltage,
+            tt.upSwitchVoltage - tt.downSwitchVoltage);
+  EXPECT_GT(ss.upSwitchVoltage - ss.downSwitchVoltage,
+            tt.upSwitchVoltage - tt.downSwitchVoltage);
+}
+
+// Property sweep: Monte Carlo results are reproducible per seed and vary
+// across seeds.
+class McSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McSeeds, ReproduciblePerSeed) {
+  VariationSpec spec;
+  spec.seed = GetParam();
+  const auto a = runDeviceMonteCarlo(nominal(), spec, 100);
+  const auto b = runDeviceMonteCarlo(nominal(), spec, 100);
+  EXPECT_EQ(a.nonvolatileCount, b.nonvolatileCount);
+  EXPECT_DOUBLE_EQ(a.windowWidthMean, b.windowWidthMean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McSeeds, ::testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace fefet::core

@@ -1,0 +1,90 @@
+// Tests of the write trade-off sweeps (paper Fig. 10 and Table 3):
+// write-time-vs-voltage shape, failure walls and the iso-write solve.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/materials.h"
+#include "core/write_explorer.h"
+
+namespace fefet::core {
+namespace {
+
+Cell2TConfig fefetConfig() {
+  Cell2TConfig cfg;
+  cfg.fefet.lk = fefetMaterial();
+  return cfg;
+}
+
+FeRamConfig feramConfig() {
+  FeRamConfig cfg;
+  cfg.lk = feramMaterial();
+  return cfg;
+}
+
+TEST(WriteExplorer, FefetSweepShape) {
+  const auto points =
+      sweepFefetWrite(fefetConfig(), {0.55, 0.68, 0.85, 1.05});
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.failed) << p.voltage;
+    EXPECT_GT(p.writeTime, 0.0);
+    EXPECT_GT(p.writeEnergy, 0.0);
+  }
+  // Write time decreases monotonically with voltage (Fig. 10(a)).
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].writeTime, points[i - 1].writeTime);
+  }
+  // The 0.68 V point reproduces the 550 ps anchor.
+  EXPECT_NEAR(points[1].writeTime, 550e-12, 40e-12);
+}
+
+TEST(WriteExplorer, FeramSweepShape) {
+  const auto points = sweepFeramWrite(feramConfig(), {1.45, 1.64, 1.9, 2.2});
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].writeTime, points[i - 1].writeTime);
+  }
+  EXPECT_NEAR(points[1].writeTime, 550e-12, 40e-12);
+}
+
+TEST(WriteExplorer, SubWallVoltagesFail) {
+  const auto fefet = sweepFefetWrite(fefetConfig(), {0.25}, 2e-9);
+  EXPECT_TRUE(fefet.front().failed);
+  const auto feram = sweepFeramWrite(feramConfig(), {1.0}, 2e-9);
+  EXPECT_TRUE(feram.front().failed);
+}
+
+TEST(WriteExplorer, FefetWriteWallBelowHalfVolt) {
+  // Paper Fig. 10(a): FEFET write failures below ~0.5 V.  Our device's
+  // wall (the up-switch fold plus dynamic margin) sits in the 0.3-0.5 V
+  // band; it must lie strictly below the 0.68 V operating point.
+  const double wall = fefetWriteWall(fefetConfig(), 0.2, 0.8);
+  EXPECT_GT(wall, 0.25);
+  EXPECT_LT(wall, 0.55);
+}
+
+TEST(WriteExplorer, FeramWriteWallNearOnePointFourVolts) {
+  // Paper: failures below ~1.5 V for FERAM (static coercive wall 1.24 V
+  // plus kinetic margin at finite pulse widths).
+  const double wall = feramWriteWall(feramConfig(), 1.1, 1.8);
+  EXPECT_GT(wall, 1.2);
+  EXPECT_LT(wall, 1.55);
+}
+
+TEST(WriteExplorer, IsoWriteReproducesTable3Voltages) {
+  // At iso write time 550 ps the paper reports 0.68 V vs 1.64 V.
+  const auto fefet = isoWriteFefet(fefetConfig(), 550e-12);
+  EXPECT_NEAR(fefet.voltage, 0.68, 0.05);
+  const auto feram = isoWriteFeram(feramConfig(), 550e-12);
+  EXPECT_NEAR(feram.voltage, 1.64, 0.08);
+  // And the cell-level write energy advantage holds.
+  EXPECT_LT(fefet.writeEnergy, feram.writeEnergy);
+}
+
+TEST(WriteExplorer, IsoWriteRejectsUnreachableTargets) {
+  EXPECT_THROW(isoWriteFefet(fefetConfig(), 550e-12, 0.9, 1.2),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet::core
