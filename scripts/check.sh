@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer (the FEFET_SANITIZE CMake option) in a
+# dedicated build directory and run the full test suite under it.
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+
+cmake -B "$BUILD_DIR" -S . -DFEFET_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# abort_on_error keeps CI logs short; detect_leaks catches missing frees in
+# the netlist/device ownership chain.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

@@ -2,7 +2,31 @@
 
 #include <sstream>
 
-namespace fefet::detail {
+namespace fefet {
+
+std::string SolverDiagnostics::summary() const {
+  std::ostringstream os;
+  if (time >= 0.0) os << "t=" << time << " s, ";
+  os << "smallest dt=" << smallestDt << " s, " << dtCuts << " dt cuts, "
+     << gminEscalations << " gmin escalations, " << steps << " steps, "
+     << newtonIterations << " Newton iterations";
+  if (finalResidualNorm > 0.0) os << ", residual=" << finalResidualNorm;
+  return os.str();
+}
+
+NumericalError::NumericalError(const std::string& what,
+                               const SolverDiagnostics& diag)
+    : Error(what + " [" + diag.summary() + "]"),
+      diagnostics_(diag),
+      hasDiagnostics_(true) {}
+
+SimulationError::SimulationError(const std::string& what,
+                                 const SolverDiagnostics& diag)
+    : Error(what + " [" + diag.summary() + "]"),
+      diagnostics_(diag),
+      hasDiagnostics_(true) {}
+
+namespace detail {
 
 void throwRequireFailure(const char* expr, const char* file, int line,
                          const std::string& message) {
@@ -12,4 +36,5 @@ void throwRequireFailure(const char* expr, const char* file, int line,
   throw InvalidArgumentError(os.str());
 }
 
-}  // namespace fefet::detail
+}  // namespace detail
+}  // namespace fefet

@@ -22,11 +22,35 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+/// Retry history attached to solver failures: what the rescue ladder
+/// attempted before giving up, so a non-converged run is diagnosable
+/// without re-running it under a debugger.
+struct SolverDiagnostics {
+  double time = -1.0;        ///< [s] transient time point of the failure
+  double smallestDt = 0.0;   ///< [s] smallest step attempted
+  int dtCuts = 0;            ///< step-size reductions applied
+  int gminEscalations = 0;   ///< gmin rescue levels tried
+  int steps = 0;             ///< accepted steps before the failure
+  int newtonIterations = 0;  ///< cumulative Newton iterations
+  double finalResidualNorm = 0.0;
+
+  /// One-line "t=..., dt=..., N cuts, M gmin escalations" rendering.
+  std::string summary() const;
+};
+
 /// A numerical routine failed: Newton did not converge, matrix singular,
 /// root not bracketed, time step underflow.
 class NumericalError : public Error {
  public:
   explicit NumericalError(const std::string& what) : Error(what) {}
+  NumericalError(const std::string& what, const SolverDiagnostics& diag);
+
+  bool hasDiagnostics() const { return hasDiagnostics_; }
+  const SolverDiagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  SolverDiagnostics diagnostics_;
+  bool hasDiagnostics_ = false;
 };
 
 /// A simulation-level failure: write did not complete, sense amplifier did
@@ -34,6 +58,14 @@ class NumericalError : public Error {
 class SimulationError : public Error {
  public:
   explicit SimulationError(const std::string& what) : Error(what) {}
+  SimulationError(const std::string& what, const SolverDiagnostics& diag);
+
+  bool hasDiagnostics() const { return hasDiagnostics_; }
+  const SolverDiagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  SolverDiagnostics diagnostics_;
+  bool hasDiagnostics_ = false;
 };
 
 namespace detail {

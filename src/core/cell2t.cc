@@ -13,7 +13,11 @@ using spice::Probe;
 using spice::shapes::dc;
 using spice::shapes::pulse;
 
-Cell2T::Cell2T(const Cell2TConfig& config) : config_(config) {
+Cell2T::Cell2T(const Cell2TConfig& config)
+    : config_(config), injector_(config.faults) {
+  fault_ = injector_.cellFault(0, 0);
+  // Weak cells carry physically collapsed device parameters.
+  config_.fefet = injector_.apply(config_.fefet, fault_);
   // Quasi-static state targets.
   const auto stable = stableInternalVoltages(config_.fefet, 0.0);
   FEFET_REQUIRE(stable.size() >= 2,
@@ -55,6 +59,8 @@ Cell2T::Cell2T(const Cell2TConfig& config) : config_(config) {
 }
 
 void Cell2T::setStoredBit(bool one) {
+  if (fault_ == CellFault::kStuckAtZero) one = false;
+  if (fault_ == CellFault::kStuckAtOne) one = true;
   fefet_.fe->setPolarization(one ? pOn_ : pOff_);
   sim_->setNodeVoltage(netlist_.nodeName(fefet_.internalNode),
                        one ? psiOn_ : psiOff_);
@@ -120,7 +126,35 @@ CellOpResult Cell2T::write(bool one, double pulseWidth,
   vSl_->setShape(dc(0.0));
   const double duration =
       lead + pulseWidth + 6.0 * edge + config_.settleTime;
-  return runOp(duration, /*isWrite=*/true);
+  const double pBefore = fefet_.fe->polarization();
+  auto result = runOp(duration, /*isWrite=*/true);
+
+  // Injected faults: stuck cells ignore writes; a transient failure
+  // reverts this pulse.  The solver state is re-seeded from the overridden
+  // committed polarization, same mechanics as setStoredBit.
+  bool overridden = false;
+  double pForced = 0.0;
+  if (fault_ == CellFault::kStuckAtZero) {
+    pForced = pOff_;
+    overridden = fefet_.fe->polarization() > pSaddle_;
+  } else if (fault_ == CellFault::kStuckAtOne) {
+    pForced = pOn_;
+    overridden = fefet_.fe->polarization() < pSaddle_;
+  } else if (injector_.spec().writeFailureProbability > 0.0 &&
+             injector_.nextWriteFails(vw / config_.levels.vWrite)) {
+    pForced = pBefore;
+    overridden = true;
+  }
+  if (overridden) {
+    fefet_.fe->setPolarization(pForced);
+    sim_->setNodeVoltage(netlist_.nodeName(fefet_.internalNode),
+                         pForced > pSaddle_ ? psiOn_ : psiOff_);
+    sim_->initializeUic();
+    result.finalPolarization = pForced;
+    result.bitAfter = storedBit();
+    result.faultInjected = true;
+  }
+  return result;
 }
 
 CellOpResult Cell2T::read(double duration) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/bias_scheme.h"
+#include "core/fault_model.h"
 #include "core/fefet.h"
 #include "spice/simulator.h"
 #include "spice/sources.h"
@@ -27,6 +28,9 @@ struct Cell2TConfig {
   BiasLevels levels;
   double edgeTime = 20e-12;     ///< source rise/fall time
   double settleTime = 300e-12;  ///< post-pulse settling (write recovery)
+  /// Injected faults; the cell draws its fault class as cell (0, 0) of the
+  /// fault map (all-zero rates = healthy cell).
+  FaultSpec faults;
 };
 
 /// Result of one cell operation.
@@ -38,6 +42,7 @@ struct CellOpResult {
   double readCurrent = 0.0;        ///< plateau drain current (reads) [A]
   std::map<std::string, double> sourceEnergy;  ///< per-source energy [J]
   double totalEnergy = 0.0;                    ///< sum over sources [J]
+  bool faultInjected = false;      ///< a fault event altered this op
 };
 
 /// A simulatable 2T cell with persistent state across operations.
@@ -73,6 +78,9 @@ class Cell2T {
   double onPolarization() const { return pOn_; }
   double offPolarization() const { return pOff_; }
 
+  /// Injected fault class of this cell.
+  CellFault fault() const { return fault_; }
+
   const Cell2TConfig& config() const { return config_; }
   spice::Simulator& simulator() { return *sim_; }
   const FefetInstance& fefetInstance() const { return fefet_; }
@@ -82,6 +90,8 @@ class Cell2T {
   void resetSourceEnergies();
 
   Cell2TConfig config_;
+  FaultInjector injector_;
+  CellFault fault_ = CellFault::kNone;
   spice::Netlist netlist_;
   FefetInstance fefet_;
   spice::VoltageSource* vWbl_ = nullptr;

@@ -1,0 +1,101 @@
+#include "core/ecc.h"
+
+#include "common/error.h"
+
+namespace fefet::core {
+
+namespace {
+bool isPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int parityOf64(std::uint64_t v) {
+  v ^= v >> 32;
+  v ^= v >> 16;
+  v ^= v >> 8;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<int>(v & 1u);
+}
+}  // namespace
+
+SecdedCodec::SecdedCodec(int dataBits) : dataBits_(dataBits) {
+  FEFET_REQUIRE(dataBits >= 1 && dataBits <= 64,
+                "SECDED data width must be 1..64 bits");
+  checkBits_ = 0;
+  while ((1 << checkBits_) < dataBits_ + checkBits_ + 1) ++checkBits_;
+
+  const int n = dataBits_ + checkBits_;
+  positionOfDataBit_.reserve(static_cast<std::size_t>(dataBits_));
+  dataBitOfPosition_.assign(static_cast<std::size_t>(n) + 1, -1);
+  int bit = 0;
+  for (int pos = 1; pos <= n && bit < dataBits_; ++pos) {
+    if (isPowerOfTwo(pos)) continue;  // check-bit slot
+    positionOfDataBit_.push_back(pos);
+    dataBitOfPosition_[static_cast<std::size_t>(pos)] = bit++;
+  }
+}
+
+std::uint16_t SecdedCodec::encode(std::uint64_t data) const {
+  std::uint16_t parity = 0;
+  for (int c = 0; c < checkBits_; ++c) {
+    std::uint64_t covered = 0;
+    for (int b = 0; b < dataBits_; ++b) {
+      if (positionOfDataBit_[static_cast<std::size_t>(b)] & (1 << c)) {
+        covered ^= (data >> b) & 1u;
+      }
+    }
+    parity |= static_cast<std::uint16_t>((covered & 1u) << c);
+  }
+  // Overall parity makes the full codeword (data + checks + itself) even.
+  const int overall =
+      parityOf64(data) ^ parityOf64(static_cast<std::uint64_t>(parity));
+  parity |= static_cast<std::uint16_t>(overall << checkBits_);
+  return parity;
+}
+
+EccDecode SecdedCodec::decode(std::uint64_t data, std::uint16_t parity) const {
+  EccDecode out;
+  out.data = data;
+
+  int syndrome = 0;
+  for (int c = 0; c < checkBits_; ++c) {
+    int covered = (parity >> c) & 1;
+    for (int b = 0; b < dataBits_; ++b) {
+      if (positionOfDataBit_[static_cast<std::size_t>(b)] & (1 << c)) {
+        covered ^= static_cast<int>((data >> b) & 1u);
+      }
+    }
+    if (covered) syndrome |= 1 << c;
+  }
+  const int overallError =
+      parityOf64(data) ^ parityOf64(static_cast<std::uint64_t>(parity));
+
+  if (syndrome == 0 && overallError == 0) return out;  // kClean
+
+  if (overallError) {
+    // Odd number of flips across the codeword: assume exactly one.
+    out.status = EccStatus::kCorrectedSingle;
+    if (syndrome == 0) {
+      out.correctedBit = dataBits_ + checkBits_;  // the overall parity bit
+    } else if (syndrome <= dataBits_ + checkBits_ && isPowerOfTwo(syndrome)) {
+      int c = 0;
+      while ((1 << c) != syndrome) ++c;
+      out.correctedBit = dataBits_ + c;  // a Hamming check bit
+    } else if (syndrome <= dataBits_ + checkBits_ &&
+               dataBitOfPosition_[static_cast<std::size_t>(syndrome)] >= 0) {
+      const int b = dataBitOfPosition_[static_cast<std::size_t>(syndrome)];
+      out.data ^= std::uint64_t{1} << b;
+      out.correctedBit = b;
+    } else {
+      // Syndrome points outside the codeword: more than two flips.
+      out.status = EccStatus::kDetectedDouble;
+      out.correctedBit = -1;
+    }
+    return out;
+  }
+
+  out.status = EccStatus::kDetectedDouble;
+  return out;
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,66 @@
+// ecc.h — SECDED (single-error-correct, double-error-detect) Hamming codes
+// over memory words.
+//
+// A `SecdedCodec` is parameterized by the data width k: it chooses the
+// smallest m with 2^m >= k + m + 1 Hamming check bits and adds one overall
+// parity bit, giving the classic (k + m + 1, k) extended Hamming code —
+// (72, 64) for 64-bit words, (39, 32) for 32-bit words.  Data and check
+// bits are kept separate (the array stores them in dedicated columns), so
+// encode() returns just the check-bit word and decode() takes both.
+//
+// Decode semantics:
+//   * syndrome 0, overall parity good  -> kClean
+//   * overall parity bad               -> exactly one bit flipped; the
+//     syndrome locates it (0 = the overall parity bit itself) and it is
+//     corrected, in data or check bits -> kCorrectedSingle
+//   * syndrome != 0, overall good      -> two bits flipped; uncorrectable
+//     but detected                     -> kDetectedDouble
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fefet::core {
+
+enum class EccStatus { kClean, kCorrectedSingle, kDetectedDouble };
+
+struct EccDecode {
+  std::uint64_t data = 0;      ///< corrected data word
+  EccStatus status = EccStatus::kClean;
+  /// Corrected bit location: data-bit index for data errors, or
+  /// dataBits()+j for check-bit j, dataBits()+checkBits() for the overall
+  /// parity bit.  -1 when nothing was corrected.
+  int correctedBit = -1;
+};
+
+class SecdedCodec {
+ public:
+  /// `dataBits` in 1..64.
+  explicit SecdedCodec(int dataBits);
+
+  int dataBits() const { return dataBits_; }
+  /// Hamming check bits (excluding the overall parity bit).
+  int checkBits() const { return checkBits_; }
+  /// All redundant bits: Hamming checks + overall parity.
+  int parityBits() const { return checkBits_ + 1; }
+  /// Total stored bits per codeword.
+  int codewordBits() const { return dataBits_ + parityBits(); }
+
+  /// Check-bit word for `data`: Hamming checks in bits [0, checkBits()),
+  /// overall parity in bit checkBits().
+  std::uint16_t encode(std::uint64_t data) const;
+
+  /// Decode a possibly corrupted (data, parity) pair.
+  EccDecode decode(std::uint64_t data, std::uint16_t parity) const;
+
+ private:
+  int dataBits_;
+  int checkBits_;
+  /// Hamming codeword position (1-based, power-of-two slots are check
+  /// bits) of each data bit.
+  std::vector<int> positionOfDataBit_;
+  /// Inverse map: data bit index per position (-1 for check positions).
+  std::vector<int> dataBitOfPosition_;
+};
+
+}  // namespace fefet::core

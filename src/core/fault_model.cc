@@ -1,0 +1,91 @@
+#include "core/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fefet::core {
+
+namespace {
+/// splitmix64: a well-mixed 64-bit finalizer, used to derive a stateless
+/// per-cell uniform draw from (seed, row, col).
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double cellUniform(std::uint64_t seed, int row, int col) {
+  std::uint64_t h = splitmix64(seed ^ 0xfe37a17ull);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32 |
+                      static_cast<std::uint32_t>(col)));
+  // 53-bit mantissa to uniform [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSpec& spec)
+    : spec_(spec), eventRng_(splitmix64(spec.seed ^ 0x5eedull)) {
+  FEFET_REQUIRE(spec_.stuckAtZeroRate >= 0.0 && spec_.stuckAtOneRate >= 0.0 &&
+                    spec_.weakCellRate >= 0.0,
+                "fault rates must be non-negative");
+  FEFET_REQUIRE(spec_.stuckAtZeroRate + spec_.stuckAtOneRate +
+                        spec_.weakCellRate <=
+                    1.0,
+                "per-cell fault rates must sum to at most 1");
+  FEFET_REQUIRE(spec_.writeFailureProbability >= 0.0 &&
+                    spec_.writeFailureProbability <= 1.0,
+                "write failure probability must be in [0, 1]");
+  FEFET_REQUIRE(spec_.weakAlphaFraction > 0.0 && spec_.weakAlphaFraction <= 1.0,
+                "weak alpha fraction must be in (0, 1]");
+}
+
+CellFault FaultInjector::cellFault(int row, int col) const {
+  if (!spec_.anyCellFaults()) return CellFault::kNone;
+  const double u = cellUniform(spec_.seed, row, col);
+  if (u < spec_.stuckAtZeroRate) return CellFault::kStuckAtZero;
+  if (u < spec_.stuckAtZeroRate + spec_.stuckAtOneRate) {
+    return CellFault::kStuckAtOne;
+  }
+  if (u < spec_.stuckAtZeroRate + spec_.stuckAtOneRate + spec_.weakCellRate) {
+    return CellFault::kWeak;
+  }
+  return CellFault::kNone;
+}
+
+FefetParams FaultInjector::apply(const FefetParams& nominal,
+                                 CellFault fault) const {
+  if (fault != CellFault::kWeak) return nominal;
+  FefetParams p = nominal;
+  // Window collapse: |alpha| shrinks (P_r and the double-well barrier
+  // collapse together — the memory-window/endurance scaling picture) and
+  // the transistor threshold drifts.
+  p.lk.alpha = nominal.lk.alpha * spec_.weakAlphaFraction;
+  p.mos.vt0 = nominal.mos.vt0 + spec_.weakVtShift;
+  return p;
+}
+
+bool FaultInjector::nextWriteFails(double boostScale) {
+  if (spec_.writeFailureProbability <= 0.0) return false;
+  const double scale = std::max(1.0, boostScale);
+  const double p = spec_.writeFailureProbability / (scale * scale);
+  return eventRng_.bernoulli(p);
+}
+
+double FaultInjector::retentionFactor(double seconds, CellFault fault) const {
+  if (spec_.retentionDecayPerSecond <= 0.0 || seconds <= 0.0) return 1.0;
+  double rate = spec_.retentionDecayPerSecond;
+  if (fault == CellFault::kWeak) rate *= spec_.weakRetentionMultiplier;
+  return std::exp(-rate * seconds);
+}
+
+bool FaultInjector::nextReadFlips(CellFault fault) {
+  if (fault != CellFault::kWeak || spec_.weakReadFlipProbability <= 0.0) {
+    return false;
+  }
+  return eventRng_.bernoulli(spec_.weakReadFlipProbability);
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,103 @@
+// fault_model.h — seedable fault injection for FEFET memory cells.
+//
+// Real FeFET arrays live with weak cells and write failures: the memory
+// window shrinks with endurance cycling, film non-uniformity leaves a
+// tail of cells with collapsed P_r, and marginal cells fail individual
+// write pulses.  `FaultInjector` models four fault classes:
+//
+//   * stuck-at-0 / stuck-at-1: the cell's stored state is pinned and
+//     ignores writes (a shorted or dead FE film);
+//   * weak cells: memory-window collapse — remnant polarization reduced
+//     and V_T shifted, reusing the variability machinery's parameter
+//     perturbation so circuit-level reads genuinely see a degraded cell;
+//   * transient write failures: an individual write pulse fails to switch
+//     the cell with a configurable probability (the cell itself is fine);
+//   * retention / depolarization decay: stored polarization relaxes toward
+//     the basin boundary during unpowered holds, faster for weak cells.
+//
+// The per-cell fault class is a pure hash of (seed, row, col), so a given
+// seed always yields the same fault map regardless of access order; only
+// the transient write-failure draws consume mutable RNG state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "core/fefet.h"
+
+namespace fefet::core {
+
+enum class CellFault { kNone, kStuckAtZero, kStuckAtOne, kWeak };
+
+/// Rates are per-cell probabilities (fault map) or per-attempt
+/// probabilities (transient write failures).  All-zero defaults inject
+/// nothing, which keeps fault-free paths bit-identical to the unfaulted
+/// code.
+struct FaultSpec {
+  double stuckAtZeroRate = 0.0;
+  double stuckAtOneRate = 0.0;
+  double weakCellRate = 0.0;
+  /// Weak-cell window collapse: Landau alpha scaled toward zero (P_r and
+  /// barrier shrink together) plus a V_T shift.  The paper's T_FE =
+  /// 2.25 nm design point sits only ~18% above the minimum nonvolatile
+  /// thickness, so bistability at V_G = 0 is lost below a fraction of
+  /// ~0.92; the default keeps weak cells bistable but visibly degraded.
+  /// Push below 0.92 to model cells whose window has fully collapsed
+  /// (the circuit layer will then reject them as volatile).
+  double weakAlphaFraction = 0.94;
+  double weakVtShift = 40e-3;  ///< [V]
+  /// Probability that any single write pulse fails to commit.
+  double writeFailureProbability = 0.0;
+  /// Fractional polarization loss per second of unpowered hold (healthy
+  /// cells); weak cells decay `weakRetentionMultiplier` times faster.
+  double retentionDecayPerSecond = 0.0;
+  double weakRetentionMultiplier = 20.0;
+  /// Behavioral-layer read upset probability of a weak cell (used by the
+  /// word-level macro model, where no circuit read exists).
+  double weakReadFlipProbability = 0.02;
+  std::uint64_t seed = 1;
+
+  bool anyCellFaults() const {
+    return stuckAtZeroRate > 0.0 || stuckAtOneRate > 0.0 ||
+           weakCellRate > 0.0;
+  }
+  bool anything() const {
+    return anyCellFaults() || writeFailureProbability > 0.0 ||
+           retentionDecayPerSecond > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultSpec{}) {}
+  explicit FaultInjector(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Deterministic fault class of cell (row, col): depends only on the
+  /// seed and the coordinates, never on access order.
+  CellFault cellFault(int row, int col) const;
+
+  /// Device parameters as degraded by `fault` (identity for kNone and the
+  /// stuck classes — stuck cells are pinned behaviorally, not physically).
+  FefetParams apply(const FefetParams& nominal, CellFault fault) const;
+
+  /// Draw one transient write-failure event.  `boostScale` >= 1 is the
+  /// write-drive voltage scale of this attempt: boosted retries push a
+  /// marginal cell harder, so the failure probability shrinks with the
+  /// square of the overdrive (empirical nucleation-limited switching).
+  bool nextWriteFails(double boostScale = 1.0);
+
+  /// Fraction of (P - P_saddle) retained after `seconds` of unpowered
+  /// hold for a cell of the given fault class.
+  double retentionFactor(double seconds, CellFault fault) const;
+
+  /// Behavioral read upset draw (weak cells only).
+  bool nextReadFlips(CellFault fault);
+
+ private:
+  FaultSpec spec_;
+  stats::Rng eventRng_;
+};
+
+}  // namespace fefet::core

@@ -21,7 +21,8 @@ std::string rowName(const std::string& base, int r) {
 }
 }  // namespace
 
-MemoryArray::MemoryArray(const ArrayConfig& config) : config_(config) {
+MemoryArray::MemoryArray(const ArrayConfig& config)
+    : config_(config), injector_(config.faults) {
   FEFET_REQUIRE(config_.rows >= 1 && config_.cols >= 1,
                 "array needs at least one cell");
   // Quasi-static state targets (same math as Cell2T).
@@ -75,8 +76,14 @@ MemoryArray::MemoryArray(const ArrayConfig& config) : config_(config) {
                                  n.node(rowName("wbl", c)),
                                  n.node(rowName("ws", r)), n.node(gate),
                                  config_.accessMos, config_.accessWidth);
+      const CellFault fault = injector_.cellFault(r, c);
+      cellFaults_.push_back(fault);
+      // Weak cells are instantiated with collapsed device parameters, so
+      // their degraded window is physical, not bookkept.
       cells_.push_back(attachFefet(n, id.str(), gate, rowName("rs", r),
-                                   rowName("sl", c), config_.fefet, pOff_));
+                                   rowName("sl", c),
+                                   injector_.apply(config_.fefet, fault),
+                                   pOff_));
     }
   }
   sim_ = std::make_unique<spice::Simulator>(netlist_);
@@ -93,13 +100,47 @@ void MemoryArray::setPattern(const std::vector<std::vector<bool>>& bits) {
     FEFET_REQUIRE(static_cast<int>(bits[r].size()) == config_.cols,
                   "pattern column count mismatch");
     for (int c = 0; c < config_.cols; ++c) {
-      const bool one = bits[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      bool one = bits[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      const CellFault fault = faultAt(r, c);
+      if (fault == CellFault::kStuckAtZero) one = false;
+      if (fault == CellFault::kStuckAtOne) one = true;
       cell(r, c).fe->setPolarization(one ? pOn_ : pOff_);
       sim_->setNodeVoltage(netlist_.nodeName(cell(r, c).internalNode),
                            one ? psiOn_ : psiOff_);
     }
   }
   sim_->initializeUic();
+}
+
+CellFault MemoryArray::faultAt(int row, int col) const {
+  if (cellFaults_.empty()) return CellFault::kNone;
+  return cellFaults_[static_cast<std::size_t>(row * config_.cols + col)];
+}
+
+bool MemoryArray::enforceFaultState(int revertRow, int revertCol,
+                                    double revertP) {
+  bool changed = false;
+  const auto pin = [&](int r, int c, double p) {
+    cell(r, c).fe->setPolarization(p);
+    sim_->setNodeVoltage(netlist_.nodeName(cell(r, c).internalNode),
+                         p > pSaddle_ ? psiOn_ : psiOff_);
+    changed = true;
+  };
+  if (revertRow >= 0) pin(revertRow, revertCol, revertP);
+  if (injector_.spec().anyCellFaults()) {
+    for (int r = 0; r < config_.rows; ++r) {
+      for (int c = 0; c < config_.cols; ++c) {
+        const CellFault fault = faultAt(r, c);
+        if (fault == CellFault::kStuckAtZero && bitAt(r, c)) pin(r, c, pOff_);
+        if (fault == CellFault::kStuckAtOne && !bitAt(r, c)) pin(r, c, pOn_);
+      }
+    }
+  }
+  // Re-seeding the solver keeps the aux polarization unknowns and device
+  // histories consistent with the overridden committed state; untouched
+  // cells keep their exact committed values.
+  if (changed) sim_->initializeUic();
+  return changed;
 }
 
 bool MemoryArray::bitAt(int row, int col) const {
@@ -194,19 +235,28 @@ ArrayOpResult MemoryArray::runOp(double duration, int accessedRow,
 }
 
 ArrayOpResult MemoryArray::writeBit(int row, int col, bool one) {
+  return writeBit(row, col, one, WriteDrive{});
+}
+
+ArrayOpResult MemoryArray::writeBit(int row, int col, bool one,
+                                    const WriteDrive& drive) {
   FEFET_REQUIRE(row >= 0 && row < config_.rows && col >= 0 &&
                     col < config_.cols,
                 "writeBit: cell index out of range");
+  FEFET_REQUIRE(drive.voltageScale >= 1.0 && drive.pulseScale >= 1.0,
+                "write drive scales must be >= 1");
   groundAll();
   const double edge = config_.edgeTime;
-  const double width = config_.writePulse;
+  const double width = config_.writePulse * drive.pulseScale;
   const double lead = 2.0 * edge;
   // Table 1 write biases: accessed WS boosted, unaccessed WS at -VDD.
+  // The select boost scales with the bit-line drive so the access
+  // transistor keeps passing the escalated level.
   for (int r = 0; r < config_.rows; ++r) {
     if (r == row) {
       wsSources_[static_cast<std::size_t>(r)]->setShape(
-          pulse(0.0, config_.levels.writeBoost, edge, edge,
-                width + 4.0 * edge + 0.8 * config_.settleTime, edge));
+          pulse(0.0, config_.levels.writeBoost * drive.voltageScale, edge,
+                edge, width + 4.0 * edge + 0.8 * config_.settleTime, edge));
     } else if (config_.negativeUnaccessedSelect) {
       wsSources_[static_cast<std::size_t>(r)]->setShape(
           pulse(0.0, -config_.levels.vdd, edge, edge,
@@ -215,11 +265,29 @@ ArrayOpResult MemoryArray::writeBit(int row, int col, bool one) {
       wsSources_[static_cast<std::size_t>(r)]->setShape(dc(0.0));
     }
   }
+  const double vw = config_.levels.vWrite * drive.voltageScale;
   wblSources_[static_cast<std::size_t>(col)]->setShape(
-      pulse(0.0, one ? config_.levels.vWrite : -config_.levels.vWrite,
-            lead + edge, edge, width, edge));
+      pulse(0.0, one ? vw : -vw, lead + edge, edge, width, edge));
   const double duration = lead + width + 6.0 * edge + config_.settleTime;
+
+  const double pBefore = cell(row, col).fe->polarization();
   auto result = runOp(duration, row, col, /*isRead=*/false);
+
+  // Fault events: a transient write failure reverts the accessed cell to
+  // its pre-write state; stuck cells are re-pinned regardless.
+  int revertRow = -1, revertCol = -1;
+  double revertP = 0.0;
+  if (injector_.spec().writeFailureProbability > 0.0 &&
+      injector_.nextWriteFails(drive.voltageScale)) {
+    revertRow = row;
+    revertCol = col;
+    revertP = pBefore;
+    result.faultInjected = true;
+  }
+  if (enforceFaultState(revertRow, revertCol, revertP) &&
+      faultAt(row, col) != CellFault::kNone) {
+    result.faultInjected = true;
+  }
   result.ok = (bitAt(row, col) == one);
   return result;
 }
@@ -240,6 +308,9 @@ ArrayOpResult MemoryArray::readBit(int row, int col) {
             duration - 10.0 * edge, edge));
   const bool expected = bitAt(row, col);
   auto result = runOp(duration, row, col, /*isRead=*/true);
+  // Non-destructive read can still nudge a stuck cell's committed state in
+  // simulation; re-pin so subsequent classification stays faulted.
+  enforceFaultState(-1, -1, 0.0);
   result.ok = (result.bitRead == expected) && (bitAt(row, col) == expected);
   return result;
 }
@@ -247,6 +318,25 @@ ArrayOpResult MemoryArray::readBit(int row, int col) {
 ArrayOpResult MemoryArray::hold(double duration) {
   groundAll();
   auto result = runOp(duration, -1, -1, /*isRead=*/false);
+  // Retention / depolarization decay: stored polarization relaxes toward
+  // the basin boundary, faster for weak cells; stuck cells stay pinned.
+  if (injector_.spec().retentionDecayPerSecond > 0.0) {
+    for (int r = 0; r < config_.rows; ++r) {
+      for (int c = 0; c < config_.cols; ++c) {
+        const CellFault fault = faultAt(r, c);
+        if (fault == CellFault::kStuckAtZero ||
+            fault == CellFault::kStuckAtOne) {
+          continue;
+        }
+        const double factor = injector_.retentionFactor(duration, fault);
+        const double p = cell(r, c).fe->polarization();
+        cell(r, c).fe->setPolarization(pSaddle_ + (p - pSaddle_) * factor);
+      }
+    }
+    sim_->initializeUic();
+    result.faultInjected = true;
+  }
+  enforceFaultState(-1, -1, 0.0);
   result.ok = true;
   return result;
 }

@@ -15,6 +15,7 @@
 
 #include "core/bias_scheme.h"
 #include "core/cell2t.h"
+#include "core/fault_model.h"
 #include "core/fefet.h"
 #include "spice/simulator.h"
 #include "spice/sources.h"
@@ -41,6 +42,15 @@ struct ArrayConfig {
   /// Setting this false grounds them instead — the ablation knob that
   /// demonstrates why the paper's scheme needs the negative level.
   bool negativeUnaccessedSelect = true;
+  /// Injected cell faults (all-zero rates = pristine array).
+  FaultSpec faults;
+};
+
+/// Write-drive override for verify–retry escalation (paper Fig. 10: a
+/// failed write succeeds at higher voltage or longer pulse).
+struct WriteDrive {
+  double voltageScale = 1.0;  ///< scales V_write and the select boost
+  double pulseScale = 1.0;    ///< scales the write pulse width
 };
 
 /// Outcome of one array operation, including disturb bookkeeping.
@@ -52,6 +62,7 @@ struct ArrayOpResult {
   double maxUnaccessedDisturb = 0.0;  ///< max |dP| on any unaccessed cell
   double maxSneakCurrent = 0.0;    ///< peak |I| on unaccessed SLs/RSs [A]
   double totalEnergy = 0.0;        ///< all line drivers [J]
+  bool faultInjected = false;      ///< a fault event altered this op
 };
 
 class MemoryArray {
@@ -70,11 +81,18 @@ class MemoryArray {
 
   /// Write one bit using the Table 1 bias conditions.
   ArrayOpResult writeBit(int row, int col, bool one);
+  /// Write with escalated drive (verify–retry path).
+  ArrayOpResult writeBit(int row, int col, bool one, const WriteDrive& drive);
   /// Read one bit (current sensing on the accessed column, virtual-ground
   /// sense lines everywhere).
   ArrayOpResult readBit(int row, int col);
-  /// Hold with all lines grounded.
+  /// Hold with all lines grounded.  With retention decay configured the
+  /// stored polarizations relax toward the basin boundary.
   ArrayOpResult hold(double duration);
+
+  /// Injected fault class of one cell.
+  CellFault faultAt(int row, int col) const;
+  FaultInjector& faultInjector() { return injector_; }
 
   const ArrayConfig& config() const { return config_; }
 
@@ -89,6 +107,10 @@ class MemoryArray {
   ArrayOpResult runOp(double duration, int accessedRow, int accessedCol,
                       bool isRead);
   void groundAll();
+  /// Re-pin stuck cells (and optionally revert one cell) in the committed
+  /// state, then re-seed the solver so the next op starts consistent.
+  /// Returns true when any state was overridden.
+  bool enforceFaultState(int revertRow, int revertCol, double revertP);
   FefetInstance& cell(int row, int col) {
     return cells_[static_cast<std::size_t>(row * config_.cols + col)];
   }
@@ -97,6 +119,8 @@ class MemoryArray {
   }
 
   ArrayConfig config_;
+  FaultInjector injector_;
+  std::vector<CellFault> cellFaults_;  // row-major
   spice::Netlist netlist_;
   std::vector<FefetInstance> cells_;  // row-major
   std::vector<spice::VoltageSource*> wsSources_, rsSources_;

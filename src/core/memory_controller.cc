@@ -1,57 +1,156 @@
 #include "core/memory_controller.h"
 
 #include "common/error.h"
+#include "common/log.h"
 
 namespace fefet::core {
 
 MemoryController::MemoryController(const ArrayConfig& config, int wordWidth,
                                    int maxRetries)
-    : array_(config), wordWidth_(wordWidth), maxRetries_(maxRetries) {
-  FEFET_REQUIRE(wordWidth_ >= 1 && wordWidth_ <= 32,
+    : MemoryController(config, [&] {
+        ControllerConfig c;
+        c.wordWidth = wordWidth;
+        c.retry.maxRetries = maxRetries;
+        // Legacy behavior: plain rewrites, no escalation, no ECC, no
+        // spares.
+        c.retry.voltageBoostPerRetry = 1.0;
+        c.retry.pulseStretchPerRetry = 1.0;
+        c.retry.maxVoltageScale = 1.0;
+        return c;
+      }()) {}
+
+MemoryController::MemoryController(const ArrayConfig& config,
+                                   const ControllerConfig& controller)
+    : array_(config), controller_(controller) {
+  FEFET_REQUIRE(controller_.wordWidth >= 1 && controller_.wordWidth <= 32,
                 "controller word width must be 1..32");
-  FEFET_REQUIRE(config.cols % wordWidth_ == 0,
-                "array columns must be a multiple of the word width");
-  FEFET_REQUIRE(maxRetries_ >= 0, "negative retry budget");
+  FEFET_REQUIRE(controller_.retry.maxRetries >= 0, "negative retry budget");
+  FEFET_REQUIRE(controller_.spareRows >= 0 &&
+                    controller_.spareRows < config.rows,
+                "spare rows must leave at least one logical row");
+  if (controller_.eccEnabled) codec_.emplace(controller_.wordWidth);
+  FEFET_REQUIRE(config.cols % bitsPerWord() == 0,
+                "array columns must be a multiple of the stored word width "
+                "(data + check bits)");
+}
+
+int MemoryController::bitsPerWord() const {
+  return controller_.wordWidth + (codec_ ? codec_->parityBits() : 0);
+}
+
+int MemoryController::physicalRow(int row) const {
+  const auto it = remap_.find(row);
+  return it == remap_.end() ? row : it->second;
+}
+
+bool MemoryController::writeBitWithRetry(int physRow, int col, bool target) {
+  auto res = array_.writeBit(physRow, col, target);
+  stats_.totalEnergy += res.totalEnergy;
+  for (int k = 1; array_.bitAt(physRow, col) != target &&
+                  k <= controller_.retry.maxRetries;
+       ++k) {
+    ++stats_.bitRetries;
+    ++report_.writeRetries;
+    WriteDrive drive;
+    drive.voltageScale = controller_.retry.voltageScaleFor(k);
+    drive.pulseScale = controller_.retry.pulseScaleFor(k);
+    res = array_.writeBit(physRow, col, target, drive);
+    stats_.totalEnergy += res.totalEnergy;
+    report_.retryEnergy += res.totalEnergy;
+  }
+  return array_.bitAt(physRow, col) == target;
+}
+
+std::optional<int> MemoryController::remapRow(int logicalRow,
+                                              int failedPhysRow) {
+  while (nextSpare_ < controller_.spareRows) {
+    const int spare = array_.rows() - controller_.spareRows + nextSpare_;
+    ++nextSpare_;
+    // Migrate the committed row image; a spare with its own bad cells is
+    // burned and the next one tried.
+    bool ok = true;
+    for (int c = 0; c < array_.cols() && ok; ++c) {
+      const bool v = array_.bitAt(failedPhysRow, c);
+      ok = writeBitWithRetry(spare, c, v);
+    }
+    if (ok) {
+      remap_[logicalRow] = spare;
+      ++report_.remappedRows;
+      FEFET_INFO() << "controller: remapped row " << logicalRow
+                   << " (phys " << failedPhysRow << ") to spare " << spare;
+      return spare;
+    }
+  }
+  return std::nullopt;
 }
 
 bool MemoryController::writeWord(int row, int word, std::uint32_t value) {
+  FEFET_REQUIRE(row >= 0 && row < rows(),
+                "controller write: row index out of range");
   FEFET_REQUIRE(word >= 0 && word < wordsPerRow(),
                 "controller write: word index out of range");
   ++stats_.wordWrites;
+  ++report_.wordWrites;
+
+  // Codeword bit image: data bits, then SECDED check bits.
+  const int n = bitsPerWord();
+  std::uint64_t image = value & ((controller_.wordWidth >= 32
+                                      ? ~std::uint32_t{0}
+                                      : (1u << controller_.wordWidth) - 1u));
+  if (codec_) {
+    image |= static_cast<std::uint64_t>(codec_->encode(image))
+             << controller_.wordWidth;
+  }
+
+  int physRow = physicalRow(row);
   bool allGood = true;
-  for (int bit = 0; bit < wordWidth_; ++bit) {
-    const int col = word * wordWidth_ + bit;
-    const bool target = (value >> bit) & 1u;
-    auto res = array_.writeBit(row, col, target);
-    stats_.totalEnergy += res.totalEnergy;
-    int retries = 0;
-    // Verify-after-write: the committed state is directly inspectable.
-    while (array_.bitAt(row, col) != target && retries < maxRetries_) {
-      ++retries;
-      ++stats_.bitRetries;
-      res = array_.writeBit(row, col, target);
-      stats_.totalEnergy += res.totalEnergy;
+  for (int bit = 0; bit < n; ++bit) {
+    const int col = word * n + bit;
+    const bool target = (image >> bit) & 1u;
+    if (writeBitWithRetry(physRow, col, target)) continue;
+    // The escalation ladder is exhausted: a hard-failed cell.  Retire the
+    // row to a spare and land the bit there.
+    const auto spare = remapRow(row, physRow);
+    if (spare && writeBitWithRetry(*spare, col, target)) {
+      physRow = *spare;
+      continue;
     }
-    if (array_.bitAt(row, col) != target) {
-      ++stats_.uncorrectable;
-      allGood = false;
-    }
+    ++stats_.uncorrectable;
+    ++report_.uncorrectedBits;
+    allGood = false;
   }
   return allGood;
 }
 
 std::uint32_t MemoryController::readWord(int row, int word) {
+  FEFET_REQUIRE(row >= 0 && row < rows(),
+                "controller read: row index out of range");
   FEFET_REQUIRE(word >= 0 && word < wordsPerRow(),
                 "controller read: word index out of range");
   ++stats_.wordReads;
-  std::uint32_t value = 0;
-  for (int bit = 0; bit < wordWidth_; ++bit) {
-    const int col = word * wordWidth_ + bit;
-    const auto res = array_.readBit(row, col);
+  ++report_.wordReads;
+  const int physRow = physicalRow(row);
+  const int n = bitsPerWord();
+  std::uint64_t image = 0;
+  for (int bit = 0; bit < n; ++bit) {
+    const int col = word * n + bit;
+    const auto res = array_.readBit(physRow, col);
     stats_.totalEnergy += res.totalEnergy;
-    if (res.bitRead) value |= (1u << bit);
+    if (res.bitRead) image |= std::uint64_t{1} << bit;
   }
-  return value;
+  if (!codec_) return static_cast<std::uint32_t>(image);
+
+  const std::uint64_t dataMask =
+      controller_.wordWidth >= 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << controller_.wordWidth) - 1;
+  const auto decoded = codec_->decode(
+      image & dataMask,
+      static_cast<std::uint16_t>(image >> controller_.wordWidth));
+  if (decoded.status == EccStatus::kCorrectedSingle) ++report_.correctedBits;
+  if (decoded.status == EccStatus::kDetectedDouble) {
+    ++report_.detectedDoubleBits;
+  }
+  return static_cast<std::uint32_t>(decoded.data);
 }
 
 }  // namespace fefet::core

@@ -1,15 +1,20 @@
 // memory_controller.h — a word-level controller on top of the
 // circuit-level MemoryArray: sequences per-bit writes across a row,
-// verifies after write (re-reads and retries failed bits), and keeps
-// operation/energy statistics.  This is the bridge between the
+// verifies after write (re-reads and retries failed bits with escalated
+// drive), protects words with SECDED ECC, remaps bad rows to spares, and
+// keeps operation/energy statistics.  This is the bridge between the
 // transistor-level array and the word-level NvmMacro abstraction — on
 // small arrays the two can be cross-checked bit for bit.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <vector>
 
+#include "core/ecc.h"
 #include "core/memory_array.h"
+#include "core/resilience.h"
 
 namespace fefet::core {
 
@@ -21,32 +26,60 @@ struct ControllerStats {
   double totalEnergy = 0.0;  ///< line-driver energy across all ops [J]
 };
 
+/// Resilience knobs of the word path.
+struct ControllerConfig {
+  int wordWidth = 8;   ///< data bits per word (1..32)
+  RetryPolicy retry;
+  /// Store SECDED check bits in extra columns and correct on read.
+  bool eccEnabled = false;
+  /// Rows at the top of the array reserved as remap spares; logical
+  /// addresses cover rows() - spareRows.
+  int spareRows = 0;
+};
+
 class MemoryController {
  public:
   /// The controller owns the array.  Word `w` of row `r` occupies columns
-  /// [w*width, (w+1)*width).
+  /// [w*width, (w+1)*width) — plus the check-bit columns with ECC on.
   MemoryController(const ArrayConfig& config, int wordWidth,
                    int maxRetries = 2);
+  MemoryController(const ArrayConfig& config,
+                   const ControllerConfig& controller);
 
-  int rows() const { return array_.rows(); }
-  int wordsPerRow() const { return array_.cols() / wordWidth_; }
-  int wordWidth() const { return wordWidth_; }
+  /// Logical (remappable) rows.
+  int rows() const { return array_.rows() - controller_.spareRows; }
+  int wordsPerRow() const { return array_.cols() / bitsPerWord(); }
+  int wordWidth() const { return controller_.wordWidth; }
+  /// Stored bits per word: data plus check bits when ECC is on.
+  int bitsPerWord() const;
 
-  /// Write a word with verify-after-write; returns true when every bit
-  /// landed (possibly after retries).
+  /// Write a word with verify-after-write and drive escalation; returns
+  /// true when every bit landed (possibly after retries / a row remap).
   bool writeWord(int row, int word, std::uint32_t value);
 
-  /// Read a word by per-bit current sensing.
+  /// Read a word by per-bit current sensing (ECC-corrected when enabled).
   std::uint32_t readWord(int row, int word);
 
   const ControllerStats& stats() const { return stats_; }
+  const ResilienceReport& report() const { return report_; }
   MemoryArray& array() { return array_; }
 
  private:
+  /// Physical row after remapping.
+  int physicalRow(int row) const;
+  /// Write one bit with the escalation ladder; true on verified success.
+  bool writeBitWithRetry(int physRow, int col, bool target);
+  /// Try to migrate a failing row to a spare; returns the new physical
+  /// row, or nullopt when no spare absorbed it.
+  std::optional<int> remapRow(int logicalRow, int failedPhysRow);
+
   MemoryArray array_;
-  int wordWidth_;
-  int maxRetries_;
+  ControllerConfig controller_;
+  std::optional<SecdedCodec> codec_;
   ControllerStats stats_;
+  ResilienceReport report_;
+  std::map<int, int> remap_;   ///< logical row -> spare physical row
+  int nextSpare_ = 0;          ///< spares handed out so far
 };
 
 }  // namespace fefet::core

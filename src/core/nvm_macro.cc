@@ -8,6 +8,10 @@
 namespace fefet::core {
 
 NvmMacro::NvmMacro(MacroTechnology technology, const MacroConfig& config)
+    : NvmMacro(technology, config, MacroResilience{}) {}
+
+NvmMacro::NvmMacro(MacroTechnology technology, const MacroConfig& config,
+                   const MacroResilience& resilience)
     : technology_(technology),
       config_(config),
       numbers_(technology == MacroTechnology::kFefet
@@ -15,13 +19,86 @@ NvmMacro::NvmMacro(MacroTechnology technology, const MacroConfig& config)
                    : MacroEnergyModel(config).feram()),
       fatigue_(technology == MacroTechnology::kFefet
                    ? ferro::findMaterial("dac16-table2").fatigue
-                   : ferro::sbtFatigue()) {
+                   : ferro::sbtFatigue()),
+      resilience_(resilience),
+      injector_(resilience.faults) {
   FEFET_REQUIRE(config_.wordBits > 0 && config_.wordBits <= 32,
                 "macro word width must be 1..32 bits");
-  wordCount_ = config_.rows * config_.cols / config_.wordBits;
-  FEFET_REQUIRE(wordCount_ > 0, "macro too small for one word");
+  if (resilience_.enabled) {
+    FEFET_REQUIRE(resilience_.spareWords >= 0,
+                  "macro spare word count must be nonnegative");
+    FEFET_REQUIRE(resilience_.retry.maxRetries >= 0,
+                  "negative retry budget");
+    if (resilience_.eccEnabled) codec_.emplace(config_.wordBits);
+    const int stored = storedBitsPerWord();
+    physicalWordCount_ = config_.rows * config_.cols / stored;
+    wordCount_ = physicalWordCount_ - resilience_.spareWords;
+    FEFET_REQUIRE(wordCount_ > 0,
+                  "macro too small for one word plus spares");
+    cellBits_.assign(
+        static_cast<std::size_t>(physicalWordCount_ * stored), 0u);
+  } else {
+    wordCount_ = config_.rows * config_.cols / config_.wordBits;
+    FEFET_REQUIRE(wordCount_ > 0, "macro too small for one word");
+  }
   store_.assign(static_cast<std::size_t>(wordCount_), 0u);
   cycles_.assign(static_cast<std::size_t>(wordCount_), 0u);
+}
+
+int NvmMacro::storedBitsPerWord() const {
+  return config_.wordBits + (codec_ ? codec_->parityBits() : 0);
+}
+
+int NvmMacro::physicalWord(int address) const {
+  const auto it = remap_.find(address);
+  return it == remap_.end() ? address : it->second;
+}
+
+CellFault NvmMacro::cellFaultAt(int physWord, int bit) const {
+  // Stored words stream across the array row-major; the fault map is
+  // addressed by the cell's geometric coordinates.
+  const int idx = physWord * storedBitsPerWord() + bit;
+  return injector_.cellFault(idx / config_.cols, idx % config_.cols);
+}
+
+bool NvmMacro::writeStoredBit(int physWord, int bit, bool target) {
+  const auto fault = cellFaultAt(physWord, bit);
+  auto& cell =
+      cellBits_[static_cast<std::size_t>(physWord * storedBitsPerWord() +
+                                         bit)];
+  for (int k = 0; k <= resilience_.retry.maxRetries; ++k) {
+    const double vScale = resilience_.retry.voltageScaleFor(k);
+    if (k > 0) {
+      ++report_.writeRetries;
+      // Escalated pulse: CV^2 drive at boosted voltage, stretched width.
+      const double extra = numbers_.writeEnergy / config_.wordBits *
+                           vScale * vScale *
+                           resilience_.retry.pulseScaleFor(k);
+      totalEnergy_ += extra;
+      report_.retryEnergy += extra;
+    }
+    bool landed = target;
+    if (fault == CellFault::kStuckAtZero) {
+      landed = false;
+    } else if (fault == CellFault::kStuckAtOne) {
+      landed = true;
+    } else if (injector_.nextWriteFails(vScale)) {
+      continue;  // pulse failed to switch; the cell retains its old state
+    }
+    cell = landed ? 1u : 0u;
+    if (landed == target) return true;
+  }
+  return (cell != 0u) == target;
+}
+
+std::optional<int> NvmMacro::allocateSpare(int address) {
+  if (nextSpare_ >= resilience_.spareWords) return std::nullopt;
+  const int spare = physicalWordCount_ - resilience_.spareWords +
+                    nextSpare_;
+  ++nextSpare_;
+  remap_[address] = spare;
+  ++report_.remappedRows;
+  return spare;
 }
 
 MacroAccess NvmMacro::writeWord(int address, std::uint32_t value) {
@@ -35,6 +112,29 @@ MacroAccess NvmMacro::writeWord(int address, std::uint32_t value) {
   access.value = value;
   access.energy = numbers_.writeEnergy;
   access.latency = numbers_.writeTime;
+  if (!resilience_.enabled) return access;
+
+  ++report_.wordWrites;
+  std::uint64_t image = value;
+  if (config_.wordBits < 32) image &= (1u << config_.wordBits) - 1u;
+  if (codec_) {
+    image |= static_cast<std::uint64_t>(codec_->encode(image))
+             << config_.wordBits;
+  }
+  const int n = storedBitsPerWord();
+  int physWord = physicalWord(address);
+  for (int bit = 0; bit < n; ++bit) {
+    if (writeStoredBit(physWord, bit, (image >> bit) & 1u)) continue;
+    // Hard-failed cell (or exhausted ladder): retire the word to a spare
+    // and restart the image there.  A spare with its own bad cells burns
+    // through to the next spare on the same path.
+    if (const auto spare = allocateSpare(address)) {
+      physWord = *spare;
+      bit = -1;
+      continue;
+    }
+    ++report_.uncorrectedBits;
+  }
   return access;
 }
 
@@ -49,9 +149,41 @@ MacroAccess NvmMacro::readWord(int address) {
     ++cycles_[static_cast<std::size_t>(address)];
   }
   MacroAccess access;
-  access.value = store_[static_cast<std::size_t>(address)];
   access.energy = numbers_.readEnergy;
   access.latency = ReadTimingModel{}.readTimeSum();
+  if (!resilience_.enabled) {
+    access.value = store_[static_cast<std::size_t>(address)];
+    return access;
+  }
+
+  ++report_.wordReads;
+  const int n = storedBitsPerWord();
+  const int physWord = physicalWord(address);
+  std::uint64_t image = 0;
+  for (int bit = 0; bit < n; ++bit) {
+    bool v = cellBits_[static_cast<std::size_t>(physWord * n + bit)] != 0u;
+    // Weak cells upset individual reads; ECC is what absorbs these.
+    if (injector_.nextReadFlips(cellFaultAt(physWord, bit))) v = !v;
+    if (v) image |= std::uint64_t{1} << bit;
+  }
+  if (!codec_) {
+    access.value = static_cast<std::uint32_t>(
+        image & ((config_.wordBits >= 32)
+                     ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << config_.wordBits) - 1));
+    return access;
+  }
+  const std::uint64_t dataMask =
+      config_.wordBits >= 32 ? 0xFFFFFFFFull
+                             : (std::uint64_t{1} << config_.wordBits) - 1;
+  const auto decoded = codec_->decode(
+      image & dataMask,
+      static_cast<std::uint16_t>(image >> config_.wordBits));
+  if (decoded.status == EccStatus::kCorrectedSingle) ++report_.correctedBits;
+  if (decoded.status == EccStatus::kDetectedDouble) {
+    ++report_.detectedDoubleBits;
+  }
+  access.value = static_cast<std::uint32_t>(decoded.data);
   return access;
 }
 

@@ -8,14 +8,26 @@
 // The endurance meter ages the array with the ferro fatigue model — FERAM
 // reads count as cycles too, because its reads are destructive.
 //
+// With a MacroResilience config the macro additionally models the array
+// at cell granularity: per-cell faults from FaultInjector (stuck cells,
+// weak cells, transient write failures), mitigated by write–verify–retry
+// with drive escalation, SECDED ECC check bits stored alongside the data,
+// and remapping of unwritable words to spares.  The ResilienceReport
+// ledger records what was absorbed and what leaked through.
+//
 // This is the object the NVP system model consumes (nvmParams()).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <vector>
 
+#include "core/ecc.h"
+#include "core/fault_model.h"
 #include "core/macro_energy.h"
 #include "core/read_timing.h"
+#include "core/resilience.h"
 #include "ferro/fatigue.h"
 #include "layout/layout.h"
 
@@ -30,14 +42,31 @@ struct MacroAccess {
   double latency = 0.0;      ///< [s]
 };
 
+/// Behavioral fault/resilience mode of the macro.  `enabled` turns on
+/// cell-level fault modeling; the mitigation knobs (retry ladder, ECC,
+/// spares) can be zeroed independently to measure the unprotected array.
+struct MacroResilience {
+  bool enabled = false;
+  FaultSpec faults;
+  RetryPolicy retry;
+  /// Store SECDED check bits in extra cells per word; correct on read.
+  bool eccEnabled = true;
+  /// Physical words at the top of the array reserved as remap spares.
+  int spareWords = 8;
+};
+
 class NvmMacro {
  public:
   explicit NvmMacro(MacroTechnology technology,
                     const MacroConfig& config = MacroConfig());
+  NvmMacro(MacroTechnology technology, const MacroConfig& config,
+           const MacroResilience& resilience);
 
   MacroTechnology technology() const { return technology_; }
   int wordCount() const { return wordCount_; }
   int wordBits() const { return config_.wordBits; }
+  /// Cells a stored word occupies: data bits plus ECC check bits.
+  int storedBitsPerWord() const;
 
   MacroAccess writeWord(int address, std::uint32_t value);
   MacroAccess readWord(int address);
@@ -50,6 +79,10 @@ class NvmMacro {
   /// The Table 3 row this macro charges per access.
   const MacroNumbers& numbers() const { return numbers_; }
 
+  /// Resilience ledger (all-zero when fault modeling is disabled).
+  const ResilienceReport& report() const { return report_; }
+  const MacroResilience& resilience() const { return resilience_; }
+
   /// Macro array footprint [m^2] (cells only, from the layout model).
   double arrayArea() const;
 
@@ -59,6 +92,15 @@ class NvmMacro {
   double enduranceMarginRemaining(double requiredFraction = 0.5) const;
 
  private:
+  /// Physical word after remapping.
+  int physicalWord(int address) const;
+  CellFault cellFaultAt(int physWord, int bit) const;
+  /// One bit through the write–verify–retry ladder; true once the stored
+  /// cell value matches the target.
+  bool writeStoredBit(int physWord, int bit, bool target);
+  /// Hand out the next spare word for a failing logical address.
+  std::optional<int> allocateSpare(int address);
+
   MacroTechnology technology_;
   MacroConfig config_;
   MacroNumbers numbers_;
@@ -69,6 +111,16 @@ class NvmMacro {
   int writes_ = 0;
   int reads_ = 0;
   double totalEnergy_ = 0.0;
+
+  // Resilient mode only.
+  MacroResilience resilience_;
+  FaultInjector injector_;
+  std::optional<SecdedCodec> codec_;
+  ResilienceReport report_;
+  int physicalWordCount_ = 0;
+  std::vector<std::uint8_t> cellBits_;  ///< per-cell stored values
+  std::map<int, int> remap_;            ///< logical address -> spare word
+  int nextSpare_ = 0;
 };
 
 }  // namespace fefet::core

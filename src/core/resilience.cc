@@ -1,0 +1,16 @@
+#include "core/resilience.h"
+
+#include <sstream>
+
+namespace fefet::core {
+
+std::string ResilienceReport::summary() const {
+  std::ostringstream os;
+  os << wordWrites << " writes / " << wordReads << " reads: "
+     << writeRetries << " retries, " << correctedBits << " ECC-corrected, "
+     << detectedDoubleBits << " double-detected, " << remappedRows
+     << " rows remapped, " << uncorrectedBits << " uncorrected";
+  return os.str();
+}
+
+}  // namespace fefet::core

@@ -1,0 +1,50 @@
+// resilience.h — shared types of the resilient write/read path, used by
+// both the circuit-level MemoryController and the behavioral NvmMacro.
+#pragma once
+
+#include <string>
+
+namespace fefet::core {
+
+/// Write–verify–retry escalation ladder (paper Fig. 10: the write
+/// voltage/time tradeoff — a failed pulse is retried with boosted voltage
+/// and a stretched pulse, up to a budget).
+struct RetryPolicy {
+  int maxRetries = 2;                ///< attempts beyond the first write
+  double voltageBoostPerRetry = 1.12;  ///< multiplicative V_write escalation
+  double pulseStretchPerRetry = 1.5;   ///< multiplicative pulse-width escalation
+  double maxVoltageScale = 1.4;        ///< drive ceiling (reliability limit)
+
+  /// Drive scales of attempt `k` (0 = first write, unboosted).
+  double voltageScaleFor(int k) const {
+    double s = 1.0;
+    for (int i = 0; i < k; ++i) s *= voltageBoostPerRetry;
+    return s < maxVoltageScale ? s : maxVoltageScale;
+  }
+  double pulseScaleFor(int k) const {
+    double s = 1.0;
+    for (int i = 0; i < k; ++i) s *= pulseStretchPerRetry;
+    return s;
+  }
+};
+
+/// Graceful-degradation ledger: what the resilience machinery absorbed and
+/// what leaked through.  `clean()` is the array-level correctness claim —
+/// every fault was absorbed by verify-retry, ECC or remapping.
+struct ResilienceReport {
+  int wordWrites = 0;
+  int wordReads = 0;
+  int writeRetries = 0;        ///< escalated write attempts issued
+  int correctedBits = 0;       ///< ECC single-bit corrections on read
+  int detectedDoubleBits = 0;  ///< ECC double-bit detections (uncorrected)
+  int remappedRows = 0;        ///< rows retired to spares
+  int uncorrectedBits = 0;     ///< verified-wrong bits with no remedy left
+  double retryEnergy = 0.0;    ///< [J] energy spent on retries/migration
+
+  bool clean() const {
+    return uncorrectedBits == 0 && detectedDoubleBits == 0;
+  }
+  std::string summary() const;
+};
+
+}  // namespace fefet::core

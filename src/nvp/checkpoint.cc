@@ -1,0 +1,114 @@
+#include "nvp/checkpoint.h"
+
+#include "common/error.h"
+
+namespace fefet::nvp {
+
+std::uint32_t checkpointChecksum(const std::vector<std::uint32_t>& state,
+                                 std::uint32_t epoch) {
+  std::uint32_t h = 2166136261u ^ epoch;
+  for (const std::uint32_t w : state) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (w >> (8 * b)) & 0xFFu;
+      h *= 16777619u;
+    }
+  }
+  return h;
+}
+
+CheckpointManager::CheckpointManager(core::NvmMacro& macro, int stateWords)
+    : macro_(macro), stateWords_(stateWords) {
+  FEFET_REQUIRE(stateWords_ > 0, "checkpoint state must be at least one word");
+  FEFET_REQUIRE(macro_.wordCount() >= 2 * bankWords(),
+                "macro too small for two checkpoint banks");
+  FEFET_REQUIRE(macro_.wordBits() == 32,
+                "checkpoint banks require a 32-bit macro word");
+  // Recover the commit state from whatever the macro already holds, so a
+  // manager rebuilt after a power cycle resumes the epoch sequence.
+  double e = 0.0, t = 0.0;
+  std::uint32_t best = 0;
+  int bestBank = -1;
+  for (int bank = 0; bank < 2; ++bank) {
+    std::uint32_t epoch = 0;
+    if (readBank(bank, &epoch, &e, &t) && epoch > best) {
+      best = epoch;
+      bestBank = bank;
+    }
+  }
+  epoch_ = best;
+  standby_ = bestBank == 0 ? 1 : 0;
+}
+
+std::optional<std::vector<std::uint32_t>> CheckpointManager::readBank(
+    int bank, std::uint32_t* epochOut, double* energy, double* latency) {
+  const int base = bankBase(bank);
+  std::vector<std::uint32_t> data(static_cast<std::size_t>(stateWords_));
+  for (int i = 0; i < stateWords_; ++i) {
+    const auto a = macro_.readWord(base + i);
+    data[static_cast<std::size_t>(i)] = a.value;
+    *energy += a.energy;
+    *latency += a.latency;
+  }
+  const auto sum = macro_.readWord(base + stateWords_);
+  const auto epoch = macro_.readWord(base + stateWords_ + 1);
+  *energy += sum.energy + epoch.energy;
+  *latency += sum.latency + epoch.latency;
+  *epochOut = epoch.value;
+  if (epoch.value == 0 ||
+      sum.value != checkpointChecksum(data, epoch.value)) {
+    return std::nullopt;
+  }
+  return data;
+}
+
+BackupResult CheckpointManager::backup(
+    const std::vector<std::uint32_t>& state, int failAfterWords) {
+  FEFET_REQUIRE(static_cast<int>(state.size()) == stateWords_,
+                "checkpoint state size mismatch");
+  BackupResult r;
+  const int base = bankBase(standby_);
+  const std::uint32_t newEpoch = epoch_ + 1;
+  const auto writeOne = [&](int offset, std::uint32_t v) {
+    if (failAfterWords >= 0 && r.wordsWritten >= failAfterWords) {
+      return false;  // supply died at this word boundary
+    }
+    const auto a = macro_.writeWord(base + offset, v);
+    ++r.wordsWritten;
+    r.energy += a.energy;
+    r.latency += a.latency;
+    return true;
+  };
+  for (int i = 0; i < stateWords_; ++i) {
+    if (!writeOne(i, state[static_cast<std::size_t>(i)])) return r;
+  }
+  if (!writeOne(stateWords_, checkpointChecksum(state, newEpoch))) return r;
+  // The epoch word is the commit point: until it lands, restore still
+  // sees the previous checkpoint.
+  if (!writeOne(stateWords_ + 1, newEpoch)) return r;
+  r.committed = true;
+  epoch_ = newEpoch;
+  standby_ ^= 1;
+  return r;
+}
+
+std::optional<std::vector<std::uint32_t>> CheckpointManager::restore() {
+  double e = 0.0, t = 0.0;
+  std::uint32_t bestEpoch = 0;
+  int bestBank = -1;
+  std::vector<std::uint32_t> bestData;
+  for (int bank = 0; bank < 2; ++bank) {
+    std::uint32_t epoch = 0;
+    auto data = readBank(bank, &epoch, &e, &t);
+    if (data && epoch > bestEpoch) {
+      bestEpoch = epoch;
+      bestBank = bank;
+      bestData = std::move(*data);
+    }
+  }
+  if (bestBank < 0) return std::nullopt;
+  epoch_ = bestEpoch;
+  standby_ = bestBank == 0 ? 1 : 0;
+  return bestData;
+}
+
+}  // namespace fefet::nvp

@@ -1,0 +1,77 @@
+// checkpoint.h — crash-consistent processor-state checkpointing on top of
+// the NVM macro, for the ODAB backup path of the NVP system model.
+//
+// A naive backup that overwrites its only copy is corruptible: power can
+// die mid-stream, leaving a half-new half-old image with no way to tell.
+// CheckpointManager double-buffers instead — two banks in the macro, each
+// with a trailing (checksum, epoch) header.  A backup streams the state
+// words into the standby bank, then the checksum, and commits by writing
+// the epoch word LAST; restore picks the bank with the highest epoch whose
+// checksum verifies.  A power failure at ANY word boundary therefore loses
+// at most the in-flight checkpoint, never the previous good one.
+//
+// Power-failure injection is built in: backup(state, failAfterWords = k)
+// stops after k word writes, exactly as a dying energy buffer would, so
+// tests can verify recovery from every truncation point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/nvm_macro.h"
+
+namespace fefet::nvp {
+
+/// Outcome of one backup attempt.
+struct BackupResult {
+  bool committed = false;   ///< epoch marker landed (checkpoint durable)
+  int wordsWritten = 0;     ///< macro word writes issued (incl. header)
+  double energy = 0.0;      ///< [J]
+  double latency = 0.0;     ///< [s]
+};
+
+class CheckpointManager {
+ public:
+  /// Manages checkpoints of `stateWords` words inside `macro`, which must
+  /// hold two banks of stateWords + 2 header words.  The macro is
+  /// borrowed, not owned; the manager claims addresses [0, 2*bankWords).
+  CheckpointManager(core::NvmMacro& macro, int stateWords);
+
+  int stateWords() const { return stateWords_; }
+  /// Words per bank including the (checksum, epoch) header.
+  int bankWords() const { return stateWords_ + 2; }
+
+  /// Stream `state` into the standby bank and commit it.  With
+  /// `failAfterWords` >= 0 the supply dies after that many word writes:
+  /// the backup stops mid-stream and reports committed = false.
+  BackupResult backup(const std::vector<std::uint32_t>& state,
+                      int failAfterWords = -1);
+
+  /// Recover the newest intact checkpoint, or nullopt when no bank has
+  /// ever committed (first boot, or both banks corrupt).
+  std::optional<std::vector<std::uint32_t>> restore();
+
+  /// Epoch of the latest committed checkpoint (0 = none yet).
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  int bankBase(int bank) const { return bank * bankWords(); }
+  /// Read a bank's image; nullopt when its checksum does not verify.
+  std::optional<std::vector<std::uint32_t>> readBank(int bank,
+                                                     std::uint32_t* epochOut,
+                                                     double* energy,
+                                                     double* latency);
+
+  core::NvmMacro& macro_;
+  int stateWords_ = 0;
+  std::uint32_t epoch_ = 0;  ///< last committed epoch
+  int standby_ = 0;          ///< bank the NEXT backup streams into
+};
+
+/// Order-sensitive 32-bit checksum (FNV-1a over the word stream mixed
+/// with the epoch), so a torn image cannot alias a committed one.
+std::uint32_t checkpointChecksum(const std::vector<std::uint32_t>& state,
+                                 std::uint32_t epoch);
+
+}  // namespace fefet::nvp

@@ -18,6 +18,35 @@ NewtonStats NewtonSolver::solve(std::vector<double>& x, bool dc, double time,
   return solveWithGmin(x, dc, time, dt, method, options_.gmin);
 }
 
+NewtonStats NewtonSolver::solveWithEscalation(std::vector<double>& x, bool dc,
+                                              double time, double dt,
+                                              IntegrationMethod method,
+                                              int maxEscalations,
+                                              double gminMax) {
+  int totalIters = 0;
+  double gmin = options_.gmin;
+  for (int level = 0; level <= maxEscalations; ++level) {
+    std::vector<double> attempt = x;
+    NewtonStats stats = solveWithGmin(attempt, dc, time, dt, method, gmin);
+    totalIters += stats.iterations;
+    if (stats.converged) {
+      x = attempt;
+      stats.iterations = totalIters;
+      stats.gminEscalations = level;
+      stats.gminUsed = gmin;
+      return stats;
+    }
+    if (level == maxEscalations) {
+      stats.iterations = totalIters;
+      stats.gminEscalations = level;
+      stats.gminUsed = gmin;
+      return stats;
+    }
+    gmin = std::min(std::max(gmin * 100.0, options_.gmin * 100.0), gminMax);
+  }
+  return {};  // unreachable
+}
+
 NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
                                         double time, double dt,
                                         IntegrationMethod method,
@@ -109,24 +138,34 @@ NewtonStats NewtonSolver::solveDcWithContinuation(std::vector<double>& x) {
   FEFET_DEBUG() << "DC: direct solve failed; starting gmin continuation";
   attempt = x;
   int totalIters = stats.iterations;
+  int levels = 0;
+  const auto diagnose = [&](double gmin) {
+    SolverDiagnostics diag;
+    diag.gminEscalations = levels;
+    diag.newtonIterations = totalIters;
+    diag.finalResidualNorm = stats.finalResidualNorm;
+    diag.smallestDt = 0.0;
+    return NumericalError(
+        "DC operating point failed during gmin continuation at gmin=" +
+            std::to_string(gmin),
+        diag);
+  };
   for (double gmin = 1e-2; gmin >= options_.gmin * 0.99; gmin *= 0.1) {
     stats = solveWithGmin(attempt, true, 0.0, 0.0,
                           IntegrationMethod::kBackwardEuler, gmin);
     totalIters += stats.iterations;
-    if (!stats.converged) {
-      throw NumericalError(
-          "DC operating point failed during gmin continuation at gmin=" +
-          std::to_string(gmin));
-    }
+    ++levels;
+    if (!stats.converged) throw diagnose(gmin);
   }
   stats = solveWithGmin(attempt, true, 0.0, 0.0,
                         IntegrationMethod::kBackwardEuler, options_.gmin);
   totalIters += stats.iterations;
-  if (!stats.converged) {
-    throw NumericalError("DC operating point failed at final gmin");
-  }
+  ++levels;
+  if (!stats.converged) throw diagnose(options_.gmin);
   x = attempt;
   stats.iterations = totalIters;
+  stats.gminEscalations = levels;
+  stats.gminUsed = options_.gmin;
   return stats;
 }
 

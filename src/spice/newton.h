@@ -28,6 +28,11 @@ struct NewtonStats {
   int iterations = 0;
   bool converged = false;
   double finalResidualNorm = 0.0;
+  /// Gmin rescue levels applied before this solve converged (0 when the
+  /// nominal gmin sufficed).
+  int gminEscalations = 0;
+  /// Gmin actually used by the converged solve (options.gmin nominally).
+  double gminUsed = 0.0;
 };
 
 /// Solve F(x) = 0 for the frozen netlist at one (DC or transient) instant.
@@ -41,6 +46,15 @@ class NewtonSolver {
   /// `converged == false` means the caller should cut dt / apply gmin.
   NewtonStats solve(std::vector<double>& x, bool dc, double time, double dt,
                     IntegrationMethod method);
+
+  /// Like solve(), but on non-convergence retries with gmin raised by
+  /// x100 per level, up to `maxEscalations` levels capped at `gminMax`.
+  /// A rescue that converges reports the escalation count and the gmin it
+  /// needed; x is only updated by the converging attempt.
+  NewtonStats solveWithEscalation(std::vector<double>& x, bool dc,
+                                  double time, double dt,
+                                  IntegrationMethod method,
+                                  int maxEscalations, double gminMax);
 
   /// DC solve with gmin stepping fallback: tries a direct solve, then a
   /// sequence of decreasing gmin values.  Throws NumericalError when even

@@ -1,6 +1,7 @@
 #include "spice/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/error.h"
@@ -70,6 +71,8 @@ double Simulator::probeValue(const Probe& probe,
 TransientResult Simulator::runTransient(const TransientOptions& options,
                                         const std::vector<Probe>& probes) {
   FEFET_REQUIRE(options.duration > 0.0, "transient duration must be positive");
+  FEFET_REQUIRE(options.dtCutFactor > 0.0 && options.dtCutFactor < 1.0,
+                "dtCutFactor must be in (0, 1)");
   if (!stateValid_) initializeUic();
 
   const double dtMax =
@@ -89,9 +92,47 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
   };
   record(0.0);
 
+  const auto wallStart = std::chrono::steady_clock::now();
+  const auto wallElapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wallStart)
+        .count();
+  };
   double t = 0.0;
+  double lastResidual = 0.0;
+  result.stats.smallestDt = dt;
+
+  // Retry-history snapshot for budget/underflow aborts.
+  const auto diagnose = [&] {
+    SolverDiagnostics diag;
+    diag.time = t;
+    diag.smallestDt = result.stats.smallestDt;
+    diag.dtCuts = result.stats.dtCuts;
+    diag.gminEscalations = result.stats.gminEscalations;
+    diag.steps = result.stats.steps;
+    diag.newtonIterations = result.stats.newtonIterations;
+    diag.finalResidualNorm = lastResidual;
+    return diag;
+  };
+
+  long solves = 0;
   bool firstStep = true;
   while (t < options.duration * (1.0 - 1e-12)) {
+    if (options.maxSteps > 0 && solves >= options.maxSteps) {
+      std::ostringstream os;
+      os << "transient exceeded its step budget of " << options.maxSteps
+         << " solves at t=" << t << " s";
+      throw NumericalError(os.str(), diagnose());
+    }
+    result.stats.wallSeconds = wallElapsed();
+    if (options.maxWallSeconds > 0.0 &&
+        result.stats.wallSeconds > options.maxWallSeconds) {
+      std::ostringstream os;
+      os << "transient exceeded its wall-clock budget of "
+         << options.maxWallSeconds << " s at t=" << t << " s";
+      throw NumericalError(os.str(), diagnose());
+    }
+
     dt = std::min(dt, options.duration - t);
     // Honor device step-size hints (e.g. fast polarization switching).
     {
@@ -101,24 +142,49 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
         if (hint > 0.0) dt = std::min(dt, std::max(hint, options.dtMin * 10));
       }
     }
+    // Underflow guard: a step so small it cannot advance t is an infinite
+    // loop, not progress.
+    if (dt <= 0.0 || t + dt == t) {
+      std::ostringstream os;
+      os << "transient step underflow at t=" << t << " s (dt=" << dt
+         << " s cannot advance time)";
+      throw NumericalError(os.str(), diagnose());
+    }
+    result.stats.smallestDt = std::min(result.stats.smallestDt, dt);
     const IntegrationMethod method =
         firstStep ? IntegrationMethod::kBackwardEuler : options.method;
 
     std::vector<double> trial = x_;
-    const NewtonStats stats =
-        newton_.solve(trial, /*dc=*/false, t + dt, dt, method);
+    ++solves;
+    NewtonStats stats = newton_.solve(trial, /*dc=*/false, t + dt, dt, method);
     result.stats.newtonIterations += stats.iterations;
+    lastResidual = stats.finalResidualNorm;
     if (!stats.converged) {
       ++result.stats.rejectedSteps;
-      dt *= 0.5;
-      if (dt < options.dtMin) {
+      const double cut = dt * options.dtCutFactor;
+      if (cut >= options.dtMin) {
+        ++result.stats.dtCuts;
+        dt = cut;
+        continue;
+      }
+      // dt exhausted: last-resort gmin escalation at the floor step.
+      if (options.maxGminEscalations > 0) {
+        trial = x_;
+        ++solves;
+        stats = newton_.solveWithEscalation(trial, /*dc=*/false, t + dt, dt,
+                                            method, options.maxGminEscalations,
+                                            options.gminMax);
+        result.stats.newtonIterations += stats.iterations;
+        result.stats.gminEscalations += stats.gminEscalations;
+        lastResidual = stats.finalResidualNorm;
+      }
+      if (!stats.converged) {
         std::ostringstream os;
         os << "transient step underflow at t=" << t
-           << " s (dt=" << dt << " s, residual=" << stats.finalResidualNorm
-           << ")";
-        throw NumericalError(os.str());
+           << " s (smallest dt attempted " << result.stats.smallestDt
+           << " s, residual=" << stats.finalResidualNorm << ")";
+        throw NumericalError(os.str(), diagnose());
       }
-      continue;
     }
 
     x_ = std::move(trial);
@@ -136,6 +202,7 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
       dt = std::min(dt * options.growthFactor, dtMax);
     }
   }
+  result.stats.wallSeconds = wallElapsed();
   return result;
 }
 

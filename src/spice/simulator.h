@@ -24,12 +24,27 @@ struct TransientOptions {
   double growthFactor = 1.4;
   /// Newton iteration count considered "easy" (eligible for growth).
   int easyIterations = 8;
+  /// Backoff: dt is multiplied by this on every rejected step (exponential
+  /// schedule; must be in (0, 1)).
+  double dtCutFactor = 0.5;
+  /// Last-resort rescue once dt has been cut to dtMin: retry the step with
+  /// gmin raised x100 per level, up to this many levels (0 disables).
+  int maxGminEscalations = 3;
+  double gminMax = 1e-6;  ///< [S] escalation ceiling
+  /// Hard budgets — exceeding either aborts with a NumericalError carrying
+  /// the retry history.  0 means unlimited.
+  long maxSteps = 0;          ///< accepted + rejected Newton solves
+  double maxWallSeconds = 0.0;  ///< wall-clock ceiling for this run
 };
 
 struct TransientStats {
   int steps = 0;
   int rejectedSteps = 0;
   int newtonIterations = 0;
+  int dtCuts = 0;            ///< step-size reductions (backoff events)
+  int gminEscalations = 0;   ///< cumulative rescue levels applied
+  double smallestDt = 0.0;   ///< [s] smallest step attempted
+  double wallSeconds = 0.0;  ///< wall-clock time of the run
 };
 
 struct TransientResult {

@@ -1,0 +1,114 @@
+// Tests of the SECDED extended-Hamming codec used by the resilient word
+// path: every single-bit error (data, check or parity) is corrected,
+// every double-bit error is detected, clean words pass through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "core/ecc.h"
+
+namespace fefet::core {
+namespace {
+
+std::uint64_t patternFor(int dataBits, unsigned salt) {
+  std::uint64_t v = 0x9E3779B97F4A7C15ull * (salt + 1);
+  if (dataBits < 64) v &= (std::uint64_t{1} << dataBits) - 1;
+  return v;
+}
+
+TEST(Ecc, GeometryMatchesHammingBounds) {
+  // Classic SECDED geometries: (39,32), (72,64) — plus small widths.
+  EXPECT_EQ(SecdedCodec(4).parityBits(), 4);    // Hamming(7,4) + parity
+  EXPECT_EQ(SecdedCodec(8).parityBits(), 5);    // (13,8)
+  EXPECT_EQ(SecdedCodec(32).parityBits(), 7);   // (39,32)
+  EXPECT_EQ(SecdedCodec(64).parityBits(), 8);   // (72,64)
+  EXPECT_EQ(SecdedCodec(64).codewordBits(), 72);
+}
+
+TEST(Ecc, CleanWordDecodesClean) {
+  for (int width : {4, 8, 16, 32, 64}) {
+    SecdedCodec codec(width);
+    for (unsigned salt = 0; salt < 8; ++salt) {
+      const std::uint64_t data = patternFor(width, salt);
+      const auto check = codec.encode(data);
+      const auto out = codec.decode(data, check);
+      EXPECT_EQ(out.status, EccStatus::kClean) << width << " " << salt;
+      EXPECT_EQ(out.data, data);
+    }
+  }
+}
+
+TEST(Ecc, EverySingleDataBitErrorIsCorrected) {
+  for (int width : {4, 8, 32, 64}) {
+    SecdedCodec codec(width);
+    const std::uint64_t data = patternFor(width, 3);
+    const auto check = codec.encode(data);
+    for (int bit = 0; bit < width; ++bit) {
+      const std::uint64_t corrupted = data ^ (std::uint64_t{1} << bit);
+      const auto out = codec.decode(corrupted, check);
+      EXPECT_EQ(out.status, EccStatus::kCorrectedSingle)
+          << "width " << width << " bit " << bit;
+      EXPECT_EQ(out.data, data) << "width " << width << " bit " << bit;
+      EXPECT_EQ(out.correctedBit, bit);
+    }
+  }
+}
+
+TEST(Ecc, EverySingleCheckBitErrorIsCorrected) {
+  for (int width : {8, 32}) {
+    SecdedCodec codec(width);
+    const std::uint64_t data = patternFor(width, 5);
+    const auto check = codec.encode(data);
+    for (int bit = 0; bit < codec.parityBits(); ++bit) {
+      const auto out =
+          codec.decode(data, check ^ static_cast<std::uint16_t>(1u << bit));
+      EXPECT_EQ(out.status, EccStatus::kCorrectedSingle)
+          << "width " << width << " check bit " << bit;
+      EXPECT_EQ(out.data, data);
+    }
+  }
+}
+
+TEST(Ecc, EveryDoubleBitErrorIsDetectedNotMiscorrected) {
+  // Exhaustive over all codeword bit pairs for the 8-bit geometry.
+  SecdedCodec codec(8);
+  const std::uint64_t data = patternFor(8, 7);
+  const std::uint16_t check = codec.encode(data);
+  const int n = codec.codewordBits();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      std::uint64_t d = data;
+      std::uint16_t c = check;
+      if (a < 8) d ^= std::uint64_t{1} << a;
+      else c ^= static_cast<std::uint16_t>(1u << (a - 8));
+      if (b < 8) d ^= std::uint64_t{1} << b;
+      else c ^= static_cast<std::uint16_t>(1u << (b - 8));
+      const auto out = codec.decode(d, c);
+      EXPECT_EQ(out.status, EccStatus::kDetectedDouble)
+          << "bits " << a << "," << b;
+    }
+  }
+}
+
+TEST(Ecc, DoubleErrorsDetectedAtWideWidths) {
+  SecdedCodec codec(64);
+  const std::uint64_t data = patternFor(64, 11);
+  const auto check = codec.encode(data);
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = a + 1; b < 64; b += 5) {
+      const std::uint64_t d =
+          data ^ (std::uint64_t{1} << a) ^ (std::uint64_t{1} << b);
+      EXPECT_EQ(codec.decode(d, check).status, EccStatus::kDetectedDouble);
+    }
+  }
+}
+
+TEST(Ecc, RejectsBadWidths) {
+  EXPECT_THROW(SecdedCodec(0), InvalidArgumentError);
+  EXPECT_THROW(SecdedCodec(-3), InvalidArgumentError);
+  EXPECT_THROW(SecdedCodec(65), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace fefet::core

@@ -1,0 +1,297 @@
+// Tests of the fault-injection framework and the resilient word path:
+// deterministic per-cell fault maps, degraded weak-cell device parameters,
+// circuit-level stuck/transient faults on Cell2T, and the behavioral
+// 64x64 macro acceptance round-trip (ISSUE: stuck cells + 5% transient
+// write failures must be fully absorbed with retry + SECDED + remap, and
+// must demonstrably corrupt data with the mitigations off).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cell2t.h"
+#include "core/fault_model.h"
+#include "core/nvm_macro.h"
+
+namespace fefet::core {
+namespace {
+
+TEST(FaultModel, DefaultSpecInjectsNothing) {
+  FaultInjector inj;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(inj.cellFault(r, c), CellFault::kNone);
+    }
+  }
+  EXPECT_FALSE(inj.nextWriteFails());
+  EXPECT_FALSE(inj.nextReadFlips(CellFault::kNone));
+  EXPECT_DOUBLE_EQ(inj.retentionFactor(1e6, CellFault::kNone), 1.0);
+}
+
+TEST(FaultModel, FaultMapIsDeterministicAndOrderIndependent) {
+  FaultSpec spec;
+  spec.stuckAtZeroRate = 0.05;
+  spec.stuckAtOneRate = 0.05;
+  spec.weakCellRate = 0.10;
+  spec.seed = 42;
+  FaultInjector a(spec), b(spec);
+  // b draws events in between; the per-cell map must not care.
+  for (int k = 0; k < 17; ++k) b.nextWriteFails();
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      EXPECT_EQ(a.cellFault(r, c), b.cellFault(r, c)) << r << "," << c;
+      EXPECT_EQ(a.cellFault(r, c), a.cellFault(r, c));  // idempotent
+    }
+  }
+  // A different seed yields a different map.
+  spec.seed = 43;
+  FaultInjector other(spec);
+  int differs = 0;
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      differs += other.cellFault(r, c) != a.cellFault(r, c);
+    }
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultModel, FaultRatesAreHonoredStatistically) {
+  FaultSpec spec;
+  spec.stuckAtZeroRate = 0.02;
+  spec.stuckAtOneRate = 0.01;
+  spec.weakCellRate = 0.05;
+  spec.seed = 7;
+  FaultInjector inj(spec);
+  int s0 = 0, s1 = 0, weak = 0;
+  const int n = 200;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      switch (inj.cellFault(r, c)) {
+        case CellFault::kStuckAtZero: ++s0; break;
+        case CellFault::kStuckAtOne: ++s1; break;
+        case CellFault::kWeak: ++weak; break;
+        case CellFault::kNone: break;
+      }
+    }
+  }
+  const double cells = static_cast<double>(n) * n;
+  EXPECT_NEAR(s0 / cells, 0.02, 0.005);
+  EXPECT_NEAR(s1 / cells, 0.01, 0.004);
+  EXPECT_NEAR(weak / cells, 0.05, 0.008);
+}
+
+TEST(FaultModel, WeakCellsGetCollapsedWindowParameters) {
+  FaultSpec spec;
+  spec.weakCellRate = 1.0;
+  FaultInjector inj(spec);
+  const FefetParams nominal;
+  const auto weak = inj.apply(nominal, CellFault::kWeak);
+  // alpha is negative; scaling toward zero shrinks P_r and the barrier.
+  EXPECT_LT(nominal.lk.alpha, 0.0);
+  EXPECT_GT(weak.lk.alpha, nominal.lk.alpha);
+  EXPECT_NEAR(weak.lk.alpha, nominal.lk.alpha * spec.weakAlphaFraction,
+              1e-12);
+  EXPECT_NEAR(weak.mos.vt0, nominal.mos.vt0 + spec.weakVtShift, 1e-12);
+  // Stuck classes are pinned behaviorally: parameters untouched.
+  const auto stuck = inj.apply(nominal, CellFault::kStuckAtZero);
+  EXPECT_DOUBLE_EQ(stuck.lk.alpha, nominal.lk.alpha);
+}
+
+TEST(FaultModel, RetentionDecaysFasterForWeakCells) {
+  FaultSpec spec;
+  spec.retentionDecayPerSecond = 1e-3;
+  FaultInjector inj(spec);
+  const double healthy = inj.retentionFactor(100.0, CellFault::kNone);
+  const double weak = inj.retentionFactor(100.0, CellFault::kWeak);
+  EXPECT_LT(healthy, 1.0);
+  EXPECT_GT(healthy, 0.0);
+  EXPECT_LT(weak, healthy);
+  EXPECT_DOUBLE_EQ(inj.retentionFactor(0.0, CellFault::kNone), 1.0);
+}
+
+TEST(FaultModel, BoostedWritesFailLess) {
+  FaultSpec spec;
+  spec.writeFailureProbability = 0.5;
+  spec.seed = 11;
+  FaultInjector plain(spec), boosted(spec);
+  int plainFails = 0, boostedFails = 0;
+  for (int k = 0; k < 2000; ++k) {
+    plainFails += plain.nextWriteFails(1.0);
+    boostedFails += boosted.nextWriteFails(2.0);  // p/4 effective
+  }
+  EXPECT_NEAR(plainFails / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(boostedFails / 2000.0, 0.125, 0.04);
+}
+
+TEST(FaultModel, RejectsInvalidRates) {
+  FaultSpec spec;
+  spec.stuckAtZeroRate = 0.7;
+  spec.stuckAtOneRate = 0.7;  // sum > 1
+  EXPECT_THROW(FaultInjector{spec}, InvalidArgumentError);
+  FaultSpec neg;
+  neg.writeFailureProbability = -0.1;
+  EXPECT_THROW(FaultInjector{neg}, InvalidArgumentError);
+}
+
+// --- circuit level -------------------------------------------------------
+
+TEST(FaultModelCircuit, StuckAtZeroCellIgnoresWrites) {
+  Cell2TConfig cfg;
+  cfg.faults.stuckAtZeroRate = 1.0;
+  Cell2T cell(cfg);
+  EXPECT_EQ(cell.fault(), CellFault::kStuckAtZero);
+  const auto res = cell.write(true, 20e-9);
+  EXPECT_TRUE(res.faultInjected);
+  EXPECT_FALSE(res.bitAfter);
+  EXPECT_FALSE(cell.storedBit());
+}
+
+TEST(FaultModelCircuit, StuckAtOneCellIgnoresErase) {
+  Cell2TConfig cfg;
+  cfg.faults.stuckAtOneRate = 1.0;
+  Cell2T cell(cfg);
+  EXPECT_EQ(cell.fault(), CellFault::kStuckAtOne);
+  cell.setStoredBit(false);        // pinning wins: still reads 1
+  EXPECT_TRUE(cell.storedBit());
+  const auto res = cell.write(false, 20e-9);
+  EXPECT_TRUE(res.faultInjected);
+  EXPECT_TRUE(res.bitAfter);
+}
+
+TEST(FaultModelCircuit, TransientWriteFailureRevertsThePulse) {
+  Cell2TConfig cfg;
+  cfg.faults.writeFailureProbability = 1.0;  // every pulse fails
+  Cell2T cell(cfg);
+  EXPECT_EQ(cell.fault(), CellFault::kNone);
+  cell.setStoredBit(false);
+  const auto res = cell.write(true, 20e-9);
+  EXPECT_TRUE(res.faultInjected);
+  EXPECT_FALSE(res.bitAfter);
+  EXPECT_FALSE(cell.storedBit());
+}
+
+TEST(FaultModelCircuit, WeakCellStillBistableAtDesignPoint) {
+  // The default collapse keeps the T_FE = 2.25 nm design point nonvolatile
+  // (the Cell2T constructor requires bistability at V_G = 0).
+  Cell2TConfig cfg;
+  cfg.faults.weakCellRate = 1.0;
+  Cell2T cell(cfg);
+  EXPECT_EQ(cell.fault(), CellFault::kWeak);
+  cell.setStoredBit(true);
+  EXPECT_TRUE(cell.storedBit());
+  cell.setStoredBit(false);
+  EXPECT_FALSE(cell.storedBit());
+}
+
+// --- behavioral macro: the 64x64 acceptance round-trip -------------------
+
+MacroConfig macro64() {
+  MacroConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.wordBits = 32;
+  return cfg;
+}
+
+std::uint32_t patternWord(int i) {
+  return static_cast<std::uint32_t>(0x9E3779B9u * (i + 1));
+}
+
+TEST(FaultModelMacro, Acceptance64x64RoundTripWithResilience) {
+  MacroResilience res;
+  res.enabled = true;
+  res.faults.stuckAtZeroRate = 5e-4;
+  res.faults.stuckAtOneRate = 5e-4;   // 1e-3 total stuck rate
+  res.faults.writeFailureProbability = 0.05;
+  res.faults.seed = 2016;
+  res.retry.maxRetries = 3;
+  res.eccEnabled = true;
+  res.spareWords = 8;
+  NvmMacro macro(MacroTechnology::kFefet, macro64(), res);
+
+  std::vector<std::uint32_t> written;
+  for (int i = 0; i < macro.wordCount(); ++i) {
+    written.push_back(patternWord(i));
+    ASSERT_NO_THROW(macro.writeWord(i, written.back()));
+  }
+  int mismatches = 0;
+  for (int i = 0; i < macro.wordCount(); ++i) {
+    mismatches += macro.readWord(i).value != written[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(mismatches, 0);
+  const auto& report = macro.report();
+  EXPECT_EQ(report.uncorrectedBits, 0);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  // The 5% transient failure rate must actually have exercised the ladder.
+  EXPECT_GT(report.writeRetries, 0);
+  EXPECT_GT(report.retryEnergy, 0.0);
+}
+
+TEST(FaultModelMacro, SameFaultsCorruptDataWithMitigationsOff) {
+  MacroResilience res;
+  res.enabled = true;
+  res.faults.stuckAtZeroRate = 5e-4;
+  res.faults.stuckAtOneRate = 5e-4;
+  res.faults.writeFailureProbability = 0.05;
+  res.faults.seed = 2016;
+  res.retry.maxRetries = 0;  // mitigations off
+  res.eccEnabled = false;
+  res.spareWords = 0;
+  NvmMacro macro(MacroTechnology::kFefet, macro64(), res);
+
+  int mismatches = 0;
+  for (int i = 0; i < macro.wordCount(); ++i) {
+    macro.writeWord(i, patternWord(i));
+  }
+  for (int i = 0; i < macro.wordCount(); ++i) {
+    mismatches += macro.readWord(i).value != patternWord(i);
+  }
+  EXPECT_GT(mismatches, 0);
+  EXPECT_GT(macro.report().uncorrectedBits, 0);
+  EXPECT_FALSE(macro.report().clean());
+}
+
+TEST(FaultModelMacro, WeakCellReadUpsetsAreCorrectedByEcc) {
+  MacroResilience res;
+  res.enabled = true;
+  res.faults.weakCellRate = 2e-3;
+  res.faults.weakReadFlipProbability = 0.05;
+  res.faults.seed = 5;
+  res.retry.maxRetries = 2;
+  res.eccEnabled = true;
+  res.spareWords = 4;
+  NvmMacro macro(MacroTechnology::kFefet, macro64(), res);
+  for (int i = 0; i < macro.wordCount(); ++i) {
+    macro.writeWord(i, patternWord(i));
+  }
+  int mismatches = 0;
+  for (int pass = 0; pass < 20; ++pass) {
+    for (int i = 0; i < macro.wordCount(); ++i) {
+      mismatches += macro.readWord(i).value != patternWord(i);
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_GT(macro.report().correctedBits, 0) << macro.report().summary();
+  EXPECT_EQ(macro.report().uncorrectedBits, 0);
+}
+
+TEST(FaultModelMacro, DisabledResilienceKeepsLegacyBehavior) {
+  NvmMacro plain(MacroTechnology::kFefet, macro64());
+  EXPECT_EQ(plain.wordCount(), 64 * 64 / 32);
+  plain.writeWord(0, 0xDEADBEEFu);
+  EXPECT_EQ(plain.readWord(0).value, 0xDEADBEEFu);
+  EXPECT_EQ(plain.report().wordWrites, 0);  // ledger untouched
+}
+
+TEST(FaultModelMacro, StoredWordsCarryCheckBitOverhead) {
+  MacroResilience res;
+  res.enabled = true;
+  res.eccEnabled = true;
+  res.spareWords = 2;
+  NvmMacro macro(MacroTechnology::kFefet, macro64(), res);
+  EXPECT_EQ(macro.storedBitsPerWord(), 39);  // (39,32) SECDED
+  EXPECT_EQ(macro.wordCount(), 64 * 64 / 39 - 2);
+}
+
+}  // namespace
+}  // namespace fefet::core

@@ -2,6 +2,11 @@
 // workloads and the ODAB forward-progress model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "core/nvm_macro.h"
+#include "nvp/checkpoint.h"
 #include "nvp/nv_processor.h"
 #include "nvp/power_trace.h"
 #include "nvp/workload.h"
@@ -169,6 +174,132 @@ TEST_P(FpVsPower, MonotoneInMeanPower) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, FpVsPower, ::testing::Values(0, 3, 7));
+
+// --- crash-consistent checkpointing on the NVM macro ---------------------
+
+core::NvmMacro checkpointMacro() {
+  core::MacroConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.wordBits = 32;
+  return core::NvmMacro(core::MacroTechnology::kFefet, cfg);
+}
+
+std::vector<std::uint32_t> sampleState(int words, std::uint32_t salt) {
+  std::vector<std::uint32_t> s;
+  for (int i = 0; i < words; ++i) {
+    s.push_back(0x85EBCA6Bu * (static_cast<std::uint32_t>(i) + salt + 1));
+  }
+  return s;
+}
+
+TEST(Checkpoint, FirstBootHasNothingToRestore) {
+  auto macro = checkpointMacro();
+  CheckpointManager mgr(macro, 16);
+  EXPECT_EQ(mgr.epoch(), 0u);
+  EXPECT_FALSE(mgr.restore().has_value());
+}
+
+TEST(Checkpoint, BackupRestoreRoundTrip) {
+  auto macro = checkpointMacro();
+  CheckpointManager mgr(macro, 16);
+  const auto state = sampleState(16, 7);
+  const auto r = mgr.backup(state);
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.wordsWritten, 18);  // state + checksum + epoch
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_GT(r.latency, 0.0);
+  EXPECT_EQ(mgr.epoch(), 1u);
+  const auto back = mgr.restore();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, state);
+}
+
+TEST(Checkpoint, PowerFailureAtEveryTruncationPointLosesOnlyTheNewest) {
+  // Commit state A, then inject a power failure at every possible word
+  // boundary of the backup of state B: restore must always return A
+  // intact — the torn B image must never win.
+  auto macro = checkpointMacro();
+  CheckpointManager mgr(macro, 8);
+  const auto stateA = sampleState(8, 1);
+  ASSERT_TRUE(mgr.backup(stateA).committed);
+  for (int failAt = 0; failAt <= 9; ++failAt) {
+    const auto stateB = sampleState(8, 100 + failAt);
+    const auto r = mgr.backup(stateB, failAt);
+    EXPECT_FALSE(r.committed) << failAt;
+    EXPECT_EQ(r.wordsWritten, failAt);
+    const auto back = mgr.restore();
+    ASSERT_TRUE(back.has_value()) << failAt;
+    EXPECT_EQ(*back, stateA) << "torn backup leaked at word " << failAt;
+  }
+  // The epoch word is last: only the full 10-word stream commits.
+  const auto stateC = sampleState(8, 999);
+  EXPECT_TRUE(mgr.backup(stateC, 10).committed);
+  EXPECT_EQ(*mgr.restore(), stateC);
+}
+
+TEST(Checkpoint, AlternatesBanksAndSurvivesManyCycles) {
+  auto macro = checkpointMacro();
+  CheckpointManager mgr(macro, 4);
+  for (std::uint32_t k = 1; k <= 10; ++k) {
+    const auto state = sampleState(4, k);
+    ASSERT_TRUE(mgr.backup(state).committed);
+    EXPECT_EQ(mgr.epoch(), k);
+    EXPECT_EQ(*mgr.restore(), state);
+  }
+}
+
+TEST(Checkpoint, RebuiltManagerResumesFromTheMacroContents) {
+  // A new manager over the same macro (a reboot) must find the committed
+  // checkpoint and continue the epoch sequence.
+  auto macro = checkpointMacro();
+  const auto state = sampleState(6, 3);
+  {
+    CheckpointManager mgr(macro, 6);
+    ASSERT_TRUE(mgr.backup(state).committed);
+    ASSERT_TRUE(mgr.backup(sampleState(6, 4), 2).committed == false);
+  }
+  CheckpointManager reborn(macro, 6);
+  EXPECT_EQ(reborn.epoch(), 1u);
+  const auto back = reborn.restore();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, state);
+  EXPECT_TRUE(reborn.backup(sampleState(6, 5)).committed);
+  EXPECT_EQ(reborn.epoch(), 2u);
+}
+
+TEST(Checkpoint, WorksOnAFaultyResilientMacro) {
+  // Checkpoints over a macro with injected faults: the resilient word
+  // path underneath must keep every round trip intact.
+  core::MacroConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.wordBits = 32;
+  core::MacroResilience res;
+  res.enabled = true;
+  res.faults.stuckAtZeroRate = 5e-4;
+  res.faults.writeFailureProbability = 0.05;
+  res.faults.seed = 12;
+  res.retry.maxRetries = 3;
+  res.eccEnabled = true;
+  res.spareWords = 8;
+  core::NvmMacro macro(core::MacroTechnology::kFefet, cfg, res);
+  CheckpointManager mgr(macro, 16);
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    const auto state = sampleState(16, 40 + k);
+    ASSERT_TRUE(mgr.backup(state).committed);
+    EXPECT_EQ(*mgr.restore(), state) << "cycle " << k;
+  }
+  EXPECT_TRUE(macro.report().clean()) << macro.report().summary();
+}
+
+TEST(Checkpoint, RejectsBadGeometry) {
+  auto macro = checkpointMacro();
+  EXPECT_THROW(CheckpointManager(macro, 0), InvalidArgumentError);
+  EXPECT_THROW(CheckpointManager(macro, 10000), InvalidArgumentError);
+  CheckpointManager mgr(macro, 4);
+  EXPECT_THROW(mgr.backup(sampleState(5, 1)), InvalidArgumentError);
+}
 
 }  // namespace
 }  // namespace fefet::nvp

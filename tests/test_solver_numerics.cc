@@ -153,6 +153,117 @@ TEST(Transient, AdaptiveStepGrowsAfterTheEdge) {
   EXPECT_NEAR(r.waveform.finalValue("v(out)"), 1.0, 0.01);
 }
 
+TEST(Transient, StatsSurfaceTheRetryHistory) {
+  // A clean run reports its effort: steps, Newton iterations, the
+  // smallest dt attempted and the wall-clock time — and no rescues.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(),
+                       pulse(0.0, 1.0, 0.0, 10e-12, 1.0, 10e-12));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 0.1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 10e-9;
+  const auto r = sim.runTransient(options, {Probe::v("out")});
+  EXPECT_GT(r.stats.steps, 0);
+  EXPECT_GT(r.stats.newtonIterations, 0);
+  EXPECT_GT(r.stats.smallestDt, 0.0);
+  EXPECT_LE(r.stats.smallestDt, options.dtInitial);
+  EXPECT_GE(r.stats.wallSeconds, 0.0);
+  EXPECT_EQ(r.stats.gminEscalations, 0);
+}
+
+TEST(Transient, StepBudgetAbortsWithDiagnostics) {
+  // A pathological budget: the run must terminate within it and the
+  // NumericalError must carry the retry history, not just a message.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(),
+                       pulse(0.0, 1.0, 0.0, 1e-12, 1.0, 1e-12));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 10.0);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1.0;  // absurd: ~1e11 steps at dtMax
+  options.maxSteps = 50;
+  try {
+    sim.runTransient(options, {Probe::v("out")});
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    ASSERT_TRUE(e.hasDiagnostics());
+    const auto& d = e.diagnostics();
+    EXPECT_GE(d.steps, 1);
+    EXPECT_LE(d.steps, 50);
+    EXPECT_GT(d.newtonIterations, 0);
+    EXPECT_GT(d.smallestDt, 0.0);
+    EXPECT_GE(d.time, 0.0);
+    // The rendered what() embeds the same history.
+    EXPECT_NE(std::string(e.what()).find("dt"), std::string::npos);
+  }
+}
+
+TEST(Transient, WallClockBudgetAborts) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e6;      // effectively unbounded work...
+  options.dtMax = 1e-9;
+  options.maxWallSeconds = 0.05;  // ...cut short by the wall budget
+  try {
+    sim.runTransient(options, {Probe::v("out")});
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    ASSERT_TRUE(e.hasDiagnostics());
+    EXPECT_GT(e.diagnostics().steps, 0);
+  }
+}
+
+TEST(Transient, UnderflowNamesTheTimePoint) {
+  // The singular two-source deck again, but checking the failure CONTENT:
+  // the error must name the time point and the smallest dt attempted.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("a"), n.ground(), dc(1.0));
+  n.add<VoltageSource>("V2", n.node("a"), n.ground(), dc(2.0));
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e-9;
+  try {
+    sim.runTransient(options, {Probe::v("a")});
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    ASSERT_TRUE(e.hasDiagnostics());
+    const auto& d = e.diagnostics();
+    EXPECT_GE(d.time, 0.0);
+    EXPECT_GT(d.dtCuts, 0);
+    EXPECT_GT(d.smallestDt, 0.0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("underflow"), std::string::npos) << what;
+    EXPECT_NE(what.find("smallest dt"), std::string::npos) << what;
+  }
+}
+
+TEST(Transient, RejectsBadBackoffFactor) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("a"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("a"), n.ground(), 1e3);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e-9;
+  options.dtCutFactor = 1.0;
+  EXPECT_THROW(sim.runTransient(options, {Probe::v("a")}),
+               InvalidArgumentError);
+  options.dtCutFactor = 0.0;
+  EXPECT_THROW(sim.runTransient(options, {Probe::v("a")}),
+               InvalidArgumentError);
+}
+
 TEST(Dc, GminContinuationRescuesHardStart) {
   // A floating high-impedance divider string of diodes; the direct solve
   // from zero may wander, the continuation must land it.
