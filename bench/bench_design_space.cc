@@ -2,23 +2,56 @@
 // the non-volatility threshold ("T_FE > 1.9 nm is required"), the window
 // width at the 2.25 nm design point ("around 500 mV") and the recommended
 // thickness for 0.68 V operation.
+//
+// The thickness grid runs on sim::SweepEngine at 1 thread and at the full
+// pool; each point is a pure function of its thickness, so the two runs
+// must match field-for-field (the PERF line records the speedup).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/design_space.h"
 #include "core/materials.h"
+#include "sim/thread_pool.h"
 
 using namespace fefet;
+
+namespace {
+
+bool samePoint(const core::DesignPoint& a, const core::DesignPoint& b) {
+  return a.feThickness == b.feThickness && a.hysteretic == b.hysteretic &&
+         a.nonvolatile == b.nonvolatile &&
+         a.upSwitchVoltage == b.upSwitchVoltage &&
+         a.downSwitchVoltage == b.downSwitchVoltage &&
+         a.windowWidth == b.windowWidth && a.onOffRatio == b.onOffRatio &&
+         a.standaloneCoerciveVoltage == b.standaloneCoerciveVoltage;
+}
+
+}  // namespace
 
 int main() {
   core::FefetParams base;
   base.lk = core::fefetMaterial();
+  const int threads = sim::defaultThreadCount();
 
   bench::banner("§3: thickness sweep");
   std::vector<double> thicknesses;
   for (double t = 1.0e-9; t <= 2.6e-9; t += 0.1e-9) thicknesses.push_back(t);
-  const auto points = core::sweepThickness(base, thicknesses);
+
+  bench::WallTimer serialTimer;
+  const auto serialPoints = core::sweepThicknessParallel(base, thicknesses,
+                                                         0.40, /*threads=*/1);
+  const double serialSeconds = serialTimer.seconds();
+  bench::WallTimer parallelTimer;
+  const auto points =
+      core::sweepThicknessParallel(base, thicknesses, 0.40, threads);
+  const double parallelSeconds = parallelTimer.seconds();
+
+  bool identical = serialPoints.size() == points.size();
+  for (std::size_t i = 0; identical && i < points.size(); ++i) {
+    identical = samePoint(serialPoints[i], points[i]);
+  }
+
   std::cout << "t_nm,hysteretic,nonvolatile,window_mV,up_V,down_V,"
                "cap_Vc_V,on_off_ratio\n";
   for (const auto& p : points) {
@@ -42,5 +75,9 @@ int main() {
   cmp.add("on/off ratio at the design point", 1e6,
           core::distinguishability(design, 0.4), "x");
   cmp.print();
-  return 0;
+
+  bench::banner("sweep-engine wall clock");
+  bench::printSweepPerf("bench_design_space", threads, serialSeconds,
+                        parallelSeconds, identical);
+  return identical ? 0 : 1;
 }

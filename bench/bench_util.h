@@ -2,6 +2,7 @@
 // banner printing, downsampled waveform dumps and paper-vs-measured rows.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -15,6 +16,35 @@ namespace fefet::bench {
 
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Wall-clock stopwatch for the sweep speedup measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One machine-readable perf record per sweep-engine migration: wall clock
+/// for the same point set at 1 thread and at `threads` threads, plus whether
+/// the two runs produced identical per-point results.
+inline void printSweepPerf(const std::string& benchName, int threads,
+                           double serialSeconds, double parallelSeconds,
+                           bool identical) {
+  const double speedup =
+      parallelSeconds > 0.0 ? serialSeconds / parallelSeconds : 0.0;
+  std::printf(
+      "PERF {\"bench\":\"%s\",\"threads\":%d,\"serial_s\":%.3f,"
+      "\"parallel_s\":%.3f,\"speedup\":%.2f,\"identical\":%s}\n",
+      benchName.c_str(), threads, serialSeconds, parallelSeconds, speedup,
+      identical ? "true" : "false");
 }
 
 /// One paper-vs-measured comparison row.

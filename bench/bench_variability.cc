@@ -2,29 +2,97 @@
 // 0 V, ~1e6 distinguishability, 0.68 V writes) survive local mismatch and
 // global corners — and why the 2.25 nm design point (not the 2.05 nm
 // minimum) is the right stability/voltage balance (paper §3).
+//
+// The Monte Carlo and write-yield point sets run on sim::SweepEngine, once
+// at 1 thread and once at the full pool, to demonstrate the deterministic
+// parallel speedup (the PERF line at the end is machine-readable).
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/materials.h"
 #include "core/variability.h"
+#include "sim/thread_pool.h"
 
 using namespace fefet;
+
+namespace {
+
+bool sameMonteCarlo(const core::DeviceMonteCarlo& a,
+                    const core::DeviceMonteCarlo& b) {
+  return a.samples == b.samples && a.nonvolatileCount == b.nonvolatileCount &&
+         a.writableCount == b.writableCount &&
+         a.windowWidthMean == b.windowWidthMean &&
+         a.windowWidthSigma == b.windowWidthSigma &&
+         a.upSwitchMin == b.upSwitchMin &&
+         a.downSwitchMax == b.downSwitchMax &&
+         a.log10RatioMean == b.log10RatioMean &&
+         a.log10RatioMin == b.log10RatioMin;
+}
+
+}  // namespace
 
 int main() {
   core::FefetParams nominal;
   nominal.lk = core::fefetMaterial();
   const core::VariationSpec spec;  // 20 mV VT, 2% T_FE, 3% W, 3% alpha
+  const int threads = sim::defaultThreadCount();
+
+  const std::vector<double> thicknesses = {2.05e-9, 2.15e-9, 2.25e-9,
+                                           2.35e-9, 2.50e-9};
+  const std::vector<std::pair<double, double>> yieldPoints = {
+      {0.68, 800e-12}, {0.68, 550e-12}, {0.60, 800e-12}, {0.55, 800e-12}};
+
+  // Run the full workload (device MC per thickness + transient write yield)
+  // at a given thread count; the sweep seeding is thread-count-invariant,
+  // so both runs must produce identical results.
+  struct Results {
+    std::vector<core::DeviceMonteCarlo> mc;
+    std::vector<core::WriteYield> yield;
+  };
+  auto runAll = [&](int nThreads) {
+    Results r;
+    for (double t : thicknesses) {
+      core::FefetParams p = nominal;
+      p.feThickness = t;
+      r.mc.push_back(
+          core::runDeviceMonteCarloParallel(p, spec, 1000, nThreads));
+    }
+    core::Cell2TConfig cfg;
+    cfg.fefet = nominal;
+    for (const auto& [v, pulse] : yieldPoints) {
+      r.yield.push_back(
+          core::runWriteYieldParallel(cfg, spec, 20, v, pulse, nThreads));
+    }
+    return r;
+  };
+
+  bench::WallTimer serialTimer;
+  const Results serial = runAll(1);
+  const double serialSeconds = serialTimer.seconds();
+  bench::WallTimer parallelTimer;
+  const Results parallel = runAll(threads);
+  const double parallelSeconds = parallelTimer.seconds();
+
+  bool identical = serial.mc.size() == parallel.mc.size() &&
+                   serial.yield.size() == parallel.yield.size();
+  for (std::size_t i = 0; identical && i < serial.mc.size(); ++i) {
+    identical = sameMonteCarlo(serial.mc[i], parallel.mc[i]);
+  }
+  for (std::size_t i = 0; identical && i < serial.yield.size(); ++i) {
+    identical = serial.yield[i].samples == parallel.yield[i].samples &&
+                serial.yield[i].passes == parallel.yield[i].passes;
+  }
 
   bench::banner("Monte Carlo (1000 devices) across design thicknesses");
   std::cout << "t_nm,nonvolatile_%,writable_at_0.68V_%,window_mean_mV,"
                "window_sigma_mV,log10_ratio_min\n";
-  for (double t : {2.05e-9, 2.15e-9, 2.25e-9, 2.35e-9, 2.50e-9}) {
-    core::FefetParams p = nominal;
-    p.feThickness = t;
-    const auto mc = core::runDeviceMonteCarlo(p, spec, 1000);
-    std::printf("%.2f,%.1f,%.1f,%.0f,%.0f,%.2f\n", t * 1e9,
+  for (std::size_t i = 0; i < thicknesses.size(); ++i) {
+    const auto& mc = parallel.mc[i];
+    std::printf("%.2f,%.1f,%.1f,%.0f,%.0f,%.2f\n", thicknesses[i] * 1e9,
                 100.0 * mc.nonvolatileCount / mc.samples,
                 100.0 * mc.writableCount / mc.samples,
                 mc.windowWidthMean * 1e3, mc.windowWidthSigma * 1e3,
@@ -43,17 +111,15 @@ int main() {
   }
 
   bench::banner("transient write yield (20 sampled cells)");
-  core::Cell2TConfig cfg;
-  cfg.fefet = nominal;
   std::cout << "vwrite_V,pulse_ps,yield_%\n";
-  for (const auto& [v, pulse] : std::initializer_list<std::pair<double, double>>{
-           {0.68, 800e-12}, {0.68, 550e-12}, {0.60, 800e-12},
-           {0.55, 800e-12}}) {
-    const auto y = core::runWriteYield(cfg, spec, 20, v, pulse);
-    std::printf("%.2f,%.0f,%.0f\n", v, pulse * 1e12, y.yield() * 100.0);
+  for (std::size_t i = 0; i < yieldPoints.size(); ++i) {
+    std::printf("%.2f,%.0f,%.0f\n", yieldPoints[i].first,
+                yieldPoints[i].second * 1e12,
+                parallel.yield[i].yield() * 100.0);
   }
 
-  const auto mcNominal = core::runDeviceMonteCarlo(nominal, spec, 1000);
+  const auto mcNominal =
+      core::runDeviceMonteCarloParallel(nominal, spec, 1000, threads);
   bench::Comparison cmp;
   cmp.add("nonvolatile fraction at the design point", 100.0,
           100.0 * mcNominal.nonvolatileCount / mcNominal.samples, "%");
@@ -62,5 +128,9 @@ int main() {
   cmp.add("worst-case up-fold (stability floor)", 0.0,
           mcNominal.upSwitchMin, "V (> 0 means hold-safe)");
   cmp.print();
-  return 0;
+
+  bench::banner("sweep-engine wall clock");
+  bench::printSweepPerf("bench_variability", threads, serialSeconds,
+                        parallelSeconds, identical);
+  return identical ? 0 : 1;
 }

@@ -1,19 +1,37 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build the whole tree with AddressSanitizer +
-# UndefinedBehaviorSanitizer (the FEFET_SANITIZE CMake option) in a
-# dedicated build directory and run the full test suite under it.
+# Sanitizer gate, two configurations:
+#
+#  1. ASan + UBSan (FEFET_SANITIZE=address) over the full test suite —
+#     memory errors and UB in the netlist/device ownership chain;
+#  2. TSan (FEFET_SANITIZE=thread) over the concurrency-sensitive tests
+#     (the sweep engine / thread pool and the LU-reuse solver path) —
+#     data races in the sim layer.  TSan cannot combine with ASan, hence
+#     the separate build directory.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-sanitize
+ASAN_BUILD_DIR=build-sanitize
+TSAN_BUILD_DIR=build-tsan
 
-cmake -B "$BUILD_DIR" -S . -DFEFET_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j"$(nproc)"
+echo "== ASan/UBSan: full suite =="
+cmake -B "$ASAN_BUILD_DIR" -S . -DFEFET_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)"
 
 # abort_on_error keeps CI logs short; detect_leaks catches missing frees in
 # the netlist/device ownership chain.
-export ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}
-export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1} \
+UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
+ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
+echo "== TSan: sweep engine + LU reuse =="
+cmake -B "$TSAN_BUILD_DIR" -S . -DFEFET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" \
+  --target test_sim_sweep test_lu_reuse test_variability
+
+TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$(nproc)" \
+  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability' "$@"

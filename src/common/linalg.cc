@@ -94,6 +94,12 @@ void SparseMatrix::setZero() {
   for (auto& row : rows_) row.clear();
 }
 
+void SparseMatrix::setZeroKeepStructure() {
+  for (auto& row : rows_) {
+    for (auto& [c, v] : row) v = 0.0;
+  }
+}
+
 std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
   FEFET_REQUIRE(x.size() == rows_.size(), "SparseMatrix::multiply: size mismatch");
   std::vector<double> y(rows_.size(), 0.0);
@@ -197,6 +203,236 @@ std::vector<double> SparseLu::solve(std::span<const double> b) const {
         diag = v;
       } else if (j > i) {
         acc -= v * x[j];
+      }
+    }
+    x[i] = acc / diag;
+  }
+  return x;
+}
+
+void SparseLuFactorizer::factor(const SparseMatrix& a) {
+  if (loadValues(a)) {
+    if (refactorNumeric()) {
+      ++numericRefactorizations_;
+      return;
+    }
+    ++pivotFallbacks_;
+  }
+  factorFull(a);
+}
+
+bool SparseLuFactorizer::loadValues(const SparseMatrix& a) {
+  if (!structureValid_ || a.size() != n_) return false;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const auto& row = a.row(r);
+    if (row.size() != origCols_[r].size()) return false;
+    auto& v = vals_[r];
+    std::fill(v.begin(), v.end(), 0.0);
+    std::size_t q = 0;
+    for (const auto& [c, val] : row) {
+      if (origCols_[r][q] != c) return false;
+      v[origPos_[r][q]] = val;
+      ++q;
+    }
+  }
+  return true;
+}
+
+bool SparseLuFactorizer::refactorNumeric() {
+  // Replays the elimination of factorFull() on the cached fill pattern.
+  // The pivot *search* is identical (largest magnitude in column k among
+  // remaining rows, first-wins ties, same scan order), so whenever the
+  // search agrees with the cached pivot sequence the arithmetic — values
+  // and evaluation order both — matches a fresh factorization exactly.
+  // Cached fill slots that a fresh run has not created yet hold 0.0 and
+  // are inert: a zero can never win the pivot scan, a zero multiplier
+  // skips its update loop, and zero update terms do not change values.
+  std::vector<std::size_t> rowOf(n_);
+  for (std::size_t i = 0; i < n_; ++i) rowOf[i] = i;
+
+  const auto findCol = [this](std::size_t r, std::size_t c) -> std::ptrdiff_t {
+    const auto& cols = fullCols_[r];
+    const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+    if (it == cols.end() || *it != c) return -1;
+    return it - cols.begin();
+  };
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    std::size_t best = n_;
+    double bestMag = 0.0;
+    for (std::size_t i = k; i < n_; ++i) {
+      const std::ptrdiff_t p = findCol(rowOf[i], k);
+      if (p < 0) continue;
+      const double mag = std::abs(vals_[rowOf[i]][static_cast<std::size_t>(p)]);
+      if (mag > bestMag) {
+        bestMag = mag;
+        best = i;
+      }
+    }
+    if (best == n_ || bestMag < 1e-300) {
+      // Cached fill entries are explicit zeros and cannot be selected, so
+      // a fresh factorization of this matrix is singular here too.
+      factored_ = false;
+      std::ostringstream os;
+      os << "SparseLu: singular matrix at elimination step " << k << " of "
+         << n_;
+      throw NumericalError(os.str());
+    }
+    if (rowOf[best] != cachedPerm_[k]) return false;  // pivot drift
+    std::swap(rowOf[k], rowOf[best]);
+    const std::size_t prow = rowOf[k];
+    const auto& pcols = fullCols_[prow];
+    auto& pvals = vals_[prow];
+    const std::size_t pk = static_cast<std::size_t>(findCol(prow, k));
+    const double pivot = pvals[pk];
+
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const std::size_t r2 = rowOf[i];
+      const std::ptrdiff_t pos = findCol(r2, k);
+      if (pos < 0) continue;
+      auto& rv = vals_[r2];
+      const double factor = rv[static_cast<std::size_t>(pos)] / pivot;
+      rv[static_cast<std::size_t>(pos)] = factor;  // now the L multiplier
+      if (factor == 0.0) continue;
+      const auto& rcols = fullCols_[r2];
+      std::size_t ai = static_cast<std::size_t>(pos) + 1;
+      for (std::size_t bi = pk + 1; bi < pcols.size(); ++bi) {
+        const std::size_t c = pcols[bi];
+        while (ai < rcols.size() && rcols[ai] < c) ++ai;
+        if (ai >= rcols.size() || rcols[ai] != c) return false;  // bad cache
+        rv[ai] -= factor * pvals[bi];
+        ++ai;
+      }
+    }
+  }
+  perm_ = cachedPerm_;
+  factored_ = true;
+  return true;
+}
+
+void SparseLuFactorizer::factorFull(const SparseMatrix& a) {
+  const std::size_t n = a.size();
+  n_ = n;
+  structureValid_ = false;
+  factored_ = false;
+  ++fullFactorizations_;
+
+  // Same elimination as SparseLu's constructor, with the original pattern
+  // recorded up front and the final fill pattern harvested afterwards.
+  std::vector<std::map<std::size_t, double>> rows(n);
+  for (std::size_t r = 0; r < n; ++r) rows[r] = a.row(r);
+  std::vector<std::map<std::size_t, double>> lower(n);
+
+  origCols_.assign(n, {});
+  for (std::size_t r = 0; r < n; ++r) {
+    origCols_[r].reserve(rows[r].size());
+    for (const auto& [c, v] : rows[r]) origCols_[r].push_back(c);
+  }
+
+  std::vector<std::size_t> rowOf(n);
+  for (std::size_t i = 0; i < n; ++i) rowOf[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best = n;
+    double bestMag = 0.0;
+    for (std::size_t i = k; i < n; ++i) {
+      const auto& row = rows[rowOf[i]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double mag = std::abs(it->second);
+      if (mag > bestMag) {
+        bestMag = mag;
+        best = i;
+      }
+    }
+    if (best == n || bestMag < 1e-300) {
+      std::ostringstream os;
+      os << "SparseLu: singular matrix at elimination step " << k << " of "
+         << n;
+      throw NumericalError(os.str());
+    }
+    std::swap(rowOf[k], rowOf[best]);
+    const std::size_t prow = rowOf[k];
+    const double pivot = rows[prow][k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      auto& row = rows[rowOf[i]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double factor = it->second / pivot;
+      row.erase(it);
+      lower[rowOf[i]][k] = factor;
+      if (factor == 0.0) continue;
+      const auto& urow = rows[prow];
+      for (auto uit = urow.upper_bound(k); uit != urow.end(); ++uit) {
+        row[uit->first] -= factor * uit->second;
+      }
+    }
+  }
+  perm_ = rowOf;
+  cachedPerm_ = rowOf;
+
+  // Harvest the in-place layout: row r keeps its L multipliers (columns
+  // below its pivot position) followed by its U entries — both maps are
+  // already sorted and L columns all precede U columns.
+  fullCols_.assign(n, {});
+  vals_.assign(n, {});
+  origPos_.assign(n, {});
+  for (std::size_t r = 0; r < n; ++r) {
+    auto& cols = fullCols_[r];
+    auto& v = vals_[r];
+    cols.reserve(lower[r].size() + rows[r].size());
+    v.reserve(cols.capacity());
+    for (const auto& [c, val] : lower[r]) {
+      cols.push_back(c);
+      v.push_back(val);
+    }
+    for (const auto& [c, val] : rows[r]) {
+      cols.push_back(c);
+      v.push_back(val);
+    }
+    origPos_[r].resize(origCols_[r].size());
+    std::size_t j = 0;
+    for (std::size_t q = 0; q < origCols_[r].size(); ++q) {
+      while (cols[j] != origCols_[r][q]) ++j;
+      origPos_[r][q] = j;
+    }
+  }
+  structureValid_ = true;
+  factored_ = true;
+}
+
+std::vector<double> SparseLuFactorizer::solve(
+    std::span<const double> b) const {
+  FEFET_REQUIRE(factored_, "SparseLuFactorizer::solve called before factor()");
+  FEFET_REQUIRE(b.size() == n_, "SparseLuFactorizer::solve: size mismatch");
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  // Forward substitution: row perm_[i] pivoted at position i, so its
+  // entries at columns < i are the unit-lower multipliers.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t r = perm_[i];
+    const auto& cols = fullCols_[r];
+    const auto& v = vals_[r];
+    double acc = x[i];
+    for (std::size_t j = 0; j < cols.size() && cols[j] < i; ++j) {
+      acc -= v[j] * x[cols[j]];
+    }
+    x[i] = acc;
+  }
+  // Backward substitution on U (columns >= i of row perm_[i]).
+  for (std::size_t i = n_; i-- > 0;) {
+    const std::size_t r = perm_[i];
+    const auto& cols = fullCols_[r];
+    const auto& v = vals_[r];
+    double acc = x[i];
+    double diag = 0.0;
+    const std::size_t start = static_cast<std::size_t>(
+        std::lower_bound(cols.begin(), cols.end(), i) - cols.begin());
+    for (std::size_t j = start; j < cols.size(); ++j) {
+      if (cols[j] == i) {
+        diag = v[j];
+      } else {
+        acc -= v[j] * x[cols[j]];
       }
     }
     x[i] = acc / diag;

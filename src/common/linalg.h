@@ -69,6 +69,14 @@ class SparseMatrix {
   void add(std::size_t r, std::size_t c, double v) { rows_[r][c] += v; }
   void setZero();
 
+  /// Zero every stored value but keep the sparsity pattern (map nodes).
+  /// Re-assembling the same circuit then touches existing nodes instead of
+  /// re-allocating them, and downstream structure caches see a stable
+  /// pattern.  Entries that receive no contribution stay as explicit 0.0,
+  /// which is numerically inert for LU (zero multipliers are skipped and
+  /// zero updates do not change values).
+  void setZeroKeepStructure();
+
   const std::map<std::size_t, double>& row(std::size_t r) const {
     return rows_[r];
   }
@@ -91,6 +99,76 @@ class SparseLu {
   std::vector<std::map<std::size_t, double>> lower_;  // unit diagonal implied
   std::vector<std::map<std::size_t, double>> upper_;
   std::vector<std::size_t> perm_;  // row permutation: perm_[k] = original row
+};
+
+/// Sparse LU with a reusable symbolic structure.
+///
+/// The MNA pattern of a frozen netlist is fixed, but `SparseLu` rediscovers
+/// it from scratch on every Newton iteration: it copies the row maps, finds
+/// fill-in positions by map insertion, and rebuilds the L/U maps.  This
+/// class performs that symbolic analysis once and caches
+///  * the full per-row fill pattern (original entries + fill),
+///  * the pivot sequence the magnitude-based partial pivoting chose,
+/// so later factorizations of a same-pattern matrix run *numerically only*
+/// on preallocated contiguous arrays.
+///
+/// Correctness contract: `factor()` + `solve()` produce solutions that are
+/// bit-identical to constructing a fresh `SparseLu` each time.  The numeric
+/// refactorization replays the identical elimination arithmetic in the
+/// identical order, and it re-runs the pivot *search* each call: if the
+/// values have drifted enough that partial pivoting would pick a different
+/// row (or the assembled pattern changed), the cache is discarded and a
+/// full symbolic factorization runs instead — so pivot quality is never
+/// sacrificed for speed.
+class SparseLuFactorizer {
+ public:
+  SparseLuFactorizer() = default;
+
+  /// Factor `a`, reusing the cached structure when possible.
+  /// Throws NumericalError when the matrix is numerically singular.
+  void factor(const SparseMatrix& a);
+
+  /// Solve A x = b with the most recent factorization.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  bool factored() const { return factored_; }
+
+  /// Diagnostics: how many full (symbolic + numeric) factorizations and
+  /// how many structure-reusing numeric refactorizations have run.
+  long fullFactorizations() const { return fullFactorizations_; }
+  long numericRefactorizations() const { return numericRefactorizations_; }
+  /// Numeric refactorizations abandoned because partial pivoting chose a
+  /// different row than the cached sequence (each one also counts a full
+  /// factorization).
+  long pivotFallbacks() const { return pivotFallbacks_; }
+
+ private:
+  bool loadValues(const SparseMatrix& a);
+  bool refactorNumeric();
+  void factorFull(const SparseMatrix& a);
+
+  std::size_t n_ = 0;
+  bool factored_ = false;
+  bool structureValid_ = false;
+
+  // Cached structure, one entry per original row r:
+  //  origCols_[r]  — assembled (pre-fill) pattern, ascending;
+  //  fullCols_[r]  — assembled + fill pattern, ascending;
+  //  origPos_[r]   — position of origCols_[r][k] inside fullCols_[r].
+  std::vector<std::vector<std::size_t>> origCols_;
+  std::vector<std::vector<std::size_t>> fullCols_;
+  std::vector<std::vector<std::size_t>> origPos_;
+  std::vector<std::size_t> cachedPerm_;  ///< pivot sequence of the cache
+
+  // Current factorization (in-place LU over the full pattern): vals_[r][j]
+  // holds, for column fullCols_[r][j], the L multiplier (col < pivot step
+  // of row r) or the U value (col >= pivot step).
+  std::vector<std::vector<double>> vals_;
+  std::vector<std::size_t> perm_;  ///< position k -> original row
+
+  long fullFactorizations_ = 0;
+  long numericRefactorizations_ = 0;
+  long pivotFallbacks_ = 0;
 };
 
 /// Infinity norm of a vector.

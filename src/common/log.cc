@@ -1,12 +1,23 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace fefet {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 
 namespace {
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& threadPrefixSlot() {
+  thread_local std::string prefix;
+  return prefix;
+}
+
 const char* levelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -20,9 +31,18 @@ const char* levelTag(LogLevel level) {
 }
 }  // namespace
 
+void Log::setThreadPrefix(std::string prefix) {
+  threadPrefixSlot() = std::move(prefix);
+}
+
+const std::string& Log::threadPrefix() { return threadPrefixSlot(); }
+
 void Log::write(LogLevel level, const std::string& message) {
-  if (level < level_) return;
-  std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+  if (level < Log::level()) return;
+  const std::string& prefix = threadPrefixSlot();
+  const std::lock_guard<std::mutex> guard(sinkMutex());
+  std::fprintf(stderr, "[%s] %s%s\n", levelTag(level), prefix.c_str(),
+               message.c_str());
 }
 
 }  // namespace fefet

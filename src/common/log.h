@@ -1,10 +1,15 @@
 // log.h — tiny leveled logger.
 //
 // The simulator emits progress/diagnostic messages through this singleton so
-// tests can silence them and benches can raise verbosity.  Not thread-safe by
-// design: the library is single-threaded per simulation.
+// tests can silence them and benches can raise verbosity.  The logger itself
+// is thread-compatible: the level is atomic, the sink is mutex-guarded so
+// concurrent lines never interleave, and each thread can carry a prefix
+// (sweep workers tag their lines with the point being simulated).  Each
+// *simulation* remains single-threaded; only independent sweep points run
+// concurrently (see sim/sweep_engine.h).
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -16,14 +21,22 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 /// not chatter.
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void setLevel(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void setLevel(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// Per-thread line prefix (e.g. "sweep[3] "); empty by default.  Sweep
+  /// workers set this so concurrent simulations stay attributable.
+  static void setThreadPrefix(std::string prefix);
+  static const std::string& threadPrefix();
 
   /// Emit one line at `level` (no-op when below the global threshold).
+  /// Serialized across threads.
   static void write(LogLevel level, const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 namespace detail {

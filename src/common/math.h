@@ -58,7 +58,9 @@ std::vector<double> cumtrapz(std::span<const double> x,
                              std::span<const double> y);
 
 /// Linear interpolation of tabulated (x, y) at query point q.  x must be
-/// strictly increasing.  Clamps outside the table.
+/// strictly increasing.  Queries outside [x.front(), x.back()] clamp to
+/// the boundary sample (q <= x.front() returns y.front(), q >= x.back()
+/// returns y.back()) — this never extrapolates.
 double interp1(std::span<const double> x, std::span<const double> y, double q);
 
 /// First time/abscissa at which the sampled waveform y(x) crosses `level`

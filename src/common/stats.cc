@@ -54,6 +54,75 @@ double geomean(std::span<const double> v) {
   return std::exp(acc / static_cast<double>(v.size()));
 }
 
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double nA = static_cast<double>(count_);
+  const double nB = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = nA + nB;
+  mean_ += delta * nB / n;
+  m2_ += other.m2_ + delta * delta * nA * nB / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const {
+  FEFET_REQUIRE(count_ >= 1, "Accumulator::mean: no samples");
+  return mean_;
+}
+
+double Accumulator::stddev() const {
+  FEFET_REQUIRE(count_ >= 2, "Accumulator::stddev: need at least 2 samples");
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double Accumulator::minimum() const {
+  FEFET_REQUIRE(count_ >= 1, "Accumulator::minimum: no samples");
+  return min_;
+}
+
+double Accumulator::maximum() const {
+  FEFET_REQUIRE(count_ >= 1, "Accumulator::maximum: no samples");
+  return max_;
+}
+
+Accumulator Accumulator::fromMoments(long count, double mean, double m2,
+                                     double minimum, double maximum) {
+  FEFET_REQUIRE(count >= 0, "Accumulator::fromMoments: negative count");
+  Accumulator a;
+  a.count_ = count;
+  a.mean_ = mean;
+  a.m2_ = m2;
+  a.min_ = minimum;
+  a.max_ = maximum;
+  return a;
+}
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);

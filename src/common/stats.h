@@ -20,6 +20,42 @@ double percentile(std::span<const double> v, double p);
 /// Geometric mean (all entries must be positive).
 double geomean(std::span<const double> v);
 
+/// Streaming moment accumulator (Welford) with exact min/max, designed for
+/// per-thread partials: each sweep worker feeds its own Accumulator and the
+/// collector combines them with merge() (Chan's parallel update), so the
+/// merged mean/variance equal the single-pass result up to rounding
+/// regardless of how samples were split across threads.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  long count() const { return count_; }
+  double mean() const;          ///< requires count() >= 1
+  double stddev() const;        ///< sample (n-1) deviation; count() >= 2
+  double sumSquaredDeviations() const { return m2_; }
+  double minimum() const;       ///< requires count() >= 1
+  double maximum() const;       ///< requires count() >= 1
+
+  /// Reconstruct an accumulator from precomputed moments (n, mean, and the
+  /// sum of squared deviations m2 = sigma^2 * (n-1)) — the bridge for
+  /// merging summaries that only kept mean/sigma/min/max.
+  static Accumulator fromMoments(long count, double mean, double m2,
+                                 double minimum, double maximum);
+
+ private:
+  long count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// splitmix64 finalizer: a well-mixed 64-bit hash used wherever a
+/// deterministic, order-independent seed must be derived from (base seed,
+/// index) — per-cell fault draws, per-point sweep seeds.
+std::uint64_t splitmix64(std::uint64_t z);
+
 /// Deterministic pseudo-random source for workload/trace synthesis.
 /// A thin wrapper over std::mt19937_64 with convenience draws; every
 /// stochastic component takes an explicit seed so runs are reproducible.

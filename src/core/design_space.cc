@@ -3,37 +3,56 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "sim/sweep_engine.h"
 #include "xtor/mosfet_model.h"
 
 namespace fefet::core {
+
+DesignPoint characterizeThickness(const FefetParams& base, double thickness,
+                                  double vread) {
+  const ferro::LandauKhalatnikov lk(base.lk);
+  FefetParams p = base;
+  p.feThickness = thickness;
+  DesignPoint dp;
+  dp.feThickness = thickness;
+  dp.standaloneCoerciveVoltage = lk.coerciveField() * thickness;
+  const auto window = analyzeHysteresis(p);
+  dp.hysteretic = window.hysteretic;
+  dp.nonvolatile = window.nonvolatile;
+  if (window.hysteretic) {
+    dp.upSwitchVoltage = window.upSwitchVoltage;
+    dp.downSwitchVoltage = window.downSwitchVoltage;
+    dp.windowWidth = window.width();
+  }
+  if (window.nonvolatile) {
+    dp.onOffRatio = distinguishability(p, vread);
+  }
+  return dp;
+}
 
 std::vector<DesignPoint> sweepThickness(const FefetParams& base,
                                         const std::vector<double>& thicknesses,
                                         double vread) {
   std::vector<DesignPoint> out;
   out.reserve(thicknesses.size());
-  const ferro::LandauKhalatnikov lk(base.lk);
-  const double ec = lk.coerciveField();
   for (double t : thicknesses) {
-    FefetParams p = base;
-    p.feThickness = t;
-    DesignPoint dp;
-    dp.feThickness = t;
-    dp.standaloneCoerciveVoltage = ec * t;
-    const auto window = analyzeHysteresis(p);
-    dp.hysteretic = window.hysteretic;
-    dp.nonvolatile = window.nonvolatile;
-    if (window.hysteretic) {
-      dp.upSwitchVoltage = window.upSwitchVoltage;
-      dp.downSwitchVoltage = window.downSwitchVoltage;
-      dp.windowWidth = window.width();
-    }
-    if (window.nonvolatile) {
-      dp.onOffRatio = distinguishability(p, vread);
-    }
-    out.push_back(dp);
+    out.push_back(characterizeThickness(base, t, vread));
   }
   return out;
+}
+
+std::vector<DesignPoint> sweepThicknessParallel(
+    const FefetParams& base, const std::vector<double>& thicknesses,
+    double vread, int threads) {
+  sim::SweepOptions options;
+  options.threads = threads;
+  sim::SweepEngine engine(options);
+  // Each point is a pure function of its thickness — no RNG, so the sweep
+  // seed plays no role and the result matches sweepThickness exactly.
+  return engine.run(thicknesses,
+                    [&](double t, const sim::SweepContext&) {
+                      return characterizeThickness(base, t, vread);
+                    });
 }
 
 double recommendThickness(const FefetParams& base, double vWrite,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
@@ -52,6 +53,24 @@ DeviceMonteCarlo runDeviceMonteCarlo(const FefetParams& nominal,
                                      double vWrite = 0.68,
                                      double vRead = 0.40);
 
+/// Combine per-chunk Monte Carlo summaries into one, using Chan's parallel
+/// moment merge (stats::Accumulator) for the width statistics.  Counts sum,
+/// worst-case folds take min/max, and the merged mean/sigma equal a
+/// single-pass reduction over the union of samples up to rounding.
+DeviceMonteCarlo mergeMonteCarlo(std::span<const DeviceMonteCarlo> parts);
+
+/// runDeviceMonteCarlo fanned across a sim::SweepEngine pool.  The sample
+/// budget is split into fixed chunks of ~`chunkSamples`; chunk i draws its
+/// RNG stream from SweepEngine::pointSeed(spec.seed, i), so the result is
+/// identical for every thread count (`threads` = 0 uses the default).  The
+/// chunked estimator is not sample-for-sample identical to the serial
+/// single-stream runDeviceMonteCarlo, but is an equally valid draw of the
+/// same population and is itself fully deterministic.
+DeviceMonteCarlo runDeviceMonteCarloParallel(
+    const FefetParams& nominal, const VariationSpec& spec, int samples,
+    int threads = 0, double vWrite = 0.68, double vRead = 0.40,
+    int chunkSamples = 125);
+
 /// Transient write yield: fraction of sampled cells that complete both
 /// polarities at the given voltage/pulse.  Uses full cell transients, so
 /// keep `samples` modest (tens).
@@ -64,6 +83,15 @@ struct WriteYield {
 WriteYield runWriteYield(const Cell2TConfig& nominal,
                          const VariationSpec& spec, int samples,
                          double vWrite, double pulseWidth);
+
+/// runWriteYield with one sweep point per sampled cell (full transients are
+/// expensive, so per-sample granularity keeps all workers busy).  Sample i
+/// is seeded from SweepEngine::pointSeed(spec.seed, i): deterministic for
+/// every thread count, though not stream-identical to the serial runner.
+WriteYield runWriteYieldParallel(const Cell2TConfig& nominal,
+                                 const VariationSpec& spec, int samples,
+                                 double vWrite, double pulseWidth,
+                                 int threads = 0);
 
 /// Global process corners.
 enum class Corner { kTypical, kFast, kSlow };

@@ -1,0 +1,90 @@
+#include "sim/sweep_engine.h"
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace fefet::sim {
+
+std::uint64_t SweepEngine::pointSeed(std::uint64_t baseSeed,
+                                     std::size_t index) {
+  // splitmix64(baseSeed) spreads correlated base seeds apart; adding the
+  // raw index then finalizing again is exactly the splitmix64 sequence
+  // construction, so neighboring indices land in uncorrelated streams.
+  return stats::splitmix64(stats::splitmix64(baseSeed) +
+                           static_cast<std::uint64_t>(index));
+}
+
+int SweepEngine::threadCount() const {
+  return options_.threads >= 1 ? options_.threads : defaultThreadCount();
+}
+
+void SweepEngine::beginRun() {
+  cancelRequested_.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> guard(mutex_);
+  failures_.clear();
+  done_ = 0;
+}
+
+bool SweepEngine::shouldStop() {
+  if (cancelRequested()) return true;
+  if (options_.cancel) {
+    // The predicate may be stateful; poll it under the engine mutex so it
+    // is never invoked concurrently (same contract as progress).
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (options_.cancel()) {
+      cancelRequested_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SweepEngine::recordFailure(std::size_t index,
+                                const std::string& message) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  failures_.push_back({index, message});
+}
+
+void SweepEngine::notePointDone(std::size_t total) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  ++done_;
+  if (options_.progress) options_.progress(done_, total);
+}
+
+void SweepEngine::finishRun(std::size_t total) {
+  std::vector<PointFailure> failures;
+  std::size_t done = 0;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    failures = failures_;
+    done = done_;
+  }
+  // Failures were recorded in completion order; report them by point index
+  // so the diagnostic is deterministic across thread schedules.
+  std::sort(failures.begin(), failures.end(),
+            [](const PointFailure& a, const PointFailure& b) {
+              return a.index < b.index;
+            });
+  if (!failures.empty()) {
+    std::ostringstream os;
+    os << "sweep failed at " << failures.size() << " of " << total
+       << " points:";
+    const std::size_t shown = std::min<std::size_t>(failures.size(), 4);
+    for (std::size_t i = 0; i < shown; ++i) {
+      os << " [point " << failures[i].index << ": " << failures[i].message
+         << "]";
+    }
+    if (failures.size() > shown) {
+      os << " (+" << failures.size() - shown << " more)";
+    }
+    throw SweepError(os.str(), std::move(failures));
+  }
+  if (done < total) {
+    std::ostringstream os;
+    os << "sweep cancelled after " << done << " of " << total << " points";
+    throw SweepCancelled(os.str(), done);
+  }
+}
+
+}  // namespace fefet::sim

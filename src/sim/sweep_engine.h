@@ -1,0 +1,175 @@
+// sweep_engine.h — parallel execution of independent simulation points.
+//
+// Monte Carlo variability samples, design-space grid points, per-seed
+// fault-resilience trials and retention/endurance sweeps all share one
+// shape: N independent points, each running a self-contained (and
+// internally single-threaded) simulation.  SweepEngine fans those points
+// across a fixed-size ThreadPool with
+//
+//  * deterministic per-point seeding — pointSeed(baseSeed, index) is a
+//    splitmix64 hash, so a point's random stream depends only on the base
+//    seed and its index, never on thread count or completion order (the
+//    same order-independence contract as core/fault_model);
+//  * ordered result collection — run() returns results[i] for points[i]
+//    regardless of which worker finished first;
+//  * progress/cancellation hooks — a serialized progress callback and a
+//    cooperative cancel() / cancel-predicate pair;
+//  * exception capture — a throwing point never kills the process; all
+//    failures are collected and rethrown after the sweep as one SweepError
+//    listing each failed point index and message.
+//
+// The engine parallelizes *across* points only.  Everything below it —
+// Netlist, Simulator, MnaSystem — stays single-threaded per simulation and
+// must not be shared between concurrently running points.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "sim/thread_pool.h"
+
+namespace fefet::sim {
+
+/// Per-point execution context handed to the sweep function.
+struct SweepContext {
+  std::size_t index = 0;     ///< position of the point in the input vector
+  std::uint64_t seed = 0;    ///< pointSeed(baseSeed, index)
+  int thread = 0;            ///< worker slot running this point
+};
+
+struct SweepOptions {
+  /// Worker count; 0 means defaultThreadCount() (FEFET_THREADS env or
+  /// hardware concurrency).  The pool never exceeds the point count.
+  int threads = 0;
+  /// Base seed for the deterministic per-point seed derivation.
+  std::uint64_t baseSeed = 1;
+  /// Called after every completed point with (done, total).  Serialized:
+  /// never invoked concurrently; may be slow without corrupting anything.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Polled before each point starts; returning true cancels the sweep
+  /// (equivalent to calling cancel()).
+  std::function<bool()> cancel;
+};
+
+/// One captured worker failure.
+struct PointFailure {
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Thrown after a sweep in which one or more points threw.  The remaining
+/// points still ran to completion; failures() lists every casualty.
+class SweepError : public Error {
+ public:
+  SweepError(const std::string& what, std::vector<PointFailure> failures)
+      : Error(what), failures_(std::move(failures)) {}
+  const std::vector<PointFailure>& failures() const { return failures_; }
+
+ private:
+  std::vector<PointFailure> failures_;
+};
+
+/// Thrown when a sweep was cancelled before completing every point.
+class SweepCancelled : public Error {
+ public:
+  SweepCancelled(const std::string& what, std::size_t completed)
+      : Error(what), completed_(completed) {}
+  /// Points that finished before the cancellation took effect.
+  std::size_t completed() const { return completed_; }
+
+ private:
+  std::size_t completed_ = 0;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Deterministic per-point seed: a splitmix64 hash of the base seed and
+  /// the point index.  Pure function — identical for every thread count.
+  static std::uint64_t pointSeed(std::uint64_t baseSeed, std::size_t index);
+
+  /// Cooperative cancellation; takes effect before the next point starts.
+  void cancel() { cancelRequested_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return cancelRequested_.load(std::memory_order_relaxed);
+  }
+
+  int threadCount() const;
+
+  /// Run fn(point, context) for every point, in parallel, returning the
+  /// results in input order.  fn is invoked concurrently from several
+  /// threads and must be safe to call that way (independent points must
+  /// not share mutable state).  Throws SweepError if any point threw,
+  /// SweepCancelled if the sweep was cancelled first.
+  template <typename Point, typename Fn>
+  auto run(const std::vector<Point>& points, Fn&& fn)
+      -> std::vector<std::decay_t<
+          std::invoke_result_t<Fn&, const Point&, const SweepContext&>>> {
+    using Result = std::decay_t<
+        std::invoke_result_t<Fn&, const Point&, const SweepContext&>>;
+    const std::size_t total = points.size();
+    beginRun();
+    std::vector<std::optional<Result>> slots(total);
+    if (total > 0) {
+      const int threads =
+          static_cast<int>(std::min<std::size_t>(
+              static_cast<std::size_t>(threadCount()), total));
+      std::atomic<std::size_t> next{0};
+      ThreadPool pool(threads);
+      for (int t = 0; t < threads; ++t) {
+        pool.submit([this, t, total, &next, &slots, &points, &fn] {
+          Log::setThreadPrefix("sweep[" + std::to_string(t) + "] ");
+          for (;;) {
+            if (shouldStop()) break;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total) break;
+            const SweepContext ctx{i, pointSeed(options_.baseSeed, i), t};
+            try {
+              slots[i].emplace(fn(points[i], ctx));
+            } catch (const std::exception& e) {
+              recordFailure(i, e.what());
+            } catch (...) {
+              recordFailure(i, "non-standard exception");
+            }
+            notePointDone(total);
+          }
+          Log::setThreadPrefix("");
+        });
+      }
+      pool.wait();
+    }
+    finishRun(total);  // throws SweepError / SweepCancelled when warranted
+    std::vector<Result> results;
+    results.reserve(total);
+    for (auto& slot : slots) results.push_back(std::move(*slot));
+    return results;
+  }
+
+ private:
+  void beginRun();
+  bool shouldStop();
+  void recordFailure(std::size_t index, const std::string& message);
+  void notePointDone(std::size_t total);
+  void finishRun(std::size_t total);
+
+  SweepOptions options_;
+  std::atomic<bool> cancelRequested_{false};
+  std::mutex mutex_;                    ///< guards failures_/done_/progress
+  std::vector<PointFailure> failures_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace fefet::sim

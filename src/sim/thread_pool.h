@@ -1,0 +1,52 @@
+// thread_pool.h — fixed-size worker pool for the sweep engine.
+//
+// Deliberately minimal: N threads, one FIFO job queue, submit() + wait().
+// Jobs must not throw (SweepEngine catches per-point exceptions before they
+// reach the pool); a job that does throw anyway terminates the process,
+// which is the correct behavior for a programming error in the harness.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fefet::sim {
+
+/// Number of worker threads to use by default: the FEFET_THREADS
+/// environment variable when set (>= 1), otherwise the hardware
+/// concurrency (>= 1).
+int defaultThreadCount();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job.  Thread-safe; may be called from worker threads.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait();
+
+  int threadCount() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable workAvailable_;
+  std::condition_variable allIdle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;      ///< jobs currently executing
+  bool shutdown_ = false;
+};
+
+}  // namespace fefet::sim

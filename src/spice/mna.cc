@@ -24,7 +24,14 @@ void MnaSystem::clear() {
   std::fill(residual_.begin(), residual_.end(), 0.0);
   std::fill(rowScale_.begin(), rowScale_.end(), 0.0);
   if (useSparse_) {
-    sparseM_.setZero();
+    if (reuseLuStructure_) {
+      // Keep the map nodes so re-stamping the same circuit reuses them and
+      // the factorizer sees a stable pattern; stale positions hold an
+      // explicit 0.0, which is numerically inert in the LU.
+      sparseM_.setZeroKeepStructure();
+    } else {
+      sparseM_.setZero();
+    }
   } else {
     dense_.setZero();
   }
@@ -52,7 +59,11 @@ void MnaSystem::addGmin(double gmin, const SystemView& view, int nodeCount) {
   if (gmin <= 0.0) return;
   for (int row = 0; row < nodeCount; ++row) {
     const double v = view.nodeVoltage(row + 1);
-    residual_[static_cast<std::size_t>(row)] += gmin * v;
+    // Through addResidual, not residual_ directly: the row-scale that the
+    // relative residual convergence test divides by must include the gmin
+    // current, otherwise escalated gmin injects residual that the scaled
+    // check never accounts for.
+    addResidual(row, gmin * v);
     addJacobian(row, row, gmin);
   }
 }
@@ -61,6 +72,10 @@ std::vector<double> MnaSystem::solveForUpdate() {
   std::vector<double> rhs(residual_.size());
   for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = -residual_[i];
   if (useSparse_) {
+    if (reuseLuStructure_) {
+      sparseFactor_.factor(sparseM_);
+      return sparseFactor_.solve(rhs);
+    }
     linalg::SparseLu lu(sparseM_);
     return lu.solve(rhs);
   }

@@ -24,10 +24,23 @@ class MnaSystem final : public Stamper {
   void addJacobian(int row, int col, double value) override;
 
   /// Add gmin leakage to ground on every node row (regularization).
+  /// Contributions go through addResidual so the per-row convergence
+  /// scale sees them like any other device current.
   void addGmin(double gmin, const SystemView& view, int nodeCount);
 
   /// Solve J dx = -F.  Throws NumericalError if singular.
   std::vector<double> solveForUpdate();
+
+  /// Reuse the cached sparse symbolic structure (pattern + pivot order)
+  /// across solves.  The MNA pattern of a frozen netlist is fixed, so the
+  /// default is on; turning it off restores the fully independent
+  /// factor-from-scratch path (results are bit-identical either way).
+  void setLuStructureReuse(bool reuse) { reuseLuStructure_ = reuse; }
+  bool luStructureReuse() const { return reuseLuStructure_; }
+  /// Structure-cache diagnostics (zeros on the dense path).
+  const linalg::SparseLuFactorizer& sparseFactorizer() const {
+    return sparseFactor_;
+  }
 
   const std::vector<double>& residual() const { return residual_; }
   const std::vector<double>& rowScale() const { return rowScale_; }
@@ -37,8 +50,10 @@ class MnaSystem final : public Stamper {
  private:
   int n_;
   bool useSparse_;
+  bool reuseLuStructure_ = true;
   linalg::DenseMatrix dense_;
   linalg::SparseMatrix sparseM_;
+  linalg::SparseLuFactorizer sparseFactor_;
   std::vector<double> residual_;
   std::vector<double> rowScale_;
 };

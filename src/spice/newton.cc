@@ -11,7 +11,9 @@ namespace fefet::spice {
 NewtonSolver::NewtonSolver(Netlist& netlist, const NewtonOptions& options)
     : netlist_(netlist),
       options_(options),
-      system_(netlist.freeze(), netlist.freeze() > 160) {}
+      system_(netlist.freeze(), netlist.freeze() > 160) {
+  system_.setLuStructureReuse(options_.reuseLuStructure);
+}
 
 NewtonStats NewtonSolver::solve(std::vector<double>& x, bool dc, double time,
                                 double dt, IntegrationMethod method) {

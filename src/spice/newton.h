@@ -22,6 +22,11 @@ struct NewtonOptions {
   double maxVoltageStep = 0.6;    ///< [V] damping clamp per iteration
   double maxAuxStep = 0.1;        ///< damping clamp on aux unknowns
   double gmin = 1e-12;            ///< [S] node-to-ground regularization
+  /// Cache the sparse LU symbolic structure (fill pattern + pivot order)
+  /// across Newton iterations and timesteps, refactoring numerically only.
+  /// Bit-identical to the uncached path (pivoting is re-verified every
+  /// solve); off exists for A/B testing and diagnostics.
+  bool reuseLuStructure = true;
 };
 
 struct NewtonStats {
@@ -60,6 +65,9 @@ class NewtonSolver {
   /// sequence of decreasing gmin values.  Throws NumericalError when even
   /// the continuation fails.
   NewtonStats solveDcWithContinuation(std::vector<double>& x);
+
+  /// The assembled system (LU structure-reuse diagnostics live here).
+  const MnaSystem& system() const { return system_; }
 
  private:
   NewtonStats solveWithGmin(std::vector<double>& x, bool dc, double time,

@@ -80,6 +80,8 @@ class Simulator {
 
   Netlist& netlist() { return netlist_; }
   const std::vector<double>& solution() const { return x_; }
+  /// Newton solver (read-only; LU structure-reuse diagnostics).
+  const NewtonSolver& newton() const { return newton_; }
 
  private:
   double probeValue(const Probe& probe, const SystemView& view) const;

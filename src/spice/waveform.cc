@@ -39,35 +39,48 @@ std::span<const double> Waveform::column(const std::string& name) const {
 
 std::vector<std::string> Waveform::columnNames() const { return names_; }
 
-double Waveform::finalValue(const std::string& name) const {
+std::span<const double> Waveform::nonEmptyColumn(const std::string& name)
+    const {
   const auto col = column(name);
-  FEFET_REQUIRE(!col.empty(), "waveform is empty");
-  return col.back();
+  // col.back()/front() on an empty column is UB; this happens when a probe
+  // is evaluated before any accepted timestep (e.g. a transient aborted on
+  // its first step), so fail with the diagnosis instead.
+  FEFET_REQUIRE(!col.empty(),
+                "waveform column '" + name +
+                    "' has no samples (probe evaluated before any accepted "
+                    "timestep?)");
+  return col;
+}
+
+double Waveform::finalValue(const std::string& name) const {
+  return nonEmptyColumn(name).back();
 }
 
 double Waveform::valueAt(const std::string& name, double t) const {
-  return math::interp1(time_, column(name), t);
+  const auto col = nonEmptyColumn(name);
+  // A single accepted sample is a degenerate but valid trace: clamping
+  // semantics make every query return that sample.
+  if (col.size() == 1) return col.front();
+  return math::interp1(time_, col, t);
 }
 
 double Waveform::firstCrossing(const std::string& name, double level,
                                bool rising) const {
-  return math::firstCrossing(time_, column(name), level, rising);
+  return math::firstCrossing(time_, nonEmptyColumn(name), level, rising);
 }
 
 double Waveform::minimum(const std::string& name) const {
-  const auto col = column(name);
-  FEFET_REQUIRE(!col.empty(), "waveform is empty");
+  const auto col = nonEmptyColumn(name);
   return *std::min_element(col.begin(), col.end());
 }
 
 double Waveform::maximum(const std::string& name) const {
-  const auto col = column(name);
-  FEFET_REQUIRE(!col.empty(), "waveform is empty");
+  const auto col = nonEmptyColumn(name);
   return *std::max_element(col.begin(), col.end());
 }
 
 double Waveform::integral(const std::string& name) const {
-  return math::trapz(time_, column(name));
+  return math::trapz(time_, nonEmptyColumn(name));
 }
 
 void Waveform::writeCsv(std::ostream& os) const {

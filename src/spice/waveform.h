@@ -23,9 +23,12 @@ class Waveform {
   std::vector<std::string> columnNames() const;
   std::size_t sampleCount() const { return time_.size(); }
 
-  /// Value of a column at its last sample.
+  /// Value of a column at its last sample.  Throws InvalidArgumentError
+  /// (like every reducer here) when the column has no samples yet.
   double finalValue(const std::string& name) const;
-  /// Linear interpolation of a column at time t.
+  /// Linear interpolation of a column at time t.  Queries outside
+  /// [time().front(), time().back()] clamp to the first/last sample — no
+  /// extrapolation; a single-sample trace returns that sample for any t.
   double valueAt(const std::string& name, double t) const;
   /// First time the column crosses `level` in the given direction.
   double firstCrossing(const std::string& name, double level,
@@ -40,6 +43,8 @@ class Waveform {
   void writeCsv(std::ostream& os) const;
 
  private:
+  std::span<const double> nonEmptyColumn(const std::string& name) const;
+
   std::vector<double> time_;
   std::vector<std::string> names_;
   std::map<std::string, std::size_t> index_;

@@ -45,6 +45,69 @@ TEST(Stats, GuardsEmptyInput) {
                InvalidArgumentError);
 }
 
+TEST(Accumulator, StreamingMomentsMatchBatchHelpers) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  stats::Accumulator acc;
+  for (double x : v) acc.add(x);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_DOUBLE_EQ(acc.mean(), stats::mean(v));
+  EXPECT_NEAR(acc.stddev(), stats::stddev(v), 1e-14);
+  EXPECT_DOUBLE_EQ(acc.minimum(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.maximum(), 4.0);
+}
+
+TEST(Accumulator, MergeEqualsSinglePass) {
+  stats::Rng rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.normal(-2.0, 3.0));
+  stats::Accumulator whole;
+  for (double x : v) whole.add(x);
+  // Split unevenly, including an empty part: merge must be a no-op for it.
+  stats::Accumulator a, b, c, empty;
+  for (int i = 0; i < 7; ++i) a.add(v[static_cast<std::size_t>(i)]);
+  for (int i = 7; i < 180; ++i) b.add(v[static_cast<std::size_t>(i)]);
+  for (int i = 180; i < 300; ++i) c.add(v[static_cast<std::size_t>(i)]);
+  stats::Accumulator merged;
+  merged.merge(a);
+  merged.merge(empty);
+  merged.merge(b);
+  merged.merge(c);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.minimum(), whole.minimum());
+  EXPECT_DOUBLE_EQ(merged.maximum(), whole.maximum());
+}
+
+TEST(Accumulator, FromMomentsRoundTrips) {
+  stats::Accumulator acc;
+  for (double x : {2.0, 4.0, 9.0}) acc.add(x);
+  const auto rebuilt = stats::Accumulator::fromMoments(
+      acc.count(), acc.mean(), acc.sumSquaredDeviations(), acc.minimum(),
+      acc.maximum());
+  EXPECT_EQ(rebuilt.count(), acc.count());
+  EXPECT_DOUBLE_EQ(rebuilt.mean(), acc.mean());
+  EXPECT_NEAR(rebuilt.stddev(), acc.stddev(), 1e-14);
+  EXPECT_DOUBLE_EQ(rebuilt.minimum(), acc.minimum());
+  EXPECT_DOUBLE_EQ(rebuilt.maximum(), acc.maximum());
+}
+
+TEST(Accumulator, GuardsInsufficientCounts) {
+  stats::Accumulator acc;
+  EXPECT_THROW(acc.mean(), InvalidArgumentError);
+  EXPECT_THROW(acc.minimum(), InvalidArgumentError);
+  acc.add(1.0);
+  EXPECT_THROW(acc.stddev(), InvalidArgumentError);  // needs n >= 2
+  EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
+}
+
+TEST(Splitmix64, DeterministicAndWellMixed) {
+  EXPECT_EQ(stats::splitmix64(42), stats::splitmix64(42));
+  // Neighboring inputs must land far apart (the whole point of the hash).
+  EXPECT_NE(stats::splitmix64(1), stats::splitmix64(2));
+  EXPECT_NE(stats::splitmix64(0), 0u);
+}
+
 TEST(Rng, DeterministicPerSeed) {
   stats::Rng a(42), b(42), c(43);
   const double x = a.uniform(0.0, 1.0);

@@ -118,6 +118,17 @@ TEST(Interp1, InterpolatesAndClamps) {
   EXPECT_DOUBLE_EQ(interp1(x, y, 3.0), 0.0);
 }
 
+TEST(Interp1, ClampNeverExtrapolatesEitherEdgeSlope) {
+  // Asymmetric samples: extending the edge slopes would give -4 at q=-1
+  // and 13 at q=5; the contract is to return the boundary sample instead.
+  const std::vector<double> x = {0.0, 1.0, 4.0};
+  const std::vector<double> y = {2.0, 8.0, 5.0};
+  EXPECT_DOUBLE_EQ(interp1(x, y, -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(interp1(x, y, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(interp1(x, y, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(x, y, 5.0), 5.0);
+}
+
 TEST(FirstCrossing, RisingAndFalling) {
   const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
   const std::vector<double> y = {0.0, 2.0, 2.0, -2.0};

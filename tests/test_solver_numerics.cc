@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "spice/extras.h"
+#include "spice/mna.h"
 #include "spice/mosfet_device.h"
 #include "spice/netlist.h"
 #include "spice/passives.h"
@@ -262,6 +263,22 @@ TEST(Transient, RejectsBadBackoffFactor) {
   options.dtCutFactor = 0.0;
   EXPECT_THROW(sim.runTransient(options, {Probe::v("a")}),
                InvalidArgumentError);
+}
+
+TEST(Mna, AddGminFeedsTheRowScale) {
+  // Regression: addGmin used to write residual_ directly, bypassing the
+  // per-row |contribution| accumulation — so the relative convergence test
+  // divided by a scale that ignored the gmin current entirely.
+  MnaSystem sys(2, /*useSparse=*/false);
+  const std::vector<double> x = {2.0, -1.0};
+  const SystemView view(x, 2);
+  sys.clear();
+  const double gmin = 1e-9;
+  sys.addGmin(gmin, view, 2);
+  EXPECT_DOUBLE_EQ(sys.residual()[0], gmin * 2.0);
+  EXPECT_DOUBLE_EQ(sys.residual()[1], gmin * -1.0);
+  EXPECT_DOUBLE_EQ(sys.rowScale()[0], gmin * 2.0);
+  EXPECT_DOUBLE_EQ(sys.rowScale()[1], gmin * 1.0);  // |gmin * v|
 }
 
 TEST(Dc, GminContinuationRescuesHardStart) {

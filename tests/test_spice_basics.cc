@@ -221,6 +221,43 @@ TEST(Waveform, CsvAndMeasurements) {
   EXPECT_THROW(w.column("nope"), InvalidArgumentError);
 }
 
+TEST(Waveform, EmptyColumnReducersThrowClearly) {
+  Waveform w;
+  w.addColumn("x");
+  // No samples yet (a probe evaluated before any accepted timestep): every
+  // reducer must throw rather than read col.front()/col.back().
+  EXPECT_THROW(w.finalValue("x"), InvalidArgumentError);
+  EXPECT_THROW(w.valueAt("x", 0.0), InvalidArgumentError);
+  EXPECT_THROW(w.minimum("x"), InvalidArgumentError);
+  EXPECT_THROW(w.maximum("x"), InvalidArgumentError);
+  EXPECT_THROW(w.integral("x"), InvalidArgumentError);
+  EXPECT_THROW(w.firstCrossing("x", 0.5, true), InvalidArgumentError);
+  try {
+    w.finalValue("x");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("'x'"), std::string::npos)
+        << "error should name the offending column";
+  }
+}
+
+TEST(Waveform, ValueAtClampsAtBothEndsAndOnSingleSamples) {
+  Waveform w;
+  w.addColumn("x");
+  w.appendSample(1.0, {10.0});
+  // One sample: any query time returns that sample (clamp semantics).
+  EXPECT_DOUBLE_EQ(w.valueAt("x", -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.valueAt("x", 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.valueAt("x", 99.0), 10.0);
+
+  w.appendSample(2.0, {20.0});
+  // Queries outside [t0, t1] clamp to the boundary samples — never
+  // extrapolate the edge slope.
+  EXPECT_DOUBLE_EQ(w.valueAt("x", 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.valueAt("x", 1.5), 15.0);
+  EXPECT_DOUBLE_EQ(w.valueAt("x", 3.0), 20.0);
+}
+
 // Property: a long RC ladder solves identically via the dense and sparse
 // paths (the solver switches representation at ~160 unknowns).
 class LadderSize : public ::testing::TestWithParam<int> {};

@@ -1,4 +1,5 @@
 // Tests of the process-variation analysis (core/variability.h).
+#include <algorithm>
 #include <cmath>
 #include <gtest/gtest.h>
 
@@ -128,6 +129,58 @@ TEST_P(McSeeds, ReproduciblePerSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, McSeeds, ::testing::Values(1u, 7u, 42u));
+
+TEST(VariabilityParallel, MergeMatchesSinglePassStatistics) {
+  // Two chunks with the same seeds the parallel runner would use, merged,
+  // must reproduce the union's counts exactly and moments to rounding.
+  VariationSpec specA, specB;
+  specA.seed = 101;
+  specB.seed = 202;
+  const auto a = runDeviceMonteCarlo(nominal(), specA, 60);
+  const auto b = runDeviceMonteCarlo(nominal(), specB, 40);
+  const std::vector<DeviceMonteCarlo> parts = {a, b};
+  const auto merged = mergeMonteCarlo(parts);
+  EXPECT_EQ(merged.samples, 100);
+  EXPECT_EQ(merged.nonvolatileCount, a.nonvolatileCount + b.nonvolatileCount);
+  EXPECT_EQ(merged.writableCount, a.writableCount + b.writableCount);
+  EXPECT_DOUBLE_EQ(merged.upSwitchMin,
+                   std::min(a.upSwitchMin, b.upSwitchMin));
+  EXPECT_DOUBLE_EQ(merged.downSwitchMax,
+                   std::max(a.downSwitchMax, b.downSwitchMax));
+  EXPECT_DOUBLE_EQ(merged.log10RatioMin,
+                   std::min(a.log10RatioMin, b.log10RatioMin));
+  // Weighted mean of the part means.
+  const double nA = a.nonvolatileCount, nB = b.nonvolatileCount;
+  EXPECT_NEAR(merged.windowWidthMean,
+              (a.windowWidthMean * nA + b.windowWidthMean * nB) / (nA + nB),
+              1e-12);
+}
+
+TEST(VariabilityParallel, MonteCarloInvariantUnderThreadCount) {
+  VariationSpec spec;
+  spec.seed = 9;
+  const auto one = runDeviceMonteCarloParallel(nominal(), spec, 300, 1);
+  const auto four = runDeviceMonteCarloParallel(nominal(), spec, 300, 4);
+  EXPECT_EQ(one.samples, 300);
+  EXPECT_EQ(one.nonvolatileCount, four.nonvolatileCount);
+  EXPECT_EQ(one.writableCount, four.writableCount);
+  EXPECT_EQ(one.windowWidthMean, four.windowWidthMean);
+  EXPECT_EQ(one.windowWidthSigma, four.windowWidthSigma);
+  EXPECT_EQ(one.upSwitchMin, four.upSwitchMin);
+  EXPECT_EQ(one.downSwitchMax, four.downSwitchMax);
+  EXPECT_EQ(one.log10RatioMean, four.log10RatioMean);
+  EXPECT_EQ(one.log10RatioMin, four.log10RatioMin);
+}
+
+TEST(VariabilityParallel, ChunkingCoversTheExactSampleBudget) {
+  VariationSpec spec;
+  // 251 = 125 + 126: the trailing 1-sample remainder must be absorbed, not
+  // dropped and not run as an invalid single-sample chunk.
+  const auto mc = runDeviceMonteCarloParallel(nominal(), spec, 251, 2);
+  EXPECT_EQ(mc.samples, 251);
+  const auto tiny = runDeviceMonteCarloParallel(nominal(), spec, 3, 2);
+  EXPECT_EQ(tiny.samples, 3);
+}
 
 }  // namespace
 }  // namespace fefet::core
