@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "fefet::fefet_common" for configuration "Release"
+set_property(TARGET fefet::fefet_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_common )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_common "${_IMPORT_PREFIX}/lib/libfefet_common.a" )
+
+# Import target "fefet::fefet_sim" for configuration "Release"
+set_property(TARGET fefet::fefet_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_sim )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_sim "${_IMPORT_PREFIX}/lib/libfefet_sim.a" )
+
+# Import target "fefet::fefet_ferro" for configuration "Release"
+set_property(TARGET fefet::fefet_ferro APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_ferro PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_ferro.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_ferro )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_ferro "${_IMPORT_PREFIX}/lib/libfefet_ferro.a" )
+
+# Import target "fefet::fefet_xtor" for configuration "Release"
+set_property(TARGET fefet::fefet_xtor APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_xtor PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_xtor.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_xtor )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_xtor "${_IMPORT_PREFIX}/lib/libfefet_xtor.a" )
+
+# Import target "fefet::fefet_spice" for configuration "Release"
+set_property(TARGET fefet::fefet_spice APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_spice PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_spice.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_spice )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_spice "${_IMPORT_PREFIX}/lib/libfefet_spice.a" )
+
+# Import target "fefet::fefet_core" for configuration "Release"
+set_property(TARGET fefet::fefet_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_core )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_core "${_IMPORT_PREFIX}/lib/libfefet_core.a" )
+
+# Import target "fefet::fefet_layout" for configuration "Release"
+set_property(TARGET fefet::fefet_layout APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_layout PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_layout.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_layout )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_layout "${_IMPORT_PREFIX}/lib/libfefet_layout.a" )
+
+# Import target "fefet::fefet_nvp" for configuration "Release"
+set_property(TARGET fefet::fefet_nvp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(fefet::fefet_nvp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libfefet_nvp.a"
+  )
+
+list(APPEND _cmake_import_check_targets fefet::fefet_nvp )
+list(APPEND _cmake_import_check_files_for_fefet::fefet_nvp "${_IMPORT_PREFIX}/lib/libfefet_nvp.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bias.dir/bench_ablation_bias.cc.o"
+  "CMakeFiles/bench_ablation_bias.dir/bench_ablation_bias.cc.o.d"
+  "bench_ablation_bias"
+  "bench_ablation_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

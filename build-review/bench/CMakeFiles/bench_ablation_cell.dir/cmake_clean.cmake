@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cell.dir/bench_ablation_cell.cc.o"
+  "CMakeFiles/bench_ablation_cell.dir/bench_ablation_cell.cc.o.d"
+  "bench_ablation_cell"
+  "bench_ablation_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_endurance.dir/bench_endurance.cc.o"
+  "CMakeFiles/bench_endurance.dir/bench_endurance.cc.o.d"
+  "bench_endurance"
+  "bench_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_resilience.dir/bench_fault_resilience.cc.o"
+  "CMakeFiles/bench_fault_resilience.dir/bench_fault_resilience.cc.o.d"
+  "bench_fault_resilience"
+  "bench_fault_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

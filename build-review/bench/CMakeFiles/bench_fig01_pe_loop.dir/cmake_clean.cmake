@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_pe_loop.dir/bench_fig01_pe_loop.cc.o"
+  "CMakeFiles/bench_fig01_pe_loop.dir/bench_fig01_pe_loop.cc.o.d"
+  "bench_fig01_pe_loop"
+  "bench_fig01_pe_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_pe_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

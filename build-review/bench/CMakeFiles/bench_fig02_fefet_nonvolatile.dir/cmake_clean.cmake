@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_fefet_nonvolatile.dir/bench_fig02_fefet_nonvolatile.cc.o"
+  "CMakeFiles/bench_fig02_fefet_nonvolatile.dir/bench_fig02_fefet_nonvolatile.cc.o.d"
+  "bench_fig02_fefet_nonvolatile"
+  "bench_fig02_fefet_nonvolatile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_fefet_nonvolatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_fefet_nonvolatile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_fefet_volatile.dir/bench_fig03_fefet_volatile.cc.o"
+  "CMakeFiles/bench_fig03_fefet_volatile.dir/bench_fig03_fefet_volatile.cc.o.d"
+  "bench_fig03_fefet_volatile"
+  "bench_fig03_fefet_volatile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_fefet_volatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_loadline.dir/bench_fig04_loadline.cc.o"
+  "CMakeFiles/bench_fig04_loadline.dir/bench_fig04_loadline.cc.o.d"
+  "bench_fig04_loadline"
+  "bench_fig04_loadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_loadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

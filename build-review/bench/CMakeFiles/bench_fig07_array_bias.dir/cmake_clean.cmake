@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_array_bias.dir/bench_fig07_array_bias.cc.o"
+  "CMakeFiles/bench_fig07_array_bias.dir/bench_fig07_array_bias.cc.o.d"
+  "bench_fig07_array_bias"
+  "bench_fig07_array_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_array_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_sensing.dir/bench_fig08_sensing.cc.o"
+  "CMakeFiles/bench_fig08_sensing.dir/bench_fig08_sensing.cc.o.d"
+  "bench_fig08_sensing"
+  "bench_fig08_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

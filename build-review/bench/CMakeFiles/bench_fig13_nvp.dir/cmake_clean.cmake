@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_nvp.dir/bench_fig13_nvp.cc.o"
+  "CMakeFiles/bench_fig13_nvp.dir/bench_fig13_nvp.cc.o.d"
+  "bench_fig13_nvp"
+  "bench_fig13_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

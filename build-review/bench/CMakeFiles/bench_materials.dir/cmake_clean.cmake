@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_materials.dir/bench_materials.cc.o"
+  "CMakeFiles/bench_materials.dir/bench_materials.cc.o.d"
+  "bench_materials"
+  "bench_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

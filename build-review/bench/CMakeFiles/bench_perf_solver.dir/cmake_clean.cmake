@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_solver.dir/bench_perf_solver.cc.o"
+  "CMakeFiles/bench_perf_solver.dir/bench_perf_solver.cc.o.d"
+  "bench_perf_solver"
+  "bench_perf_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

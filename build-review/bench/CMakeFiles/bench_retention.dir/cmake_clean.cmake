@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retention.dir/bench_retention.cc.o"
+  "CMakeFiles/bench_retention.dir/bench_retention.cc.o.d"
+  "bench_retention"
+  "bench_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

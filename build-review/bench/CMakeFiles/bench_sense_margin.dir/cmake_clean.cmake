@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sense_margin.dir/bench_sense_margin.cc.o"
+  "CMakeFiles/bench_sense_margin.dir/bench_sense_margin.cc.o.d"
+  "bench_sense_margin"
+  "bench_sense_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sense_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_iso_write.dir/bench_table3_iso_write.cc.o"
+  "CMakeFiles/bench_table3_iso_write.dir/bench_table3_iso_write.cc.o.d"
+  "bench_table3_iso_write"
+  "bench_table3_iso_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_iso_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

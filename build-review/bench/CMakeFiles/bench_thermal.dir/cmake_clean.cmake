@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thermal.dir/bench_thermal.cc.o"
+  "CMakeFiles/bench_thermal.dir/bench_thermal.cc.o.d"
+  "bench_thermal"
+  "bench_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

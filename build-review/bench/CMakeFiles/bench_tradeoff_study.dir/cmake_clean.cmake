@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tradeoff_study.dir/bench_tradeoff_study.cc.o"
+  "CMakeFiles/bench_tradeoff_study.dir/bench_tradeoff_study.cc.o.d"
+  "bench_tradeoff_study"
+  "bench_tradeoff_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

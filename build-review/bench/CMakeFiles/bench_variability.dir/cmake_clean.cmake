@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variability.dir/bench_variability.cc.o"
+  "CMakeFiles/bench_variability.dir/bench_variability.cc.o.d"
+  "bench_variability"
+  "bench_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_demo.dir/array_demo.cpp.o"
+  "CMakeFiles/array_demo.dir/array_demo.cpp.o.d"
+  "array_demo"
+  "array_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

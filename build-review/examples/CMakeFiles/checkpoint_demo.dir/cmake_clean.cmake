@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_demo.dir/checkpoint_demo.cpp.o"
+  "CMakeFiles/checkpoint_demo.dir/checkpoint_demo.cpp.o.d"
+  "checkpoint_demo"
+  "checkpoint_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

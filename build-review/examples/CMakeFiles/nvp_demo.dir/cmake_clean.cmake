@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvp_demo.dir/nvp_demo.cpp.o"
+  "CMakeFiles/nvp_demo.dir/nvp_demo.cpp.o.d"
+  "nvp_demo"
+  "nvp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

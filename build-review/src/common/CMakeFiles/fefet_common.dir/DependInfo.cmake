@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cc" "src/common/CMakeFiles/fefet_common.dir/error.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/error.cc.o.d"
+  "/root/repo/src/common/linalg.cc" "src/common/CMakeFiles/fefet_common.dir/linalg.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/linalg.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/fefet_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/log.cc.o.d"
+  "/root/repo/src/common/math.cc" "src/common/CMakeFiles/fefet_common.dir/math.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/math.cc.o.d"
+  "/root/repo/src/common/plot.cc" "src/common/CMakeFiles/fefet_common.dir/plot.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/plot.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/fefet_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/fefet_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/fefet_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/fefet_common.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_common.dir/error.cc.o"
+  "CMakeFiles/fefet_common.dir/error.cc.o.d"
+  "CMakeFiles/fefet_common.dir/linalg.cc.o"
+  "CMakeFiles/fefet_common.dir/linalg.cc.o.d"
+  "CMakeFiles/fefet_common.dir/log.cc.o"
+  "CMakeFiles/fefet_common.dir/log.cc.o.d"
+  "CMakeFiles/fefet_common.dir/math.cc.o"
+  "CMakeFiles/fefet_common.dir/math.cc.o.d"
+  "CMakeFiles/fefet_common.dir/plot.cc.o"
+  "CMakeFiles/fefet_common.dir/plot.cc.o.d"
+  "CMakeFiles/fefet_common.dir/stats.cc.o"
+  "CMakeFiles/fefet_common.dir/stats.cc.o.d"
+  "CMakeFiles/fefet_common.dir/strings.cc.o"
+  "CMakeFiles/fefet_common.dir/strings.cc.o.d"
+  "CMakeFiles/fefet_common.dir/table.cc.o"
+  "CMakeFiles/fefet_common.dir/table.cc.o.d"
+  "libfefet_common.a"
+  "libfefet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bias_scheme.cc" "src/core/CMakeFiles/fefet_core.dir/bias_scheme.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/bias_scheme.cc.o.d"
+  "/root/repo/src/core/cell2t.cc" "src/core/CMakeFiles/fefet_core.dir/cell2t.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/cell2t.cc.o.d"
+  "/root/repo/src/core/design_space.cc" "src/core/CMakeFiles/fefet_core.dir/design_space.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/design_space.cc.o.d"
+  "/root/repo/src/core/ecc.cc" "src/core/CMakeFiles/fefet_core.dir/ecc.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/ecc.cc.o.d"
+  "/root/repo/src/core/fault_model.cc" "src/core/CMakeFiles/fefet_core.dir/fault_model.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/fault_model.cc.o.d"
+  "/root/repo/src/core/fefet.cc" "src/core/CMakeFiles/fefet_core.dir/fefet.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/fefet.cc.o.d"
+  "/root/repo/src/core/feram_array.cc" "src/core/CMakeFiles/fefet_core.dir/feram_array.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/feram_array.cc.o.d"
+  "/root/repo/src/core/feram_cell.cc" "src/core/CMakeFiles/fefet_core.dir/feram_cell.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/feram_cell.cc.o.d"
+  "/root/repo/src/core/macro_energy.cc" "src/core/CMakeFiles/fefet_core.dir/macro_energy.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/macro_energy.cc.o.d"
+  "/root/repo/src/core/materials.cc" "src/core/CMakeFiles/fefet_core.dir/materials.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/materials.cc.o.d"
+  "/root/repo/src/core/memory_array.cc" "src/core/CMakeFiles/fefet_core.dir/memory_array.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/memory_array.cc.o.d"
+  "/root/repo/src/core/memory_controller.cc" "src/core/CMakeFiles/fefet_core.dir/memory_controller.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/memory_controller.cc.o.d"
+  "/root/repo/src/core/nvm_macro.cc" "src/core/CMakeFiles/fefet_core.dir/nvm_macro.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/nvm_macro.cc.o.d"
+  "/root/repo/src/core/resilience.cc" "src/core/CMakeFiles/fefet_core.dir/resilience.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/resilience.cc.o.d"
+  "/root/repo/src/core/sense_amp.cc" "src/core/CMakeFiles/fefet_core.dir/sense_amp.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/sense_amp.cc.o.d"
+  "/root/repo/src/core/stress.cc" "src/core/CMakeFiles/fefet_core.dir/stress.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/stress.cc.o.d"
+  "/root/repo/src/core/variability.cc" "src/core/CMakeFiles/fefet_core.dir/variability.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/variability.cc.o.d"
+  "/root/repo/src/core/write_explorer.cc" "src/core/CMakeFiles/fefet_core.dir/write_explorer.cc.o" "gcc" "src/core/CMakeFiles/fefet_core.dir/write_explorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/fefet_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fefet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ferro/CMakeFiles/fefet_ferro.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xtor/CMakeFiles/fefet_xtor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spice/CMakeFiles/fefet_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/layout/CMakeFiles/fefet_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

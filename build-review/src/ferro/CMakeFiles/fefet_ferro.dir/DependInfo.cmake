@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ferro/calibrate.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/calibrate.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/calibrate.cc.o.d"
+  "/root/repo/src/ferro/fatigue.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/fatigue.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/fatigue.cc.o.d"
+  "/root/repo/src/ferro/fe_capacitor.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/fe_capacitor.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/fe_capacitor.cc.o.d"
+  "/root/repo/src/ferro/lk_model.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/lk_model.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/lk_model.cc.o.d"
+  "/root/repo/src/ferro/load_line.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/load_line.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/load_line.cc.o.d"
+  "/root/repo/src/ferro/material_db.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/material_db.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/material_db.cc.o.d"
+  "/root/repo/src/ferro/pe_loop.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/pe_loop.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/pe_loop.cc.o.d"
+  "/root/repo/src/ferro/retention.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/retention.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/retention.cc.o.d"
+  "/root/repo/src/ferro/thermal.cc" "src/ferro/CMakeFiles/fefet_ferro.dir/thermal.cc.o" "gcc" "src/ferro/CMakeFiles/fefet_ferro.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/fefet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_ferro.dir/calibrate.cc.o"
+  "CMakeFiles/fefet_ferro.dir/calibrate.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/fatigue.cc.o"
+  "CMakeFiles/fefet_ferro.dir/fatigue.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/fe_capacitor.cc.o"
+  "CMakeFiles/fefet_ferro.dir/fe_capacitor.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/lk_model.cc.o"
+  "CMakeFiles/fefet_ferro.dir/lk_model.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/load_line.cc.o"
+  "CMakeFiles/fefet_ferro.dir/load_line.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/material_db.cc.o"
+  "CMakeFiles/fefet_ferro.dir/material_db.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/pe_loop.cc.o"
+  "CMakeFiles/fefet_ferro.dir/pe_loop.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/retention.cc.o"
+  "CMakeFiles/fefet_ferro.dir/retention.cc.o.d"
+  "CMakeFiles/fefet_ferro.dir/thermal.cc.o"
+  "CMakeFiles/fefet_ferro.dir/thermal.cc.o.d"
+  "libfefet_ferro.a"
+  "libfefet_ferro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_ferro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

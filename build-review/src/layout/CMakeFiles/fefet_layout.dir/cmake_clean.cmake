@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_layout.dir/layout.cc.o"
+  "CMakeFiles/fefet_layout.dir/layout.cc.o.d"
+  "libfefet_layout.a"
+  "libfefet_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_nvp.dir/checkpoint.cc.o"
+  "CMakeFiles/fefet_nvp.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fefet_nvp.dir/nv_processor.cc.o"
+  "CMakeFiles/fefet_nvp.dir/nv_processor.cc.o.d"
+  "CMakeFiles/fefet_nvp.dir/power_trace.cc.o"
+  "CMakeFiles/fefet_nvp.dir/power_trace.cc.o.d"
+  "CMakeFiles/fefet_nvp.dir/workload.cc.o"
+  "CMakeFiles/fefet_nvp.dir/workload.cc.o.d"
+  "libfefet_nvp.a"
+  "libfefet_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

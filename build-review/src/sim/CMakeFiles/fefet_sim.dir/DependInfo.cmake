@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/sweep_engine.cc" "src/sim/CMakeFiles/fefet_sim.dir/sweep_engine.cc.o" "gcc" "src/sim/CMakeFiles/fefet_sim.dir/sweep_engine.cc.o.d"
+  "/root/repo/src/sim/thread_pool.cc" "src/sim/CMakeFiles/fefet_sim.dir/thread_pool.cc.o" "gcc" "src/sim/CMakeFiles/fefet_sim.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/fefet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_sim.dir/sweep_engine.cc.o"
+  "CMakeFiles/fefet_sim.dir/sweep_engine.cc.o.d"
+  "CMakeFiles/fefet_sim.dir/thread_pool.cc.o"
+  "CMakeFiles/fefet_sim.dir/thread_pool.cc.o.d"
+  "libfefet_sim.a"
+  "libfefet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/dc_sweep.cc" "src/spice/CMakeFiles/fefet_spice.dir/dc_sweep.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/dc_sweep.cc.o.d"
+  "/root/repo/src/spice/deck_parser.cc" "src/spice/CMakeFiles/fefet_spice.dir/deck_parser.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/deck_parser.cc.o.d"
+  "/root/repo/src/spice/extras.cc" "src/spice/CMakeFiles/fefet_spice.dir/extras.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/extras.cc.o.d"
+  "/root/repo/src/spice/fecap_device.cc" "src/spice/CMakeFiles/fefet_spice.dir/fecap_device.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/fecap_device.cc.o.d"
+  "/root/repo/src/spice/measure.cc" "src/spice/CMakeFiles/fefet_spice.dir/measure.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/measure.cc.o.d"
+  "/root/repo/src/spice/mna.cc" "src/spice/CMakeFiles/fefet_spice.dir/mna.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/mna.cc.o.d"
+  "/root/repo/src/spice/mosfet_device.cc" "src/spice/CMakeFiles/fefet_spice.dir/mosfet_device.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/mosfet_device.cc.o.d"
+  "/root/repo/src/spice/netlist.cc" "src/spice/CMakeFiles/fefet_spice.dir/netlist.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/netlist.cc.o.d"
+  "/root/repo/src/spice/newton.cc" "src/spice/CMakeFiles/fefet_spice.dir/newton.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/newton.cc.o.d"
+  "/root/repo/src/spice/passives.cc" "src/spice/CMakeFiles/fefet_spice.dir/passives.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/passives.cc.o.d"
+  "/root/repo/src/spice/simulator.cc" "src/spice/CMakeFiles/fefet_spice.dir/simulator.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/simulator.cc.o.d"
+  "/root/repo/src/spice/sources.cc" "src/spice/CMakeFiles/fefet_spice.dir/sources.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/sources.cc.o.d"
+  "/root/repo/src/spice/waveform.cc" "src/spice/CMakeFiles/fefet_spice.dir/waveform.cc.o" "gcc" "src/spice/CMakeFiles/fefet_spice.dir/waveform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/fefet_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ferro/CMakeFiles/fefet_ferro.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xtor/CMakeFiles/fefet_xtor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

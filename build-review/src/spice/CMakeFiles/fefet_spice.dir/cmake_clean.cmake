@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_spice.dir/dc_sweep.cc.o"
+  "CMakeFiles/fefet_spice.dir/dc_sweep.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/deck_parser.cc.o"
+  "CMakeFiles/fefet_spice.dir/deck_parser.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/extras.cc.o"
+  "CMakeFiles/fefet_spice.dir/extras.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/fecap_device.cc.o"
+  "CMakeFiles/fefet_spice.dir/fecap_device.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/measure.cc.o"
+  "CMakeFiles/fefet_spice.dir/measure.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/mna.cc.o"
+  "CMakeFiles/fefet_spice.dir/mna.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/mosfet_device.cc.o"
+  "CMakeFiles/fefet_spice.dir/mosfet_device.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/netlist.cc.o"
+  "CMakeFiles/fefet_spice.dir/netlist.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/newton.cc.o"
+  "CMakeFiles/fefet_spice.dir/newton.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/passives.cc.o"
+  "CMakeFiles/fefet_spice.dir/passives.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/simulator.cc.o"
+  "CMakeFiles/fefet_spice.dir/simulator.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/sources.cc.o"
+  "CMakeFiles/fefet_spice.dir/sources.cc.o.d"
+  "CMakeFiles/fefet_spice.dir/waveform.cc.o"
+  "CMakeFiles/fefet_spice.dir/waveform.cc.o.d"
+  "libfefet_spice.a"
+  "libfefet_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtor/mosfet_model.cc" "src/xtor/CMakeFiles/fefet_xtor.dir/mosfet_model.cc.o" "gcc" "src/xtor/CMakeFiles/fefet_xtor.dir/mosfet_model.cc.o.d"
+  "/root/repo/src/xtor/technology.cc" "src/xtor/CMakeFiles/fefet_xtor.dir/technology.cc.o" "gcc" "src/xtor/CMakeFiles/fefet_xtor.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/fefet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

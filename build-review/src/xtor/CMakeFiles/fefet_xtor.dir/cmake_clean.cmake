@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fefet_xtor.dir/mosfet_model.cc.o"
+  "CMakeFiles/fefet_xtor.dir/mosfet_model.cc.o.d"
+  "CMakeFiles/fefet_xtor.dir/technology.cc.o"
+  "CMakeFiles/fefet_xtor.dir/technology.cc.o.d"
+  "libfefet_xtor.a"
+  "libfefet_xtor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fefet_xtor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfefet_xtor.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for fefet_xtor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell2t.dir/test_cell2t.cc.o"
+  "CMakeFiles/test_cell2t.dir/test_cell2t.cc.o.d"
+  "test_cell2t"
+  "test_cell2t.pdb"
+  "test_cell2t[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell2t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

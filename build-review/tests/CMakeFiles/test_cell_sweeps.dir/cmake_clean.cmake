@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_sweeps.dir/test_cell_sweeps.cc.o"
+  "CMakeFiles/test_cell_sweeps.dir/test_cell_sweeps.cc.o.d"
+  "test_cell_sweeps"
+  "test_cell_sweeps.pdb"
+  "test_cell_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

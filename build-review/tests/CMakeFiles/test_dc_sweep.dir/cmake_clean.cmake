@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dc_sweep.dir/test_dc_sweep.cc.o"
+  "CMakeFiles/test_dc_sweep.dir/test_dc_sweep.cc.o.d"
+  "test_dc_sweep"
+  "test_dc_sweep.pdb"
+  "test_dc_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

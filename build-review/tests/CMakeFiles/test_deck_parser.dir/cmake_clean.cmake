@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deck_parser.dir/test_deck_parser.cc.o"
+  "CMakeFiles/test_deck_parser.dir/test_deck_parser.cc.o.d"
+  "test_deck_parser"
+  "test_deck_parser.pdb"
+  "test_deck_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deck_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fe_capacitor.
+# This may be replaced when dependencies are built.

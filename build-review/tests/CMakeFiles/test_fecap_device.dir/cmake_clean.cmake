@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fecap_device.dir/test_fecap_device.cc.o"
+  "CMakeFiles/test_fecap_device.dir/test_fecap_device.cc.o.d"
+  "test_fecap_device"
+  "test_fecap_device.pdb"
+  "test_fecap_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fecap_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

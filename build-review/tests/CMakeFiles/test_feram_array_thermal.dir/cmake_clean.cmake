@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feram_array_thermal.dir/test_feram_array_thermal.cc.o"
+  "CMakeFiles/test_feram_array_thermal.dir/test_feram_array_thermal.cc.o.d"
+  "test_feram_array_thermal"
+  "test_feram_array_thermal.pdb"
+  "test_feram_array_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feram_array_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

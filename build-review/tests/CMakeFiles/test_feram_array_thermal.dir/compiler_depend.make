@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_feram_array_thermal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feram_cell.dir/test_feram_cell.cc.o"
+  "CMakeFiles/test_feram_cell.dir/test_feram_cell.cc.o.d"
+  "test_feram_cell"
+  "test_feram_cell.pdb"
+  "test_feram_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feram_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lk_model.dir/test_lk_model.cc.o"
+  "CMakeFiles/test_lk_model.dir/test_lk_model.cc.o.d"
+  "test_lk_model"
+  "test_lk_model.pdb"
+  "test_lk_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

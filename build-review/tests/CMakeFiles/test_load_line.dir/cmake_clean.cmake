@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_line.dir/test_load_line.cc.o"
+  "CMakeFiles/test_load_line.dir/test_load_line.cc.o.d"
+  "test_load_line"
+  "test_load_line.pdb"
+  "test_load_line[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macro_layout.dir/test_macro_layout.cc.o"
+  "CMakeFiles/test_macro_layout.dir/test_macro_layout.cc.o.d"
+  "test_macro_layout"
+  "test_macro_layout.pdb"
+  "test_macro_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macro_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_materials_fatigue.dir/test_materials_fatigue.cc.o"
+  "CMakeFiles/test_materials_fatigue.dir/test_materials_fatigue.cc.o.d"
+  "test_materials_fatigue"
+  "test_materials_fatigue.pdb"
+  "test_materials_fatigue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_materials_fatigue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

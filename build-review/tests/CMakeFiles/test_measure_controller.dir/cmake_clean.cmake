@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure_controller.dir/test_measure_controller.cc.o"
+  "CMakeFiles/test_measure_controller.dir/test_measure_controller.cc.o.d"
+  "test_measure_controller"
+  "test_measure_controller.pdb"
+  "test_measure_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

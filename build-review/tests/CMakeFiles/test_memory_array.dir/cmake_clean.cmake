@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_array.dir/test_memory_array.cc.o"
+  "CMakeFiles/test_memory_array.dir/test_memory_array.cc.o.d"
+  "test_memory_array"
+  "test_memory_array.pdb"
+  "test_memory_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

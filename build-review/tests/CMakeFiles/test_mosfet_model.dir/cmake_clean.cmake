@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mosfet_model.dir/test_mosfet_model.cc.o"
+  "CMakeFiles/test_mosfet_model.dir/test_mosfet_model.cc.o.d"
+  "test_mosfet_model"
+  "test_mosfet_model.pdb"
+  "test_mosfet_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mosfet_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

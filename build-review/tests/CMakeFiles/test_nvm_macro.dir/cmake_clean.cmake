@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvm_macro.dir/test_nvm_macro.cc.o"
+  "CMakeFiles/test_nvm_macro.dir/test_nvm_macro.cc.o.d"
+  "test_nvm_macro"
+  "test_nvm_macro.pdb"
+  "test_nvm_macro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvm_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

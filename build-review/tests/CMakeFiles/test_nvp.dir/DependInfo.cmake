@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_nvp.cc" "tests/CMakeFiles/test_nvp.dir/test_nvp.cc.o" "gcc" "tests/CMakeFiles/test_nvp.dir/test_nvp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/fefet_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nvp/CMakeFiles/fefet_nvp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/layout/CMakeFiles/fefet_layout.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spice/CMakeFiles/fefet_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ferro/CMakeFiles/fefet_ferro.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xtor/CMakeFiles/fefet_xtor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fefet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/fefet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

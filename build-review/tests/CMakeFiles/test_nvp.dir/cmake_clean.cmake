@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvp.dir/test_nvp.cc.o"
+  "CMakeFiles/test_nvp.dir/test_nvp.cc.o.d"
+  "test_nvp"
+  "test_nvp.pdb"
+  "test_nvp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvp_policy.dir/test_nvp_policy.cc.o"
+  "CMakeFiles/test_nvp_policy.dir/test_nvp_policy.cc.o.d"
+  "test_nvp_policy"
+  "test_nvp_policy.pdb"
+  "test_nvp_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

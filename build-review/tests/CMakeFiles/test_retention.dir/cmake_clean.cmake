@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention.dir/test_retention.cc.o"
+  "CMakeFiles/test_retention.dir/test_retention.cc.o.d"
+  "test_retention"
+  "test_retention.pdb"
+  "test_retention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sense_amp.dir/test_sense_amp.cc.o"
+  "CMakeFiles/test_sense_amp.dir/test_sense_amp.cc.o.d"
+  "test_sense_amp"
+  "test_sense_amp.pdb"
+  "test_sense_amp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sense_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

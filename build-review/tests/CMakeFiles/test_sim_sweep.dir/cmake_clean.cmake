@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_sweep.dir/test_sim_sweep.cc.o"
+  "CMakeFiles/test_sim_sweep.dir/test_sim_sweep.cc.o.d"
+  "test_sim_sweep"
+  "test_sim_sweep.pdb"
+  "test_sim_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_numerics.dir/test_solver_numerics.cc.o"
+  "CMakeFiles/test_solver_numerics.dir/test_solver_numerics.cc.o.d"
+  "test_solver_numerics"
+  "test_solver_numerics.pdb"
+  "test_solver_numerics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_basics.dir/test_spice_basics.cc.o"
+  "CMakeFiles/test_spice_basics.dir/test_spice_basics.cc.o.d"
+  "test_spice_basics"
+  "test_spice_basics.pdb"
+  "test_spice_basics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_basics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

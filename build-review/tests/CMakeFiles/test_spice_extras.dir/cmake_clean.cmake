@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_extras.dir/test_spice_extras.cc.o"
+  "CMakeFiles/test_spice_extras.dir/test_spice_extras.cc.o.d"
+  "test_spice_extras"
+  "test_spice_extras.pdb"
+  "test_spice_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

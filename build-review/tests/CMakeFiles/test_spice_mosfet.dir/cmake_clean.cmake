@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_mosfet.dir/test_spice_mosfet.cc.o"
+  "CMakeFiles/test_spice_mosfet.dir/test_spice_mosfet.cc.o.d"
+  "test_spice_mosfet"
+  "test_spice_mosfet.pdb"
+  "test_spice_mosfet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_mosfet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

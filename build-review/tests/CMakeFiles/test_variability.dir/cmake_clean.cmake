@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variability.dir/test_variability.cc.o"
+  "CMakeFiles/test_variability.dir/test_variability.cc.o.d"
+  "test_variability"
+  "test_variability.pdb"
+  "test_variability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

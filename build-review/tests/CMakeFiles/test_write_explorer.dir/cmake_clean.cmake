@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_explorer.dir/test_write_explorer.cc.o"
+  "CMakeFiles/test_write_explorer.dir/test_write_explorer.cc.o.d"
+  "test_write_explorer"
+  "test_write_explorer.pdb"
+  "test_write_explorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
