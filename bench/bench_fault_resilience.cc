@@ -4,20 +4,37 @@
 // array-level correctness claim of the resilience layer; the raw column
 // is what the same fault population does to an unprotected array.
 //
-// The (stuck rate, write-fail p) sweep points run on sim::SweepEngine at
-// 1 thread and at the full pool; every point draws its fault population
-// from the same fixed seed, so the runs must match exactly (the PERF line
-// records the speedup).
+// Execution modes:
+//  * default: the (stuck rate, write-fail p) points run on
+//    sim::SweepEngine at 1 thread and at the full pool; every point draws
+//    its fault population from the same fixed seed, so the runs must
+//    match exactly (the PERF line records the speedup);
+//  * resilient (--journal / --resume / --deadline-seconds / watchdog
+//    flags): one journaled run under kCollectAndContinue — a killed run
+//    resumes bit-identically from its journal, a straggler point is
+//    cancelled by the watchdog, and the PERF line carries the outcome
+//    tally plus a CRC32 fingerprint of the encoded results.
+//  * --stall-point=K (with --hard-timeout-s or --deadline-seconds) makes
+//    point K run an artificially non-converging transient bounded only by
+//    its child deadline — the watchdog-cancellation demo.
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/stats.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/nvm_macro.h"
 #include "sim/sweep_engine.h"
 #include "sim/thread_pool.h"
+#include "spice/passives.h"
+#include "spice/simulator.h"
+#include "spice/sources.h"
 
 namespace fefet {
 namespace {
@@ -105,11 +122,115 @@ bool sameOutcome(const Outcome& a, const Outcome& b) {
          a.retryEnergyFrac == b.retryEnergyFrac;
 }
 
+// Hexfloat round-trips doubles bit-exactly, which the journal's resume
+// bit-identity guarantee depends on.
+std::string encodeOutcome(const Outcome& o) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%a,%d,%d,%d,%d,%a", o.ber, o.retries,
+                o.corrected, o.remapped, o.uncorrected, o.retryEnergyFrac);
+  return buf;
+}
+
+Outcome decodeOutcome(const std::string& s) {
+  Outcome o;
+  if (std::sscanf(s.c_str(), "%la,%d,%d,%d,%d,%la", &o.ber, &o.retries,
+                  &o.corrected, &o.remapped, &o.uncorrected,
+                  &o.retryEnergyFrac) != 6) {
+    throw SimulationError("bench_fault_resilience: bad journal payload");
+  }
+  return o;
+}
+
+sim::SweepCodec<PointOutcome> makeCodec() {
+  sim::SweepCodec<PointOutcome> codec;
+  codec.encode = [](const PointOutcome& p) {
+    return encodeOutcome(p.raw) + "|" + encodeOutcome(p.hard);
+  };
+  codec.decode = [](const std::string& s) {
+    const auto bar = s.find('|');
+    if (bar == std::string::npos) {
+      throw SimulationError("bench_fault_resilience: bad journal payload");
+    }
+    PointOutcome p;
+    p.raw = decodeOutcome(s.substr(0, bar));
+    p.hard = decodeOutcome(s.substr(bar + 1));
+    return p;
+  };
+  return codec;
+}
+
+/// Everything that shapes a point's work, folded into the journal digest.
+std::uint64_t configDigest(const std::vector<SweepPoint>& sweep) {
+  std::uint64_t h = stats::splitmix64(0xFA17BE9Cu);
+  const auto fold = [&h](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = stats::splitmix64(h ^ bits);
+  };
+  for (const auto& pt : sweep) {
+    fold(pt.stuckRate);
+    fold(pt.writeFailure);
+  }
+  return h;
+}
+
+/// An artificially non-converging point: a transient with effectively
+/// unbounded work whose only stop condition is the child deadline handed
+/// down by the sweep engine.  Throws DeadlineExceeded when the watchdog
+/// cancels it or the budget runs out.
+void stallUntilDeadline(const sim::SweepContext& ctx) {
+  spice::Netlist n;
+  n.add<spice::VoltageSource>("V1", n.node("in"), n.ground(),
+                              spice::shapes::dc(1.0));
+  n.add<spice::Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<spice::Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  spice::Simulator sim(n);
+  sim.initializeUic();
+  spice::TransientOptions options;
+  options.duration = 1e6;  // ~1e15 steps at dtMax: never finishes honestly
+  options.dtMax = 1e-9;
+  options.deadline = ctx.deadline;
+  sim.runTransient(options, {spice::Probe::v("out")});
+}
+
+void printTable(const std::vector<SweepPoint>& sweep,
+                const std::vector<PointOutcome>& outcomes,
+                const std::vector<sim::SweepOutcome>& status) {
+  using strings::generalFormat;
+  TextTable table({"stuck rate", "write-fail p", "raw BER", "resilient BER",
+                   "retries", "remaps", "uncorrected", "retry E frac",
+                   "status"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& pt = sweep[i];
+    const auto st =
+        i < status.size() ? status[i].status : sim::SweepPointStatus::kOk;
+    const bool hasResult = st == sim::SweepPointStatus::kOk ||
+                           st == sim::SweepPointStatus::kFromJournal;
+    if (hasResult) {
+      const auto& raw = outcomes[i].raw;
+      const auto& hard = outcomes[i].hard;
+      table.addRow({generalFormat(pt.stuckRate, 3),
+                    generalFormat(pt.writeFailure, 3),
+                    generalFormat(raw.ber, 3), generalFormat(hard.ber, 3),
+                    std::to_string(hard.retries),
+                    std::to_string(hard.remapped),
+                    std::to_string(hard.uncorrected),
+                    generalFormat(hard.retryEnergyFrac, 3),
+                    sim::toString(st)});
+    } else {
+      table.addRow({generalFormat(pt.stuckRate, 3),
+                    generalFormat(pt.writeFailure, 3), "-", "-", "-", "-",
+                    "-", "-", sim::toString(st)});
+    }
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 }  // namespace fefet
 
-int main() {
-  using fefet::strings::generalFormat;
+int main(int argc, char** argv) {
+  const auto cli = fefet::bench::parseSweepCli(argc, argv);
   fefet::bench::banner(
       "Fault rate vs read BER: raw array vs resilient word path (64x64)");
 
@@ -118,6 +239,65 @@ int main() {
       {1e-3, 0.0}, {1e-3, 0.05}, {5e-3, 0.05}, {1e-2, 0.10},
   };
   const int threads = fefet::sim::defaultThreadCount();
+  auto codec = fefet::makeCodec();
+  const std::uint64_t digest = fefet::configDigest(sweep);
+
+  const auto pointFn = [&](const fefet::SweepPoint& pt,
+                           const fefet::sim::SweepContext& ctx) {
+    if (cli.pointDelaySeconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(cli.pointDelaySeconds));
+    }
+    if (static_cast<int>(ctx.index) == cli.stallPoint) {
+      fefet::stallUntilDeadline(ctx);
+    }
+    fefet::PointOutcome out;
+    out.raw = fefet::runPass(pt, /*protectedPath=*/false, 2016);
+    out.hard = fefet::runPass(pt, /*protectedPath=*/true, 2016);
+    return out;
+  };
+
+  const auto payloadsOf = [&](const std::vector<fefet::PointOutcome>& results,
+                              const std::vector<fefet::sim::SweepOutcome>&
+                                  status) {
+    std::vector<std::string> payloads;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto st = i < status.size() ? status[i].status
+                                        : fefet::sim::SweepPointStatus::kOk;
+      const bool hasResult =
+          st == fefet::sim::SweepPointStatus::kOk ||
+          st == fefet::sim::SweepPointStatus::kFromJournal;
+      payloads.push_back(hasResult ? codec.encode(results[i])
+                                   : std::string("!") +
+                                         fefet::sim::toString(st));
+    }
+    return payloads;
+  };
+
+  if (cli.resilient()) {
+    fefet::sim::SweepOptions options;
+    options.threads = threads;
+    fefet::bench::applySweepCli(cli, digest, &options);
+    fefet::sim::SweepEngine engine(options);
+    fefet::bench::WallTimer timer;
+    const auto results = engine.run(sweep, pointFn, codec);
+    const double seconds = timer.seconds();
+
+    fefet::printTable(sweep, results, engine.outcomes());
+    const auto summary = engine.summary();
+    if (summary.failed + summary.timedOut + summary.notRun > 0) {
+      std::cout << "\npartial run: " << summary.completed() << " ok, "
+                << summary.failed << " failed, " << summary.timedOut
+                << " timed out, " << summary.notRun << " not run\n";
+    }
+    fefet::bench::banner("sweep-engine wall clock");
+    fefet::bench::printSweepPerf(
+        "bench_fault_resilience", threads, seconds, seconds,
+        /*identical=*/true, summary,
+        fefet::bench::resultsCrc32(payloadsOf(results, engine.outcomes())));
+    return 0;
+  }
+
   auto runAll = [&](int nThreads) {
     fefet::sim::SweepOptions options;
     options.threads = nThreads;
@@ -125,13 +305,7 @@ int main() {
     // The fault population is keyed to the fixed seed 2016 per point, not
     // to the sweep's per-point seed — this bench reproduces the original
     // serial table, bit for bit, at any thread count.
-    return engine.run(sweep, [](const fefet::SweepPoint& pt,
-                                const fefet::sim::SweepContext&) {
-      fefet::PointOutcome out;
-      out.raw = fefet::runPass(pt, /*protectedPath=*/false, 2016);
-      out.hard = fefet::runPass(pt, /*protectedPath=*/true, 2016);
-      return out;
-    });
+    return engine.run(sweep, pointFn);
   };
 
   fefet::bench::WallTimer serialTimer;
@@ -147,29 +321,18 @@ int main() {
                 fefet::sameOutcome(serialOutcomes[i].hard, outcomes[i].hard);
   }
 
-  fefet::TextTable table({"stuck rate", "write-fail p", "raw BER",
-                          "resilient BER", "retries", "remaps",
-                          "uncorrected", "retry E frac"});
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const auto& pt = sweep[i];
-    const auto& raw = outcomes[i].raw;
-    const auto& hard = outcomes[i].hard;
-    table.addRow({generalFormat(pt.stuckRate, 3),
-                  generalFormat(pt.writeFailure, 3),
-                  generalFormat(raw.ber, 3), generalFormat(hard.ber, 3),
-                  std::to_string(hard.retries),
-                  std::to_string(hard.remapped),
-                  std::to_string(hard.uncorrected),
-                  generalFormat(hard.retryEnergyFrac, 3)});
-  }
-  table.print(std::cout);
+  fefet::printTable(sweep, outcomes, {});
   std::cout << "\nThe resilient path holds BER at 0 until the spare pool "
                "saturates at the harshest corner (verify-retry absorbs "
                "transients, spares absorb stuck words); the raw column "
                "degrades with both fault knobs.\n";
 
+  fefet::sim::SweepSummary summary;
+  summary.ok = sweep.size();
   fefet::bench::banner("sweep-engine wall clock");
-  fefet::bench::printSweepPerf("bench_fault_resilience", threads,
-                               serialSeconds, parallelSeconds, identical);
+  fefet::bench::printSweepPerf(
+      "bench_fault_resilience", threads, serialSeconds, parallelSeconds,
+      identical, summary,
+      fefet::bench::resultsCrc32(payloadsOf(outcomes, {})));
   return identical ? 0 : 1;
 }

@@ -1,15 +1,21 @@
 // bench_util.h — shared helpers for the figure/table reproduction benches:
-// banner printing, downsampled waveform dumps and paper-vs-measured rows.
+// banner printing, downsampled waveform dumps, paper-vs-measured rows and
+// the resilient-execution command line shared by the long-sweep benches
+// (--journal / --resume / --deadline-seconds and the watchdog knobs).
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "sim/sweep_engine.h"
 #include "spice/waveform.h"
 
 namespace fefet::bench {
@@ -32,19 +38,116 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Resilient-execution flags shared by the long-sweep benches.
+struct SweepCli {
+  std::string journalPath;        ///< --journal=PATH (crash-safe checkpoint)
+  bool resume = false;            ///< --resume (replay a previous journal)
+  double deadlineSeconds = 0.0;   ///< --deadline-seconds=S (whole-run budget)
+  double softTimeoutSeconds = 0.0;  ///< --soft-timeout-s=S (straggler log)
+  double hardTimeoutSeconds = 0.0;  ///< --hard-timeout-s=S (watchdog cancel)
+  // Test hooks for the kill/resume and watchdog smoke tests:
+  int stallPoint = -1;            ///< --stall-point=K: point K never converges
+  double pointDelaySeconds = 0.0; ///< --point-delay-ms=M: pad every point
+
+  /// Any resilience feature requested (switches benches to a single
+  /// journaled run under kCollectAndContinue instead of the serial-vs-
+  /// parallel identity pass).
+  bool resilient() const {
+    return !journalPath.empty() || deadlineSeconds > 0.0 ||
+           softTimeoutSeconds > 0.0 || hardTimeoutSeconds > 0.0 ||
+           stallPoint >= 0 || pointDelaySeconds > 0.0;
+  }
+};
+
+inline SweepCli parseSweepCli(int argc, char** argv) {
+  SweepCli cli;
+  const auto valueOf = [](const char* arg, const char* flag) -> const char* {
+    const std::size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = valueOf(arg, "--journal=")) {
+      cli.journalPath = v;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      cli.resume = true;
+    } else if (const char* v = valueOf(arg, "--deadline-seconds=")) {
+      cli.deadlineSeconds = std::atof(v);
+    } else if (const char* v = valueOf(arg, "--soft-timeout-s=")) {
+      cli.softTimeoutSeconds = std::atof(v);
+    } else if (const char* v = valueOf(arg, "--hard-timeout-s=")) {
+      cli.hardTimeoutSeconds = std::atof(v);
+    } else if (const char* v = valueOf(arg, "--stall-point=")) {
+      cli.stallPoint = std::atoi(v);
+    } else if (const char* v = valueOf(arg, "--point-delay-ms=")) {
+      cli.pointDelaySeconds = std::atof(v) * 1e-3;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--journal=PATH] [--resume] "
+                   "[--deadline-seconds=S] [--soft-timeout-s=S] "
+                   "[--hard-timeout-s=S] [--stall-point=K] "
+                   "[--point-delay-ms=M]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  if (cli.resume && cli.journalPath.empty()) {
+    std::fprintf(stderr, "--resume requires --journal=PATH\n");
+    std::exit(2);
+  }
+  return cli;
+}
+
+/// Wire the CLI into sweep options: journal, whole-run deadline, watchdog
+/// limits, and CollectAndContinue so a resilient run reports partial
+/// results instead of throwing.  `configDigest` must cover everything that
+/// shapes the per-point work (see SweepJournalOptions::configDigest).
+inline void applySweepCli(const SweepCli& cli, std::uint64_t configDigest,
+                          sim::SweepOptions* options) {
+  options->journal.path = cli.journalPath;
+  options->journal.resume = cli.resume;
+  options->journal.configDigest = configDigest;
+  if (cli.deadlineSeconds > 0.0) {
+    options->deadline = Deadline::after(cli.deadlineSeconds);
+  }
+  options->softPointTimeoutSeconds = cli.softTimeoutSeconds;
+  options->hardPointTimeoutSeconds = cli.hardTimeoutSeconds;
+  if (cli.resilient()) {
+    options->failurePolicy = sim::SweepFailurePolicy::kCollectAndContinue;
+  }
+}
+
 /// One machine-readable perf record per sweep-engine migration: wall clock
-/// for the same point set at 1 thread and at `threads` threads, plus whether
-/// the two runs produced identical per-point results.
+/// for the same point set at 1 thread and at `threads` threads, whether
+/// the runs produced identical per-point results, the outcome tally of the
+/// (final) run and a CRC32 over the encoded results.  "ok" counts points
+/// with a valid result (simulated or journal-replayed); the smoke tests
+/// compare everything except the wall-clock fields and "from_journal".
 inline void printSweepPerf(const std::string& benchName, int threads,
                            double serialSeconds, double parallelSeconds,
-                           bool identical) {
+                           bool identical, const sim::SweepSummary& summary,
+                           std::uint32_t resultsCrc) {
   const double speedup =
       parallelSeconds > 0.0 ? serialSeconds / parallelSeconds : 0.0;
   std::printf(
       "PERF {\"bench\":\"%s\",\"threads\":%d,\"serial_s\":%.3f,"
-      "\"parallel_s\":%.3f,\"speedup\":%.2f,\"identical\":%s}\n",
+      "\"parallel_s\":%.3f,\"speedup\":%.2f,\"identical\":%s,"
+      "\"ok\":%zu,\"failed\":%zu,\"timed_out\":%zu,\"from_journal\":%zu,"
+      "\"not_run\":%zu,\"results_crc\":\"%08x\"}\n",
       benchName.c_str(), threads, serialSeconds, parallelSeconds, speedup,
-      identical ? "true" : "false");
+      identical ? "true" : "false", summary.completed(), summary.failed,
+      summary.timedOut, summary.fromJournal, summary.notRun, resultsCrc);
+}
+
+/// CRC over per-point encoded results: the cheap bit-identity fingerprint
+/// compared between a fresh run and a kill+resume run.
+inline std::uint32_t resultsCrc32(const std::vector<std::string>& payloads) {
+  std::string all;
+  for (const auto& p : payloads) {
+    all += p;
+    all += '\n';
+  }
+  return sim::crc32(all);
 }
 
 /// One paper-vs-measured comparison row.

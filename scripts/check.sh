@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Sanitizer gate, two configurations:
+# Sanitizer + resilience gate, three stages:
 #
 #  1. ASan + UBSan (FEFET_SANITIZE=address) over the full test suite —
 #     memory errors and UB in the netlist/device ownership chain;
 #  2. TSan (FEFET_SANITIZE=thread) over the concurrency-sensitive tests
 #     (the sweep engine / thread pool and the LU-reuse solver path) —
 #     data races in the sim layer.  TSan cannot combine with ASan, hence
-#     the separate build directory.
+#     the separate build directory;
+#  3. kill-and-resume smoke: SIGKILL a journaled bench sweep mid-run, then
+#     --resume it and require the PERF record (results CRC + outcome
+#     tally, wall-clock and from_journal fields excluded) to match an
+#     uninterrupted run bit for bit.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -35,3 +39,46 @@ cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" \
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$(nproc)" \
   -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability' "$@"
+
+echo "== kill-and-resume smoke: journaled sweep survives SIGKILL =="
+cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target bench_fault_resilience
+BENCH="$ASAN_BUILD_DIR/bench/bench_fault_resilience"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# PERF record minus the fields legitimately differing between a fresh and
+# a resumed run (wall clock, speedup, replay count).
+normalize_perf() {
+  grep '^PERF ' "$1" \
+    | sed -E 's/"(serial_s|parallel_s|speedup)":[0-9.]+,?//g; s/"from_journal":[0-9]+,//'
+}
+
+"$BENCH" --journal="$SMOKE_DIR/ref.journal" > "$SMOKE_DIR/ref.out"
+
+# Pad each point so SIGKILL reliably lands mid-sweep, then pull the rug.
+"$BENCH" --journal="$SMOKE_DIR/kill.journal" --point-delay-ms=400 \
+  > "$SMOKE_DIR/kill.out" 2>&1 &
+BENCH_PID=$!
+sleep 1.2
+kill -KILL "$BENCH_PID" 2>/dev/null || true
+wait "$BENCH_PID" 2>/dev/null || true
+if ! [ -s "$SMOKE_DIR/kill.journal" ]; then
+  echo "FAIL: SIGKILL'd run left no journal" >&2
+  exit 1
+fi
+
+"$BENCH" --journal="$SMOKE_DIR/kill.journal" --resume > "$SMOKE_DIR/resume.out"
+if ! grep -q '"from_journal":[1-9]' "$SMOKE_DIR/resume.out"; then
+  echo "FAIL: resume replayed no journal points" >&2
+  cat "$SMOKE_DIR/resume.out"
+  exit 1
+fi
+REF_PERF=$(normalize_perf "$SMOKE_DIR/ref.out")
+RESUME_PERF=$(normalize_perf "$SMOKE_DIR/resume.out")
+if [ "$REF_PERF" != "$RESUME_PERF" ]; then
+  echo "FAIL: resumed run is not bit-identical to the uninterrupted run" >&2
+  echo "  reference: $REF_PERF" >&2
+  echo "  resumed:   $RESUME_PERF" >&2
+  exit 1
+fi
+echo "kill-and-resume smoke passed (PERF records identical: $REF_PERF)"

@@ -1,0 +1,61 @@
+#include "common/deadline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fefet {
+
+CancelToken::CancelToken()
+    : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+void CancelToken::requestCancel() const {
+  flag_->store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::cancelled() const {
+  return flag_->load(std::memory_order_relaxed);
+}
+
+Deadline Deadline::after(double seconds) {
+  Deadline d;
+  d.limited_ = true;
+  if (seconds <= 0.0) {
+    d.end_ = Clock::now();
+    return d;
+  }
+  // Clamp absurd budgets so the duration arithmetic cannot overflow.
+  const double capped =
+      std::min(seconds, 1e9);  // ~31 years: effectively unlimited
+  d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(capped));
+  return d;
+}
+
+bool Deadline::expired() const {
+  for (const auto& token : tokens_) {
+    if (token.cancelled()) return true;
+  }
+  return limited_ && Clock::now() >= end_;
+}
+
+double Deadline::remainingSeconds() const {
+  if (!limited_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(end_ - Clock::now()).count();
+  return left > 0.0 ? left : 0.0;
+}
+
+Deadline Deadline::child(double seconds) const {
+  if (!(seconds < std::numeric_limits<double>::infinity())) return *this;
+  Deadline d = Deadline::after(std::min(seconds, remainingSeconds()));
+  d.tokens_ = tokens_;
+  return d;
+}
+
+Deadline Deadline::withToken(const CancelToken& token) const {
+  Deadline d = *this;
+  d.tokens_.push_back(token);
+  return d;
+}
+
+}  // namespace fefet

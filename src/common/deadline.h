@@ -1,0 +1,78 @@
+// deadline.h — wall-clock budgets and cooperative cancellation.
+//
+// Long runs (Monte-Carlo sweeps, design-space grids, bench suites) need one
+// wall-clock budget that governs the whole job, with each layer below it —
+// sweep point, transient run, Newton iteration — observing its share.  A
+// Deadline is a cheap value type over the monotonic clock:
+//
+//  * expired() is a sub-microsecond poll safe to call every Newton
+//    iteration;
+//  * child(seconds) derives a tighter deadline (min of the parent's
+//    remaining budget and the child's own share), so a per-point timeout
+//    can never outlive the sweep budget it nests inside;
+//  * a Deadline carries CancelTokens: withToken() attaches one, and
+//    expired() also fires when ANY attached token has been cancelled.
+//    Children inherit their parent's tokens, so cancelling a sweep cancels
+//    every point, while a point's own token (added by the straggler
+//    watchdog) cancels just that point.
+//
+// Deadlines never throw by themselves — callers poll expired() and raise
+// DeadlineExceeded (common/error.h) with whatever diagnostics they hold.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+namespace fefet {
+
+/// Shared cancellation flag.  Copies refer to the same flag; cancelling is
+/// sticky and thread-safe (relaxed atomics — a cancel only needs to become
+/// visible eventually, not synchronize data).
+class CancelToken {
+ public:
+  CancelToken();
+
+  void requestCancel() const;
+  bool cancelled() const;
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default: unlimited, no tokens — expired() is always false.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (monotonic clock).  Non-positive budgets
+  /// are already expired.
+  static Deadline after(double seconds);
+  /// Never expires by time (tokens may still cancel it).
+  static Deadline unlimited() { return Deadline(); }
+
+  bool hasTimeLimit() const { return limited_; }
+  /// True once the time budget has elapsed or any attached token was
+  /// cancelled.  Cheap enough to poll per Newton iteration.
+  bool expired() const;
+  /// Seconds left before the time limit; +infinity when unlimited, 0 when
+  /// already past it.  Token cancellation does not change this value.
+  double remainingSeconds() const;
+
+  /// A deadline `seconds` from now, clipped to this deadline's remaining
+  /// budget, inheriting every attached token.  child(infinity) just copies
+  /// the parent (useful when a layer has no budget of its own).
+  Deadline child(double seconds) const;
+  /// This deadline with `token` attached as one more cancellation source.
+  Deadline withToken(const CancelToken& token) const;
+
+ private:
+  bool limited_ = false;
+  Clock::time_point end_{};
+  std::vector<CancelToken> tokens_;  ///< expired when ANY is cancelled
+};
+
+}  // namespace fefet

@@ -53,6 +53,18 @@ class NumericalError : public Error {
   bool hasDiagnostics_ = false;
 };
 
+/// A wall-clock budget ran out: a transient blew its Deadline, a sweep
+/// point was cancelled by the straggler watchdog, or a whole sweep
+/// exhausted its run budget.  Subclasses NumericalError so existing
+/// "solver gave up" handlers keep working, and carries the same
+/// SolverDiagnostics retry history when the abort happened inside a run.
+class DeadlineExceeded : public NumericalError {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : NumericalError(what) {}
+  DeadlineExceeded(const std::string& what, const SolverDiagnostics& diag)
+      : NumericalError(what, diag) {}
+};
+
 /// A simulation-level failure: write did not complete, sense amplifier did
 /// not resolve, measurement target never crossed.
 class SimulationError : public Error {

@@ -1,10 +1,36 @@
 #include "sim/sweep_engine.h"
 
+#include <limits>
 #include <sstream>
 
 #include "common/stats.h"
 
 namespace fefet::sim {
+
+const char* toString(SweepPointStatus status) {
+  switch (status) {
+    case SweepPointStatus::kNotRun: return "not-run";
+    case SweepPointStatus::kOk: return "ok";
+    case SweepPointStatus::kFailed: return "failed";
+    case SweepPointStatus::kTimedOut: return "timed-out";
+    case SweepPointStatus::kFromJournal: return "from-journal";
+  }
+  return "unknown";
+}
+
+SweepSummary summarize(const std::vector<SweepOutcome>& outcomes) {
+  SweepSummary s;
+  for (const auto& outcome : outcomes) {
+    switch (outcome.status) {
+      case SweepPointStatus::kNotRun: ++s.notRun; break;
+      case SweepPointStatus::kOk: ++s.ok; break;
+      case SweepPointStatus::kFailed: ++s.failed; break;
+      case SweepPointStatus::kTimedOut: ++s.timedOut; break;
+      case SweepPointStatus::kFromJournal: ++s.fromJournal; break;
+    }
+  }
+  return s;
+}
 
 std::uint64_t SweepEngine::pointSeed(std::uint64_t baseSeed,
                                      std::size_t index) {
@@ -19,15 +45,57 @@ int SweepEngine::threadCount() const {
   return options_.threads >= 1 ? options_.threads : defaultThreadCount();
 }
 
-void SweepEngine::beginRun() {
+void SweepEngine::beginRun(std::size_t total) {
   cancelRequested_.store(false, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> guard(mutex_);
   failures_.clear();
+  outcomes_.assign(total, SweepOutcome{});
+  running_.clear();
   done_ = 0;
+  okCount_ = 0;
+  failedCount_ = 0;
+  timedOutCount_ = 0;
+  sweepDeadlineExpired_ = false;
+  journal_.reset();
+}
+
+SweepJournalLoad SweepEngine::loadJournal(std::size_t total) {
+  SweepJournalLoad load =
+      SweepJournal::load(options_.journal.path, total, options_.baseSeed,
+                         options_.journal.configDigest);
+  if (!load.warning.empty()) {
+    FEFET_WARN() << "sweep journal: " << load.warning;
+  }
+  if (load.usable && !load.records.empty()) {
+    FEFET_INFO() << "sweep journal: resuming " << load.records.size()
+                 << " of " << total << " points from "
+                 << options_.journal.path;
+  }
+  return load;
+}
+
+void SweepEngine::openJournal(std::size_t total,
+                              const SweepJournalLoad* resumeFrom) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  journal_ = std::make_unique<SweepJournal>(
+      options_.journal.path, total, options_.baseSeed,
+      options_.journal.configDigest, resumeFrom);
+}
+
+void SweepEngine::markReplayed(std::size_t index) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  outcomes_[index].status = SweepPointStatus::kFromJournal;
+  ++done_;
+  ++okCount_;
 }
 
 bool SweepEngine::shouldStop() {
   if (cancelRequested()) return true;
+  if (options_.deadline.expired()) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    sweepDeadlineExpired_ = true;
+    return true;
+  }
   if (options_.cancel) {
     // The predicate may be stateful; poll it under the engine mutex so it
     // is never invoked concurrently (same contract as progress).
@@ -40,25 +108,124 @@ bool SweepEngine::shouldStop() {
   return false;
 }
 
-void SweepEngine::recordFailure(std::size_t index,
-                                const std::string& message) {
+Deadline SweepEngine::beginPoint(std::size_t index, int worker) {
   const std::lock_guard<std::mutex> guard(mutex_);
-  failures_.push_back({index, message});
+  if (running_.size() <= static_cast<std::size_t>(worker)) {
+    running_.resize(static_cast<std::size_t>(worker) + 1);
+  }
+  RunningPoint& slot = running_[static_cast<std::size_t>(worker)];
+  slot = RunningPoint{};
+  slot.active = true;
+  slot.index = index;
+  slot.start = std::chrono::steady_clock::now();
+  const double hard = options_.hardPointTimeoutSeconds > 0.0
+                          ? options_.hardPointTimeoutSeconds
+                          : std::numeric_limits<double>::infinity();
+  return options_.deadline.child(hard).withToken(slot.token);
 }
 
-void SweepEngine::notePointDone(std::size_t total) {
+void SweepEngine::finishPointOk(std::size_t index, int worker, double seconds,
+                                const std::string* payload) {
   const std::lock_guard<std::mutex> guard(mutex_);
+  running_[static_cast<std::size_t>(worker)].active = false;
+  outcomes_[index].status = SweepPointStatus::kOk;
+  outcomes_[index].seconds = seconds;
   ++done_;
-  if (options_.progress) options_.progress(done_, total);
+  ++okCount_;
+  if (journal_ && payload != nullptr) journal_->appendPoint(index, *payload);
+  if (options_.progress) options_.progress(done_, outcomes_.size());
+  checkStragglersLocked();
+}
+
+void SweepEngine::finishPointFailed(std::size_t index, int worker,
+                                    double seconds, const std::string& message,
+                                    bool timedOut) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  running_[static_cast<std::size_t>(worker)].active = false;
+  outcomes_[index].status =
+      timedOut ? SweepPointStatus::kTimedOut : SweepPointStatus::kFailed;
+  outcomes_[index].message = message;
+  outcomes_[index].seconds = seconds;
+  ++done_;
+  if (timedOut) ++timedOutCount_; else ++failedCount_;
+  failures_.push_back({index, message});
+  if (options_.progress) options_.progress(done_, outcomes_.size());
+  checkStragglersLocked();
+}
+
+void SweepEngine::checkStragglersLocked() {
+  const double soft = options_.softPointTimeoutSeconds;
+  const double hard = options_.hardPointTimeoutSeconds;
+  if (soft <= 0.0 && hard <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& slot : running_) {
+    if (!slot.active) continue;
+    const double elapsed =
+        std::chrono::duration<double>(now - slot.start).count();
+    if (soft > 0.0 && !slot.softFlagged && elapsed > soft) {
+      slot.softFlagged = true;
+      FEFET_WARN() << "sweep straggler: point " << slot.index
+                   << " still running after " << elapsed << " s (soft limit "
+                   << soft << " s)";
+    }
+    if (hard > 0.0 && !slot.hardCancelled && elapsed > hard) {
+      slot.hardCancelled = true;
+      slot.token.requestCancel();
+      FEFET_WARN() << "sweep watchdog: cancelling point " << slot.index
+                   << " after " << elapsed << " s (hard limit " << hard
+                   << " s)";
+    }
+  }
+}
+
+void SweepEngine::startWatchdog(int threads) {
+  const double soft = options_.softPointTimeoutSeconds;
+  const double hard = options_.hardPointTimeoutSeconds;
+  if (threads <= 1 || (soft <= 0.0 && hard <= 0.0)) return;
+  // Poll at a quarter of the tightest limit, clamped to [10, 250] ms: fine
+  // enough to catch stragglers promptly, coarse enough to stay invisible
+  // in profiles.
+  double tightest = std::numeric_limits<double>::infinity();
+  if (soft > 0.0) tightest = std::min(tightest, soft);
+  if (hard > 0.0) tightest = std::min(tightest, hard);
+  const auto interval = std::chrono::milliseconds(static_cast<long>(
+      std::clamp(tightest / 4.0 * 1000.0, 10.0, 250.0)));
+  watchdogStop_ = false;
+  watchdog_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!watchdogStop_) {
+      watchdogCv_.wait_for(lock, interval);
+      if (watchdogStop_) break;
+      checkStragglersLocked();
+    }
+  });
+}
+
+void SweepEngine::stopWatchdog() {
+  if (!watchdog_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    watchdogStop_ = true;
+  }
+  watchdogCv_.notify_all();
+  watchdog_.join();
 }
 
 void SweepEngine::finishRun(std::size_t total) {
   std::vector<PointFailure> failures;
-  std::size_t done = 0;
+  std::size_t done = 0, ok = 0, failed = 0;
+  bool deadlineExpired = false;
   {
     const std::lock_guard<std::mutex> guard(mutex_);
+    journal_.reset();  // close + release the journal before any throw
     failures = failures_;
     done = done_;
+    ok = okCount_;
+    failed = failedCount_ + timedOutCount_;
+    deadlineExpired = sweepDeadlineExpired_;
+  }
+  if (options_.failurePolicy == SweepFailurePolicy::kCollectAndContinue) {
+    return;  // outcomes() carries the full story; partial results returned
   }
   // Failures were recorded in completion order; report them by point index
   // so the diagnostic is deterministic across thread schedules.
@@ -66,6 +233,19 @@ void SweepEngine::finishRun(std::size_t total) {
             [](const PointFailure& a, const PointFailure& b) {
               return a.index < b.index;
             });
+  if (done < total) {
+    // The sweep stopped early: budget exhaustion and cancellation trump
+    // individual failures (the caller asked the run to stop).
+    std::ostringstream os;
+    if (deadlineExpired) {
+      os << "sweep exceeded its wall-clock budget after " << done << " of "
+         << total << " points (" << ok << " ok, " << failed << " failed)";
+      throw DeadlineExceeded(os.str());
+    }
+    os << "sweep cancelled after " << done << " of " << total << " points ("
+       << ok << " ok, " << failed << " failed)";
+    throw SweepCancelled(os.str(), ok, failed);
+  }
   if (!failures.empty()) {
     std::ostringstream os;
     os << "sweep failed at " << failures.size() << " of " << total
@@ -79,11 +259,6 @@ void SweepEngine::finishRun(std::size_t total) {
       os << " (+" << failures.size() - shown << " more)";
     }
     throw SweepError(os.str(), std::move(failures));
-  }
-  if (done < total) {
-    std::ostringstream os;
-    os << "sweep cancelled after " << done << " of " << total << " points";
-    throw SweepCancelled(os.str(), done);
   }
 }
 

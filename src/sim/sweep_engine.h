@@ -1,4 +1,5 @@
-// sweep_engine.h — parallel execution of independent simulation points.
+// sweep_engine.h — parallel, crash-safe execution of independent
+// simulation points.
 //
 // Monte Carlo variability samples, design-space grid points, per-seed
 // fault-resilience trials and retention/endurance sweeps all share one
@@ -14,9 +15,21 @@
 //    regardless of which worker finished first;
 //  * progress/cancellation hooks — a serialized progress callback and a
 //    cooperative cancel() / cancel-predicate pair;
-//  * exception capture — a throwing point never kills the process; all
-//    failures are collected and rethrown after the sweep as one SweepError
-//    listing each failed point index and message.
+//  * exception capture — a throwing point never kills the process; under
+//    the default kThrow policy the failures are rethrown after the sweep
+//    as one SweepError, under kCollectAndContinue the sweep returns
+//    partial results plus a per-point SweepOutcome record;
+//  * wall-clock budgets — SweepOptions::deadline bounds the whole sweep
+//    and every point receives a child Deadline in its SweepContext;
+//    points exceeding softPointTimeoutSeconds are flagged as stragglers,
+//    points exceeding hardPointTimeoutSeconds are cancelled through their
+//    child deadline (a watchdog thread polls when threads > 1; on one
+//    thread the progress path doubles as the monitor);
+//  * crash-safe journaling — with SweepOptions::journal.path set (and a
+//    SweepCodec to serialize results), every completed point is appended
+//    to a checksummed JSONL journal (see sim/sweep_journal.h) and a
+//    killed sweep resumes by replaying completed points bit-identically
+//    instead of re-simulating them.
 //
 // The engine parallelizes *across* points only.  Everything below it —
 // Netlist, Simulator, MnaSystem — stays single-threaded per simulation and
@@ -25,17 +38,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "sim/sweep_journal.h"
 #include "sim/thread_pool.h"
 
 namespace fefet::sim {
@@ -45,6 +64,58 @@ struct SweepContext {
   std::size_t index = 0;     ///< position of the point in the input vector
   std::uint64_t seed = 0;    ///< pointSeed(baseSeed, index)
   int thread = 0;            ///< worker slot running this point
+  /// This point's share of the sweep budget: a child of
+  /// SweepOptions::deadline clipped to hardPointTimeoutSeconds, carrying
+  /// the watchdog's cancel token.  Long-running points should thread it
+  /// into their TransientOptions (or poll expired()) so the watchdog can
+  /// actually stop them.
+  Deadline deadline;
+};
+
+/// What run() does when one or more points fail.
+enum class SweepFailurePolicy {
+  kThrow,               ///< finish every point, then throw SweepError
+  kCollectAndContinue,  ///< never throw; report per-point SweepOutcomes
+};
+
+/// Terminal state of one sweep point.
+enum class SweepPointStatus : std::uint8_t {
+  kNotRun,       ///< never attempted (cancelled / budget exhausted)
+  kOk,           ///< simulated to completion this run
+  kFailed,       ///< the point function threw
+  kTimedOut,     ///< aborted via its child deadline (watchdog / budget)
+  kFromJournal,  ///< replayed from the resume journal, not re-simulated
+};
+
+const char* toString(SweepPointStatus status);
+
+/// Per-point outcome record (parallel to the results vector).
+struct SweepOutcome {
+  SweepPointStatus status = SweepPointStatus::kNotRun;
+  std::string message;   ///< failure/timeout diagnostic; empty when ok
+  double seconds = 0.0;  ///< wall time spent simulating (0 for replays)
+};
+
+/// Outcome tally of one run().
+struct SweepSummary {
+  std::size_t ok = 0;           ///< simulated successfully this run
+  std::size_t failed = 0;
+  std::size_t timedOut = 0;
+  std::size_t fromJournal = 0;  ///< replayed from the journal
+  std::size_t notRun = 0;
+  /// Points with a valid result: ok + fromJournal.
+  std::size_t completed() const { return ok + fromJournal; }
+};
+
+SweepSummary summarize(const std::vector<SweepOutcome>& outcomes);
+
+/// Result serializer for journaled sweeps: encode must be the exact
+/// inverse of decode (replayed points are required to be bit-identical to
+/// re-simulated ones).
+template <typename Result>
+struct SweepCodec {
+  std::function<std::string(const Result&)> encode;
+  std::function<Result(const std::string&)> decode;
 };
 
 struct SweepOptions {
@@ -53,12 +124,28 @@ struct SweepOptions {
   int threads = 0;
   /// Base seed for the deterministic per-point seed derivation.
   std::uint64_t baseSeed = 1;
-  /// Called after every completed point with (done, total).  Serialized:
-  /// never invoked concurrently; may be slow without corrupting anything.
+  /// Called after every simulated point with (done, total); `done` starts
+  /// above zero on a resumed run (journal replays count as done).
+  /// Serialized: never invoked concurrently; may be slow without
+  /// corrupting anything.
   std::function<void(std::size_t done, std::size_t total)> progress;
   /// Polled before each point starts; returning true cancels the sweep
   /// (equivalent to calling cancel()).
   std::function<bool()> cancel;
+  /// Wall-clock budget for the whole sweep.  When it expires, no new
+  /// points start: kThrow raises DeadlineExceeded, kCollectAndContinue
+  /// returns partial results with the rest marked kNotRun.
+  Deadline deadline;
+  /// A point running longer than this is logged as a straggler (with its
+  /// index and elapsed time); 0 disables the check.
+  double softPointTimeoutSeconds = 0.0;
+  /// A point running longer than this is cancelled through its child
+  /// deadline; 0 disables.  Points that never poll their deadline cannot
+  /// be interrupted mid-flight — they are reported late, on completion.
+  double hardPointTimeoutSeconds = 0.0;
+  SweepFailurePolicy failurePolicy = SweepFailurePolicy::kThrow;
+  /// Crash-safe checkpoint/resume (requires the codec overload of run()).
+  SweepJournalOptions journal;
 };
 
 /// One captured worker failure.
@@ -79,16 +166,24 @@ class SweepError : public Error {
   std::vector<PointFailure> failures_;
 };
 
-/// Thrown when a sweep was cancelled before completing every point.
+/// Thrown when a sweep was cancelled before attempting every point.
+/// completed() counts points with a valid result (simulated or replayed);
+/// failed() counts points that threw before the cancellation took effect,
+/// so "cancelled after K good points" and "failed at point K" are
+/// distinguishable.
 class SweepCancelled : public Error {
  public:
-  SweepCancelled(const std::string& what, std::size_t completed)
-      : Error(what), completed_(completed) {}
-  /// Points that finished before the cancellation took effect.
+  SweepCancelled(const std::string& what, std::size_t completed,
+                 std::size_t failed = 0)
+      : Error(what), completed_(completed), failed_(failed) {}
+  /// Points that produced a valid result before the cancellation.
   std::size_t completed() const { return completed_; }
+  /// Points that failed before the cancellation.
+  std::size_t failed() const { return failed_; }
 
  private:
   std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
 };
 
 class SweepEngine {
@@ -108,68 +203,193 @@ class SweepEngine {
 
   int threadCount() const;
 
+  /// Per-point outcomes of the most recent run() (valid after run()
+  /// returns or throws).  outcomes()[i] corresponds to points[i].
+  const std::vector<SweepOutcome>& outcomes() const { return outcomes_; }
+  /// Tally of outcomes().
+  SweepSummary summary() const { return summarize(outcomes_); }
+
   /// Run fn(point, context) for every point, in parallel, returning the
   /// results in input order.  fn is invoked concurrently from several
   /// threads and must be safe to call that way (independent points must
-  /// not share mutable state).  Throws SweepError if any point threw,
-  /// SweepCancelled if the sweep was cancelled first.
+  /// not share mutable state).  Under kThrow (default) throws SweepError
+  /// if any point threw, SweepCancelled if the sweep was cancelled first
+  /// and DeadlineExceeded if the sweep budget expired; under
+  /// kCollectAndContinue never throws and leaves failed points
+  /// default-constructed in the result vector (see outcomes()).
   template <typename Point, typename Fn>
   auto run(const std::vector<Point>& points, Fn&& fn)
       -> std::vector<std::decay_t<
           std::invoke_result_t<Fn&, const Point&, const SweepContext&>>> {
     using Result = std::decay_t<
         std::invoke_result_t<Fn&, const Point&, const SweepContext&>>;
-    const std::size_t total = points.size();
-    beginRun();
-    std::vector<std::optional<Result>> slots(total);
-    if (total > 0) {
-      const int threads =
-          static_cast<int>(std::min<std::size_t>(
-              static_cast<std::size_t>(threadCount()), total));
-      std::atomic<std::size_t> next{0};
-      ThreadPool pool(threads);
-      for (int t = 0; t < threads; ++t) {
-        pool.submit([this, t, total, &next, &slots, &points, &fn] {
-          Log::setThreadPrefix("sweep[" + std::to_string(t) + "] ");
-          for (;;) {
-            if (shouldStop()) break;
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= total) break;
-            const SweepContext ctx{i, pointSeed(options_.baseSeed, i), t};
-            try {
-              slots[i].emplace(fn(points[i], ctx));
-            } catch (const std::exception& e) {
-              recordFailure(i, e.what());
-            } catch (...) {
-              recordFailure(i, "non-standard exception");
-            }
-            notePointDone(total);
-          }
-          Log::setThreadPrefix("");
-        });
-      }
-      pool.wait();
-    }
-    finishRun(total);  // throws SweepError / SweepCancelled when warranted
-    std::vector<Result> results;
-    results.reserve(total);
-    for (auto& slot : slots) results.push_back(std::move(*slot));
-    return results;
+    FEFET_REQUIRE(options_.journal.path.empty(),
+                  "a journaled sweep needs the codec overload of run()");
+    return runImpl(points, fn, static_cast<SweepCodec<Result>*>(nullptr));
+  }
+
+  /// run() with crash-safe journaling: every completed point is appended
+  /// to SweepOptions::journal.path via codec.encode, and (with
+  /// journal.resume) completed points of a previous run are replayed via
+  /// codec.decode instead of re-simulated.  codec.decode(codec.encode(r))
+  /// must reproduce r exactly for the resume bit-identity guarantee.
+  template <typename Point, typename Fn>
+  auto run(const std::vector<Point>& points, Fn&& fn,
+           SweepCodec<std::decay_t<std::invoke_result_t<
+               Fn&, const Point&, const SweepContext&>>> codec)
+      -> std::vector<std::decay_t<
+          std::invoke_result_t<Fn&, const Point&, const SweepContext&>>> {
+    return runImpl(points, fn, &codec);
   }
 
  private:
-  void beginRun();
+  template <typename Point, typename Fn, typename Result>
+  std::vector<Result> runImpl(const std::vector<Point>& points, Fn& fn,
+                              SweepCodec<Result>* codec) {
+    static_assert(std::is_default_constructible_v<Result>,
+                  "sweep results must be default-constructible (failed "
+                  "points yield a default value under kCollectAndContinue)");
+    const std::size_t total = points.size();
+    beginRun(total);
+    std::vector<std::optional<Result>> slots(total);
+    std::vector<char> replayed(total, 0);
+
+    const bool journaling = codec != nullptr && !options_.journal.path.empty();
+    if (journaling) {
+      FEFET_REQUIRE(codec->encode && codec->decode,
+                    "sweep journal codec must provide encode and decode");
+      SweepJournalLoad load;
+      if (options_.journal.resume) {
+        load = loadJournal(total);
+        bool decodeOk = true;
+        std::vector<std::pair<std::size_t, Result>> restored;
+        restored.reserve(load.records.size());
+        for (const auto& record : load.records) {
+          try {
+            restored.emplace_back(record.index, codec->decode(record.payload));
+          } catch (const std::exception& e) {
+            FEFET_WARN() << "sweep journal: cannot decode point "
+                         << record.index << " (" << e.what()
+                         << "); discarding the journal and starting fresh";
+            decodeOk = false;
+            break;
+          }
+        }
+        if (!decodeOk) load = SweepJournalLoad{};
+        if (load.usable) {
+          for (auto& [index, result] : restored) {
+            slots[index].emplace(std::move(result));
+            replayed[index] = 1;
+            markReplayed(index);
+          }
+        }
+      }
+      openJournal(total, load.usable ? &load : nullptr);
+    }
+
+    if (total > 0) {
+      const int threads = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(threadCount()), total));
+      startWatchdog(threads);
+      std::atomic<std::size_t> next{0};
+      {
+        ThreadPool pool(threads);
+        for (int t = 0; t < threads; ++t) {
+          pool.submit([this, t, total, &next, &slots, &replayed, &points, &fn,
+                       codec] {
+            Log::setThreadPrefix("sweep[" + std::to_string(t) + "] ");
+            for (;;) {
+              if (shouldStop()) break;
+              const std::size_t i =
+                  next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= total) break;
+              if (replayed[i]) continue;
+              const Deadline pointDeadline = beginPoint(i, t);
+              const SweepContext ctx{i, pointSeed(options_.baseSeed, i), t,
+                                     pointDeadline};
+              const auto started = std::chrono::steady_clock::now();
+              const auto elapsed = [&] {
+                return std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                    .count();
+              };
+              try {
+                Result result = fn(points[i], ctx);
+                const std::string payload =
+                    codec != nullptr && !options_.journal.path.empty()
+                        ? codec->encode(result)
+                        : std::string();
+                slots[i].emplace(std::move(result));
+                finishPointOk(i, t, elapsed(),
+                              codec != nullptr ? &payload : nullptr);
+              } catch (const DeadlineExceeded& e) {
+                finishPointFailed(i, t, elapsed(), e.what(),
+                                  /*timedOut=*/true);
+              } catch (const std::exception& e) {
+                finishPointFailed(i, t, elapsed(), e.what(),
+                                  /*timedOut=*/false);
+              } catch (...) {
+                finishPointFailed(i, t, elapsed(), "non-standard exception",
+                                  /*timedOut=*/false);
+              }
+            }
+            Log::setThreadPrefix("");
+          });
+        }
+        pool.wait();
+      }
+      stopWatchdog();
+    }
+    finishRun(total);  // may throw under kThrow; always closes the journal
+    std::vector<Result> results;
+    results.reserve(total);
+    for (auto& slot : slots) {
+      results.push_back(slot ? std::move(*slot) : Result{});
+    }
+    return results;
+  }
+
+  void beginRun(std::size_t total);
+  SweepJournalLoad loadJournal(std::size_t total);
+  void openJournal(std::size_t total, const SweepJournalLoad* resumeFrom);
+  void markReplayed(std::size_t index);
   bool shouldStop();
-  void recordFailure(std::size_t index, const std::string& message);
-  void notePointDone(std::size_t total);
+  Deadline beginPoint(std::size_t index, int worker);
+  void finishPointOk(std::size_t index, int worker, double seconds,
+                     const std::string* payload);
+  void finishPointFailed(std::size_t index, int worker, double seconds,
+                         const std::string& message, bool timedOut);
+  void checkStragglersLocked();
+  void startWatchdog(int threads);
+  void stopWatchdog();
   void finishRun(std::size_t total);
+
+  /// One in-flight point, visible to the straggler watchdog.
+  struct RunningPoint {
+    bool active = false;
+    std::size_t index = 0;
+    std::chrono::steady_clock::time_point start{};
+    CancelToken token;
+    bool softFlagged = false;
+    bool hardCancelled = false;
+  };
 
   SweepOptions options_;
   std::atomic<bool> cancelRequested_{false};
-  std::mutex mutex_;                    ///< guards failures_/done_/progress
+  std::mutex mutex_;  ///< guards everything below + progress/journal writes
   std::vector<PointFailure> failures_;
-  std::size_t done_ = 0;
+  std::vector<SweepOutcome> outcomes_;
+  std::vector<RunningPoint> running_;
+  std::size_t done_ = 0;        ///< points with a terminal outcome
+  std::size_t okCount_ = 0;     ///< ok + fromJournal
+  std::size_t failedCount_ = 0;
+  std::size_t timedOutCount_ = 0;
+  bool sweepDeadlineExpired_ = false;
+  std::unique_ptr<SweepJournal> journal_;
+
+  std::thread watchdog_;
+  std::condition_variable watchdogCv_;
+  bool watchdogStop_ = false;
 };
 
 }  // namespace fefet::sim

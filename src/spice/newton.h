@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "spice/mna.h"
 #include "spice/netlist.h"
 
@@ -69,6 +70,12 @@ class NewtonSolver {
   /// The assembled system (LU structure-reuse diagnostics live here).
   const MnaSystem& system() const { return system_; }
 
+  /// Wall-clock budget observed by the iteration loop: every iteration
+  /// polls it and an expired deadline raises DeadlineExceeded (carrying
+  /// the iteration count and last residual).  Set by Simulator per
+  /// transient run; defaults to unlimited.
+  void setDeadline(const Deadline& deadline) { deadline_ = deadline; }
+
  private:
   NewtonStats solveWithGmin(std::vector<double>& x, bool dc, double time,
                             double dt, IntegrationMethod method, double gmin);
@@ -76,6 +83,7 @@ class NewtonSolver {
   Netlist& netlist_;
   NewtonOptions options_;
   MnaSystem system_;
+  Deadline deadline_;  ///< unlimited unless a transient run set one
 };
 
 }  // namespace fefet::spice

@@ -16,6 +16,7 @@ Simulator::Simulator(Netlist& netlist, const NewtonOptions& newton)
 
 NewtonStats Simulator::solveDc() {
   initializeUic();
+  newton_.setDeadline(Deadline::unlimited());  // clear any stale run budget
   const NewtonStats stats = newton_.solveDcWithContinuation(x_);
   SystemView view(x_, netlist_.nodeCount());
   for (const auto& device : netlist_.devices()) device->initializeState(view);
@@ -98,6 +99,13 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
                                          wallStart)
         .count();
   };
+  // One effective deadline governs the run: the caller's (sweep-point)
+  // deadline clipped by the per-run maxWallSeconds convenience budget.
+  const Deadline deadline =
+      options.maxWallSeconds > 0.0
+          ? options.deadline.child(options.maxWallSeconds)
+          : options.deadline;
+  newton_.setDeadline(deadline);
   double t = 0.0;
   double lastResidual = 0.0;
   result.stats.smallestDt = dt;
@@ -125,12 +133,10 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
       throw NumericalError(os.str(), diagnose());
     }
     result.stats.wallSeconds = wallElapsed();
-    if (options.maxWallSeconds > 0.0 &&
-        result.stats.wallSeconds > options.maxWallSeconds) {
+    if (deadline.expired()) {
       std::ostringstream os;
-      os << "transient exceeded its wall-clock budget of "
-         << options.maxWallSeconds << " s at t=" << t << " s";
-      throw NumericalError(os.str(), diagnose());
+      os << "transient exceeded its wall-clock deadline at t=" << t << " s";
+      throw DeadlineExceeded(os.str(), diagnose());
     }
 
     dt = std::min(dt, options.duration - t);
@@ -156,7 +162,16 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
 
     std::vector<double> trial = x_;
     ++solves;
-    NewtonStats stats = newton_.solve(trial, /*dc=*/false, t + dt, dt, method);
+    NewtonStats stats;
+    try {
+      stats = newton_.solve(trial, /*dc=*/false, t + dt, dt, method);
+    } catch (const DeadlineExceeded&) {
+      // Rethrow with the full transient retry history, not just the
+      // iteration count the Newton loop could see.
+      std::ostringstream os;
+      os << "transient exceeded its wall-clock deadline at t=" << t << " s";
+      throw DeadlineExceeded(os.str(), diagnose());
+    }
     result.stats.newtonIterations += stats.iterations;
     lastResidual = stats.finalResidualNorm;
     if (!stats.converged) {
@@ -171,9 +186,16 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
       if (options.maxGminEscalations > 0) {
         trial = x_;
         ++solves;
-        stats = newton_.solveWithEscalation(trial, /*dc=*/false, t + dt, dt,
-                                            method, options.maxGminEscalations,
-                                            options.gminMax);
+        try {
+          stats = newton_.solveWithEscalation(
+              trial, /*dc=*/false, t + dt, dt, method,
+              options.maxGminEscalations, options.gminMax);
+        } catch (const DeadlineExceeded&) {
+          std::ostringstream os;
+          os << "transient exceeded its wall-clock deadline at t=" << t
+             << " s";
+          throw DeadlineExceeded(os.str(), diagnose());
+        }
         result.stats.newtonIterations += stats.iterations;
         result.stats.gminEscalations += stats.gminEscalations;
         lastResidual = stats.finalResidualNorm;

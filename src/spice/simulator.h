@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "spice/netlist.h"
 #include "spice/newton.h"
 #include "spice/waveform.h"
@@ -31,10 +32,19 @@ struct TransientOptions {
   /// gmin raised x100 per level, up to this many levels (0 disables).
   int maxGminEscalations = 3;
   double gminMax = 1e-6;  ///< [S] escalation ceiling
-  /// Hard budgets — exceeding either aborts with a NumericalError carrying
-  /// the retry history.  0 means unlimited.
-  long maxSteps = 0;          ///< accepted + rejected Newton solves
-  double maxWallSeconds = 0.0;  ///< wall-clock ceiling for this run
+  /// Hard budgets — exceeding either aborts the run with an error carrying
+  /// the retry history (NumericalError for the step budget,
+  /// DeadlineExceeded for wall clock).  0 means unlimited.
+  long maxSteps = 0;  ///< accepted + rejected Newton solves
+  /// Convenience wall-clock ceiling for THIS run: shorthand for
+  /// deadline.child(maxWallSeconds) anchored at run start.  0 = unlimited.
+  double maxWallSeconds = 0.0;
+  /// Wall-clock budget shared with the caller's enclosing job (sweep
+  /// point, bench run).  Combined with maxWallSeconds via child(); both
+  /// the step loop and every Newton iteration poll the result, so an
+  /// expired deadline (or a cancelled token, e.g. the sweep watchdog)
+  /// aborts promptly with DeadlineExceeded.
+  Deadline deadline;
 };
 
 struct TransientStats {

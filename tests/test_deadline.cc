@@ -1,0 +1,114 @@
+// Deadline/CancelToken contracts: monotonic expiry, unlimited sentinels,
+// hierarchical children taking the tighter budget, and token-based
+// cancellation propagating from parent to child.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/deadline.h"
+
+namespace fefet {
+namespace {
+
+TEST(CancelToken, StartsClearAndLatchesOnRequest) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.requestCancel();
+  EXPECT_TRUE(token.cancelled());
+  token.requestCancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, CopiesShareOneFlag) {
+  CancelToken token;
+  CancelToken copy = token;
+  token.requestCancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline d = Deadline::unlimited();
+  EXPECT_FALSE(d.hasTimeLimit());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remainingSeconds()));
+}
+
+TEST(Deadline, DefaultConstructedIsUnlimited) {
+  const Deadline d;
+  EXPECT_FALSE(d.hasTimeLimit());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, AfterExpiresOnceTheBudgetElapses) {
+  const Deadline d = Deadline::after(0.05);
+  EXPECT_TRUE(d.hasTimeLimit());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remainingSeconds(), 0.0);
+  EXPECT_LE(d.remainingSeconds(), 0.05);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remainingSeconds(), 0.0);
+}
+
+TEST(Deadline, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after(0.0).expired());
+  EXPECT_TRUE(Deadline::after(-1.0).expired());
+}
+
+TEST(Deadline, ChildTakesTheTighterBudget) {
+  const Deadline parent = Deadline::after(100.0);
+  const Deadline tight = parent.child(0.01);
+  EXPECT_TRUE(tight.hasTimeLimit());
+  EXPECT_LE(tight.remainingSeconds(), 0.01);
+  // A looser child request cannot outlive the parent.
+  const Deadline loose = parent.child(1e6);
+  EXPECT_LE(loose.remainingSeconds(), 100.0);
+  // A child of an unlimited parent is bounded only by its own share.
+  const Deadline solo = Deadline::unlimited().child(0.5);
+  EXPECT_TRUE(solo.hasTimeLimit());
+  EXPECT_LE(solo.remainingSeconds(), 0.5);
+}
+
+TEST(Deadline, UnlimitedChildOfUnlimitedStaysUnlimited) {
+  const Deadline d =
+      Deadline::unlimited().child(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(d.hasTimeLimit());
+}
+
+TEST(Deadline, TokenCancellationExpiresTheDeadline) {
+  CancelToken token;
+  const Deadline d = Deadline::unlimited().withToken(token);
+  EXPECT_FALSE(d.expired());
+  token.requestCancel();
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, ChildInheritsParentTokens) {
+  CancelToken parentToken;
+  const Deadline parent = Deadline::after(100.0).withToken(parentToken);
+  const Deadline child = parent.child(10.0);
+  EXPECT_FALSE(child.expired());
+  parentToken.requestCancel();
+  EXPECT_TRUE(child.expired());   // parent cancel reaches the child
+  EXPECT_TRUE(parent.expired());
+}
+
+TEST(Deadline, ChildTokenDoesNotCancelTheParent) {
+  const Deadline parent = Deadline::after(100.0);
+  CancelToken pointToken;
+  const Deadline point = parent.child(10.0).withToken(pointToken);
+  pointToken.requestCancel();
+  EXPECT_TRUE(point.expired());
+  EXPECT_FALSE(parent.expired());  // sibling points keep running
+}
+
+TEST(Deadline, HugeBudgetDoesNotOverflow) {
+  const Deadline d = Deadline::after(1e18);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remainingSeconds(), 1e8);
+}
+
+}  // namespace
+}  // namespace fefet

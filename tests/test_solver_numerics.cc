@@ -4,6 +4,10 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "common/deadline.h"
 #include "spice/extras.h"
 #include "spice/mna.h"
 #include "spice/mosfet_device.h"
@@ -302,6 +306,106 @@ TEST(Dc, GminContinuationRescuesHardStart) {
   EXPECT_GT(m1, m2);
   EXPECT_GT(m2, m3);
   EXPECT_GT(m3, 0.0);
+}
+
+TEST(Transient, DeadlineExceededCarriesTheRetryHistory) {
+  // The wall-budget abort must be catchable as the precise DeadlineExceeded
+  // type AND carry the full transient retry history (dt cuts, gmin
+  // escalations, step counts) so a sweep can report WHY a point timed out.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e6;  // effectively unbounded work
+  options.dtMax = 1e-9;
+  options.maxWallSeconds = 0.05;
+  try {
+    sim.runTransient(options, {Probe::v("out")});
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    ASSERT_TRUE(e.hasDiagnostics());
+    const auto& d = e.diagnostics();
+    EXPECT_GT(d.steps, 0);
+    EXPECT_GT(d.newtonIterations, 0);
+    EXPECT_GT(d.smallestDt, 0.0);
+    EXPECT_GE(d.time, 0.0);
+    EXPECT_GE(d.dtCuts, 0);
+    EXPECT_GE(d.gminEscalations, 0);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(Transient, CallerDeadlineBoundsTheRun) {
+  // The deadline handed down by a sweep point bounds the run even with no
+  // maxWallSeconds set.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e6;
+  options.dtMax = 1e-9;
+  options.deadline = Deadline::after(0.05);
+  EXPECT_THROW(sim.runTransient(options, {Probe::v("out")}),
+               DeadlineExceeded);
+}
+
+TEST(Transient, PreExpiredDeadlineAbortsImmediately) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e-9;
+  options.deadline = Deadline::after(0.0);  // already expired
+  EXPECT_THROW(sim.runTransient(options, {Probe::v("out")}),
+               DeadlineExceeded);
+}
+
+TEST(Transient, CancelTokenAbortsMidRun) {
+  // The sweep watchdog's cancellation path: a token attached to the
+  // deadline flips mid-run and the transient stops with DeadlineExceeded.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  CancelToken token;
+  TransientOptions options;
+  options.duration = 1e6;
+  options.dtMax = 1e-9;
+  options.deadline = Deadline::unlimited().withToken(token);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.requestCancel();
+  });
+  EXPECT_THROW(sim.runTransient(options, {Probe::v("out")}),
+               DeadlineExceeded);
+  canceller.join();
+}
+
+TEST(Transient, DeadlineExceededIsCatchableAsNumericalError) {
+  // Compatibility guarantee: pre-deadline callers catching NumericalError
+  // keep working unchanged.
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), dc(1.0));
+  n.add<Resistor>("R", n.node("in"), n.node("out"), 1e3);
+  n.add<Capacitor>("C", n.node("out"), n.ground(), 1e-12);
+  Simulator sim(n);
+  sim.initializeUic();
+  TransientOptions options;
+  options.duration = 1e6;
+  options.dtMax = 1e-9;
+  options.maxWallSeconds = 0.05;
+  EXPECT_THROW(sim.runTransient(options, {Probe::v("out")}), NumericalError);
 }
 
 }  // namespace
