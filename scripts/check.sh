@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Sanitizer + resilience gate, three stages:
+# Sanitizer + resilience + perf gate, five stages:
 #
 #  1. ASan + UBSan (FEFET_SANITIZE=address) over the full test suite —
-#     memory errors and UB in the netlist/device ownership chain;
+#     memory errors and UB in the netlist/device ownership chain (the
+#     suite includes the compiled-vs-legacy stamp parity tests, so both
+#     assembly engines run under ASan);
 #  2. TSan (FEFET_SANITIZE=thread) over the concurrency-sensitive tests
-#     (the sweep engine / thread pool and the LU-reuse solver path) —
-#     data races in the sim layer.  TSan cannot combine with ASan, hence
-#     the separate build directory;
+#     (the sweep engine / thread pool, the LU-reuse solver path and the
+#     stamp-parity suite) — data races in the sim layer.  TSan cannot
+#     combine with ASan, hence the separate build directory;
 #  3. kill-and-resume smoke: SIGKILL a journaled bench sweep mid-run, then
 #     --resume it and require the PERF record (results CRC + outcome
 #     tally, wall-clock and from_journal fields excluded) to match an
-#     uninterrupted run bit for bit.
+#     uninterrupted run bit for bit;
+#  4. assembly perf smoke: bench_assembly on an optimized build must show
+#     the compiled stamp pipeline beating legacy dispatch by >= 1.5x on
+#     an array-scale (sparse-path) netlist;
+#  5. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
+#     over src/spice and src/common — skipped with a notice when
+#     clang-tidy is not installed.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -18,6 +26,7 @@ cd "$(dirname "$0")/.."
 
 ASAN_BUILD_DIR=build-sanitize
 TSAN_BUILD_DIR=build-tsan
+PERF_BUILD_DIR=build-perf
 
 echo "== ASan/UBSan: full suite =="
 cmake -B "$ASAN_BUILD_DIR" -S . -DFEFET_SANITIZE=address \
@@ -30,15 +39,15 @@ ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
 ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
 
-echo "== TSan: sweep engine + LU reuse =="
+echo "== TSan: sweep engine + LU reuse + stamp parity =="
 cmake -B "$TSAN_BUILD_DIR" -S . -DFEFET_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" \
-  --target test_sim_sweep test_lu_reuse test_variability
+  --target test_sim_sweep test_lu_reuse test_variability test_stamp_parity
 
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$(nproc)" \
-  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability' "$@"
+  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity' "$@"
 
 echo "== kill-and-resume smoke: journaled sweep survives SIGKILL =="
 cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target bench_fault_resilience
@@ -82,3 +91,29 @@ if [ "$REF_PERF" != "$RESUME_PERF" ]; then
   exit 1
 fi
 echo "kill-and-resume smoke passed (PERF records identical: $REF_PERF)"
+
+echo "== assembly perf smoke: compiled stamps must beat legacy dispatch =="
+# Optimized, sanitizer-free build: timing under ASan would be meaningless.
+# Compile commands are exported here for the clang-tidy stage below.
+cmake -B "$PERF_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$PERF_BUILD_DIR" -j"$(nproc)" --target bench_assembly
+PERF_OUT=$("$PERF_BUILD_DIR/bench/bench_assembly")
+echo "$PERF_OUT"
+SPEEDUP=$(echo "$PERF_OUT" | grep '^PERF ' \
+  | sed -E 's/.*"assembly_speedup":([0-9.]+).*/\1/')
+if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
+  echo "FAIL: assembly speedup $SPEEDUP is below the 1.5x floor" >&2
+  exit 1
+fi
+echo "assembly perf smoke passed (speedup ${SPEEDUP}x)"
+
+echo "== clang-tidy: performance + modernize over the solver hot path =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  clang-tidy -p "$PERF_BUILD_DIR" --quiet \
+    $(ls src/spice/*.cc src/common/*.cc)
+  echo "clang-tidy passed"
+else
+  echo "clang-tidy not installed; skipping static-analysis stage"
+fi

@@ -21,19 +21,21 @@ std::vector<double> DenseMatrix::multiply(std::span<const double> x) const {
   return y;
 }
 
-DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
-  FEFET_REQUIRE(lu_.rows() == lu_.cols(), "DenseLu: matrix not square");
-  const std::size_t n = lu_.rows();
-  perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+namespace detail {
+
+double denseLuFactorInPlace(DenseMatrix& lu, std::vector<std::size_t>& perm) {
+  FEFET_REQUIRE(lu.rows() == lu.cols(), "DenseLu: matrix not square");
+  const std::size_t n = lu.rows();
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
 
   double maxPivot = 0.0, minPivot = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: find the largest magnitude in column k at/below k.
     std::size_t pivotRow = k;
-    double pivotMag = std::abs(lu_.at(k, k));
+    double pivotMag = std::abs(lu.at(k, k));
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double mag = std::abs(lu_.at(r, k));
+      const double mag = std::abs(lu.at(r, k));
       if (mag > pivotMag) {
         pivotMag = mag;
         pivotRow = r;
@@ -47,9 +49,9 @@ DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
     }
     if (pivotRow != k) {
       for (std::size_t c = 0; c < n; ++c) {
-        std::swap(lu_.at(k, c), lu_.at(pivotRow, c));
+        std::swap(lu.at(k, c), lu.at(pivotRow, c));
       }
-      std::swap(perm_[k], perm_[pivotRow]);
+      std::swap(perm[k], perm[pivotRow]);
     }
     if (k == 0) {
       maxPivot = minPivot = pivotMag;
@@ -57,37 +59,65 @@ DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
       maxPivot = std::max(maxPivot, pivotMag);
       minPivot = std::min(minPivot, pivotMag);
     }
-    const double pivot = lu_.at(k, k);
+    const double pivot = lu.at(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double factor = lu_.at(r, k) / pivot;
-      lu_.at(r, k) = factor;
+      const double factor = lu.at(r, k) / pivot;
+      lu.at(r, k) = factor;
       if (factor == 0.0) continue;
       for (std::size_t c = k + 1; c < n; ++c) {
-        lu_.at(r, c) -= factor * lu_.at(k, c);
+        lu.at(r, c) -= factor * lu.at(k, c);
       }
     }
   }
-  pivotRatio_ = (minPivot > 0.0) ? maxPivot / minPivot : 0.0;
+  return (minPivot > 0.0) ? maxPivot / minPivot : 0.0;
 }
 
-std::vector<double> DenseLu::solve(std::span<const double> b) const {
-  const std::size_t n = lu_.rows();
-  FEFET_REQUIRE(b.size() == n, "DenseLu::solve: size mismatch");
-  std::vector<double> x(n);
+void denseLuSolve(const DenseMatrix& lu, const std::vector<std::size_t>& perm,
+                  std::span<const double> b, std::span<double> x) {
+  const std::size_t n = lu.rows();
+  FEFET_REQUIRE(b.size() == n && x.size() == n,
+                "DenseLu::solve: size mismatch");
   // Apply permutation, then forward substitution on unit-lower L.
-  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
   for (std::size_t i = 1; i < n; ++i) {
     double acc = x[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_.at(i, j) * x[j];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu.at(i, j) * x[j];
     x[i] = acc;
   }
   // Backward substitution on U.
   for (std::size_t i = n; i-- > 0;) {
     double acc = x[i];
-    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_.at(i, j) * x[j];
-    x[i] = acc / lu_.at(i, i);
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu.at(i, j) * x[j];
+    x[i] = acc / lu.at(i, i);
   }
+}
+
+}  // namespace detail
+
+DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
+  pivotRatio_ = detail::denseLuFactorInPlace(lu_, perm_);
+}
+
+std::vector<double> DenseLu::solve(std::span<const double> b) const {
+  std::vector<double> x(lu_.rows());
+  detail::denseLuSolve(lu_, perm_, b, x);
   return x;
+}
+
+void DenseLuFactorizer::factor(std::size_t n, std::span<const double> rowMajor) {
+  FEFET_REQUIRE(rowMajor.size() == n * n,
+                "DenseLuFactorizer: matrix storage size mismatch");
+  factored_ = false;
+  if (lu_.rows() != n) lu_ = DenseMatrix(n, n);
+  std::copy(rowMajor.begin(), rowMajor.end(), lu_.data().begin());
+  pivotRatio_ = detail::denseLuFactorInPlace(lu_, perm_);
+  factored_ = true;
+}
+
+void DenseLuFactorizer::solve(std::span<const double> b,
+                              std::span<double> x) const {
+  FEFET_REQUIRE(factored_, "DenseLuFactorizer::solve called before factor()");
+  detail::denseLuSolve(lu_, perm_, b, x);
 }
 
 void SparseMatrix::setZero() {
@@ -221,6 +251,28 @@ void SparseLuFactorizer::factor(const SparseMatrix& a) {
   factorFull(a);
 }
 
+void SparseLuFactorizer::factor(const CsrView& a) {
+  if (loadValues(a)) {
+    if (refactorNumeric()) {
+      ++numericRefactorizations_;
+      return;
+    }
+    ++pivotFallbacks_;
+  }
+  // Full symbolic pass: copy the CSR entries (explicit zeros included, so
+  // the harvested origCols_ pattern matches the view exactly and the next
+  // loadValues(CsrView) takes the fast path) into the row-map form the
+  // symbolic factorization works on.  This runs once per pattern — and
+  // again only on pivot drift.
+  SparseMatrix rowMap(a.n);
+  for (std::size_t r = 0; r < a.n; ++r) {
+    for (std::size_t p = a.rowPtr[r]; p < a.rowPtr[r + 1]; ++p) {
+      rowMap.add(r, a.colIdx[p], a.values[p]);
+    }
+  }
+  factorFull(rowMap);
+}
+
 bool SparseLuFactorizer::loadValues(const SparseMatrix& a) {
   if (!structureValid_ || a.size() != n_) return false;
   for (std::size_t r = 0; r < n_; ++r) {
@@ -238,6 +290,24 @@ bool SparseLuFactorizer::loadValues(const SparseMatrix& a) {
   return true;
 }
 
+bool SparseLuFactorizer::loadValues(const CsrView& a) {
+  if (!structureValid_ || a.n != n_) return false;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t begin = a.rowPtr[r];
+    const std::size_t count = a.rowPtr[r + 1] - begin;
+    const auto& cols = origCols_[r];
+    if (count != cols.size()) return false;
+    auto& v = vals_[r];
+    std::fill(v.begin(), v.end(), 0.0);
+    const auto& pos = origPos_[r];
+    for (std::size_t q = 0; q < count; ++q) {
+      if (a.colIdx[begin + q] != cols[q]) return false;
+      v[pos[q]] = a.values[begin + q];
+    }
+  }
+  return true;
+}
+
 bool SparseLuFactorizer::refactorNumeric() {
   // Replays the elimination of factorFull() on the cached fill pattern.
   // The pivot *search* is identical (largest magnitude in column k among
@@ -247,7 +317,8 @@ bool SparseLuFactorizer::refactorNumeric() {
   // Cached fill slots that a fresh run has not created yet hold 0.0 and
   // are inert: a zero can never win the pivot scan, a zero multiplier
   // skips its update loop, and zero update terms do not change values.
-  std::vector<std::size_t> rowOf(n_);
+  rowOfScratch_.resize(n_);
+  std::vector<std::size_t>& rowOf = rowOfScratch_;
   for (std::size_t i = 0; i < n_; ++i) rowOf[i] = i;
 
   const auto findCol = [this](std::size_t r, std::size_t c) -> std::ptrdiff_t {
@@ -403,9 +474,16 @@ void SparseLuFactorizer::factorFull(const SparseMatrix& a) {
 
 std::vector<double> SparseLuFactorizer::solve(
     std::span<const double> b) const {
-  FEFET_REQUIRE(factored_, "SparseLuFactorizer::solve called before factor()");
-  FEFET_REQUIRE(b.size() == n_, "SparseLuFactorizer::solve: size mismatch");
   std::vector<double> x(n_);
+  solve(b, x);
+  return x;
+}
+
+void SparseLuFactorizer::solve(std::span<const double> b,
+                               std::span<double> x) const {
+  FEFET_REQUIRE(factored_, "SparseLuFactorizer::solve called before factor()");
+  FEFET_REQUIRE(b.size() == n_ && x.size() == n_,
+                "SparseLuFactorizer::solve: size mismatch");
   for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
   // Forward substitution: row perm_[i] pivoted at position i, so its
   // entries at columns < i are the unit-lower multipliers.
@@ -437,7 +515,50 @@ std::vector<double> SparseLuFactorizer::solve(
     }
     x[i] = acc / diag;
   }
-  return x;
+}
+
+void LinearSolver::solve(const SparseMatrix& a, std::span<const double> b,
+                         std::vector<double>& x, bool reuseStructure) {
+  x.resize(n_);
+  if (reuseStructure) {
+    sparseFactor_.factor(a);
+    sparseFactor_.solve(b, x);
+    return;
+  }
+  SparseLu lu(a);
+  x = lu.solve(b);
+}
+
+void LinearSolver::solve(const DenseMatrix& a, std::span<const double> b,
+                         std::vector<double>& x) {
+  solve(a.data(), b, x);
+}
+
+void LinearSolver::solve(std::span<const double> rowMajor,
+                         std::span<const double> b, std::vector<double>& x) {
+  x.resize(n_);
+  denseFactor_.factor(n_, rowMajor);
+  denseFactor_.solve(b, x);
+}
+
+void LinearSolver::solve(const CsrView& a, std::span<const double> b,
+                         std::vector<double>& x, bool reuseStructure) {
+  x.resize(n_);
+  if (reuseStructure) {
+    sparseFactor_.factor(a);
+    sparseFactor_.solve(b, x);
+    return;
+  }
+  // A/B diagnostic path: factor from scratch every call, exactly like the
+  // legacy row-map assembly with structure reuse off.
+  SparseMatrix rowMap(a.n);
+  for (std::size_t r = 0; r < a.n; ++r) {
+    for (std::size_t p = a.rowPtr[r]; p < a.rowPtr[r + 1]; ++p) {
+      rowMap.add(r, a.colIdx[p], a.values[p]);
+    }
+  }
+  SparseLu lu(rowMap);
+  x = lu.solve(b);
 }
 
 double normInf(std::span<const double> v) {

@@ -2,8 +2,10 @@
 //
 // DenseMatrix + LU with partial pivoting covers small circuits (cells,
 // sense amplifiers).  SparseMatrix with a row-map LU covers memory arrays,
-// where the MNA matrix is extremely sparse.  The spice::LinearSolver picks
-// between them by size.
+// where the MNA matrix is extremely sparse.  CsrView lets the compiled
+// stamp pipeline hand its fixed-pattern slot storage to the factorizers
+// without copying, and the LinearSolver facade at the bottom picks the
+// right backend for a given size/assembly combination.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +14,18 @@
 #include <vector>
 
 namespace fefet::linalg {
+
+/// Read-only compressed-sparse-row view of a square matrix whose storage
+/// lives elsewhere (the compiled stamp pipeline's slot buffer).  rowPtr has
+/// n + 1 entries; colIdx is ascending within each row; values parallels
+/// colIdx.  Entries may hold explicit 0.0 — like the row-map path with
+/// structure reuse, explicit zeros are numerically inert in the LU.
+struct CsrView {
+  std::size_t n = 0;
+  std::span<const std::size_t> rowPtr;
+  std::span<const std::size_t> colIdx;
+  std::span<const double> values;
+};
 
 /// Row-major dense matrix of doubles.
 class DenseMatrix {
@@ -28,6 +42,10 @@ class DenseMatrix {
 
   void setZero();
 
+  /// Raw row-major storage (size rows*cols).
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
   /// y = A x.
   std::vector<double> multiply(std::span<const double> x) const;
 
@@ -36,6 +54,17 @@ class DenseMatrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+namespace detail {
+/// In-place dense LU with partial pivoting: eliminates `lu`, records the
+/// row permutation in `perm` (resized to n) and returns the max/min pivot
+/// magnitude ratio.  Shared by DenseLu and DenseLuFactorizer so the two
+/// produce bit-identical factors by construction.
+double denseLuFactorInPlace(DenseMatrix& lu, std::vector<std::size_t>& perm);
+/// Permute + forward/backward substitution with a factor from above.
+void denseLuSolve(const DenseMatrix& lu, const std::vector<std::size_t>& perm,
+                  std::span<const double> b, std::span<double> x);
+}  // namespace detail
 
 /// LU factorization with partial pivoting of a square dense matrix.
 /// Throws NumericalError when the matrix is numerically singular.
@@ -52,6 +81,29 @@ class DenseLu {
  private:
   DenseMatrix lu_;
   std::vector<std::size_t> perm_;
+  double pivotRatio_ = 0.0;
+};
+
+/// Dense LU with a reusable workspace: factor() copies the input into a
+/// preallocated matrix and eliminates in place, so refactoring a
+/// same-sized matrix performs no heap allocation.  Runs the same kernel as
+/// DenseLu — results are bit-identical to constructing a fresh DenseLu.
+class DenseLuFactorizer {
+ public:
+  /// Factor an n x n matrix given in row-major order.
+  /// Throws NumericalError when the matrix is numerically singular.
+  void factor(std::size_t n, std::span<const double> rowMajor);
+  void factor(const DenseMatrix& a) { factor(a.rows(), a.data()); }
+
+  /// Solve A x = b with the most recent factorization (x sized n).
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  bool factored() const { return factored_; }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  bool factored_ = false;
   double pivotRatio_ = 0.0;
 };
 
@@ -128,8 +180,17 @@ class SparseLuFactorizer {
   /// Throws NumericalError when the matrix is numerically singular.
   void factor(const SparseMatrix& a);
 
+  /// Factor a CSR matrix with external value storage (compiled stamp
+  /// pipeline).  The CSR pattern of a frozen netlist never changes, so
+  /// after the first call every factorization takes the fast
+  /// position-exact value-scatter path — no heap allocation unless the
+  /// pivot sequence drifts and a full symbolic pass must rerun.
+  void factor(const CsrView& a);
+
   /// Solve A x = b with the most recent factorization.
   std::vector<double> solve(std::span<const double> b) const;
+  /// Allocation-free overload: x must be sized n.
+  void solve(std::span<const double> b, std::span<double> x) const;
 
   bool factored() const { return factored_; }
 
@@ -144,6 +205,7 @@ class SparseLuFactorizer {
 
  private:
   bool loadValues(const SparseMatrix& a);
+  bool loadValues(const CsrView& a);
   bool refactorNumeric();
   void factorFull(const SparseMatrix& a);
 
@@ -165,10 +227,58 @@ class SparseLuFactorizer {
   // of row r) or the U value (col >= pivot step).
   std::vector<std::vector<double>> vals_;
   std::vector<std::size_t> perm_;  ///< position k -> original row
+  /// Scratch for refactorNumeric's position -> row table; a member so a
+  /// structure-reusing refactorization performs no heap allocation.
+  std::vector<std::size_t> rowOfScratch_;
 
   long fullFactorizations_ = 0;
   long numericRefactorizations_ = 0;
   long pivotFallbacks_ = 0;
+};
+
+/// Facade unifying the direct solvers behind one interface: dense LU below
+/// the crossover, sparse LU above it, with or without symbolic-structure
+/// reuse.  One instance owns the reusable factorizers, so callers (legacy
+/// MnaSystem and the compiled Assembler alike) get structure caching and
+/// allocation-free refactorization without knowing which backend runs.
+/// Every overload is bit-identical to calling the underlying factorizer
+/// directly.
+class LinearSolver {
+ public:
+  LinearSolver(std::size_t n, bool sparse) : n_(n), sparse_(sparse) {}
+
+  std::size_t size() const { return n_; }
+  bool sparse() const { return sparse_; }
+
+  /// Solve A x = b for row-map assembly (legacy path).  With
+  /// reuseStructure the cached-pattern factorizer runs; without it a
+  /// fresh SparseLu factors from scratch (diagnostic A/B path).
+  void solve(const SparseMatrix& a, std::span<const double> b,
+             std::vector<double>& x, bool reuseStructure);
+
+  /// Solve A x = b for dense assembly.  The reusable-workspace dense LU
+  /// always runs (it is bit-identical to a fresh DenseLu and allocates
+  /// nothing after the first call), so reuseStructure is irrelevant here.
+  void solve(const DenseMatrix& a, std::span<const double> b,
+             std::vector<double>& x);
+  /// Same, for an n x n row-major matrix in external storage.
+  void solve(std::span<const double> rowMajor, std::span<const double> b,
+             std::vector<double>& x);
+
+  /// Solve A x = b for CSR assembly with external values (compiled path).
+  /// With reuseStructure the steady state performs no heap allocation;
+  /// without it the matrix is copied into a row-map and factored fresh.
+  void solve(const CsrView& a, std::span<const double> b,
+             std::vector<double>& x, bool reuseStructure);
+
+  /// Structure-cache diagnostics (zeros on the dense path).
+  const SparseLuFactorizer& sparseFactorizer() const { return sparseFactor_; }
+
+ private:
+  std::size_t n_;
+  bool sparse_;
+  SparseLuFactorizer sparseFactor_;
+  DenseLuFactorizer denseFactor_;
 };
 
 /// Infinity norm of a vector.

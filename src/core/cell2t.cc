@@ -54,7 +54,7 @@ Cell2T::Cell2T(const Cell2TConfig& config)
                                     config_.accessMos, config_.accessWidth);
   fefet_ = attachFefet(netlist_, "cell", "g", "rs", "sl", config_.fefet,
                        pOff_);
-  sim_ = std::make_unique<spice::Simulator>(netlist_);
+  sim_ = std::make_unique<spice::Simulator>(netlist_, config_.newton);
   setStoredBit(false);
 }
 

@@ -7,13 +7,15 @@
 // derivatives to the Jacobian J(x).  Newton–Raphson then solves
 // J·dx = -F.  Dynamic devices keep committed history (charges,
 // polarization) and discretize d/dt with backward Euler or trapezoidal
-// companion forms supplied through the StampContext.
+// companion forms supplied through the EvalContext.
 #pragma once
 
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "spice/stamp_buffer.h"
 
 namespace fefet::spice {
 
@@ -57,14 +59,40 @@ class Stamper {
   static int rowOfNode(NodeId node) { return node - 1; }
 };
 
-/// Per-evaluation context handed to Device::stamp().
-struct StampContext {
+/// Per-evaluation context handed to Device::stamp().  One signature serves
+/// the DC, transient and gmin-escalation paths (gmin rides along so the
+/// whole evaluation state lives in one place), and exactly one of two
+/// sinks receives the entries:
+///  * compiled path (buffer != nullptr): inlined slot writes into the
+///    preallocated StampBuffer — no virtual dispatch per entry;
+///  * legacy path (stamper != nullptr): virtual Stamper calls — the parity
+///    oracle, and the recording pass that builds the StampPattern.
+struct EvalContext {
   const SystemView& view;
-  Stamper& stamper;
   bool dc = false;                ///< DC operating point: d/dt == 0
   double time = 0.0;              ///< evaluation time (end of step) [s]
   double dt = 0.0;                ///< step size (0 in DC) [s]
   IntegrationMethod method = IntegrationMethod::kBackwardEuler;
+  /// Node-to-ground regularization applied by the assembly engine after
+  /// the device loop (informational for devices; escalation raises it).
+  double gmin = 0.0;
+  StampBuffer* buffer = nullptr;
+  Stamper* stamper = nullptr;
+
+  void addResidual(int row, double value) const {
+    if (buffer != nullptr) {
+      buffer->addResidual(row, value);
+      return;
+    }
+    stamper->addResidual(row, value);
+  }
+  void addJacobian(int row, int col, double value) const {
+    if (buffer != nullptr) {
+      buffer->addJacobian(row, col, value);
+      return;
+    }
+    stamper->addJacobian(row, col, value);
+  }
 };
 
 /// Allocation interface passed to Device::setup().
@@ -89,7 +117,7 @@ class ChargeIntegrator {
 
   /// Current and dI/dQ for charge value q at the present iterate.
   std::pair<double, double> currentFor(double q,
-                                       const StampContext& ctx) const {
+                                       const EvalContext& ctx) const {
     if (ctx.dc || ctx.dt <= 0.0) return {0.0, 0.0};
     if (ctx.method == IntegrationMethod::kBackwardEuler) {
       return {(q - qPrev_) / ctx.dt, 1.0 / ctx.dt};
@@ -156,7 +184,7 @@ class Device {
   virtual void seedUnknowns(std::vector<double>&) const {}
 
   /// Add residual/Jacobian contributions for the current iterate.
-  virtual void stamp(const StampContext& ctx) = 0;
+  virtual void stamp(const EvalContext& ctx) = 0;
 
   /// Initialize dynamic history from a consistent solution (t = tstart).
   virtual void initializeState(const SystemView&) {}

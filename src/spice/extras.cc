@@ -28,7 +28,7 @@ double Diode::currentAt(double v) const {
   return iMax + gMax * (v - vMax);
 }
 
-void Diode::stamp(const StampContext& ctx) {
+void Diode::stamp(const EvalContext& ctx) {
   const double va = ctx.view.nodeVoltage(anode_);
   const double vb = ctx.view.nodeVoltage(cathode_);
   const double v = va - vb;
@@ -41,12 +41,12 @@ void Diode::stamp(const StampContext& ctx) {
                        : params_.saturationCurrent * std::exp(vMax / vt) / vt;
   const int ra = Stamper::rowOfNode(anode_);
   const int rb = Stamper::rowOfNode(cathode_);
-  ctx.stamper.addResidual(ra, i);
-  ctx.stamper.addResidual(rb, -i);
-  ctx.stamper.addJacobian(ra, ra, g);
-  ctx.stamper.addJacobian(ra, rb, -g);
-  ctx.stamper.addJacobian(rb, ra, -g);
-  ctx.stamper.addJacobian(rb, rb, g);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
 }
 
 std::vector<DeviceState> Diode::reportState(const SystemView& view) const {
@@ -64,7 +64,7 @@ void Inductor::setup(SetupContext& ctx) {
   auxRow_ = ctx.allocateAux("i(" + name() + ")");
 }
 
-void Inductor::stamp(const StampContext& ctx) {
+void Inductor::stamp(const EvalContext& ctx) {
   const double va = ctx.view.nodeVoltage(a_);
   const double vb = ctx.view.nodeVoltage(b_);
   const double i = ctx.view.aux(auxRow_);
@@ -72,33 +72,33 @@ void Inductor::stamp(const StampContext& ctx) {
   const int rb = Stamper::rowOfNode(b_);
 
   // KCL contributions of the branch current (a -> b through the coil).
-  ctx.stamper.addResidual(ra, i);
-  ctx.stamper.addResidual(rb, -i);
-  ctx.stamper.addJacobian(ra, auxRow_, 1.0);
-  ctx.stamper.addJacobian(rb, auxRow_, -1.0);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, auxRow_, 1.0);
+  ctx.addJacobian(rb, auxRow_, -1.0);
 
   // Branch equation: v = L di/dt.  DC: v = 0 (short).
   if (ctx.dc || ctx.dt <= 0.0) {
-    ctx.stamper.addResidual(auxRow_, va - vb);
-    ctx.stamper.addJacobian(auxRow_, ra, 1.0);
-    ctx.stamper.addJacobian(auxRow_, rb, -1.0);
+    ctx.addResidual(auxRow_, va - vb);
+    ctx.addJacobian(auxRow_, ra, 1.0);
+    ctx.addJacobian(auxRow_, rb, -1.0);
     return;
   }
   if (ctx.method == IntegrationMethod::kBackwardEuler) {
     // v = L (i - iPrev) / dt.
-    ctx.stamper.addResidual(auxRow_,
+    ctx.addResidual(auxRow_,
                             va - vb - inductance_ * (i - iPrev_) / ctx.dt);
-    ctx.stamper.addJacobian(auxRow_, ra, 1.0);
-    ctx.stamper.addJacobian(auxRow_, rb, -1.0);
-    ctx.stamper.addJacobian(auxRow_, auxRow_, -inductance_ / ctx.dt);
+    ctx.addJacobian(auxRow_, ra, 1.0);
+    ctx.addJacobian(auxRow_, rb, -1.0);
+    ctx.addJacobian(auxRow_, auxRow_, -inductance_ / ctx.dt);
   } else {
     // Trapezoidal: (v + vPrev)/2 = L (i - iPrev)/dt.
-    ctx.stamper.addResidual(
+    ctx.addResidual(
         auxRow_, 0.5 * (va - vb + vPrev_) -
                      inductance_ * (i - iPrev_) / ctx.dt);
-    ctx.stamper.addJacobian(auxRow_, ra, 0.5);
-    ctx.stamper.addJacobian(auxRow_, rb, -0.5);
-    ctx.stamper.addJacobian(auxRow_, auxRow_, -inductance_ / ctx.dt);
+    ctx.addJacobian(auxRow_, ra, 0.5);
+    ctx.addJacobian(auxRow_, rb, -0.5);
+    ctx.addJacobian(auxRow_, auxRow_, -inductance_ / ctx.dt);
   }
 }
 
@@ -126,26 +126,26 @@ void Vcvs::setup(SetupContext& ctx) {
   auxRow_ = ctx.allocateAux("i(" + name() + ")");
 }
 
-void Vcvs::stamp(const StampContext& ctx) {
+void Vcvs::stamp(const EvalContext& ctx) {
   const double i = ctx.view.aux(auxRow_);
   const int rop = Stamper::rowOfNode(op_);
   const int rom = Stamper::rowOfNode(om_);
   const int rcp = Stamper::rowOfNode(cp_);
   const int rcm = Stamper::rowOfNode(cm_);
-  ctx.stamper.addResidual(rop, i);
-  ctx.stamper.addResidual(rom, -i);
-  ctx.stamper.addJacobian(rop, auxRow_, 1.0);
-  ctx.stamper.addJacobian(rom, auxRow_, -1.0);
+  ctx.addResidual(rop, i);
+  ctx.addResidual(rom, -i);
+  ctx.addJacobian(rop, auxRow_, 1.0);
+  ctx.addJacobian(rom, auxRow_, -1.0);
   // Branch: v(out) - gain * v(ctrl) = 0.
   const double vout =
       ctx.view.nodeVoltage(op_) - ctx.view.nodeVoltage(om_);
   const double vctrl =
       ctx.view.nodeVoltage(cp_) - ctx.view.nodeVoltage(cm_);
-  ctx.stamper.addResidual(auxRow_, vout - gain_ * vctrl);
-  ctx.stamper.addJacobian(auxRow_, rop, 1.0);
-  ctx.stamper.addJacobian(auxRow_, rom, -1.0);
-  ctx.stamper.addJacobian(auxRow_, rcp, -gain_);
-  ctx.stamper.addJacobian(auxRow_, rcm, gain_);
+  ctx.addResidual(auxRow_, vout - gain_ * vctrl);
+  ctx.addJacobian(auxRow_, rop, 1.0);
+  ctx.addJacobian(auxRow_, rom, -1.0);
+  ctx.addJacobian(auxRow_, rcp, -gain_);
+  ctx.addJacobian(auxRow_, rcm, gain_);
 }
 
 Vccs::Vccs(std::string name, NodeId outPlus, NodeId outMinus, NodeId ctrlPlus,
@@ -153,7 +153,7 @@ Vccs::Vccs(std::string name, NodeId outPlus, NodeId outMinus, NodeId ctrlPlus,
     : Device(std::move(name)), op_(outPlus), om_(outMinus), cp_(ctrlPlus),
       cm_(ctrlMinus), gm_(transconductance) {}
 
-void Vccs::stamp(const StampContext& ctx) {
+void Vccs::stamp(const EvalContext& ctx) {
   const double vctrl =
       ctx.view.nodeVoltage(cp_) - ctx.view.nodeVoltage(cm_);
   const double i = gm_ * vctrl;
@@ -162,12 +162,12 @@ void Vccs::stamp(const StampContext& ctx) {
   const int rcp = Stamper::rowOfNode(cp_);
   const int rcm = Stamper::rowOfNode(cm_);
   // Current flows out of out+ into out- through the source.
-  ctx.stamper.addResidual(rop, i);
-  ctx.stamper.addResidual(rom, -i);
-  ctx.stamper.addJacobian(rop, rcp, gm_);
-  ctx.stamper.addJacobian(rop, rcm, -gm_);
-  ctx.stamper.addJacobian(rom, rcp, -gm_);
-  ctx.stamper.addJacobian(rom, rcm, gm_);
+  ctx.addResidual(rop, i);
+  ctx.addResidual(rom, -i);
+  ctx.addJacobian(rop, rcp, gm_);
+  ctx.addJacobian(rop, rcm, -gm_);
+  ctx.addJacobian(rom, rcp, -gm_);
+  ctx.addJacobian(rom, rcm, gm_);
 }
 
 }  // namespace fefet::spice

@@ -23,7 +23,7 @@ class Diode final : public Device {
   Diode(std::string name, NodeId anode, NodeId cathode)
       : Diode(std::move(name), anode, cathode, Params{}) {}
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   std::vector<DeviceState> reportState(const SystemView& view) const override;
 
   /// Diode current at a given junction voltage.
@@ -40,7 +40,7 @@ class Inductor final : public Device {
   Inductor(std::string name, NodeId a, NodeId b, double inductance);
 
   void setup(SetupContext& ctx) override;
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void initializeState(const SystemView& view) override;
   void commitStep(const SystemView& view, double time, double dt,
                   IntegrationMethod method) override;
@@ -61,7 +61,7 @@ class Vcvs final : public Device {
        NodeId ctrlMinus, double gain);
 
   void setup(SetupContext& ctx) override;
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
 
  private:
   NodeId op_, om_, cp_, cm_;
@@ -75,7 +75,7 @@ class Vccs final : public Device {
   Vccs(std::string name, NodeId outPlus, NodeId outMinus, NodeId ctrlPlus,
        NodeId ctrlMinus, double transconductance);
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
 
  private:
   NodeId op_, om_, cp_, cm_;

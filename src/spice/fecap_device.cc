@@ -31,7 +31,7 @@ void FeCapDevice::seedUnknowns(std::vector<double>& x) const {
 }
 
 std::pair<double, double> FeCapDevice::rateFor(double p,
-                                               const StampContext& ctx) const {
+                                               const EvalContext& ctx) const {
   // The LK state always integrates with backward Euler: trapezoidal
   // companion forms ring on the stiff negative-capacitance branch and the
   // oscillation can hop shallow polarization barriers.  BE is L-stable.
@@ -39,7 +39,7 @@ std::pair<double, double> FeCapDevice::rateFor(double p,
   return {(p - pCommitted_) / ctx.dt, 1.0 / ctx.dt};
 }
 
-void FeCapDevice::stamp(const StampContext& ctx) {
+void FeCapDevice::stamp(const EvalContext& ctx) {
   const auto& view = ctx.view;
   const double va = view.nodeVoltage(a_);
   const double vb = view.nodeVoltage(b_);
@@ -52,33 +52,33 @@ void FeCapDevice::stamp(const StampContext& ctx) {
   const double rho = lk_.coefficients().rho;
 
   // Constraint row: va - vb - tFe*(Es(P) + rho*dP/dt) = 0.
-  ctx.stamper.addResidual(auxRow_,
+  ctx.addResidual(auxRow_,
                           va - vb - tFe * (lk_.staticField(p) + rho * dPdt));
-  ctx.stamper.addJacobian(auxRow_, ra, 1.0);
-  ctx.stamper.addJacobian(auxRow_, rb, -1.0);
-  ctx.stamper.addJacobian(auxRow_, auxRow_,
+  ctx.addJacobian(auxRow_, ra, 1.0);
+  ctx.addJacobian(auxRow_, rb, -1.0);
+  ctx.addJacobian(auxRow_, auxRow_,
                           -tFe * (lk_.staticFieldSlope(p) + rho * dRatedP));
 
   // Terminal current from polarization displacement: i = A * dP/dt.
   if (!ctx.dc) {
     const double i = geom_.area * dPdt;
-    ctx.stamper.addResidual(ra, i);
-    ctx.stamper.addResidual(rb, -i);
+    ctx.addResidual(ra, i);
+    ctx.addResidual(rb, -i);
     const double dIdP = geom_.area * dRatedP;
-    ctx.stamper.addJacobian(ra, auxRow_, dIdP);
-    ctx.stamper.addJacobian(rb, auxRow_, -dIdP);
+    ctx.addJacobian(ra, auxRow_, dIdP);
+    ctx.addJacobian(rb, auxRow_, -dIdP);
 
     // Linear background dielectric.
     if (backgroundCap_ > 0.0) {
       const double q = backgroundCap_ * (va - vb);
       const auto [ib, dIdQ] = background_.currentFor(q, ctx);
       const double g = dIdQ * backgroundCap_;
-      ctx.stamper.addResidual(ra, ib);
-      ctx.stamper.addResidual(rb, -ib);
-      ctx.stamper.addJacobian(ra, ra, g);
-      ctx.stamper.addJacobian(ra, rb, -g);
-      ctx.stamper.addJacobian(rb, ra, -g);
-      ctx.stamper.addJacobian(rb, rb, g);
+      ctx.addResidual(ra, ib);
+      ctx.addResidual(rb, -ib);
+      ctx.addJacobian(ra, ra, g);
+      ctx.addJacobian(ra, rb, -g);
+      ctx.addJacobian(rb, ra, -g);
+      ctx.addJacobian(rb, rb, g);
     }
   }
 }

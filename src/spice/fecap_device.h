@@ -32,7 +32,7 @@ class FeCapDevice final : public Device {
 
   void setup(SetupContext& ctx) override;
   void seedUnknowns(std::vector<double>& x) const override;
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void initializeState(const SystemView& view) override;
   void commitStep(const SystemView& view, double time, double dt,
                   IntegrationMethod method) override;
@@ -50,7 +50,7 @@ class FeCapDevice final : public Device {
 
  private:
   /// dP/dt and its dP-derivative factor for the current companion form.
-  std::pair<double, double> rateFor(double p, const StampContext& ctx) const;
+  std::pair<double, double> rateFor(double p, const EvalContext& ctx) const;
 
   NodeId a_, b_;
   ferro::LandauKhalatnikov lk_;

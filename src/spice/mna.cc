@@ -9,8 +9,10 @@ namespace fefet::spice {
 MnaSystem::MnaSystem(int unknowns, bool useSparse)
     : n_(unknowns),
       useSparse_(useSparse),
+      solver_(static_cast<std::size_t>(unknowns), useSparse),
       residual_(static_cast<std::size_t>(unknowns), 0.0),
-      rowScale_(static_cast<std::size_t>(unknowns), 0.0) {
+      rowScale_(static_cast<std::size_t>(unknowns), 0.0),
+      rhs_(static_cast<std::size_t>(unknowns), 0.0) {
   FEFET_REQUIRE(unknowns > 0, "MNA system needs at least one unknown");
   if (useSparse_) {
     sparseM_ = linalg::SparseMatrix(static_cast<std::size_t>(unknowns));
@@ -69,18 +71,18 @@ void MnaSystem::addGmin(double gmin, const SystemView& view, int nodeCount) {
 }
 
 std::vector<double> MnaSystem::solveForUpdate() {
-  std::vector<double> rhs(residual_.size());
-  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = -residual_[i];
+  std::vector<double> dx;
+  solveForUpdate(dx);
+  return dx;
+}
+
+void MnaSystem::solveForUpdate(std::vector<double>& dx) {
+  for (std::size_t i = 0; i < rhs_.size(); ++i) rhs_[i] = -residual_[i];
   if (useSparse_) {
-    if (reuseLuStructure_) {
-      sparseFactor_.factor(sparseM_);
-      return sparseFactor_.solve(rhs);
-    }
-    linalg::SparseLu lu(sparseM_);
-    return lu.solve(rhs);
+    solver_.solve(sparseM_, rhs_, dx, reuseLuStructure_);
+    return;
   }
-  linalg::DenseLu lu(dense_);
-  return lu.solve(rhs);
+  solver_.solve(dense_, rhs_, dx);
 }
 
 }  // namespace fefet::spice

@@ -1,9 +1,15 @@
-// mna.h — assembly of the MNA Jacobian/residual and the linear solve.
+// mna.h — per-entry virtual-dispatch assembly of the MNA Jacobian/residual.
 //
 // Small systems use dense LU; larger systems (memory arrays) switch to the
-// sparse row-map LU.  The assembler also tracks a per-row magnitude scale
-// (sum of |residual contributions|) so Newton can test convergence
-// relative to the size of the currents actually flowing in each node.
+// sparse row-map LU — both behind the common linalg::LinearSolver facade.
+// The assembler also tracks a per-row magnitude scale (sum of |residual
+// contributions|) so Newton can test convergence relative to the size of
+// the currents actually flowing in each node.
+//
+// This is the *legacy* assembly engine: the compiled stamp pipeline
+// (stamp_pattern.h + assembler.h) replaces it on the hot path, and this
+// class remains as the bit-identical parity oracle behind
+// NewtonOptions::useCompiledStamps = false (and for direct use in tests).
 #pragma once
 
 #include <vector>
@@ -30,6 +36,8 @@ class MnaSystem final : public Stamper {
 
   /// Solve J dx = -F.  Throws NumericalError if singular.
   std::vector<double> solveForUpdate();
+  /// Allocation-light overload reusing the caller's dx buffer.
+  void solveForUpdate(std::vector<double>& dx);
 
   /// Reuse the cached sparse symbolic structure (pattern + pivot order)
   /// across solves.  The MNA pattern of a frozen netlist is fixed, so the
@@ -39,7 +47,7 @@ class MnaSystem final : public Stamper {
   bool luStructureReuse() const { return reuseLuStructure_; }
   /// Structure-cache diagnostics (zeros on the dense path).
   const linalg::SparseLuFactorizer& sparseFactorizer() const {
-    return sparseFactor_;
+    return solver_.sparseFactorizer();
   }
 
   const std::vector<double>& residual() const { return residual_; }
@@ -47,15 +55,20 @@ class MnaSystem final : public Stamper {
   int size() const { return n_; }
   bool sparse() const { return useSparse_; }
 
+  // Assembled-matrix access for the stamp-parity suite.
+  const linalg::DenseMatrix& denseMatrix() const { return dense_; }
+  const linalg::SparseMatrix& sparseMatrix() const { return sparseM_; }
+
  private:
   int n_;
   bool useSparse_;
   bool reuseLuStructure_ = true;
   linalg::DenseMatrix dense_;
   linalg::SparseMatrix sparseM_;
-  linalg::SparseLuFactorizer sparseFactor_;
+  linalg::LinearSolver solver_;
   std::vector<double> residual_;
   std::vector<double> rowScale_;
+  std::vector<double> rhs_;
 };
 
 }  // namespace fefet::spice

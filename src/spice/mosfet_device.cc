@@ -22,7 +22,7 @@ double MosfetDevice::channelCharge(const SystemView& view) const {
   return model_.gateArea() * model_.gateChargeDensity(vgs);
 }
 
-void MosfetDevice::stamp(const StampContext& ctx) {
+void MosfetDevice::stamp(const EvalContext& ctx) {
   const auto& view = ctx.view;
   const double vd = view.nodeVoltage(drain_);
   const double vg = view.nodeVoltage(gate_);
@@ -34,24 +34,24 @@ void MosfetDevice::stamp(const StampContext& ctx) {
   // --- channel current -------------------------------------------------
   const auto op = model_.evaluate(vd, vg, vs);
   const double gms = -(op.gm + op.gds);
-  ctx.stamper.addResidual(rd, op.ids);
-  ctx.stamper.addResidual(rs, -op.ids);
-  ctx.stamper.addJacobian(rd, rd, op.gds);
-  ctx.stamper.addJacobian(rd, rg, op.gm);
-  ctx.stamper.addJacobian(rd, rs, gms);
-  ctx.stamper.addJacobian(rs, rd, -op.gds);
-  ctx.stamper.addJacobian(rs, rg, -op.gm);
-  ctx.stamper.addJacobian(rs, rs, -gms);
+  ctx.addResidual(rd, op.ids);
+  ctx.addResidual(rs, -op.ids);
+  ctx.addJacobian(rd, rd, op.gds);
+  ctx.addJacobian(rd, rg, op.gm);
+  ctx.addJacobian(rd, rs, gms);
+  ctx.addJacobian(rs, rd, -op.gds);
+  ctx.addJacobian(rs, rg, -op.gm);
+  ctx.addJacobian(rs, rs, -gms);
 
   // --- gate leakage (also provides a DC path for floating gates) -------
   if (gateLeak_ > 0.0) {
     const double il = gateLeak_ * (vg - vs);
-    ctx.stamper.addResidual(rg, il);
-    ctx.stamper.addResidual(rs, -il);
-    ctx.stamper.addJacobian(rg, rg, gateLeak_);
-    ctx.stamper.addJacobian(rg, rs, -gateLeak_);
-    ctx.stamper.addJacobian(rs, rg, -gateLeak_);
-    ctx.stamper.addJacobian(rs, rs, gateLeak_);
+    ctx.addResidual(rg, il);
+    ctx.addResidual(rs, -il);
+    ctx.addJacobian(rg, rg, gateLeak_);
+    ctx.addJacobian(rg, rs, -gateLeak_);
+    ctx.addJacobian(rs, rg, -gateLeak_);
+    ctx.addJacobian(rs, rs, gateLeak_);
   }
 
   if (ctx.dc) return;
@@ -63,12 +63,12 @@ void MosfetDevice::stamp(const StampContext& ctx) {
     const double cgg =
         model_.gateArea() * model_.gateCapacitanceDensity(vg - vs);
     const double g = dIdQ * cgg;
-    ctx.stamper.addResidual(rg, i);
-    ctx.stamper.addResidual(rs, -i);
-    ctx.stamper.addJacobian(rg, rg, g);
-    ctx.stamper.addJacobian(rg, rs, -g);
-    ctx.stamper.addJacobian(rs, rg, -g);
-    ctx.stamper.addJacobian(rs, rs, g);
+    ctx.addResidual(rg, i);
+    ctx.addResidual(rs, -i);
+    ctx.addJacobian(rg, rg, g);
+    ctx.addJacobian(rg, rs, -g);
+    ctx.addJacobian(rs, rg, -g);
+    ctx.addJacobian(rs, rs, g);
   }
   // --- linear charge elements ------------------------------------------
   const auto stampLinearCap = [&](ChargeIntegrator& integ, NodeId a, NodeId b,
@@ -79,12 +79,12 @@ void MosfetDevice::stamp(const StampContext& ctx) {
     const double g = dIdQ * c;
     const int ra = Stamper::rowOfNode(a);
     const int rb = Stamper::rowOfNode(b);
-    ctx.stamper.addResidual(ra, i);
-    ctx.stamper.addResidual(rb, -i);
-    ctx.stamper.addJacobian(ra, ra, g);
-    ctx.stamper.addJacobian(ra, rb, -g);
-    ctx.stamper.addJacobian(rb, ra, -g);
-    ctx.stamper.addJacobian(rb, rb, g);
+    ctx.addResidual(ra, i);
+    ctx.addResidual(rb, -i);
+    ctx.addJacobian(ra, ra, g);
+    ctx.addJacobian(ra, rb, -g);
+    ctx.addJacobian(rb, ra, -g);
+    ctx.addJacobian(rb, rb, g);
   };
   stampLinearCap(ovlGd_, gate_, drain_, overlapCap_);
   stampLinearCap(ovlGs_, gate_, source_, overlapCap_);

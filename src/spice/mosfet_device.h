@@ -18,7 +18,7 @@ class MosfetDevice final : public Device {
                const xtor::MosParams& params, double width,
                double gateLeak = 1e-12);
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void initializeState(const SystemView& view) override;
   void commitStep(const SystemView& view, double time, double dt,
                   IntegrationMethod method) override;

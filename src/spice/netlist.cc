@@ -1,6 +1,13 @@
 #include "spice/netlist.h"
 
+#include "spice/stamp_pattern.h"
+
 namespace fefet::spice {
+
+// Out of line so the unique_ptr<StampPattern> member compiles against the
+// complete type.
+Netlist::Netlist() = default;
+Netlist::~Netlist() = default;
 
 NodeId Netlist::node(const std::string& name) {
   FEFET_REQUIRE(!name.empty(), "node name must be nonempty");
@@ -51,8 +58,18 @@ int Netlist::freeze() {
     AuxAllocator allocator(nodeCount(), auxLabels_);
     for (const auto& device : devices_) device->setup(allocator);
     frozen_ = true;
+    if (unknownCount() > 0) {
+      pattern_ = std::make_unique<StampPattern>(devices_, unknownCount(),
+                                                nodeCount());
+    }
   }
   return unknownCount();
+}
+
+const StampPattern& Netlist::stampPattern() const {
+  FEFET_REQUIRE(frozen_ && pattern_ != nullptr,
+                "stampPattern() requires a frozen, non-empty netlist");
+  return *pattern_;
 }
 
 int Netlist::unknownCount() const {

@@ -15,9 +15,14 @@ namespace fefet::spice {
 /// A circuit under construction.  Nodes are created on first use by name;
 /// devices are owned by the netlist.  After freeze() the unknown layout
 /// (node rows followed by auxiliary rows) is fixed.
+class StampPattern;
+
 class Netlist {
  public:
-  Netlist() = default;
+  Netlist();
+  ~Netlist();
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
 
   /// Get-or-create a named node.
   NodeId node(const std::string& name);
@@ -65,13 +70,18 @@ class Netlist {
     return devices_;
   }
 
-  /// Freeze the netlist: run device setup and assign auxiliary rows.
-  /// Idempotent.  Returns the total unknown count.
+  /// Freeze the netlist: run device setup, assign auxiliary rows and
+  /// record the compiled stamp pattern.  Idempotent.  Returns the total
+  /// unknown count.
   int freeze();
 
   bool frozen() const { return frozen_; }
   int unknownCount() const;
   const std::vector<std::string>& auxLabels() const { return auxLabels_; }
+
+  /// Symbolic stamp structure recorded at freeze() — the compiled
+  /// pipeline's pattern (see stamp_pattern.h).  Requires frozen().
+  const StampPattern& stampPattern() const;
 
  private:
   class AuxAllocator;
@@ -81,6 +91,7 @@ class Netlist {
   std::vector<std::unique_ptr<Device>> devices_;
   std::map<std::string, std::size_t> deviceIndex_;
   std::vector<std::string> auxLabels_;
+  std::unique_ptr<StampPattern> pattern_;
   bool frozen_ = false;
 };
 

@@ -2,17 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/error.h"
 #include "common/log.h"
 
 namespace fefet::spice {
 
+bool defaultUseCompiledStamps() {
+  static const bool value = [] {
+    const char* env = std::getenv("FEFET_COMPILED_STAMPS");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return value;
+}
+
 NewtonSolver::NewtonSolver(Netlist& netlist, const NewtonOptions& options)
-    : netlist_(netlist),
-      options_(options),
-      system_(netlist.freeze(), netlist.freeze() > 160) {
-  system_.setLuStructureReuse(options_.reuseLuStructure);
+    : netlist_(netlist), options_(options) {
+  const int unknowns = netlist_.freeze();
+  const bool sparse = unknowns > kDenseToSparseCrossover;
+  if (options_.useCompiledStamps) {
+    assembler_.emplace(netlist_.stampPattern(), sparse);
+  } else {
+    system_.emplace(unknowns, sparse);
+    system_->setLuStructureReuse(options_.reuseLuStructure);
+  }
 }
 
 NewtonStats NewtonSolver::solve(std::vector<double>& x, bool dc, double time,
@@ -28,11 +43,11 @@ NewtonStats NewtonSolver::solveWithEscalation(std::vector<double>& x, bool dc,
   int totalIters = 0;
   double gmin = options_.gmin;
   for (int level = 0; level <= maxEscalations; ++level) {
-    std::vector<double> attempt = x;
-    NewtonStats stats = solveWithGmin(attempt, dc, time, dt, method, gmin);
+    attempt_ = x;  // member buffer: reuses capacity across levels/solves
+    NewtonStats stats = solveWithGmin(attempt_, dc, time, dt, method, gmin);
     totalIters += stats.iterations;
     if (stats.converged) {
-      x = attempt;
+      x = attempt_;
       stats.iterations = totalIters;
       stats.gminEscalations = level;
       stats.gminUsed = gmin;
@@ -70,15 +85,23 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
       throw DeadlineExceeded("newton iteration exceeded its deadline", diag);
     }
     stats.iterations = iter + 1;
-    system_.clear();
     SystemView view(x, nodes);
-    StampContext ctx{view, system_, dc, time, dt, method};
-    for (const auto& device : netlist_.devices()) device->stamp(ctx);
-    system_.addGmin(gmin, view, nodes);
+    if (assembler_) {
+      assembler_->assemble(netlist_, view, dc, time, dt, method, gmin);
+    } else {
+      system_->clear();
+      EvalContext ctx{view, dc, time, dt, method, gmin, nullptr, &*system_};
+      for (const auto& device : netlist_.devices()) device->stamp(ctx);
+      system_->addGmin(gmin, view, nodes);
+    }
 
-    std::vector<double> dx;
+    std::vector<double>& dx = dx_;  // member buffer: no per-iteration alloc
     try {
-      dx = system_.solveForUpdate();
+      if (assembler_) {
+        assembler_->solveForUpdate(dx, options_.reuseLuStructure);
+      } else {
+        system_->solveForUpdate(dx);
+      }
     } catch (const NumericalError&) {
       // Singular Jacobian mid-iteration: report non-convergence so the
       // caller can cut the time step or raise gmin.
@@ -113,11 +136,17 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
     }
 
     // Residual check on the pre-update residual (already assembled).
+    const std::span<const double> residual =
+        assembler_ ? assembler_->residual()
+                   : std::span<const double>(system_->residual());
+    const std::span<const double> rowScale =
+        assembler_ ? assembler_->rowScale()
+                   : std::span<const double>(system_->rowScale());
     double resNorm = 0.0;
     bool residualOk = true;
     for (int i = 0; i < n; ++i) {
-      const double r = system_.residual()[static_cast<std::size_t>(i)];
-      const double scale = system_.rowScale()[static_cast<std::size_t>(i)];
+      const double r = residual[static_cast<std::size_t>(i)];
+      const double scale = rowScale[static_cast<std::size_t>(i)];
       resNorm = std::max(resNorm, std::abs(r));
       if (std::abs(r) >
           options_.residualAbsTol + options_.residualRelTol * scale) {
@@ -136,18 +165,18 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
 }
 
 NewtonStats NewtonSolver::solveDcWithContinuation(std::vector<double>& x) {
-  // Direct attempt first.
-  std::vector<double> attempt = x;
-  NewtonStats stats = solveWithGmin(attempt, /*dc=*/true, 0.0, 0.0,
+  // Direct attempt first (attempt_ is the reused member trial buffer).
+  attempt_ = x;
+  NewtonStats stats = solveWithGmin(attempt_, /*dc=*/true, 0.0, 0.0,
                                     IntegrationMethod::kBackwardEuler,
                                     options_.gmin);
   if (stats.converged) {
-    x = attempt;
+    x = attempt_;
     return stats;
   }
   // Gmin stepping: start heavily regularized, then relax.
   FEFET_DEBUG() << "DC: direct solve failed; starting gmin continuation";
-  attempt = x;
+  attempt_ = x;
   int totalIters = stats.iterations;
   int levels = 0;
   const auto diagnose = [&](double gmin) {
@@ -162,18 +191,18 @@ NewtonStats NewtonSolver::solveDcWithContinuation(std::vector<double>& x) {
         diag);
   };
   for (double gmin = 1e-2; gmin >= options_.gmin * 0.99; gmin *= 0.1) {
-    stats = solveWithGmin(attempt, true, 0.0, 0.0,
+    stats = solveWithGmin(attempt_, true, 0.0, 0.0,
                           IntegrationMethod::kBackwardEuler, gmin);
     totalIters += stats.iterations;
     ++levels;
     if (!stats.converged) throw diagnose(gmin);
   }
-  stats = solveWithGmin(attempt, true, 0.0, 0.0,
+  stats = solveWithGmin(attempt_, true, 0.0, 0.0,
                         IntegrationMethod::kBackwardEuler, options_.gmin);
   totalIters += stats.iterations;
   ++levels;
   if (!stats.converged) throw diagnose(options_.gmin);
-  x = attempt;
+  x = attempt_;
   stats.iterations = totalIters;
   stats.gminEscalations = levels;
   stats.gminUsed = options_.gmin;

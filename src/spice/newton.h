@@ -4,14 +4,29 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
+#include "spice/assembler.h"
 #include "spice/mna.h"
 #include "spice/netlist.h"
 
 namespace fefet::spice {
+
+/// Dense -> sparse crossover: systems with more unknowns than this use the
+/// sparse matrix + sparse LU; at or below it dense LU wins.  MNA rows only
+/// carry a handful of entries, but dense factorization of a small system
+/// still beats the pointer-chasing of the sparse path; the value was
+/// picked from solver benchmarks (see bench_perf_solver / bench_assembly)
+/// around where array netlists overtake cell netlists.
+inline constexpr int kDenseToSparseCrossover = 160;
+
+/// Session default for NewtonOptions::useCompiledStamps: true unless the
+/// environment sets FEFET_COMPILED_STAMPS=0 (A/B runs of entire sweeps
+/// without recompiling or threading an option through every harness).
+bool defaultUseCompiledStamps();
 
 struct NewtonOptions {
   int maxIterations = 80;
@@ -28,6 +43,11 @@ struct NewtonOptions {
   /// Bit-identical to the uncached path (pivoting is re-verified every
   /// solve); off exists for A/B testing and diagnostics.
   bool reuseLuStructure = true;
+  /// Assemble through the compiled stamp pipeline (pattern-once CSR with
+  /// slot-based device stamping, see assembler.h) instead of per-entry
+  /// virtual dispatch into MnaSystem.  The two engines produce bit-
+  /// identical waveforms; the legacy path remains as the parity oracle.
+  bool useCompiledStamps = defaultUseCompiledStamps();
 };
 
 struct NewtonStats {
@@ -67,8 +87,16 @@ class NewtonSolver {
   /// the continuation fails.
   NewtonStats solveDcWithContinuation(std::vector<double>& x);
 
-  /// The assembled system (LU structure-reuse diagnostics live here).
-  const MnaSystem& system() const { return system_; }
+  /// True when the compiled stamp pipeline assembles (vs the legacy
+  /// virtual-dispatch oracle).
+  bool usesCompiledStamps() const { return assembler_.has_value(); }
+
+  /// Sparse-LU structure-cache diagnostics of whichever assembly engine
+  /// is active (zeros on the dense path).
+  const linalg::SparseLuFactorizer& sparseFactorizer() const {
+    return assembler_ ? assembler_->solver().sparseFactorizer()
+                      : system_->sparseFactorizer();
+  }
 
   /// Wall-clock budget observed by the iteration loop: every iteration
   /// polls it and an expired deadline raises DeadlineExceeded (carrying
@@ -82,7 +110,14 @@ class NewtonSolver {
 
   Netlist& netlist_;
   NewtonOptions options_;
-  MnaSystem system_;
+  // Exactly one assembly engine is engaged, per options_.useCompiledStamps.
+  std::optional<MnaSystem> system_;      ///< legacy parity oracle
+  std::optional<Assembler> assembler_;   ///< compiled stamp pipeline
+  // Reused across iterations/escalation levels: the Newton update and the
+  // trial vector of escalation/continuation attempts (no per-iteration
+  // heap churn).
+  std::vector<double> dx_;
+  std::vector<double> attempt_;
   Deadline deadline_;  ///< unlimited unless a transient run set one
 };
 

@@ -9,19 +9,19 @@ Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
   FEFET_REQUIRE(resistance_ > 0.0, "resistance must be positive");
 }
 
-void Resistor::stamp(const StampContext& ctx) {
+void Resistor::stamp(const EvalContext& ctx) {
   const double g = 1.0 / resistance_;
   const double va = ctx.view.nodeVoltage(a_);
   const double vb = ctx.view.nodeVoltage(b_);
   const double i = g * (va - vb);
   const int ra = Stamper::rowOfNode(a_);
   const int rb = Stamper::rowOfNode(b_);
-  ctx.stamper.addResidual(ra, i);
-  ctx.stamper.addResidual(rb, -i);
-  ctx.stamper.addJacobian(ra, ra, g);
-  ctx.stamper.addJacobian(ra, rb, -g);
-  ctx.stamper.addJacobian(rb, ra, -g);
-  ctx.stamper.addJacobian(rb, rb, g);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
 }
 
 double Resistor::current(const SystemView& view) const {
@@ -33,7 +33,7 @@ Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
   FEFET_REQUIRE(capacitance_ > 0.0, "capacitance must be positive");
 }
 
-void Capacitor::stamp(const StampContext& ctx) {
+void Capacitor::stamp(const EvalContext& ctx) {
   if (ctx.dc) return;
   const double v = ctx.view.nodeVoltage(a_) - ctx.view.nodeVoltage(b_);
   const double q = capacitance_ * v;
@@ -41,12 +41,12 @@ void Capacitor::stamp(const StampContext& ctx) {
   const double g = dIdQ * capacitance_;
   const int ra = Stamper::rowOfNode(a_);
   const int rb = Stamper::rowOfNode(b_);
-  ctx.stamper.addResidual(ra, i);
-  ctx.stamper.addResidual(rb, -i);
-  ctx.stamper.addJacobian(ra, ra, g);
-  ctx.stamper.addJacobian(ra, rb, -g);
-  ctx.stamper.addJacobian(rb, ra, -g);
-  ctx.stamper.addJacobian(rb, rb, g);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
 }
 
 void Capacitor::initializeState(const SystemView& view) {
@@ -77,19 +77,19 @@ TimedSwitch::TimedSwitch(std::string name, NodeId a, NodeId b,
   FEFET_REQUIRE(static_cast<bool>(control_), "switch needs a control shape");
 }
 
-void TimedSwitch::stamp(const StampContext& ctx) {
+void TimedSwitch::stamp(const EvalContext& ctx) {
   const double g = (control_(ctx.time) > 0.5) ? 1.0 / ron_ : 1.0 / roff_;
   const double va = ctx.view.nodeVoltage(a_);
   const double vb = ctx.view.nodeVoltage(b_);
   const double i = g * (va - vb);
   const int ra = Stamper::rowOfNode(a_);
   const int rb = Stamper::rowOfNode(b_);
-  ctx.stamper.addResidual(ra, i);
-  ctx.stamper.addResidual(rb, -i);
-  ctx.stamper.addJacobian(ra, ra, g);
-  ctx.stamper.addJacobian(ra, rb, -g);
-  ctx.stamper.addJacobian(rb, ra, -g);
-  ctx.stamper.addJacobian(rb, rb, g);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
 }
 
 }  // namespace fefet::spice

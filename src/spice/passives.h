@@ -12,7 +12,7 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double resistance);
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   double resistance() const { return resistance_; }
   double current(const SystemView& view) const;
 
@@ -27,7 +27,7 @@ class Capacitor final : public Device {
  public:
   Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void initializeState(const SystemView& view) override;
   void commitStep(const SystemView& view, double time, double dt,
                   IntegrationMethod method) override;
@@ -52,7 +52,7 @@ class TimedSwitch final : public Device {
   TimedSwitch(std::string name, NodeId a, NodeId b, Control control,
               double ron = 100.0, double roff = 1e12);
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void setControl(Control control) { control_ = std::move(control); }
 
  private:

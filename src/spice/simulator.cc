@@ -11,7 +11,8 @@ namespace fefet::spice {
 
 Simulator::Simulator(Netlist& netlist, const NewtonOptions& newton)
     : netlist_(netlist), newtonOptions_(newton), newton_(netlist, newton) {
-  netlist_.freeze();
+  // The NewtonSolver constructor froze the netlist (freeze() is where the
+  // unknown layout and the compiled stamp pattern are fixed).
 }
 
 NewtonStats Simulator::solveDc() {

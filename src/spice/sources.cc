@@ -70,21 +70,21 @@ void VoltageSource::setup(SetupContext& ctx) {
   auxRow_ = ctx.allocateAux("i(" + name() + ")");
 }
 
-void VoltageSource::stamp(const StampContext& ctx) {
+void VoltageSource::stamp(const EvalContext& ctx) {
   const int rp = Stamper::rowOfNode(plus_);
   const int rm = Stamper::rowOfNode(minus_);
   const double i = ctx.view.aux(auxRow_);
   const double vp = ctx.view.nodeVoltage(plus_);
   const double vm = ctx.view.nodeVoltage(minus_);
   // KCL: branch current leaves the + node into the source.
-  ctx.stamper.addResidual(rp, i);
-  ctx.stamper.addResidual(rm, -i);
-  ctx.stamper.addJacobian(rp, auxRow_, 1.0);
-  ctx.stamper.addJacobian(rm, auxRow_, -1.0);
+  ctx.addResidual(rp, i);
+  ctx.addResidual(rm, -i);
+  ctx.addJacobian(rp, auxRow_, 1.0);
+  ctx.addJacobian(rm, auxRow_, -1.0);
   // Branch equation: v+ - v- = shape(t).
-  ctx.stamper.addResidual(auxRow_, vp - vm - shape_(ctx.time));
-  ctx.stamper.addJacobian(auxRow_, rp, 1.0);
-  ctx.stamper.addJacobian(auxRow_, rm, -1.0);
+  ctx.addResidual(auxRow_, vp - vm - shape_(ctx.time));
+  ctx.addJacobian(auxRow_, rp, 1.0);
+  ctx.addJacobian(auxRow_, rm, -1.0);
 }
 
 double VoltageSource::current(const SystemView& view) const {
@@ -109,10 +109,10 @@ CurrentSource::CurrentSource(std::string name, NodeId from, NodeId to,
   FEFET_REQUIRE(static_cast<bool>(shape_), "current source needs a shape");
 }
 
-void CurrentSource::stamp(const StampContext& ctx) {
+void CurrentSource::stamp(const EvalContext& ctx) {
   const double i = shape_(ctx.time);
-  ctx.stamper.addResidual(Stamper::rowOfNode(from_), i);
-  ctx.stamper.addResidual(Stamper::rowOfNode(to_), -i);
+  ctx.addResidual(Stamper::rowOfNode(from_), i);
+  ctx.addResidual(Stamper::rowOfNode(to_), -i);
 }
 
 }  // namespace fefet::spice

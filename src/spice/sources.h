@@ -38,7 +38,7 @@ class VoltageSource final : public Device {
   VoltageSource(std::string name, NodeId plus, NodeId minus, Shape shape);
 
   void setup(SetupContext& ctx) override;
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void commitStep(const SystemView& view, double time, double dt,
                   IntegrationMethod method) override;
   std::vector<DeviceState> reportState(const SystemView& view) const override;
@@ -72,7 +72,7 @@ class CurrentSource final : public Device {
  public:
   CurrentSource(std::string name, NodeId from, NodeId to, Shape shape);
 
-  void stamp(const StampContext& ctx) override;
+  void stamp(const EvalContext& ctx) override;
   void setShape(Shape shape) { shape_ = std::move(shape); }
 
  private:

@@ -147,7 +147,7 @@ spice::TransientResult runLadder(bool reuse, long* numericRefactorizations) {
       options, {Probe::v("s1"), Probe::v("s100"), Probe::v("s200")});
   if (numericRefactorizations) {
     *numericRefactorizations =
-        sim.newton().system().sparseFactorizer().numericRefactorizations();
+        sim.newton().sparseFactorizer().numericRefactorizations();
   }
   return result;
 }
