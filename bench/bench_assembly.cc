@@ -48,6 +48,7 @@ void buildArrayNetlist(Netlist& n, int stages) {
 }
 
 int run() {
+  bench::TelemetrySession telemetry("bench_assembly");
   constexpr int kStages = 240;
   constexpr int kReps = 2000;
   constexpr double kGmin = 1e-12;
@@ -139,6 +140,12 @@ int run() {
       "\"compiled_solve_s\":%.4f,\"stamps_per_sec\":%.3g}\n",
       unknowns, kReps, legacyAssembleS, compiledAssembleS, speedup,
       legacySolveS, compiledSolveS, stampsPerSec);
+
+  telemetry.report().addCount("unknowns", static_cast<std::uint64_t>(unknowns));
+  telemetry.report().addCount("reps", static_cast<std::uint64_t>(kReps));
+  telemetry.report().addNumber("assembly_speedup", speedup);
+  telemetry.report().addNumber("stamps_per_sec", stampsPerSec);
+  telemetry.finish();
   return 0;
 }
 

@@ -79,9 +79,11 @@ std::uint64_t configDigest(const std::vector<double>& thicknesses) {
 
 int main(int argc, char** argv) {
   const auto cli = bench::parseSweepCli(argc, argv);
+  bench::TelemetrySession telemetry("bench_design_space");
   core::FefetParams base;
   base.lk = core::fefetMaterial();
-  const int threads = sim::defaultThreadCount();
+  const int threads =
+      cli.threads > 0 ? cli.threads : sim::defaultThreadCount();
 
   bench::banner("§3: thickness sweep");
   std::vector<double> thicknesses;
@@ -172,5 +174,10 @@ int main(int argc, char** argv) {
   bench::printSweepPerf("bench_design_space", threads, serialSeconds,
                         parallelSeconds, identical, summary,
                         bench::resultsCrc32(payloads));
+
+  telemetry.report().addCount("threads", static_cast<std::uint64_t>(threads));
+  telemetry.report().addBool("identical", identical);
+  telemetry.addSummary(summary);
+  telemetry.finish();
   return identical ? 0 : 1;
 }

@@ -108,8 +108,10 @@ std::uint64_t configDigest(const std::vector<ferro::Material>& db) {
 
 int main(int argc, char** argv) {
   const auto cli = bench::parseSweepCli(argc, argv);
+  bench::TelemetrySession telemetry("bench_endurance");
   const auto db = ferro::materialDatabase();
-  const int threads = sim::defaultThreadCount();
+  const int threads =
+      cli.threads > 0 ? cli.threads : sim::defaultThreadCount();
   auto codec = makeCodec();
 
   // Fatigue characterization as a sweep over the material database.
@@ -226,5 +228,8 @@ int main(int argc, char** argv) {
   bench::printSweepPerf("bench_endurance", threads, seconds, seconds,
                        /*identical=*/true, engine.summary(),
                        bench::resultsCrc32(payloads));
+  telemetry.report().addCount("threads", static_cast<std::uint64_t>(threads));
+  telemetry.addSummary(engine.summary());
+  telemetry.finish();
   return 0;
 }

@@ -231,6 +231,7 @@ void printTable(const std::vector<SweepPoint>& sweep,
 
 int main(int argc, char** argv) {
   const auto cli = fefet::bench::parseSweepCli(argc, argv);
+  fefet::bench::TelemetrySession telemetry("bench_fault_resilience");
   fefet::bench::banner(
       "Fault rate vs read BER: raw array vs resilient word path (64x64)");
 
@@ -238,7 +239,8 @@ int main(int argc, char** argv) {
       {0.0, 0.01}, {0.0, 0.05}, {0.0, 0.10},
       {1e-3, 0.0}, {1e-3, 0.05}, {5e-3, 0.05}, {1e-2, 0.10},
   };
-  const int threads = fefet::sim::defaultThreadCount();
+  const int threads =
+      cli.threads > 0 ? cli.threads : fefet::sim::defaultThreadCount();
   auto codec = fefet::makeCodec();
   const std::uint64_t digest = fefet::configDigest(sweep);
 
@@ -295,6 +297,10 @@ int main(int argc, char** argv) {
         "bench_fault_resilience", threads, seconds, seconds,
         /*identical=*/true, summary,
         fefet::bench::resultsCrc32(payloadsOf(results, engine.outcomes())));
+    telemetry.report().addCount("threads",
+                                static_cast<std::uint64_t>(threads));
+    telemetry.addSummary(summary);
+    telemetry.finish();
     return 0;
   }
 
@@ -334,5 +340,9 @@ int main(int argc, char** argv) {
       "bench_fault_resilience", threads, serialSeconds, parallelSeconds,
       identical, summary,
       fefet::bench::resultsCrc32(payloadsOf(outcomes, {})));
+  telemetry.report().addCount("threads", static_cast<std::uint64_t>(threads));
+  telemetry.report().addBool("identical", identical);
+  telemetry.addSummary(summary);
+  telemetry.finish();
   return identical ? 0 : 1;
 }

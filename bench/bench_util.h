@@ -15,6 +15,9 @@
 #include "common/deadline.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/sweep_engine.h"
 #include "spice/waveform.h"
 
@@ -40,6 +43,7 @@ class WallTimer {
 
 /// Resilient-execution flags shared by the long-sweep benches.
 struct SweepCli {
+  int threads = 0;                ///< --threads=N (0 = defaultThreadCount)
   std::string journalPath;        ///< --journal=PATH (crash-safe checkpoint)
   bool resume = false;            ///< --resume (replay a previous journal)
   double deadlineSeconds = 0.0;   ///< --deadline-seconds=S (whole-run budget)
@@ -67,7 +71,11 @@ inline SweepCli parseSweepCli(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (const char* v = valueOf(arg, "--journal=")) {
+    if (const char* v = valueOf(arg, "--threads=")) {
+      cli.threads = std::atoi(v);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      cli.threads = std::atoi(argv[++i]);
+    } else if (const char* v = valueOf(arg, "--journal=")) {
       cli.journalPath = v;
     } else if (std::strcmp(arg, "--resume") == 0) {
       cli.resume = true;
@@ -83,7 +91,8 @@ inline SweepCli parseSweepCli(int argc, char** argv) {
       cli.pointDelaySeconds = std::atof(v) * 1e-3;
     } else {
       std::fprintf(stderr,
-                   "unknown flag %s\nusage: %s [--journal=PATH] [--resume] "
+                   "unknown flag %s\nusage: %s [--threads=N] "
+                   "[--journal=PATH] [--resume] "
                    "[--deadline-seconds=S] [--soft-timeout-s=S] "
                    "[--hard-timeout-s=S] [--stall-point=K] "
                    "[--point-delay-ms=M]\n",
@@ -104,6 +113,7 @@ inline SweepCli parseSweepCli(int argc, char** argv) {
 /// shapes the per-point work (see SweepJournalOptions::configDigest).
 inline void applySweepCli(const SweepCli& cli, std::uint64_t configDigest,
                           sim::SweepOptions* options) {
+  if (cli.threads > 0) options->threads = cli.threads;
   options->journal.path = cli.journalPath;
   options->journal.resume = cli.resume;
   options->journal.configDigest = configDigest;
@@ -149,6 +159,61 @@ inline std::uint32_t resultsCrc32(const std::vector<std::string>& payloads) {
   }
   return sim::crc32(all);
 }
+
+/// End-of-run telemetry for a bench: arms the trace collector from
+/// FEFET_TRACE at construction, and at finish() emits the unified run
+/// report (obs/report.h) as one "REPORT {...}" stdout line plus the
+/// optional file outputs:
+///
+///   FEFET_TRACE=out.json    — Chrome trace_event JSON (chrome://tracing,
+///                             https://ui.perfetto.dev)
+///   FEFET_METRICS=out.json  — the report JSON (metrics snapshot + bench
+///                             fields); FEFET_METRICS=0 still means
+///                             "disable metrics" (obs/metrics.h)
+///
+/// finish() must run after all sweeps complete (ThreadPool joined) — the
+/// trace exporter's quiescence contract.  The existing PERF lines are
+/// unchanged; REPORT is additive.
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(std::string benchName)
+      : report_(std::move(benchName)), tracePath_(obs::Trace::enableFromEnv()) {}
+
+  obs::RunReport& report() { return report_; }
+
+  /// Record a sweep outcome tally in the report (shared shape across
+  /// benches so the failure story is machine-comparable).
+  void addSummary(const sim::SweepSummary& summary) {
+    report_.addCount("ok", summary.completed());
+    report_.addCount("failed", summary.failed);
+    report_.addCount("timed_out", summary.timedOut);
+    report_.addCount("from_journal", summary.fromJournal);
+    report_.addCount("not_run", summary.notRun);
+  }
+
+  void finish() {
+    const obs::MetricsSnapshot snapshot = obs::Metrics::snapshot();
+    std::printf("REPORT %s\n", report_.toJson(snapshot).c_str());
+    if (const char* path = std::getenv("FEFET_METRICS")) {
+      if (std::strcmp(path, "0") != 0 && std::strcmp(path, "1") != 0) {
+        if (!report_.writeJson(path, snapshot)) {
+          std::fprintf(stderr, "telemetry: cannot write metrics JSON to %s\n",
+                       path);
+        }
+      }
+    }
+    if (!tracePath_.empty()) {
+      if (!obs::Trace::writeChromeJson(tracePath_)) {
+        std::fprintf(stderr, "telemetry: cannot write trace JSON to %s\n",
+                     tracePath_.c_str());
+      }
+    }
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string tracePath_;
+};
 
 /// One paper-vs-measured comparison row.
 class Comparison {

@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/materials.h"
+#include "core/memory_controller.h"
 #include "core/variability.h"
 #include "sim/sweep_engine.h"
 #include "sim/thread_pool.h"
@@ -89,10 +90,12 @@ std::uint64_t foldDouble(std::uint64_t h, double v) {
 
 int main(int argc, char** argv) {
   const auto cli = bench::parseSweepCli(argc, argv);
+  bench::TelemetrySession telemetry("bench_variability");
   core::FefetParams nominal;
   nominal.lk = core::fefetMaterial();
   const core::VariationSpec spec;  // 20 mV VT, 2% T_FE, 3% W, 3% alpha
-  const int threads = sim::defaultThreadCount();
+  const int threads =
+      cli.threads > 0 ? cli.threads : sim::defaultThreadCount();
 
   const std::vector<double> thicknesses = {2.05e-9, 2.15e-9, 2.25e-9,
                                            2.35e-9, 2.50e-9};
@@ -286,9 +289,40 @@ int main(int argc, char** argv) {
                                  sim::toString(yieldOutcomes[i].status));
   }
 
+  // Controller smoke: a tiny ECC write/read burst at the nominal device,
+  // so one bench run also exercises the fefet.controller.* counters the
+  // end-of-run report captures (word writes/reads, retries, corrections).
+  bench::banner("controller write/read smoke (ECC on)");
+  {
+    core::ArrayConfig arrayCfg;
+    arrayCfg.rows = 2;
+    arrayCfg.cols = 8;
+    arrayCfg.fefet = nominal;
+    core::ControllerConfig ctlCfg;
+    ctlCfg.wordWidth = 4;
+    ctlCfg.eccEnabled = true;
+    core::MemoryController controller(arrayCfg, ctlCfg);
+    int verified = 0;
+    const std::uint32_t patterns[] = {0x5u, 0xAu, 0x3u, 0xFu};
+    for (int w = 0; w < static_cast<int>(std::size(patterns)); ++w) {
+      const int row = w % controller.rows();
+      const int word = (w / controller.rows()) % controller.wordsPerRow();
+      controller.writeWord(row, word, patterns[w]);
+      if (controller.readWord(row, word) == patterns[w]) ++verified;
+    }
+    std::printf("words_verified,%d_of_%zu\n", verified, std::size(patterns));
+  }
+
   bench::banner("sweep-engine wall clock");
   bench::printSweepPerf("bench_variability", threads, serialSeconds,
                         parallelSeconds, identical, summary,
                         bench::resultsCrc32(payloads));
+
+  telemetry.report().addCount("threads", static_cast<std::uint64_t>(threads));
+  telemetry.report().addNumber("serial_s", serialSeconds);
+  telemetry.report().addNumber("parallel_s", parallelSeconds);
+  telemetry.report().addBool("identical", identical);
+  telemetry.addSummary(summary);
+  telemetry.finish();
   return identical ? 0 : 1;
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Sanitizer + resilience + perf gate, five stages:
+# Sanitizer + resilience + perf + observability gate, six stages:
 #
 #  1. ASan + UBSan (FEFET_SANITIZE=address) over the full test suite —
 #     memory errors and UB in the netlist/device ownership chain (the
@@ -16,7 +16,12 @@
 #  4. assembly perf smoke: bench_assembly on an optimized build must show
 #     the compiled stamp pipeline beating legacy dispatch by >= 1.5x on
 #     an array-scale (sparse-path) netlist;
-#  5. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
+#  5. observability smoke: a traced bench_variability sweep must emit a
+#     metrics-JSON report with nonzero newton/assembler/sweep/controller
+#     counters and a Chrome trace with the nested span taxonomy (both
+#     validated with python3), and telemetry must stay ~free — enabled
+#     bench_assembly within 2% of disabled, best of 3;
+#  6. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
 #     over src/spice and src/common — skipped with a notice when
 #     clang-tidy is not installed.
 #
@@ -39,15 +44,18 @@ ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
 ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"
 
-echo "== TSan: sweep engine + LU reuse + stamp parity =="
+echo "== TSan: sweep engine + LU reuse + stamp parity + observability =="
 cmake -B "$TSAN_BUILD_DIR" -S . -DFEFET_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" \
-  --target test_sim_sweep test_lu_reuse test_variability test_stamp_parity
+  --target test_sim_sweep test_lu_reuse test_variability test_stamp_parity \
+  test_obs
 
+# The ^(...)\. anchors keep the test_obs suites from pulling in unbuilt
+# binaries with similar names (Trace vs PowerTrace, LogJson vs Logistic).
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$(nproc)" \
-  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity' "$@"
+  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity|^(JsonChecker|Metrics|Trace|RunReport|ObsAlloc|LogPrefix|LogJson)\.' "$@"
 
 echo "== kill-and-resume smoke: journaled sweep survives SIGKILL =="
 cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target bench_fault_resilience
@@ -107,6 +115,67 @@ if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
   exit 1
 fi
 echo "assembly perf smoke passed (speedup ${SPEEDUP}x)"
+
+echo "== observability smoke: metrics + trace capture, near-free telemetry =="
+cmake --build "$PERF_BUILD_DIR" -j"$(nproc)" --target bench_variability
+OBS_METRICS="$SMOKE_DIR/metrics.json"
+OBS_TRACE="$SMOKE_DIR/trace.json"
+# --journal makes the sweep run once (no serial-vs-parallel double run).
+FEFET_METRICS="$OBS_METRICS" FEFET_TRACE="$OBS_TRACE" \
+  "$PERF_BUILD_DIR/bench/bench_variability" --threads 2 \
+  --journal="$SMOKE_DIR/obs.journal" > "$SMOKE_DIR/obs.out"
+if ! grep -q '^REPORT ' "$SMOKE_DIR/obs.out"; then
+  echo "FAIL: bench_variability emitted no REPORT line" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OBS_METRICS" "$OBS_TRACE" <<'PYEOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+counters = report["metrics"]["counters"]
+for key in ("fefet.newton.solves.compiled", "fefet.assembler.assemblies",
+            "fefet.sweep.points_ok", "fefet.controller.word_writes",
+            "fefet.transient.steps"):
+    assert counters.get(key, 0) > 0, f"counter {key} is zero or missing"
+trace = json.load(open(sys.argv[2]))
+names = {event["name"] for event in trace["traceEvents"]}
+for span in ("sweep.point", "transient", "newton.solve", "newton.assemble",
+             "newton.lu_solve"):
+    assert span in names, f"span {span} missing from the trace"
+print(f"validated {len(counters)} counters, "
+      f"{len(trace['traceEvents'])} trace events")
+PYEOF
+else
+  echo "python3 not installed; skipping JSON validation"
+fi
+
+# Telemetry must be ~free when it counts: compiled assemble phase with
+# metrics enabled vs disabled, best of 3 each, within 2%.
+best_compiled_assemble() {
+  local best=""
+  local run seconds
+  for run in 1 2 3; do
+    seconds=$(FEFET_METRICS="$1" "$PERF_BUILD_DIR/bench/bench_assembly" \
+      | grep '^PERF ' | sed -E 's/.*"compiled_assemble_s":([0-9.]+).*/\1/')
+    if [ -z "$best" ] || \
+       awk -v a="$seconds" -v b="$best" 'BEGIN { exit !(a < b) }'; then
+      best="$seconds"
+    fi
+  done
+  echo "$best"
+}
+DISABLED_S=$(best_compiled_assemble 0)
+ENABLED_S=$(best_compiled_assemble 1)
+if ! awk -v e="$ENABLED_S" -v d="$DISABLED_S" \
+    'BEGIN { exit !(e <= d * 1.02) }'; then
+  echo "FAIL: telemetry costs >2% on bench_assembly:" \
+       "enabled ${ENABLED_S}s vs disabled ${DISABLED_S}s" >&2
+  exit 1
+fi
+echo "observability smoke passed" \
+     "(compiled assemble: disabled ${DISABLED_S}s, enabled ${ENABLED_S}s)"
 
 echo "== clang-tidy: performance + modernize over the solver hot path =="
 if command -v clang-tidy >/dev/null 2>&1; then

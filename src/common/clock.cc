@@ -1,0 +1,34 @@
+#include "common/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace fefet {
+
+namespace {
+std::chrono::steady_clock::time_point processStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the anchor during static initialization so monotonicNanos() is
+// measured from (approximately) process start even if the first explicit
+// call happens late.
+const auto g_anchor = processStart();
+}  // namespace
+
+std::uint64_t monotonicNanos() {
+  (void)g_anchor;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - processStart())
+          .count());
+}
+
+int currentThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace fefet

@@ -1,7 +1,12 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "common/clock.h"
+#include "common/strings.h"
 
 namespace fefet {
 
@@ -18,6 +23,14 @@ std::string& threadPrefixSlot() {
   return prefix;
 }
 
+std::atomic<bool>& jsonSinkFlag() {
+  static std::atomic<bool> json{[] {
+    const char* env = std::getenv("FEFET_LOG_JSON");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+  }()};
+  return json;
+}
+
 const char* levelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -29,6 +42,18 @@ const char* levelTag(LogLevel level) {
   }
   return "?";
 }
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off";
+  }
+  return "?";
+}
 }  // namespace
 
 void Log::setThreadPrefix(std::string prefix) {
@@ -37,9 +62,32 @@ void Log::setThreadPrefix(std::string prefix) {
 
 const std::string& Log::threadPrefix() { return threadPrefixSlot(); }
 
+bool Log::jsonSink() {
+  return jsonSinkFlag().load(std::memory_order_relaxed);
+}
+
+void Log::setJsonSink(bool json) {
+  jsonSinkFlag().store(json, std::memory_order_relaxed);
+}
+
 void Log::write(LogLevel level, const std::string& message) {
   if (level < Log::level()) return;
   const std::string& prefix = threadPrefixSlot();
+  if (jsonSink()) {
+    // Structured sink: one JSON object per line.  ts and thread come from
+    // common/clock.h — the clock/thread-id helpers shared with the trace
+    // collector, so log lines correlate with spans.
+    const double ts = static_cast<double>(monotonicNanos()) / 1e9;
+    const int thread = currentThreadId();
+    const std::string line =
+        "{\"ts\":" + strings::jsonNumber(ts) + ",\"level\":\"" +
+        levelName(level) + "\",\"thread\":" + std::to_string(thread) +
+        ",\"prefix\":\"" + strings::jsonEscape(prefix) + "\",\"msg\":\"" +
+        strings::jsonEscape(message) + "\"}";
+    const std::lock_guard<std::mutex> guard(sinkMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
   const std::lock_guard<std::mutex> guard(sinkMutex());
   std::fprintf(stderr, "[%s] %s%s\n", levelTag(level), prefix.c_str(),
                message.c_str());

@@ -7,6 +7,13 @@
 // (sweep workers tag their lines with the point being simulated).  Each
 // *simulation* remains single-threaded; only independent sweep points run
 // concurrently (see sim/sweep_engine.h).
+//
+// Output format: human-readable "[LEVEL] prefix message" lines by default;
+// with FEFET_LOG_JSON=1 in the environment each line is instead one JSON
+// object {"ts":seconds,"level":...,"thread":N,"prefix":...,"msg":...}
+// with ts/thread taken from common/clock.h — the same monotonic clock and
+// thread ids the trace collector (obs/trace.h) stamps spans with, so log
+// lines and spans line up on one timeline.
 #pragma once
 
 #include <atomic>
@@ -28,8 +35,18 @@ class Log {
 
   /// Per-thread line prefix (e.g. "sweep[3] "); empty by default.  Sweep
   /// workers set this so concurrent simulations stay attributable.
+  /// Prefer ScopedThreadPrefix: pooled threads outlive the task that set
+  /// the prefix, and a prefix that is not cleared leaks into whatever the
+  /// thread runs next.
   static void setThreadPrefix(std::string prefix);
   static const std::string& threadPrefix();
+
+  /// True when the JSON sink is active (FEFET_LOG_JSON=1 at startup, or
+  /// setJsonSink).  For tests.
+  static bool jsonSink();
+  /// Override the sink format at runtime (tests; benches normally rely on
+  /// the environment variable).
+  static void setJsonSink(bool json);
 
   /// Emit one line at `level` (no-op when below the global threshold).
   /// Serialized across threads.
@@ -37,6 +54,25 @@ class Log {
 
  private:
   static std::atomic<LogLevel> level_;
+};
+
+/// RAII thread prefix: sets on construction, restores the previous prefix
+/// on destruction.  The sweep worker loops wrap each task in one of these
+/// so pooled threads never leak a stale "sweep[N] " prefix into later
+/// work (the bug this class exists to prevent).
+class ScopedThreadPrefix {
+ public:
+  explicit ScopedThreadPrefix(std::string prefix)
+      : previous_(Log::threadPrefix()) {
+    Log::setThreadPrefix(std::move(prefix));
+  }
+  ~ScopedThreadPrefix() { Log::setThreadPrefix(std::move(previous_)); }
+
+  ScopedThreadPrefix(const ScopedThreadPrefix&) = delete;
+  ScopedThreadPrefix& operator=(const ScopedThreadPrefix&) = delete;
+
+ private:
+  std::string previous_;
 };
 
 namespace detail {

@@ -26,4 +26,15 @@ std::string join(const std::vector<std::string>& parts,
 std::string padLeft(const std::string& s, std::size_t width);
 std::string padRight(const std::string& s, std::size_t width);
 
+/// Escape a string for embedding inside JSON double quotes: quotes,
+/// backslashes and control characters become \", \\, \n, \uXXXX, ….
+/// Shared by the structured log sink, the metrics snapshot serializer and
+/// the trace exporter (obs/), so every JSON emitter escapes identically.
+std::string jsonEscape(const std::string& s);
+
+/// JSON-safe number rendering: round-trippable %.17g for finite values;
+/// NaN and infinities (not representable in JSON) render as 0 with the
+/// sign preserved for -inf.
+std::string jsonNumber(double value);
+
 }  // namespace fefet::strings

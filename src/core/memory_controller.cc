@@ -2,8 +2,39 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace fefet::core {
+
+namespace {
+
+/// Process-wide mirrors of the per-instance ControllerReport tallies under
+/// fefet.controller.*: a sweep creates one controller per point and drops
+/// it with the point's netlist, so only these registry counters survive to
+/// the end-of-run snapshot.
+struct ControllerTelemetry {
+  obs::Counter& wordWrites;
+  obs::Counter& wordReads;
+  obs::Counter& writeRetries;
+  obs::Counter& uncorrectableBits;
+  obs::Counter& remappedRows;
+  obs::Counter& eccCorrections;
+  obs::Counter& detectedDoubleBits;
+};
+
+ControllerTelemetry& controllerTelemetry() {
+  static ControllerTelemetry t{
+      obs::Metrics::counter("fefet.controller.word_writes"),
+      obs::Metrics::counter("fefet.controller.word_reads"),
+      obs::Metrics::counter("fefet.controller.write_retries"),
+      obs::Metrics::counter("fefet.controller.uncorrectable_bits"),
+      obs::Metrics::counter("fefet.controller.remapped_rows"),
+      obs::Metrics::counter("fefet.controller.ecc_corrections"),
+      obs::Metrics::counter("fefet.controller.detected_double_bits")};
+  return t;
+}
+
+}  // namespace
 
 MemoryController::MemoryController(const ArrayConfig& config, int wordWidth,
                                    int maxRetries)
@@ -51,6 +82,7 @@ bool MemoryController::writeBitWithRetry(int physRow, int col, bool target) {
        ++k) {
     ++stats_.bitRetries;
     ++report_.writeRetries;
+    if (obs::Metrics::enabled()) controllerTelemetry().writeRetries.increment();
     WriteDrive drive;
     drive.voltageScale = controller_.retry.voltageScaleFor(k);
     drive.pulseScale = controller_.retry.pulseScaleFor(k);
@@ -76,6 +108,9 @@ std::optional<int> MemoryController::remapRow(int logicalRow,
     if (ok) {
       remap_[logicalRow] = spare;
       ++report_.remappedRows;
+      if (obs::Metrics::enabled()) {
+        controllerTelemetry().remappedRows.increment();
+      }
       FEFET_INFO() << "controller: remapped row " << logicalRow
                    << " (phys " << failedPhysRow << ") to spare " << spare;
       return spare;
@@ -91,6 +126,7 @@ bool MemoryController::writeWord(int row, int word, std::uint32_t value) {
                 "controller write: word index out of range");
   ++stats_.wordWrites;
   ++report_.wordWrites;
+  if (obs::Metrics::enabled()) controllerTelemetry().wordWrites.increment();
 
   // Codeword bit image: data bits, then SECDED check bits.
   const int n = bitsPerWord();
@@ -117,6 +153,9 @@ bool MemoryController::writeWord(int row, int word, std::uint32_t value) {
     }
     ++stats_.uncorrectable;
     ++report_.uncorrectedBits;
+    if (obs::Metrics::enabled()) {
+      controllerTelemetry().uncorrectableBits.increment();
+    }
     allGood = false;
   }
   return allGood;
@@ -129,6 +168,7 @@ std::uint32_t MemoryController::readWord(int row, int word) {
                 "controller read: word index out of range");
   ++stats_.wordReads;
   ++report_.wordReads;
+  if (obs::Metrics::enabled()) controllerTelemetry().wordReads.increment();
   const int physRow = physicalRow(row);
   const int n = bitsPerWord();
   std::uint64_t image = 0;
@@ -146,9 +186,17 @@ std::uint32_t MemoryController::readWord(int row, int word) {
   const auto decoded = codec_->decode(
       image & dataMask,
       static_cast<std::uint16_t>(image >> controller_.wordWidth));
-  if (decoded.status == EccStatus::kCorrectedSingle) ++report_.correctedBits;
+  if (decoded.status == EccStatus::kCorrectedSingle) {
+    ++report_.correctedBits;
+    if (obs::Metrics::enabled()) {
+      controllerTelemetry().eccCorrections.increment();
+    }
+  }
   if (decoded.status == EccStatus::kDetectedDouble) {
     ++report_.detectedDoubleBits;
+    if (obs::Metrics::enabled()) {
+      controllerTelemetry().detectedDoubleBits.increment();
+    }
   }
   return static_cast<std::uint32_t>(decoded.data);
 }

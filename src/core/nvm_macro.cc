@@ -4,8 +4,34 @@
 
 #include "common/error.h"
 #include "ferro/material_db.h"
+#include "obs/metrics.h"
 
 namespace fefet::core {
+
+namespace {
+
+/// Registry mirrors of the macro resilience tallies under fefet.macro.* —
+/// same rationale as the controller's: macro instances are per-point and
+/// die with the point, the registry counters survive the run.
+struct MacroTelemetry {
+  obs::Counter& writeRetries;
+  obs::Counter& spareRemaps;
+  obs::Counter& uncorrectableBits;
+  obs::Counter& eccCorrections;
+  obs::Counter& detectedDoubleBits;
+};
+
+MacroTelemetry& macroTelemetry() {
+  static MacroTelemetry t{
+      obs::Metrics::counter("fefet.macro.write_retries"),
+      obs::Metrics::counter("fefet.macro.spare_remaps"),
+      obs::Metrics::counter("fefet.macro.uncorrectable_bits"),
+      obs::Metrics::counter("fefet.macro.ecc_corrections"),
+      obs::Metrics::counter("fefet.macro.detected_double_bits")};
+  return t;
+}
+
+}  // namespace
 
 NvmMacro::NvmMacro(MacroTechnology technology, const MacroConfig& config)
     : NvmMacro(technology, config, MacroResilience{}) {}
@@ -70,6 +96,7 @@ bool NvmMacro::writeStoredBit(int physWord, int bit, bool target) {
     const double vScale = resilience_.retry.voltageScaleFor(k);
     if (k > 0) {
       ++report_.writeRetries;
+      if (obs::Metrics::enabled()) macroTelemetry().writeRetries.increment();
       // Escalated pulse: CV^2 drive at boosted voltage, stretched width.
       const double extra = numbers_.writeEnergy / config_.wordBits *
                            vScale * vScale *
@@ -98,6 +125,7 @@ std::optional<int> NvmMacro::allocateSpare(int address) {
   ++nextSpare_;
   remap_[address] = spare;
   ++report_.remappedRows;
+  if (obs::Metrics::enabled()) macroTelemetry().spareRemaps.increment();
   return spare;
 }
 
@@ -134,6 +162,9 @@ MacroAccess NvmMacro::writeWord(int address, std::uint32_t value) {
       continue;
     }
     ++report_.uncorrectedBits;
+    if (obs::Metrics::enabled()) {
+      macroTelemetry().uncorrectableBits.increment();
+    }
   }
   return access;
 }
@@ -179,9 +210,15 @@ MacroAccess NvmMacro::readWord(int address) {
   const auto decoded = codec_->decode(
       image & dataMask,
       static_cast<std::uint16_t>(image >> config_.wordBits));
-  if (decoded.status == EccStatus::kCorrectedSingle) ++report_.correctedBits;
+  if (decoded.status == EccStatus::kCorrectedSingle) {
+    ++report_.correctedBits;
+    if (obs::Metrics::enabled()) macroTelemetry().eccCorrections.increment();
+  }
   if (decoded.status == EccStatus::kDetectedDouble) {
     ++report_.detectedDoubleBits;
+    if (obs::Metrics::enabled()) {
+      macroTelemetry().detectedDoubleBits.increment();
+    }
   }
   access.value = static_cast<std::uint32_t>(decoded.data);
   return access;

@@ -1,8 +1,37 @@
 #include "nvp/checkpoint.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace fefet::nvp {
+
+namespace {
+
+/// Checkpoint traffic telemetry under fefet.checkpoint.*.  Latency here
+/// is the *modeled* macro write latency of one backup (the metric the
+/// normally-off energy story cares about), not host wall time.
+struct CheckpointTelemetry {
+  obs::Counter& backups;
+  obs::Counter& commits;
+  obs::Counter& restores;
+  obs::Counter& bytesWritten;
+  obs::Histogram& backupLatencySeconds;
+};
+
+CheckpointTelemetry& checkpointTelemetry() {
+  static constexpr double kLatencyEdges[] = {1e-8, 3e-8, 1e-7, 3e-7, 1e-6,
+                                             3e-6, 1e-5, 3e-5, 1e-4, 1e-3};
+  static CheckpointTelemetry t{
+      obs::Metrics::counter("fefet.checkpoint.backups"),
+      obs::Metrics::counter("fefet.checkpoint.commits"),
+      obs::Metrics::counter("fefet.checkpoint.restores"),
+      obs::Metrics::counter("fefet.checkpoint.bytes_written"),
+      obs::Metrics::histogram("fefet.checkpoint.backup_latency_s",
+                              kLatencyEdges)};
+  return t;
+}
+
+}  // namespace
 
 std::uint32_t checkpointChecksum(const std::vector<std::uint32_t>& state,
                                  std::uint32_t epoch) {
@@ -78,6 +107,18 @@ BackupResult CheckpointManager::backup(
     r.latency += a.latency;
     return true;
   };
+  // Flushes on every exit: interrupted backups (failAfterWords) count too.
+  struct TelemetryFlush {
+    const BackupResult& r;
+    ~TelemetryFlush() {
+      if (!obs::Metrics::enabled()) return;
+      CheckpointTelemetry& t = checkpointTelemetry();
+      t.backups.increment();
+      if (r.committed) t.commits.increment();
+      t.bytesWritten.add(static_cast<std::uint64_t>(r.wordsWritten) * 4u);
+      t.backupLatencySeconds.observe(r.latency);
+    }
+  } telemetryFlush{r};
   for (int i = 0; i < stateWords_; ++i) {
     if (!writeOne(i, state[static_cast<std::size_t>(i)])) return r;
   }
@@ -92,6 +133,7 @@ BackupResult CheckpointManager::backup(
 }
 
 std::optional<std::vector<std::uint32_t>> CheckpointManager::restore() {
+  if (obs::Metrics::enabled()) checkpointTelemetry().restores.increment();
   double e = 0.0, t = 0.0;
   std::uint32_t bestEpoch = 0;
   int bestBank = -1;

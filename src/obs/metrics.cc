@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace fefet::obs {
+
+namespace {
+
+bool initialEnabled() {
+  const char* env = std::getenv("FEFET_METRICS");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Registry storage.  unique_ptr values keep metric addresses stable
+/// across map rehashes; the registry itself lives forever (intentionally
+/// leaked on exit — call sites hold references from static initializers
+/// whose destruction order is unknowable).
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+std::atomic<bool> Metrics::enabled_{initialEnabled()};
+
+Histogram::Histogram(std::span<const double> edges)
+    : edges_(edges.begin(), edges.end()) {
+  FEFET_REQUIRE(!edges_.empty(), "histogram needs at least one bucket edge");
+  FEFET_REQUIRE(std::is_sorted(edges_.begin(), edges_.end()),
+                "histogram bucket edges must be sorted ascending");
+  const std::size_t buckets = bucketCount();
+  for (auto& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = edges_.size();  // overflow unless an edge catches it
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (value <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard& shard = shards_[static_cast<std::size_t>(shardIndex())];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS accumulation: atomic<double> has no fetch_add pre-C++23.
+  double expected = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(expected, expected + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketTotals() const {
+  std::vector<std::uint64_t> totals(bucketCount(), 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      totals[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (std::size_t i = 0; i < bucketCount(); ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name,
+                              std::span<const double> edges) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(edges);
+  return *slot;
+}
+
+MetricsSnapshot Metrics::snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, counter] : r.counters) {
+    snap.counters.push_back({name, counter->total()});
+  }
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, gauge] : r.gauges) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, histogram] : r.histograms) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.edges = histogram->edges();
+    h.buckets = histogram->bucketTotals();
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;  // std::map iterates sorted, so the vectors are sorted
+}
+
+void Metrics::reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  for (auto& [name, counter] : r.counters) counter->reset();
+  for (auto& [name, gauge] : r.gauges) gauge->reset();
+  for (auto& [name, histogram] : r.histograms) histogram->reset();
+}
+
+std::uint64_t MetricsSnapshot::counterValue(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + strings::jsonEscape(c.name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + strings::jsonEscape(g.name) +
+           "\":" + strings::jsonNumber(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + strings::jsonEscape(h.name) + "\":{\"edges\":[";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      if (i > 0) out += ',';
+      out += strings::jsonNumber(h.edges[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + strings::jsonNumber(h.sum) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fefet::obs

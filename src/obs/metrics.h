@@ -1,0 +1,192 @@
+// metrics.h — process-wide registry of named counters, gauges and
+// fixed-bucket histograms.
+//
+// Design goals, in order:
+//
+//  1. Hot-path increments are lock-free and allocation-free.  Counters
+//     and histograms stripe their storage across cache-line-padded
+//     shards indexed by the caller's thread id, so concurrent workers
+//     never contend on one atomic; a snapshot merges the shards.  All
+//     storage is sized at registration — after that, add()/observe()
+//     touch only preallocated atomics (tests/test_obs.cc audits this
+//     with the same operator-new hook as test_stamp_alloc).
+//  2. Registration is cheap but not free (mutex + map lookup), so call
+//     sites hold the returned reference — typically a function-local
+//     static or a constructor-initialized member.  Registered metrics
+//     are never deleted or moved: references stay valid for the process
+//     lifetime, and Metrics::reset() zeroes values without invalidating
+//     them.
+//  3. Snapshots serialize to the same PERF-v2-style JSON the benches
+//     emit, under the `fefet.<layer>.<name>` naming scheme (see
+//     DESIGN.md §6.3).
+//
+// Collection is globally gated by Metrics::enabled() (default on; env
+// FEFET_METRICS=0 disables) so the zero-telemetry cost is one relaxed
+// load per call site.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace fefet::obs {
+
+/// Shard count of the thread-striped storage.  Power of two; threads map
+/// onto shards by `currentThreadId() & (kMetricShards - 1)`.
+inline constexpr int kMetricShards = 8;
+
+/// Monotonically increasing event count (iterations, retries, stamped
+/// entries, accumulated nanoseconds, …).
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    shards_[shardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  /// Sum across shards.  Safe to call concurrently with add(); the result
+  /// is a consistent-enough merge for reporting (each shard is read
+  /// atomically).
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) {
+      sum += shard.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static int shardIndex() { return currentThreadId() & (kMetricShards - 1); }
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-written value (queue depth, active workers, configured threads).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= edges[i]
+/// (first matching bucket, Prometheus "le" semantics); one extra
+/// overflow bucket catches v > edges.back().  Edges are fixed at
+/// registration; observe() is a linear scan over <= ~16 edges plus one
+/// relaxed fetch_add — allocation-free.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> edges);
+
+  void observe(double value);
+
+  std::size_t bucketCount() const { return edges_.size() + 1; }
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Merged bucket counts (size bucketCount()), total count and sum.
+  /// The merge is a plain per-bucket sum, so it is associative: merging
+  /// shard-by-shard equals merging any grouping of shards
+  /// (tests/test_obs.cc checks this against a single-threaded reference).
+  std::vector<std::uint64_t> bucketTotals() const;
+  std::uint64_t count() const;
+  double sum() const;
+
+  void reset();
+
+ private:
+  static int shardIndex() { return currentThreadId() & (kMetricShards - 1); }
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> edges_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time copy of every registered metric, decoupled from the
+/// live registry (safe to serialize while workers keep counting).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> edges;
+    std::vector<std::uint64_t> buckets;  ///< edges.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterValue> counters;    ///< sorted by name
+  std::vector<GaugeValue> gauges;        ///< sorted by name
+  std::vector<HistogramValue> histograms;  ///< sorted by name
+
+  /// Value of one counter (0 when absent — absent and never-incremented
+  /// are indistinguishable by design).
+  std::uint64_t counterValue(const std::string& name) const;
+
+  /// PERF-v2-style JSON object:
+  /// {"counters":{name:value,...},"gauges":{...},
+  ///  "histograms":{name:{"edges":[...],"buckets":[...],
+  ///                      "count":N,"sum":S},...}}
+  std::string toJson() const;
+};
+
+/// The process-wide registry.  All accessors return references that stay
+/// valid for the process lifetime.
+class Metrics {
+ public:
+  /// Global collection gate: default on, FEFET_METRICS=0 in the
+  /// environment starts the process disabled.  Call sites with non-trivial
+  /// bookkeeping (clock reads, per-item loops) should check this first;
+  /// plain add()/observe() calls may skip the check — their cost is one
+  /// relaxed atomic op either way.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void setEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create.  Names follow `fefet.<layer>.<name>`.  Re-requesting
+  /// an existing histogram ignores the new edges (first registration
+  /// wins).
+  static Counter& counter(const std::string& name);
+  static Gauge& gauge(const std::string& name);
+  static Histogram& histogram(const std::string& name,
+                              std::span<const double> edges);
+
+  /// Copy every registered metric.
+  static MetricsSnapshot snapshot();
+
+  /// Zero every registered metric (values only; references stay valid).
+  /// For benches and tests that want a clean slate per run.
+  static void reset();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace fefet::obs

@@ -4,8 +4,42 @@
 #include <sstream>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace fefet::sim {
+
+namespace {
+
+/// Sweep-level health telemetry under fefet.sweep.*.  The per-point wall
+/// time histogram feeds capacity planning (where did the sweep budget
+/// go); the replay/watchdog counters quantify how much work resume and
+/// straggler cancellation actually saved or reclaimed.
+struct SweepTelemetry {
+  obs::Counter& pointsOk;
+  obs::Counter& pointsFailed;
+  obs::Counter& pointsTimedOut;
+  obs::Counter& journalReplays;
+  obs::Counter& stragglersFlagged;
+  obs::Counter& watchdogCancels;
+  obs::Histogram& pointSeconds;
+};
+
+SweepTelemetry& sweepTelemetry() {
+  static constexpr double kSecondsEdges[] = {0.001, 0.003, 0.01, 0.03, 0.1,
+                                             0.3,   1.0,   3.0,  10.0, 30.0,
+                                             100.0, 300.0};
+  static SweepTelemetry t{
+      obs::Metrics::counter("fefet.sweep.points_ok"),
+      obs::Metrics::counter("fefet.sweep.points_failed"),
+      obs::Metrics::counter("fefet.sweep.points_timed_out"),
+      obs::Metrics::counter("fefet.sweep.journal_replays"),
+      obs::Metrics::counter("fefet.sweep.stragglers_flagged"),
+      obs::Metrics::counter("fefet.sweep.watchdog_cancels"),
+      obs::Metrics::histogram("fefet.sweep.point_seconds", kSecondsEdges)};
+  return t;
+}
+
+}  // namespace
 
 const char* toString(SweepPointStatus status) {
   switch (status) {
@@ -87,6 +121,7 @@ void SweepEngine::markReplayed(std::size_t index) {
   outcomes_[index].status = SweepPointStatus::kFromJournal;
   ++done_;
   ++okCount_;
+  if (obs::Metrics::enabled()) sweepTelemetry().journalReplays.increment();
 }
 
 bool SweepEngine::shouldStop() {
@@ -132,6 +167,11 @@ void SweepEngine::finishPointOk(std::size_t index, int worker, double seconds,
   outcomes_[index].seconds = seconds;
   ++done_;
   ++okCount_;
+  if (obs::Metrics::enabled()) {
+    SweepTelemetry& t = sweepTelemetry();
+    t.pointsOk.increment();
+    t.pointSeconds.observe(seconds);
+  }
   if (journal_ && payload != nullptr) journal_->appendPoint(index, *payload);
   if (options_.progress) options_.progress(done_, outcomes_.size());
   checkStragglersLocked();
@@ -148,6 +188,11 @@ void SweepEngine::finishPointFailed(std::size_t index, int worker,
   outcomes_[index].seconds = seconds;
   ++done_;
   if (timedOut) ++timedOutCount_; else ++failedCount_;
+  if (obs::Metrics::enabled()) {
+    SweepTelemetry& t = sweepTelemetry();
+    if (timedOut) t.pointsTimedOut.increment(); else t.pointsFailed.increment();
+    t.pointSeconds.observe(seconds);
+  }
   failures_.push_back({index, message});
   if (options_.progress) options_.progress(done_, outcomes_.size());
   checkStragglersLocked();
@@ -164,6 +209,9 @@ void SweepEngine::checkStragglersLocked() {
         std::chrono::duration<double>(now - slot.start).count();
     if (soft > 0.0 && !slot.softFlagged && elapsed > soft) {
       slot.softFlagged = true;
+      if (obs::Metrics::enabled()) {
+        sweepTelemetry().stragglersFlagged.increment();
+      }
       FEFET_WARN() << "sweep straggler: point " << slot.index
                    << " still running after " << elapsed << " s (soft limit "
                    << soft << " s)";
@@ -171,6 +219,9 @@ void SweepEngine::checkStragglersLocked() {
     if (hard > 0.0 && !slot.hardCancelled && elapsed > hard) {
       slot.hardCancelled = true;
       slot.token.requestCancel();
+      if (obs::Metrics::enabled()) {
+        sweepTelemetry().watchdogCancels.increment();
+      }
       FEFET_WARN() << "sweep watchdog: cancelling point " << slot.index
                    << " after " << elapsed << " s (hard limit " << hard
                    << " s)";

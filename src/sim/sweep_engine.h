@@ -54,6 +54,7 @@
 #include "common/deadline.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 #include "sim/sweep_journal.h"
 #include "sim/thread_pool.h"
 
@@ -297,7 +298,12 @@ class SweepEngine {
         for (int t = 0; t < threads; ++t) {
           pool.submit([this, t, total, &next, &slots, &replayed, &points, &fn,
                        codec] {
-            Log::setThreadPrefix("sweep[" + std::to_string(t) + "] ");
+            // RAII prefix: pooled threads outlive this task, so the
+            // prefix must be restored even if a point handler throws —
+            // otherwise a stale "sweep[N] " leaks into the thread's next
+            // job (see ScopedThreadPrefix in common/log.h).
+            const ScopedThreadPrefix prefixGuard("sweep[" +
+                                                 std::to_string(t) + "] ");
             for (;;) {
               if (shouldStop()) break;
               const std::size_t i =
@@ -307,6 +313,8 @@ class SweepEngine {
               const Deadline pointDeadline = beginPoint(i, t);
               const SweepContext ctx{i, pointSeed(options_.baseSeed, i), t,
                                      pointDeadline};
+              const obs::Span pointSpan("sweep.point",
+                                        static_cast<std::uint64_t>(i));
               const auto started = std::chrono::steady_clock::now();
               const auto elapsed = [&] {
                 return std::chrono::duration<double>(
@@ -333,7 +341,6 @@ class SweepEngine {
                                   /*timedOut=*/false);
               }
             }
-            Log::setThreadPrefix("");
           });
         }
         pool.wait();

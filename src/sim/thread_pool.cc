@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/clock.h"
+#include "obs/metrics.h"
+
 namespace fefet::sim {
+
+namespace {
+
+obs::Histogram& queueWaitHistogram() {
+  static constexpr double kWaitEdges[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                          0.01, 0.1,  1.0,  10.0};
+  static obs::Histogram& h =
+      obs::Metrics::histogram("fefet.sweep.queue_wait_s", kWaitEdges);
+  return h;
+}
+
+}  // namespace
 
 int defaultThreadCount() {
   if (const char* env = std::getenv("FEFET_THREADS")) {
@@ -34,7 +49,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> guard(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(QueuedJob{std::move(job), monotonicNanos()});
   }
   workAvailable_.notify_one();
 }
@@ -49,11 +64,15 @@ void ThreadPool::workerLoop() {
   for (;;) {
     workAvailable_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
     if (queue_.empty()) return;  // shutdown with a drained queue
-    std::function<void()> job = std::move(queue_.front());
+    QueuedJob queued = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    job();
+    if (obs::Metrics::enabled()) {
+      queueWaitHistogram().observe(
+          static_cast<double>(monotonicNanos() - queued.enqueuedNs) / 1e9);
+    }
+    queued.job();
     lock.lock();
     --active_;
     if (queue_.empty() && active_ == 0) allIdle_.notify_all();

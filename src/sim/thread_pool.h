@@ -7,6 +7,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -40,10 +41,17 @@ class ThreadPool {
  private:
   void workerLoop();
 
+  /// A queued job plus its submit timestamp; the dequeue side feeds the
+  /// gap into the fefet.sweep.queue_wait_s histogram.
+  struct QueuedJob {
+    std::function<void()> job;
+    std::uint64_t enqueuedNs = 0;
+  };
+
   std::mutex mutex_;
   std::condition_variable workAvailable_;
   std::condition_variable allIdle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedJob> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;      ///< jobs currently executing
   bool shutdown_ = false;

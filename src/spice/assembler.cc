@@ -4,8 +4,30 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace fefet::spice {
+
+namespace {
+
+/// Assembly-rate telemetry.  Deliberately counter-only — no clock reads
+/// inside assemble(): bench_assembly times this code directly, and the
+/// observability budget caps telemetry overhead there at 2%.
+struct AssemblerTelemetry {
+  obs::Counter& assemblies;
+  obs::Counter& stamps;
+  obs::Counter& patternReuseHits;
+};
+
+AssemblerTelemetry& assemblerTelemetry() {
+  static AssemblerTelemetry t{
+      obs::Metrics::counter("fefet.assembler.assemblies"),
+      obs::Metrics::counter("fefet.assembler.stamps"),
+      obs::Metrics::counter("fefet.assembler.pattern_reuse_hits")};
+  return t;
+}
+
+}  // namespace
 
 void StampBuffer::throwSlotOverrun(int row, int col) const {
   std::ostringstream os;
@@ -83,6 +105,14 @@ void Assembler::assemble(const Netlist& netlist, const SystemView& view,
       throw NumericalError(os.str());
     }
   }
+
+  if (obs::Metrics::enabled()) {
+    AssemblerTelemetry& t = assemblerTelemetry();
+    t.assemblies.increment();
+    t.stamps.add(devices.size());
+    if (modeUsed_[static_cast<std::size_t>(m)]) t.patternReuseHits.increment();
+  }
+  modeUsed_[static_cast<std::size_t>(m)] = true;
 
   // gmin regularization, same ordering as the legacy path: after the
   // device loop, residual through the same accumulation (so the row scale

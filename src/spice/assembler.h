@@ -86,6 +86,10 @@ class Assembler {
   std::vector<double> rhs_;       ///< n (negated residual)
   linalg::LinearSolver solver_;
   StampBuffer buffer_;
+  /// Which modes have already replayed their compiled slot program at
+  /// least once — every assemble after that is a pattern-reuse hit for
+  /// the fefet.assembler.pattern_reuse_hits counter.
+  std::array<bool, kStampModeCount> modeUsed_{};
 };
 
 }  // namespace fefet::spice

@@ -2,13 +2,60 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fefet::spice {
+
+namespace {
+
+/// Per-engine solver telemetry under fefet.newton.*: every solve exit —
+/// converged or not — lands in these, so convergence-health histograms
+/// cover whole runs rather than only the failures that used to surface
+/// through NumericalError's SolverDiagnostics.  Registered once; the hot
+/// loop only touches preallocated atomics.
+struct NewtonTelemetry {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Counter& nonconverged;
+  obs::Counter& gminEscalations;
+  obs::Counter& escalationAttempts;
+  obs::Counter& assembleNs;
+  obs::Counter& solveNs;
+  obs::Histogram& iterationsPerSolve;
+
+  static NewtonTelemetry make(const char* engine) {
+    static constexpr double kIterEdges[] = {1,  2,  3,  4,  6,  8, 12,
+                                            16, 24, 32, 48, 64, 80};
+    const std::string p = "fefet.newton.";
+    const std::string e = std::string(".") + engine;
+    return NewtonTelemetry{
+        obs::Metrics::counter(p + "solves" + e),
+        obs::Metrics::counter(p + "iterations" + e),
+        obs::Metrics::counter(p + "nonconverged" + e),
+        obs::Metrics::counter(p + "gmin_escalations" + e),
+        obs::Metrics::counter(p + "escalation_attempts" + e),
+        obs::Metrics::counter(p + "assemble_ns" + e),
+        obs::Metrics::counter(p + "solve_ns" + e),
+        obs::Metrics::histogram("fefet.newton.iterations_per_solve",
+                                kIterEdges)};
+  }
+};
+
+NewtonTelemetry& newtonTelemetry(bool compiledEngine) {
+  static NewtonTelemetry compiled = NewtonTelemetry::make("compiled");
+  static NewtonTelemetry legacy = NewtonTelemetry::make("legacy");
+  return compiledEngine ? compiled : legacy;
+}
+
+}  // namespace
 
 bool defaultUseCompiledStamps() {
   static const bool value = [] {
@@ -40,9 +87,13 @@ NewtonStats NewtonSolver::solveWithEscalation(std::vector<double>& x, bool dc,
                                               IntegrationMethod method,
                                               int maxEscalations,
                                               double gminMax) {
+  NewtonTelemetry& telemetry = newtonTelemetry(assembler_.has_value());
   int totalIters = 0;
   double gmin = options_.gmin;
   for (int level = 0; level <= maxEscalations; ++level) {
+    if (level > 0 && obs::Metrics::enabled()) {
+      telemetry.escalationAttempts.increment();
+    }
     attempt_ = x;  // member buffer: reuses capacity across levels/solves
     NewtonStats stats = solveWithGmin(attempt_, dc, time, dt, method, gmin);
     totalIters += stats.iterations;
@@ -51,6 +102,9 @@ NewtonStats NewtonSolver::solveWithEscalation(std::vector<double>& x, bool dc,
       stats.iterations = totalIters;
       stats.gminEscalations = level;
       stats.gminUsed = gmin;
+      if (level > 0 && obs::Metrics::enabled()) {
+        telemetry.gminEscalations.add(static_cast<std::uint64_t>(level));
+      }
       return stats;
     }
     if (level == maxEscalations) {
@@ -73,12 +127,32 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
   FEFET_REQUIRE(static_cast<int>(x.size()) == n,
                 "newton: solution vector size mismatch");
 
+  // Telemetry for this solve: locals accumulate in the loop and flush to
+  // the registry once per solve (one atomic add per counter, not per
+  // iteration).  The clock reads for the assemble-vs-solve split are
+  // skipped entirely when metrics are disabled.
+  NewtonTelemetry& telemetry = newtonTelemetry(assembler_.has_value());
+  const bool timed = obs::Metrics::enabled();
+  std::uint64_t assembleNs = 0;
+  std::uint64_t luSolveNs = 0;
+  const auto flushTelemetry = [&](const NewtonStats& s) {
+    if (!obs::Metrics::enabled()) return;
+    telemetry.solves.increment();
+    telemetry.iterations.add(static_cast<std::uint64_t>(s.iterations));
+    if (!s.converged) telemetry.nonconverged.increment();
+    telemetry.assembleNs.add(assembleNs);
+    telemetry.solveNs.add(luSolveNs);
+    telemetry.iterationsPerSolve.observe(static_cast<double>(s.iterations));
+  };
+  const obs::Span solveSpan("newton.solve");
+
   NewtonStats stats;
   for (int iter = 0; iter < options_.maxIterations; ++iter) {
     // The deadline poll is ~ns against a matrix assemble+solve, so per-
     // iteration granularity costs nothing and bounds even a single hard
     // solve that would otherwise burn its full maxIterations budget.
     if (deadline_.expired()) {
+      flushTelemetry(stats);
       SolverDiagnostics diag;
       diag.newtonIterations = stats.iterations;
       diag.finalResidualNorm = stats.finalResidualNorm;
@@ -86,26 +160,35 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
     }
     stats.iterations = iter + 1;
     SystemView view(x, nodes);
-    if (assembler_) {
-      assembler_->assemble(netlist_, view, dc, time, dt, method, gmin);
-    } else {
-      system_->clear();
-      EvalContext ctx{view, dc, time, dt, method, gmin, nullptr, &*system_};
-      for (const auto& device : netlist_.devices()) device->stamp(ctx);
-      system_->addGmin(gmin, view, nodes);
+    {
+      const obs::Span span("newton.assemble");
+      const std::uint64_t t0 = timed ? monotonicNanos() : 0;
+      if (assembler_) {
+        assembler_->assemble(netlist_, view, dc, time, dt, method, gmin);
+      } else {
+        system_->clear();
+        EvalContext ctx{view, dc, time, dt, method, gmin, nullptr, &*system_};
+        for (const auto& device : netlist_.devices()) device->stamp(ctx);
+        system_->addGmin(gmin, view, nodes);
+      }
+      if (timed) assembleNs += monotonicNanos() - t0;
     }
 
     std::vector<double>& dx = dx_;  // member buffer: no per-iteration alloc
     try {
+      const obs::Span span("newton.lu_solve");
+      const std::uint64_t t0 = timed ? monotonicNanos() : 0;
       if (assembler_) {
         assembler_->solveForUpdate(dx, options_.reuseLuStructure);
       } else {
         system_->solveForUpdate(dx);
       }
+      if (timed) luSolveNs += monotonicNanos() - t0;
     } catch (const NumericalError&) {
       // Singular Jacobian mid-iteration: report non-convergence so the
       // caller can cut the time step or raise gmin.
       stats.converged = false;
+      flushTelemetry(stats);
       return stats;
     }
 
@@ -157,10 +240,12 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
 
     if (updateOk && residualOk && !clamped) {
       stats.converged = true;
+      flushTelemetry(stats);
       return stats;
     }
   }
   stats.converged = false;
+  flushTelemetry(stats);
   return stats;
 }
 
@@ -206,6 +291,11 @@ NewtonStats NewtonSolver::solveDcWithContinuation(std::vector<double>& x) {
   stats.iterations = totalIters;
   stats.gminEscalations = levels;
   stats.gminUsed = options_.gmin;
+  if (obs::Metrics::enabled()) {
+    NewtonTelemetry& telemetry = newtonTelemetry(assembler_.has_value());
+    telemetry.escalationAttempts.add(static_cast<std::uint64_t>(levels));
+    telemetry.gminEscalations.add(static_cast<std::uint64_t>(levels));
+  }
   return stats;
 }
 

@@ -2,12 +2,45 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <sstream>
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fefet::spice {
+
+namespace {
+
+/// Transient retry-history telemetry under fefet.transient.*.  Flushed
+/// once per run — on clean completion AND on throw exits — so dt cuts and
+/// gmin escalations from successful runs land in the registry too, not
+/// only the copies carried by SolverDiagnostics on failure.
+struct TransientTelemetry {
+  obs::Counter& runs;
+  obs::Counter& failedRuns;
+  obs::Counter& steps;
+  obs::Counter& newtonIterations;
+  obs::Counter& dtCuts;
+  obs::Counter& rejectedSteps;
+  obs::Counter& gminEscalations;
+};
+
+TransientTelemetry& transientTelemetry() {
+  static TransientTelemetry t{
+      obs::Metrics::counter("fefet.transient.runs"),
+      obs::Metrics::counter("fefet.transient.failed_runs"),
+      obs::Metrics::counter("fefet.transient.steps"),
+      obs::Metrics::counter("fefet.transient.newton_iterations"),
+      obs::Metrics::counter("fefet.transient.dt_cuts"),
+      obs::Metrics::counter("fefet.transient.rejected_steps"),
+      obs::Metrics::counter("fefet.transient.gmin_escalations")};
+  return t;
+}
+
+}  // namespace
 
 Simulator::Simulator(Netlist& netlist, const NewtonOptions& newton)
     : netlist_(netlist), newtonOptions_(newton), newton_(netlist, newton) {
@@ -83,6 +116,27 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
 
   TransientResult result;
   for (const auto& probe : probes) result.waveform.addColumn(probe.label);
+
+  const obs::Span transientSpan("transient");
+  // Destructor-driven flush: counts the run whether it returns or throws.
+  struct TelemetryFlush {
+    const TransientResult& result;
+    bool ok = false;
+    ~TelemetryFlush() {
+      if (!obs::Metrics::enabled()) return;
+      TransientTelemetry& t = transientTelemetry();
+      t.runs.increment();
+      if (!ok) t.failedRuns.increment();
+      t.steps.add(static_cast<std::uint64_t>(result.stats.steps));
+      t.newtonIterations.add(
+          static_cast<std::uint64_t>(result.stats.newtonIterations));
+      t.dtCuts.add(static_cast<std::uint64_t>(result.stats.dtCuts));
+      t.rejectedSteps.add(
+          static_cast<std::uint64_t>(result.stats.rejectedSteps));
+      t.gminEscalations.add(
+          static_cast<std::uint64_t>(result.stats.gminEscalations));
+    }
+  } telemetryFlush{result};
 
   const int nodes = netlist_.nodeCount();
   const auto record = [&](double t) {
@@ -226,6 +280,7 @@ TransientResult Simulator::runTransient(const TransientOptions& options,
     }
   }
   result.stats.wallSeconds = wallElapsed();
+  telemetryFlush.ok = true;
   return result;
 }
 
