@@ -244,6 +244,21 @@ int main(int argc, char** argv) {
   auto codec = fefet::makeCodec();
   const std::uint64_t digest = fefet::configDigest(sweep);
 
+  if (cli.sharded()) {
+    // Multi-process sharding over the same 7-point table.  Every point
+    // draws its fault population from the fixed seed 2016, so the merged
+    // results_crc equals the in-process PERF fingerprint.
+    return fefet::bench::runShardedBench(
+        cli, "bench_fault_resilience", argv[0], sweep.size(),
+        /*baseSeed=*/2016, digest,
+        [&](std::size_t i, const fefet::sim::SweepContext&) {
+          fefet::PointOutcome out;
+          out.raw = fefet::runPass(sweep[i], /*protectedPath=*/false, 2016);
+          out.hard = fefet::runPass(sweep[i], /*protectedPath=*/true, 2016);
+          return codec.encode(out);
+        });
+  }
+
   const auto pointFn = [&](const fefet::SweepPoint& pt,
                            const fefet::sim::SweepContext& ctx) {
     if (cli.pointDelaySeconds > 0.0) {

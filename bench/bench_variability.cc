@@ -102,6 +102,38 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<double, double>> yieldPoints = {
       {0.68, 800e-12}, {0.68, 550e-12}, {0.60, 800e-12}, {0.55, 800e-12}};
 
+  if (cli.sharded()) {
+    // Multi-process sharding: the same 9-point space (5 MC thicknesses +
+    // 4 yield points) leased range-by-range across worker processes.
+    // Payloads match the unsharded encode exactly (the seeding is
+    // thread-count-invariant), so the merged results_crc must equal the
+    // in-process PERF fingerprint — the kill-storm gate relies on it.
+    auto mcCodec = makeMcCodec();
+    auto yieldCodec = makeYieldCodec();
+    std::uint64_t digest = stats::splitmix64(0x5EED0CA1u);
+    for (double t : thicknesses) digest = foldDouble(digest, t);
+    for (const auto& [v, pulse] : yieldPoints) {
+      digest = foldDouble(foldDouble(digest, v), pulse);
+    }
+    return bench::runShardedBench(
+        cli, "bench_variability", argv[0],
+        thicknesses.size() + yieldPoints.size(), /*baseSeed=*/1, digest,
+        [&](std::size_t i, const sim::SweepContext&) -> std::string {
+          if (i < thicknesses.size()) {
+            core::FefetParams p = nominal;
+            p.feThickness = thicknesses[i];
+            return mcCodec.encode(
+                core::runDeviceMonteCarloParallel(p, spec, 1000,
+                                                  /*threads=*/1));
+          }
+          const auto& pt = yieldPoints[i - thicknesses.size()];
+          core::Cell2TConfig cfg;
+          cfg.fefet = nominal;
+          return yieldCodec.encode(core::runWriteYieldParallel(
+              cfg, spec, 20, pt.first, pt.second, /*threads=*/1));
+        });
+  }
+
   struct Results {
     std::vector<core::DeviceMonteCarlo> mc;
     std::vector<core::WriteYield> yield;

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# Sanitizer + resilience + perf + observability gate, six stages:
+# Sanitizer + resilience + perf + observability gate, seven stages:
 #
 #  1. ASan + UBSan (FEFET_SANITIZE=address) over the full test suite —
 #     memory errors and UB in the netlist/device ownership chain (the
 #     suite includes the compiled-vs-legacy stamp parity tests, so both
 #     assembly engines run under ASan);
 #  2. TSan (FEFET_SANITIZE=thread) over the concurrency-sensitive tests
-#     (the sweep engine / thread pool, the LU-reuse solver path and the
-#     stamp-parity suite) — data races in the sim layer.  TSan cannot
-#     combine with ASan, hence the separate build directory;
+#     (the sweep engine / thread pool, the LU-reuse solver path, the
+#     stamp-parity suite and the shard-lease board) — data races in the
+#     sim layer.  TSan cannot combine with ASan, hence the separate build
+#     directory;
 #  3. kill-and-resume smoke: SIGKILL a journaled bench sweep mid-run, then
 #     --resume it and require the PERF record (results CRC + outcome
 #     tally, wall-clock and from_journal fields excluded) to match an
@@ -21,7 +22,11 @@
 #     counters and a Chrome trace with the nested span taxonomy (both
 #     validated with python3), and telemetry must stay ~free — enabled
 #     bench_assembly within 2% of disabled, best of 3;
-#  6. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
+#  6. kill-storm chaos gate: bench_variability sharded across worker
+#     processes with --chaos-kill-p self-SIGKILLs, leases reclaimed and
+#     crashed workers restarted — the merged results CRC must be
+#     bit-identical to the unsharded run's;
+#  7. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
 #     over src/spice and src/common — skipped with a notice when
 #     clang-tidy is not installed.
 #
@@ -49,13 +54,13 @@ cmake -B "$TSAN_BUILD_DIR" -S . -DFEFET_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" \
   --target test_sim_sweep test_lu_reuse test_variability test_stamp_parity \
-  test_obs
+  test_obs test_shard_lease
 
 # The ^(...)\. anchors keep the test_obs suites from pulling in unbuilt
 # binaries with similar names (Trace vs PowerTrace, LogJson vs Logistic).
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$(nproc)" \
-  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity|^(JsonChecker|Metrics|Trace|RunReport|ObsAlloc|LogPrefix|LogJson)\.' "$@"
+  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity|ShardLease|^(JsonChecker|Metrics|Trace|RunReport|ObsAlloc|LogPrefix|LogJson)\.' "$@"
 
 echo "== kill-and-resume smoke: journaled sweep survives SIGKILL =="
 cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target bench_fault_resilience
@@ -176,6 +181,40 @@ if ! awk -v e="$ENABLED_S" -v d="$DISABLED_S" \
 fi
 echo "observability smoke passed" \
      "(compiled assemble: disabled ${DISABLED_S}s, enabled ${ENABLED_S}s)"
+
+echo "== kill-storm: sharded sweep under random SIGKILLs stays bit-identical =="
+# The same optimized bench_variability, twice: once unsharded (the
+# reference CRC), once split across 4 shards / 2 worker processes with a
+# 30% chance each worker self-SIGKILLs after every durable point append.
+# Leases expire, survivors and restarted workers reclaim the ranges, and
+# the first-wins merge must reproduce the reference CRC bit for bit.
+crc_of() {
+  grep '^PERF ' "$1" | sed -E 's/.*"results_crc":"([0-9a-f]+)".*/\1/'
+}
+"$PERF_BUILD_DIR/bench/bench_variability" \
+  --journal="$SMOKE_DIR/storm-ref.journal" > "$SMOKE_DIR/storm-ref.out"
+REF_CRC=$(crc_of "$SMOKE_DIR/storm-ref.out")
+"$PERF_BUILD_DIR/bench/bench_variability" --shards=4 --shard-workers=2 \
+  --chaos-kill-p=0.3 --chaos-seed=11 --lease-ttl-s=1 \
+  --shard-lease="$SMOKE_DIR/storm.board" > "$SMOKE_DIR/storm.out"
+STORM_PERF=$(grep '^PERF ' "$SMOKE_DIR/storm.out")
+echo "$STORM_PERF"
+STORM_CRC=$(crc_of "$SMOKE_DIR/storm.out")
+if [ "$STORM_CRC" != "$REF_CRC" ]; then
+  echo "FAIL: kill-storm merge CRC $STORM_CRC differs from unsharded" \
+       "reference $REF_CRC" >&2
+  exit 1
+fi
+if ! echo "$STORM_PERF" | grep -q '"complete":true'; then
+  echo "FAIL: kill-storm run did not complete the board" >&2
+  exit 1
+fi
+# The crash count depends on which worker races to which point, so it is
+# advisory: a storm that happened to land zero kills still proves the CRC.
+if echo "$STORM_PERF" | grep -q '"restarts":0'; then
+  echo "WARN: chaos produced no worker restarts this run" >&2
+fi
+echo "kill-storm smoke passed (CRC $STORM_CRC matches unsharded reference)"
 
 echo "== clang-tidy: performance + modernize over the solver hot path =="
 if command -v clang-tidy >/dev/null 2>&1; then

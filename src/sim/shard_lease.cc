@@ -1,0 +1,537 @@
+#include "sim/shard_lease.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace fefet::sim {
+namespace {
+
+/// Shard-layer health telemetry under fefet.shard.*: how often leases
+/// change hands (and why), how much duplicate work reclaims cost, and how
+/// long a heartbeat append takes (the renew path is what keeps a healthy
+/// worker's lease alive — its tail latency bounds the usable ttl floor).
+struct ShardTelemetry {
+  obs::Counter& leasesAcquired;
+  obs::Counter& leasesExpired;
+  obs::Counter& leasesStolen;
+  obs::Counter& pointsRun;
+  obs::Counter& duplicateDrops;
+  obs::Histogram& heartbeatSeconds;
+};
+
+ShardTelemetry& shardTelemetry() {
+  static constexpr double kHeartbeatEdges[] = {1e-5, 3e-5, 1e-4, 3e-4, 1e-3,
+                                               3e-3, 1e-2, 3e-2, 0.1,  0.3,
+                                               1.0};
+  static ShardTelemetry t{
+      obs::Metrics::counter("fefet.shard.leases_acquired"),
+      obs::Metrics::counter("fefet.shard.leases_expired"),
+      obs::Metrics::counter("fefet.shard.leases_stolen"),
+      obs::Metrics::counter("fefet.shard.points_run"),
+      obs::Metrics::counter("fefet.shard.duplicate_point_drops"),
+      obs::Metrics::histogram("fefet.shard.heartbeat_seconds",
+                              kHeartbeatEdges)};
+  return t;
+}
+
+constexpr char kLeaseJournalName[] = "leases.journal";
+
+std::string boardHeaderBody(const ShardBoardConfig& c) {
+  std::ostringstream os;
+  os << "{\"type\":\"shard-header\",\"version\":1,\"points\":" << c.points
+     << ",\"shards\":" << c.shards << ",\"baseSeed\":" << c.baseSeed
+     << ",\"configDigest\":" << c.configDigest << "}";
+  return os.str();
+}
+
+std::string leaseBody(const char* type, int shard, std::uint64_t token,
+                      const std::string& owner, std::uint64_t expiresAtNs) {
+  std::ostringstream os;
+  os << "{\"type\":\"" << type << "\",\"shard\":" << shard
+     << ",\"token\":" << token << ",\"owner\":\"" << jsonEscape(owner)
+     << "\"";
+  if (expiresAtNs != 0) os << ",\"expires_ns\":" << expiresAtNs;
+  os << "}";
+  return os.str();
+}
+
+/// Parse the lease journal (lenient: damaged and empty lines skipped)
+/// and fold every record into per-shard lease state, in file order.
+/// Returns false when no matching header was found.
+bool replayLeaseJournal(const std::string& path,
+                        const ShardBoardConfig& expected,
+                        ShardBoardState* state) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  state->shards.assign(static_cast<std::size_t>(expected.shards),
+                       ShardLeaseState{});
+  bool sawHeader = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string body;
+    if (!parseJournalLine(line, &body)) continue;  // resync marker / damage
+    std::string type;
+    if (!parseJournalString(body, "type", &type)) continue;
+    if (type == "shard-header") {
+      std::uint64_t points = 0, shards = 0, seed = 0, digest = 0;
+      if (parseJournalU64(body, "points", &points) &&
+          parseJournalU64(body, "shards", &shards) &&
+          parseJournalU64(body, "baseSeed", &seed) &&
+          parseJournalU64(body, "configDigest", &digest) &&
+          points == expected.points &&
+          shards == static_cast<std::uint64_t>(expected.shards) &&
+          seed == expected.baseSeed && digest == expected.configDigest) {
+        sawHeader = true;
+      } else if (!sawHeader) {
+        return false;  // first header is bound to a different run
+      }
+      continue;
+    }
+    if (!sawHeader) continue;
+    std::uint64_t shard = 0, token = 0;
+    std::string owner;
+    if (!parseJournalU64(body, "shard", &shard) ||
+        !parseJournalU64(body, "token", &token) ||
+        !parseJournalString(body, "owner", &owner) ||
+        shard >= state->shards.size()) {
+      continue;
+    }
+    ShardLeaseState& s = state->shards[shard];
+    if (s.complete) continue;  // terminal: later records are zombies
+    if (type == "acquire") {
+      // A higher token opens a new ownership epoch; at equal tokens the
+      // FIRST record in the file wins (the read-back confirmation rule).
+      if (token > s.token) {
+        std::uint64_t expires = 0;
+        parseJournalU64(body, "expires_ns", &expires);
+        s.token = token;
+        s.owner = owner;
+        s.expiresAtNs = expires;
+        s.held = true;
+      }
+    } else if (type == "renew") {
+      if (token == s.token && s.held) {
+        std::uint64_t expires = 0;
+        parseJournalU64(body, "expires_ns", &expires);
+        if (expires > s.expiresAtNs) s.expiresAtNs = expires;
+      }
+    } else if (type == "release") {
+      if (token == s.token) s.held = false;
+    } else if (type == "complete") {
+      if (token == s.token) {
+        s.held = false;
+        s.complete = true;
+      }
+    }
+  }
+  return sawHeader;
+}
+
+int openAppend(const std::string& path, bool* created) {
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    throw SimulationError("cannot open journal " + path + ": " +
+                          std::strerror(errno));
+  }
+  if (created != nullptr) *created = !existed;
+  if (!existed) fsyncParentDir(path);
+  return fd;
+}
+
+void writeAllAndSync(int fd, const std::string& path, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SimulationError("cannot append to journal " + path + ": " +
+                            std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+}
+
+}  // namespace
+
+std::uint64_t shardClockNanos() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void ShardLeaseBoard::create(const ShardBoardConfig& config) {
+  FEFET_REQUIRE(!config.dir.empty(), "shard board needs a directory");
+  FEFET_REQUIRE(config.shards >= 1, "shard board needs >= 1 shards");
+  FEFET_REQUIRE(config.points >= static_cast<std::size_t>(config.shards),
+                "shard board needs points >= shards");
+  std::error_code ec;
+  std::filesystem::create_directories(config.dir, ec);
+  const std::string path = config.dir + "/" + kLeaseJournalName;
+  if (std::filesystem::exists(path)) {
+    ShardBoardState state;
+    if (replayLeaseJournal(path, config, &state)) {
+      return;  // matching board: resume it (supervisor restart)
+    }
+    FEFET_WARN() << "shard board at " << config.dir
+                 << " was written by a different run configuration; "
+                    "starting fresh";
+    std::filesystem::remove(path, ec);
+    for (int k = 0;; ++k) {
+      const std::string shardPath =
+          config.dir + "/shard-" + std::to_string(k) + ".journal";
+      if (!std::filesystem::remove(shardPath, ec)) break;
+    }
+  }
+  bool created = false;
+  const int fd = openAppend(path, &created);
+  writeAllAndSync(fd, path, renderJournalLine(boardHeaderBody(config)));
+  ::close(fd);
+}
+
+ShardLeaseBoard::ShardLeaseBoard(const ShardBoardConfig& config)
+    : config_(config) {
+  FEFET_REQUIRE(config_.shards >= 1, "shard board needs >= 1 shards");
+  const std::string path = leaseJournalPath();
+  ShardBoardState state;
+  if (!replayLeaseJournal(path, config_, &state)) {
+    throw SimulationError("shard board at " + config_.dir +
+                          " is missing or bound to a different run "
+                          "configuration (create it with "
+                          "ShardLeaseBoard::create)");
+  }
+  fd_ = openAppend(path, nullptr);
+}
+
+ShardLeaseBoard::~ShardLeaseBoard() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ShardRange ShardLeaseBoard::rangeOf(int shard) const {
+  const auto p = config_.points;
+  const auto s = static_cast<std::size_t>(config_.shards);
+  const auto k = static_cast<std::size_t>(shard);
+  return ShardRange{p * k / s, p * (k + 1) / s};
+}
+
+std::string ShardLeaseBoard::leaseJournalPath() const {
+  return config_.dir + "/" + kLeaseJournalName;
+}
+
+std::string ShardLeaseBoard::shardJournalPath(int shard) const {
+  return config_.dir + "/shard-" + std::to_string(shard) + ".journal";
+}
+
+ShardBoardState ShardLeaseBoard::state() const {
+  ShardBoardState state;
+  replayLeaseJournal(leaseJournalPath(), config_, &state);
+  return state;
+}
+
+void ShardLeaseBoard::appendRecord(const std::string& body) {
+  // The leading '\n' makes every record self-delimiting on the left: a
+  // torn tail left by a crashed writer corrupts only itself, never the
+  // next record (the lenient replay skips the damaged line).
+  writeAllAndSync(fd_, leaseJournalPath(), "\n" + renderJournalLine(body));
+}
+
+std::optional<ShardLeaseBoard::Claim> ShardLeaseBoard::tryClaim(
+    const std::string& owner, double ttlSeconds) {
+  const ShardBoardState before = state();
+  const std::uint64_t now = shardClockNanos();
+  const auto ttlNs =
+      static_cast<std::uint64_t>(ttlSeconds * 1e9);
+  for (int shard = 0; shard < config_.shards; ++shard) {
+    const ShardLeaseState& s = before.shards[static_cast<std::size_t>(shard)];
+    if (s.complete) continue;
+    const bool stolen = s.held && s.expiresAtNs <= now;
+    if (s.held && !stolen) continue;  // live lease elsewhere
+    if (stolen && obs::Metrics::enabled()) {
+      shardTelemetry().leasesExpired.increment();
+    }
+    const std::uint64_t token = s.token + 1;
+    appendRecord(leaseBody("acquire", shard, token, owner, now + ttlNs));
+    // Read-back confirmation: the first acquire at the winning token is
+    // the owner.  If a racer's record landed first, we lost this shard.
+    const ShardBoardState after = state();
+    const ShardLeaseState& a = after.shards[static_cast<std::size_t>(shard)];
+    if (a.token == token && a.owner == owner && a.held) {
+      if (obs::Metrics::enabled()) {
+        ShardTelemetry& t = shardTelemetry();
+        t.leasesAcquired.increment();
+        if (stolen) t.leasesStolen.increment();
+      }
+      if (stolen) {
+        FEFET_WARN() << "shard lease: " << owner << " reclaimed shard "
+                     << shard << " from expired holder (token " << token
+                     << ")";
+      }
+      return Claim{shard, token, rangeOf(shard), stolen};
+    }
+  }
+  return std::nullopt;
+}
+
+bool ShardLeaseBoard::renew(const Claim& claim, const std::string& owner,
+                            double ttlSeconds) {
+  const auto started = std::chrono::steady_clock::now();
+  const ShardBoardState current = state();
+  const ShardLeaseState& s =
+      current.shards[static_cast<std::size_t>(claim.shard)];
+  if (s.complete || s.token != claim.token || s.owner != owner || !s.held) {
+    return false;  // fenced out: a higher token superseded this epoch
+  }
+  const std::uint64_t now = shardClockNanos();
+  appendRecord(leaseBody(
+      "renew", claim.shard, claim.token, owner,
+      now + static_cast<std::uint64_t>(ttlSeconds * 1e9)));
+  if (obs::Metrics::enabled()) {
+    shardTelemetry().heartbeatSeconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  }
+  return true;
+}
+
+void ShardLeaseBoard::release(const Claim& claim, const std::string& owner,
+                              bool complete) {
+  appendRecord(leaseBody(complete ? "complete" : "release", claim.shard,
+                         claim.token, owner, 0));
+}
+
+ShardJournalWriter::ShardJournalWriter(const std::string& path,
+                                       const ShardBoardConfig& config)
+    : path_(path) {
+  bool created = false;
+  fd_ = openAppend(path, &created);
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size <= 0) {
+    writeAllAndSync(fd_, path_,
+                    renderJournalLine(journalHeaderBody(
+                        config.points, config.baseSeed, config.configDigest)));
+  }
+}
+
+ShardJournalWriter::~ShardJournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ShardJournalWriter::appendPoint(std::size_t index,
+                                     std::string_view payload) {
+  // '\n'-prefixed for the same left-delimiting reason as lease records.
+  writeAllAndSync(fd_, path_,
+                  "\n" + renderJournalLine(journalPointBody(index, payload)));
+}
+
+namespace {
+
+/// Chaos draw in [0,1): a pure function of (seed, owner, index) so a
+/// kill-storm run is reproducible — a restarted worker deterministically
+/// survives the points its predecessor completed (they are skipped) and
+/// the stream stays fixed across pids.
+double chaosUniform(std::uint64_t seed, const std::string& owner,
+                    std::size_t index) {
+  std::uint64_t h = stats::splitmix64(seed ^ 0xC4A05C4A05ull);
+  for (const char c : owner) {
+    h = stats::splitmix64(h ^ static_cast<unsigned char>(c));
+  }
+  h = stats::splitmix64(h ^ static_cast<std::uint64_t>(index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void selfSigkill() {
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(137);  // unreachable; placates [[noreturn]]
+}
+
+}  // namespace
+
+ShardWorkerReport runShardWorker(const ShardWorkerOptions& options,
+                                 const ShardPointFn& fn) {
+  FEFET_REQUIRE(fn != nullptr, "shard worker needs a point function");
+  ShardWorkerOptions opt = options;
+  if (opt.owner.empty()) {
+    opt.owner = "pid" + std::to_string(::getpid());
+  }
+  ShardLeaseBoard board(opt.board);
+  ShardWorkerReport report;
+  std::size_t appends = 0;
+  const auto ttlNsHalf =
+      static_cast<std::uint64_t>(opt.leaseTtlSeconds * 0.5e9);
+
+  while (true) {
+    if (opt.deadline.expired()) {
+      report.deadlineExpired = true;
+      break;
+    }
+    const ShardBoardState state = board.state();
+    if (state.allComplete()) {
+      report.allComplete = true;
+      break;
+    }
+    auto claim = board.tryClaim(opt.owner, opt.leaseTtlSeconds);
+    if (!claim) {
+      // Every open shard is held by a live peer (or we lost every race):
+      // wait for completion or for a lease to expire.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opt.pollSeconds));
+      continue;
+    }
+    ++report.leasesAcquired;
+    if (claim->stolen) ++report.leasesStolen;
+
+    // A predecessor (crashed or fenced) may have journaled part of this
+    // range: skip its durable points, re-run only the gap (first-wins —
+    // deterministic seeding makes any overlap bit-identical anyway).
+    const SweepJournalLoad existing = SweepJournal::load(
+        board.shardJournalPath(claim->shard), opt.board.points,
+        opt.board.baseSeed, opt.board.configDigest, JournalLoadMode::kLenient);
+    std::set<std::size_t> done;
+    for (const auto& record : existing.records) {
+      if (claim->range.contains(record.index)) done.insert(record.index);
+    }
+    report.pointsSkipped += done.size();
+    ShardJournalWriter writer(board.shardJournalPath(claim->shard),
+                              opt.board);
+
+    std::uint64_t lastRenewNs = shardClockNanos();
+    bool fencedOut = false;
+    bool deadlineHit = false;
+    for (std::size_t i = claim->range.begin; i < claim->range.end; ++i) {
+      if (done.count(i) != 0) continue;
+      if (opt.deadline.expired()) {
+        deadlineHit = true;
+        break;
+      }
+      if (shardClockNanos() - lastRenewNs > ttlNsHalf) {
+        if (!board.renew(*claim, opt.owner, opt.leaseTtlSeconds)) {
+          fencedOut = true;  // a survivor stole the lease: abandon range
+          break;
+        }
+        lastRenewNs = shardClockNanos();
+      }
+      const SweepContext ctx{
+          i, SweepEngine::pointSeed(opt.board.baseSeed, i), 0,
+          opt.deadline.child(std::numeric_limits<double>::infinity())};
+      std::string payload;
+      try {
+        payload = fn(i, ctx);
+      } catch (const DeadlineExceeded&) {
+        deadlineHit = true;
+        break;
+      }
+      writer.appendPoint(i, payload);
+      ++report.pointsRun;
+      ++appends;
+      if (obs::Metrics::enabled()) shardTelemetry().pointsRun.increment();
+      // Chaos hooks AFTER the durable append: every incarnation makes
+      // progress, so a kill storm converges instead of livelocking.
+      if (opt.killAfterPoints >= 0 &&
+          appends >= static_cast<std::size_t>(opt.killAfterPoints) &&
+          !opt.killMarkerPath.empty()) {
+        const int marker = ::open(opt.killMarkerPath.c_str(),
+                                  O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (marker >= 0) {
+          ::close(marker);
+          fsyncParentDir(opt.killMarkerPath);
+          selfSigkill();
+        }
+      }
+      if (opt.chaosKillP > 0.0 &&
+          chaosUniform(opt.chaosSeed, opt.owner, i) < opt.chaosKillP) {
+        selfSigkill();
+      }
+    }
+    if (fencedOut) continue;  // no release: the thief owns the epoch now
+    if (deadlineHit) {
+      board.release(*claim, opt.owner, /*complete=*/false);
+      report.deadlineExpired = true;
+      break;
+    }
+    board.release(*claim, opt.owner, /*complete=*/true);
+    ++report.shardsCompleted;
+  }
+  if (!report.allComplete && board.state().allComplete()) {
+    report.allComplete = true;
+  }
+  return report;
+}
+
+ShardMergeResult mergeShardJournals(const ShardBoardConfig& config) {
+  ShardMergeResult result;
+  ShardBoardState leases;
+  replayLeaseJournal(config.dir + "/" + kLeaseJournalName, config, &leases);
+  std::vector<char> seen(config.points, 0);
+  std::vector<SweepJournalRecord> merged;
+  for (int shard = 0; shard < config.shards; ++shard) {
+    ShardTally tally;
+    tally.shard = shard;
+    if (static_cast<std::size_t>(shard) < leases.shards.size()) {
+      const ShardLeaseState& s =
+          leases.shards[static_cast<std::size_t>(shard)];
+      tally.token = s.token;
+      tally.complete = s.complete;
+      tally.owner = s.owner;
+    }
+    const std::string path =
+        config.dir + "/shard-" + std::to_string(shard) + ".journal";
+    SweepJournalLoad load =
+        SweepJournal::load(path, config.points, config.baseSeed,
+                           config.configDigest, JournalLoadMode::kLenient);
+    tally.duplicates = load.duplicates;  // within-journal epochs overlap
+    if (load.usable) {
+      for (auto& record : load.records) {
+        if (seen[record.index]) {
+          ++tally.duplicates;  // cross-shard duplicate (first wins)
+          continue;
+        }
+        seen[record.index] = 1;
+        ++tally.points;
+        merged.push_back(std::move(record));
+      }
+    }
+    result.duplicates += tally.duplicates;
+    result.shards.push_back(std::move(tally));
+  }
+  if (result.duplicates > 0 && obs::Metrics::enabled()) {
+    shardTelemetry().duplicateDrops.add(result.duplicates);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SweepJournalRecord& a, const SweepJournalRecord& b) {
+              return a.index < b.index;
+            });
+  std::string all;
+  for (const auto& record : merged) {
+    all += record.payload;
+    all += '\n';
+  }
+  result.resultsCrc = crc32(all);
+  result.missing = config.points - merged.size();
+  result.complete = result.missing == 0;
+  result.records = std::move(merged);
+  return result;
+}
+
+}  // namespace fefet::sim

@@ -1,0 +1,266 @@
+// shard_lease.h — crash-safe multi-process sweep sharding over the
+// journal directory.
+//
+// The sweep engine parallelizes across threads inside one process; this
+// module scales the same point space across N worker *processes* that
+// coordinate exclusively through append-only journals in one shared
+// directory (no sockets, no shared memory — kill -9 safe by
+// construction):
+//
+//   DIR/leases.journal    lease coordination records (this module)
+//   DIR/shard-<k>.journal completed-point records of shard k
+//                         (sim/sweep_journal line format, lenient mode)
+//
+// The point space [0, points) is partitioned into `shards` contiguous
+// ranges.  A worker acquires a shard by appending an `acquire` record
+// carrying a monotonic *fencing token* and a heartbeat deadline
+// (CLOCK_MONOTONIC nanoseconds — comparable across processes on one
+// host), then owns the range until it releases it, marks it complete, or
+// lets the lease expire.  Races are resolved without locks: after
+// appending, the claimant re-reads the journal, and the FIRST acquire
+// record at the winning token is the owner (O_APPEND gives a total file
+// order; losers observe they lost and move on).  An expired lease is
+// reclaimed by appending an acquire with a higher token — the SIGKILLed
+// predecessor's half-finished range is re-run by the survivor, and the
+// first-wins idempotent merge (deterministic per-point seeding makes
+// duplicates bit-identical) drops the overlap.
+//
+// Fencing semantics: tokens order ownership epochs, not data validity.  A
+// zombie holder that appends a point after losing its lease writes the
+// same bytes the new holder would (payloads are pure functions of the
+// point index and base seed), so stale writes are harmless duplicates;
+// renew/release records with a superseded token are ignored at replay.
+//
+// Every record is CRC-framed (sim/sweep_journal line format) and
+// '\n'-prefixed so a torn tail left by a crash can never merge into the
+// next writer's record; recovery skips damaged lines and keeps scanning
+// (JournalLoadMode::kLenient).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "sim/sweep_engine.h"
+#include "sim/sweep_journal.h"
+
+namespace fefet::sim {
+
+/// CLOCK_MONOTONIC nanoseconds: the shared lease clock.  Unlike
+/// fefet::monotonicNanos() (process-start epoch), this epoch is the host
+/// boot, so heartbeat deadlines written by one process are comparable in
+/// another.
+std::uint64_t shardClockNanos();
+
+/// One run shape, shared by the board header, every shard journal header
+/// and the merge.  A board can never be replayed against a different
+/// sweep (same contract as SweepJournalOptions::configDigest).
+struct ShardBoardConfig {
+  std::string dir;           ///< journal directory (created by create())
+  std::size_t points = 0;    ///< total point count of the sweep
+  int shards = 1;            ///< contiguous ranges the space is split into
+  std::uint64_t baseSeed = 1;
+  std::uint64_t configDigest = 0;
+};
+
+/// Half-open index range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool contains(std::size_t i) const { return i >= begin && i < end; }
+};
+
+/// Replayed lease state of one shard (the winning ownership epoch).
+struct ShardLeaseState {
+  std::uint64_t token = 0;      ///< highest fencing token seen (0 = never)
+  std::string owner;            ///< first-wins winner at that token
+  std::uint64_t expiresAtNs = 0;  ///< latest heartbeat deadline at that token
+  bool held = false;            ///< acquired and not released/completed
+  bool complete = false;        ///< every point of the range is journaled
+};
+
+/// Replayed state of the whole board.
+struct ShardBoardState {
+  std::vector<ShardLeaseState> shards;
+  bool allComplete() const {
+    for (const auto& s : shards) {
+      if (!s.complete) return false;
+    }
+    return !shards.empty();
+  }
+};
+
+/// The lease coordination substrate.  Thread-compatible: guard each
+/// instance externally or use one per thread/process (the journal itself
+/// is the cross-process synchronization point).
+class ShardLeaseBoard {
+ public:
+  /// Create (or resume) a board at config.dir: make the directory, and
+  /// write the header record unless a journal with a MATCHING header
+  /// already exists (crash-safe supervisor restart).  A mismatched
+  /// header wipes the stale board (lease + shard journals) with a
+  /// warning — same forgiving policy as SweepJournal.
+  static void create(const ShardBoardConfig& config);
+
+  /// Open an existing board and validate its header against `config`.
+  /// Throws SimulationError when the board is missing or bound to a
+  /// different run shape.
+  explicit ShardLeaseBoard(const ShardBoardConfig& config);
+  ~ShardLeaseBoard();
+
+  ShardLeaseBoard(const ShardLeaseBoard&) = delete;
+  ShardLeaseBoard& operator=(const ShardLeaseBoard&) = delete;
+
+  const ShardBoardConfig& config() const { return config_; }
+
+  /// Balanced contiguous partition: shard k covers
+  /// [k*points/shards, (k+1)*points/shards).
+  ShardRange rangeOf(int shard) const;
+
+  std::string leaseJournalPath() const;
+  std::string shardJournalPath(int shard) const;
+
+  /// Replay the lease journal (lenient: damaged lines skipped).
+  ShardBoardState state() const;
+
+  /// A successfully acquired lease.
+  struct Claim {
+    int shard = -1;
+    std::uint64_t token = 0;
+    ShardRange range;
+    bool stolen = false;  ///< reclaimed from an expired previous holder
+  };
+
+  /// Try to acquire any claimable shard (not complete, not validly held):
+  /// append an acquire record with token = previous + 1 and deadline
+  /// now + ttl, then re-read the journal to confirm the record won the
+  /// race.  Returns std::nullopt when every shard is complete or held by
+  /// a live (unexpired) lease, or when every race was lost.
+  std::optional<Claim> tryClaim(const std::string& owner, double ttlSeconds);
+
+  /// Heartbeat: extend the lease deadline to now + ttl.  Returns false —
+  /// without writing — when the claim has been superseded (fenced out by
+  /// a higher token) or the shard was completed by someone else; the
+  /// caller must abandon the range.
+  bool renew(const Claim& claim, const std::string& owner, double ttlSeconds);
+
+  /// End the ownership epoch.  With complete=true the shard is marked
+  /// done and never claimable again.
+  void release(const Claim& claim, const std::string& owner, bool complete);
+
+ private:
+  void appendRecord(const std::string& body);
+
+  ShardBoardConfig config_;
+  int fd_ = -1;
+};
+
+/// Single-writer appender for one shard's point journal.  Opens
+/// O_APPEND; writes the sweep-journal header when the file is new, a
+/// '\n' resync marker otherwise, and '\n'-prefixes every record so a
+/// predecessor's torn tail cannot swallow it.  appendPoint fsyncs —
+/// a record is durable or absent, never half-trusted.
+class ShardJournalWriter {
+ public:
+  ShardJournalWriter(const std::string& path, const ShardBoardConfig& config);
+  ~ShardJournalWriter();
+
+  ShardJournalWriter(const ShardJournalWriter&) = delete;
+  ShardJournalWriter& operator=(const ShardJournalWriter&) = delete;
+
+  void appendPoint(std::size_t index, std::string_view payload);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Worker-side knobs.
+struct ShardWorkerOptions {
+  ShardBoardConfig board;      ///< must match an existing board's header
+  std::string owner;           ///< unique worker identity ("" = "pid<N>")
+  double leaseTtlSeconds = 5.0;   ///< heartbeat deadline per acquire/renew
+  double pollSeconds = 0.2;    ///< wait between claim attempts when blocked
+  Deadline deadline;           ///< whole-worker wall-clock budget
+  // Chaos / test hooks (see bench --chaos-kill-p and the supervisor test):
+  double chaosKillP = 0.0;     ///< P(self-SIGKILL after a durable append)
+  std::uint64_t chaosSeed = 0; ///< chaos stream seed (mixed with owner)
+  int killAfterPoints = -1;    ///< self-SIGKILL after this many appends…
+  std::string killMarkerPath;  ///< …once: skipped when this file exists
+};
+
+/// What one worker process accomplished.
+struct ShardWorkerReport {
+  std::size_t pointsRun = 0;      ///< simulated + durably appended here
+  std::size_t pointsSkipped = 0;  ///< found already journaled (predecessor)
+  int shardsCompleted = 0;
+  int leasesAcquired = 0;
+  int leasesStolen = 0;
+  bool allComplete = false;       ///< board fully complete on exit
+  bool deadlineExpired = false;
+};
+
+/// Point evaluator handed to the worker: global point index + the same
+/// SweepContext a SweepEngine point receives (index, deterministic
+/// pointSeed, child deadline) -> journal payload.  Must be a pure
+/// function of (index, seed) — the idempotent-merge guarantee rides on
+/// re-runs being bit-identical.
+using ShardPointFn =
+    std::function<std::string(std::size_t index, const SweepContext& ctx)>;
+
+/// Run the shard-lease worker loop: claim shards, run their missing
+/// points, heartbeat between points, mark ranges complete; repeat until
+/// the board is complete, the deadline expires, or every remaining shard
+/// is held by a live peer and stays that way.  Point exceptions other
+/// than DeadlineExceeded propagate (the process-level supervisor treats
+/// a nonzero exit as a crash and applies its restart budget).
+ShardWorkerReport runShardWorker(const ShardWorkerOptions& options,
+                                 const ShardPointFn& fn);
+
+/// Adapt a typed sweep (the SweepEngine::run(points, fn, codec) shape)
+/// into a shard-lease worker — this is SweepEngine's `--shard-lease`
+/// execution mode: same points, same per-point seeding, results encoded
+/// through the same codec, but leased range-by-range against the board.
+template <typename Point, typename Fn, typename Result>
+ShardWorkerReport runShardedSweep(const ShardWorkerOptions& options,
+                                  const std::vector<Point>& points, Fn&& fn,
+                                  SweepCodec<Result> codec) {
+  FEFET_REQUIRE(points.size() == options.board.points,
+                "sharded sweep point count must match the board config");
+  FEFET_REQUIRE(codec.encode != nullptr,
+                "sharded sweep needs an encoding codec");
+  return runShardWorker(options,
+                        [&](std::size_t i, const SweepContext& ctx) {
+                          return codec.encode(fn(points[i], ctx));
+                        });
+}
+
+/// Per-shard outcome tally carried in the merged report.
+struct ShardTally {
+  int shard = 0;
+  std::size_t points = 0;      ///< unique records its journal contributed
+  std::size_t duplicates = 0;  ///< records dropped first-wins
+  std::uint64_t token = 0;     ///< final fencing token (ownership epochs)
+  bool complete = false;
+  std::string owner;           ///< last owner per the lease journal
+};
+
+/// First-wins idempotent merge of every shard journal.
+struct ShardMergeResult {
+  bool complete = false;  ///< every index of [0, points) present
+  std::vector<SweepJournalRecord> records;  ///< index-ascending, unique
+  std::size_t missing = 0;
+  std::size_t duplicates = 0;
+  /// CRC32 over payload+'\n' in index order — for a complete run this is
+  /// bit-identical to the single-process bench::resultsCrc32 fingerprint.
+  std::uint32_t resultsCrc = 0;
+  std::vector<ShardTally> shards;
+};
+
+ShardMergeResult mergeShardJournals(const ShardBoardConfig& config);
+
+}  // namespace fefet::sim

@@ -1,0 +1,236 @@
+#include "sim/shard_supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace fefet::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::Counter& restartCounter() {
+  static obs::Counter& c = obs::Metrics::counter("fefet.shard.worker_restarts");
+  return c;
+}
+
+/// Replace every "{slot}" in `argv` with the worker slot number, so one
+/// argv template yields per-worker identities (owner names, chaos
+/// streams) that are stable across restarts and independent of pids.
+std::vector<std::string> substituteSlot(const std::vector<std::string>& argv,
+                                        int slot) {
+  std::vector<std::string> out;
+  out.reserve(argv.size());
+  const std::string token = "{slot}";
+  for (const auto& arg : argv) {
+    std::string s = arg;
+    for (auto pos = s.find(token); pos != std::string::npos;
+         pos = s.find(token)) {
+      s.replace(pos, token.size(), std::to_string(slot));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// One supervised worker seat.
+struct Slot {
+  pid_t pid = -1;
+  bool alive = false;
+  bool finished = false;       ///< exited cleanly — never restarted
+  bool pendingRestart = false;
+  int consecutiveCrashes = 0;
+  Clock::time_point restartAt{};
+};
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(ShardSupervisorOptions options)
+    : options_(std::move(options)) {
+  FEFET_REQUIRE(options_.workers >= 1, "shard supervisor needs >= 1 workers");
+}
+
+pid_t ShardSupervisor::spawn(const std::vector<std::string>& argv, int slot) {
+  const std::vector<std::string> args = substituteSlot(argv, slot);
+  std::vector<char*> cargv;
+  cargv.reserve(args.size() + 1);
+  for (const auto& a : args) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // exec failed: report through the exit status, never run the parent's
+    // code path (atexit handlers, buffered stdio) in the child.
+    ::_exit(127);
+  }
+  if (options_.onSpawn) options_.onSpawn(slot, pid);
+  return pid;
+}
+
+ShardSupervisorReport ShardSupervisor::run(
+    const std::vector<std::string>& workerArgv) {
+  FEFET_REQUIRE(!workerArgv.empty(), "shard supervisor needs a worker argv");
+  ShardLeaseBoard::create(options_.board);
+  ShardLeaseBoard board(options_.board);
+
+  ShardSupervisorReport report;
+  std::vector<Slot> slots(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    const pid_t pid = spawn(workerArgv, i);
+    if (pid < 0) {
+      if (i == 0) {
+        throw SimulationError(std::string("shard supervisor cannot spawn "
+                                          "workers: ") +
+                              std::strerror(errno));
+      }
+      FEFET_WARN() << "shard supervisor: cannot spawn worker " << i << ": "
+                   << std::strerror(errno);
+      continue;
+    }
+    slots[static_cast<std::size_t>(i)].pid = pid;
+    slots[static_cast<std::size_t>(i)].alive = true;
+    ++report.spawns;
+  }
+
+  std::set<std::pair<int, std::uint64_t>> stallsSeen;
+  while (true) {
+    // Reap: a clean exit is a finished worker, anything else is a crash
+    // that spends from the restart budget (after backoff).
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (!slot.alive) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped != slot.pid) continue;
+      slot.alive = false;
+      slot.pid = -1;
+      const bool crashed =
+          WIFSIGNALED(status) ||
+          (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+      if (!crashed) {
+        slot.finished = true;
+        slot.consecutiveCrashes = 0;
+        continue;
+      }
+      ++report.crashes;
+      const char* how = WIFSIGNALED(status) ? "signal" : "exit status";
+      const int code =
+          WIFSIGNALED(status) ? WTERMSIG(status) : WEXITSTATUS(status);
+      if (board.state().allComplete()) {
+        // A chaos kill after the last point: nothing left to redo.
+        slot.finished = true;
+        continue;
+      }
+      if (report.restarts >= options_.restartBudget) {
+        report.restartBudgetExhausted = true;
+        FEFET_WARN() << "shard supervisor: worker " << i << " died (" << how
+                     << " " << code << ") with the restart budget exhausted; "
+                     << "degrading to partial results";
+        continue;
+      }
+      const double backoff = std::min(
+          options_.backoffMaxSeconds,
+          options_.backoffInitialSeconds *
+              static_cast<double>(1 << std::min(slot.consecutiveCrashes, 20)));
+      ++slot.consecutiveCrashes;
+      slot.pendingRestart = true;
+      slot.restartAt = Clock::now() + std::chrono::duration_cast<
+                                          Clock::duration>(
+                                          std::chrono::duration<double>(
+                                              backoff));
+      FEFET_WARN() << "shard supervisor: worker " << i << " died (" << how
+                   << " " << code << "); restarting in " << backoff << " s ("
+                   << options_.restartBudget - report.restarts
+                   << " restarts left)";
+    }
+
+    const ShardBoardState state = board.state();
+    if (state.allComplete()) break;
+    if (options_.deadline.expired()) {
+      report.deadlineExpired = true;
+      break;
+    }
+
+    // Heartbeat monitoring: an expired lease whose epoch nobody has
+    // stolen yet, while worker processes are still alive, is a stall —
+    // the peers' steal path will reclaim it, but the operator should see
+    // it in the log and the report.
+    const std::uint64_t now = shardClockNanos();
+    for (std::size_t k = 0; k < state.shards.size(); ++k) {
+      const ShardLeaseState& s = state.shards[k];
+      if (!s.held || s.expiresAtNs > now) continue;
+      if (!stallsSeen.insert({static_cast<int>(k), s.token}).second) continue;
+      ++report.stalls;
+      FEFET_WARN() << "shard supervisor: lease on shard " << k << " (owner "
+                   << s.owner << ", token " << s.token
+                   << ") expired without release — holder crashed or "
+                      "stalled; peers may reclaim it";
+    }
+
+    bool anyAlive = false;
+    bool anyPending = false;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      anyAlive = anyAlive || slot.alive;
+      if (!slot.pendingRestart) continue;
+      if (Clock::now() < slot.restartAt) {
+        anyPending = true;
+        continue;
+      }
+      slot.pendingRestart = false;
+      const pid_t pid = spawn(workerArgv, static_cast<int>(i));
+      if (pid < 0) {
+        FEFET_WARN() << "shard supervisor: respawn of worker " << i
+                     << " failed: " << std::strerror(errno);
+        continue;
+      }
+      slot.pid = pid;
+      slot.alive = true;
+      anyAlive = true;
+      ++report.spawns;
+      ++report.restarts;
+      if (obs::Metrics::enabled()) restartCounter().increment();
+    }
+    if (!anyAlive && !anyPending) break;  // degraded: nobody left to run
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.pollSeconds));
+  }
+
+  // Teardown: ask stragglers to stop (their journals are already
+  // durable), escalate to SIGKILL after a grace period, reap everything.
+  for (auto& slot : slots) {
+    if (slot.alive) ::kill(slot.pid, SIGTERM);
+  }
+  const auto grace = Clock::now() + std::chrono::seconds(2);
+  for (auto& slot : slots) {
+    if (!slot.alive) continue;
+    int status = 0;
+    while (::waitpid(slot.pid, &status, WNOHANG) == 0) {
+      if (Clock::now() > grace) {
+        ::kill(slot.pid, SIGKILL);
+        ::waitpid(slot.pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    slot.alive = false;
+  }
+
+  report.merge = mergeShardJournals(options_.board);
+  return report;
+}
+
+}  // namespace fefet::sim

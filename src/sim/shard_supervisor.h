@@ -1,0 +1,93 @@
+// shard_supervisor.h — fork/exec worker supervision for sharded sweeps.
+//
+// The supervisor is the process-level sibling of SweepEngine's straggler
+// watchdog: it creates (or resumes) a shard lease board, spawns N worker
+// processes that each run the shard-lease worker loop (sim/shard_lease.h)
+// against the same board, and then:
+//
+//  * reaps exits — a worker that exits cleanly is done; one that dies on
+//    a signal or a nonzero status is CRASHED and gets restarted with
+//    exponential backoff, spending from a global restart budget;
+//  * monitors heartbeats — a lease that stays expired while its holder
+//    process is still alive is logged as a stalled worker (the board's
+//    expiry/steal machinery already lets peers reclaim the range);
+//  * degrades gracefully — when the budget is exhausted or the deadline
+//    expires, remaining workers are terminated and whatever the shard
+//    journals hold is merged into a PARTIAL result, mirroring the sweep
+//    engine's kCollectAndContinue policy (the caller sees per-shard
+//    tallies and a missing-point count instead of an exception);
+//  * merges — on exit the per-shard journals are folded first-wins into
+//    one index-ordered record list with a results CRC32 that is
+//    bit-identical to the single-process run's fingerprint when the
+//    board completed.
+//
+// Crash safety end to end: SIGKILL the supervisor and rerun it — the
+// board header matches, leases expire, the new workers reclaim and the
+// merge is unchanged.  SIGKILL any worker — its lease expires, a peer
+// (or its restarted self) re-runs the unfinished tail of its range, and
+// first-wins dedup keeps the merge bit-identical.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "common/deadline.h"
+#include "sim/shard_lease.h"
+
+namespace fefet::sim {
+
+struct ShardSupervisorOptions {
+  ShardBoardConfig board;
+  int workers = 2;
+  /// Total restarts allowed across all workers (the crash budget).
+  int restartBudget = 16;
+  double backoffInitialSeconds = 0.05;  ///< doubles per consecutive crash
+  double backoffMaxSeconds = 2.0;
+  /// Lease ttl the workers were configured with — used only to flag
+  /// stalled-but-alive workers (lease expired, process running).
+  double leaseTtlSeconds = 5.0;
+  Deadline deadline;           ///< whole-run budget (partial merge after)
+  double pollSeconds = 0.05;   ///< supervision loop period
+  /// Test hook: observes every spawn (slot, pid) — lets a test SIGKILL a
+  /// specific worker mid-range.
+  std::function<void(int slot, pid_t pid)> onSpawn;
+};
+
+/// What one supervised run accomplished.
+struct ShardSupervisorReport {
+  ShardMergeResult merge;      ///< first-wins merged shard journals
+  int spawns = 0;              ///< worker processes started (incl. restarts)
+  int restarts = 0;            ///< crash-triggered respawns
+  int crashes = 0;             ///< abnormal worker exits observed
+  int stalls = 0;              ///< expired-lease-while-alive observations
+  bool restartBudgetExhausted = false;
+  bool deadlineExpired = false;
+  /// True when every shard completed (merge.complete); false means the
+  /// run degraded to partial results.
+  bool complete() const { return merge.complete; }
+};
+
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(ShardSupervisorOptions options);
+
+  /// Create/resume the board, then spawn `workers` processes executing
+  /// `workerArgv` (argv[0] is the binary path; the vector is passed to
+  /// execv verbatim — it must put the worker into shard-lease mode
+  /// against options.board.dir).  Blocks until the board completes, the
+  /// restart budget is exhausted with no live workers, or the deadline
+  /// expires; terminates stragglers and returns the merged report.
+  /// Throws SimulationError only on spawn-impossible errors (fork/exec
+  /// of the first worker failing outright).
+  ShardSupervisorReport run(const std::vector<std::string>& workerArgv);
+
+ private:
+  pid_t spawn(const std::vector<std::string>& argv, int slot);
+
+  ShardSupervisorOptions options_;
+};
+
+}  // namespace fefet::sim

@@ -41,24 +41,6 @@ std::string hex32(std::uint32_t v) {
   return buf;
 }
 
-/// Extract the unsigned integer following `"key":` or return false.
-bool parseU64Field(const std::string& body, const char* key,
-                   std::uint64_t* out) {
-  const std::string needle = std::string("\"") + key + "\":";
-  const auto pos = body.find(needle);
-  if (pos == std::string::npos) return false;
-  std::size_t i = pos + needle.size();
-  if (i >= body.size() || !std::isdigit(static_cast<unsigned char>(body[i])))
-    return false;
-  std::uint64_t value = 0;
-  for (; i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]));
-       ++i) {
-    value = value * 10 + static_cast<std::uint64_t>(body[i] - '0');
-  }
-  *out = value;
-  return true;
-}
-
 bool jsonUnescape(std::string_view escaped, std::string* out) {
   out->clear();
   out->reserve(escaped.size());
@@ -101,9 +83,28 @@ bool jsonUnescape(std::string_view escaped, std::string* out) {
   return true;
 }
 
-/// Extract and unescape the string following `"payload":"`.
-bool parsePayloadField(const std::string& body, std::string* out) {
-  const std::string needle = "\"payload\":\"";
+}  // namespace
+
+bool parseJournalU64(const std::string& body, const char* key,
+                     std::uint64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = body.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + needle.size();
+  if (i >= body.size() || !std::isdigit(static_cast<unsigned char>(body[i])))
+    return false;
+  std::uint64_t value = 0;
+  for (; i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]));
+       ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(body[i] - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool parseJournalString(const std::string& body, const char* key,
+                        std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
   const auto pos = body.find(needle);
   if (pos == std::string::npos) return false;
   std::size_t end = pos + needle.size();
@@ -122,8 +123,7 @@ bool parsePayloadField(const std::string& body, std::string* out) {
       out);
 }
 
-/// Parse one journal line into its verified body; false on any damage.
-bool parseLine(const std::string& line, std::string* body) {
+bool parseJournalLine(const std::string& line, std::string* body) {
   if (line.size() < kBodyOffset + 1) return false;
   if (line.compare(0, sizeof(kLinePrefix) - 1, kLinePrefix) != 0) return false;
   std::uint32_t storedCrc = 0;
@@ -142,8 +142,8 @@ bool parseLine(const std::string& line, std::string* body) {
   return crc32(*body) == storedCrc;
 }
 
-std::string headerBody(std::size_t points, std::uint64_t baseSeed,
-                       std::uint64_t configDigest) {
+std::string journalHeaderBody(std::size_t points, std::uint64_t baseSeed,
+                              std::uint64_t configDigest) {
   std::ostringstream os;
   os << "{\"type\":\"header\",\"version\":1,\"points\":" << points
      << ",\"baseSeed\":" << baseSeed << ",\"configDigest\":" << configDigest
@@ -151,11 +151,27 @@ std::string headerBody(std::size_t points, std::uint64_t baseSeed,
   return os.str();
 }
 
-std::string renderLine(const std::string& body) {
+std::string journalPointBody(std::size_t index, std::string_view payload) {
+  std::ostringstream os;
+  os << "{\"type\":\"point\",\"index\":" << index << ",\"payload\":\""
+     << jsonEscape(payload) << "\"}";
+  return os.str();
+}
+
+std::string renderJournalLine(const std::string& body) {
   return kLinePrefix + hex32(crc32(body)) + kLineMiddle + body + "}\n";
 }
 
-}  // namespace
+void fsyncParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirFd < 0) return;
+  ::fsync(dirFd);  // best effort — see header comment
+  ::close(dirFd);
+}
 
 std::uint32_t crc32(std::string_view data) {
   static const std::array<std::uint32_t, 256> table = makeCrcTable();
@@ -195,7 +211,9 @@ std::string jsonEscape(std::string_view raw) {
 SweepJournalLoad SweepJournal::load(const std::string& path,
                                     std::size_t expectedPoints,
                                     std::uint64_t baseSeed,
-                                    std::uint64_t configDigest) {
+                                    std::uint64_t configDigest,
+                                    JournalLoadMode mode) {
+  const bool lenient = mode == JournalLoadMode::kLenient;
   SweepJournalLoad result;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -223,7 +241,15 @@ SweepJournalLoad SweepJournal::load(const std::string& path,
     }
     const std::string line = contents.substr(offset, newline - offset);
     std::string body;
-    if (!parseLine(line, &body)) {
+    if (!parseJournalLine(line, &body)) {
+      if (lenient && !line.empty()) ++result.skippedLines;
+      if (lenient) {
+        // Multi-epoch journal: resync at the next line.  Empty lines are
+        // the resync markers appended on every lease-holder handover.
+        offset = newline + 1;
+        if (sawHeader) result.validBytes = offset;
+        continue;
+      }
       if (!sawHeader) {
         result.warning =
             "journal " + path + " has no valid header; starting fresh";
@@ -237,10 +263,10 @@ SweepJournalLoad SweepJournal::load(const std::string& path,
     if (!sawHeader) {
       std::uint64_t version = 0, points = 0, seed = 0, digest = 0;
       const bool parsed = body.find("\"type\":\"header\"") != std::string::npos &&
-                          parseU64Field(body, "version", &version) &&
-                          parseU64Field(body, "points", &points) &&
-                          parseU64Field(body, "baseSeed", &seed) &&
-                          parseU64Field(body, "configDigest", &digest);
+                          parseJournalU64(body,"version", &version) &&
+                          parseJournalU64(body,"points", &points) &&
+                          parseJournalU64(body,"baseSeed", &seed) &&
+                          parseJournalU64(body,"configDigest", &digest);
       if (!parsed || version != 1) {
         result.warning =
             "journal " + path + " has no valid header; starting fresh";
@@ -258,16 +284,23 @@ SweepJournalLoad SweepJournal::load(const std::string& path,
       std::uint64_t index = 0;
       std::string payload;
       const bool parsed = body.find("\"type\":\"point\"") != std::string::npos &&
-                          parseU64Field(body, "index", &index) &&
-                          parsePayloadField(body, &payload) &&
+                          parseJournalU64(body,"index", &index) &&
+                          parseJournalString(body, "payload", &payload) &&
                           index < expectedPoints;
       if (!parsed) {
+        if (lenient) {
+          ++result.skippedLines;
+          offset = newline + 1;
+          result.validBytes = offset;
+          continue;
+        }
         result.warning = "journal " + path +
                          " has a malformed point record; truncating to the "
                          "last good record";
         break;
       }
       if (seen[index]) {
+        ++result.duplicates;
         result.warning = "journal " + path + " repeats point " +
                          std::to_string(index) + "; keeping the first record";
       } else {
@@ -290,11 +323,18 @@ SweepJournal::SweepJournal(const std::string& path, std::size_t points,
                            std::uint64_t baseSeed, std::uint64_t configDigest,
                            const SweepJournalLoad* resumeFrom)
     : path_(path) {
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  // O_APPEND makes every record write land atomically at EOF, so two
+  // writers (a zombie lease holder and its successor) can interleave only
+  // at line granularity, never mid-record.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
     throw SimulationError("cannot open sweep journal " + path + ": " +
                           std::strerror(errno));
   }
+  // The records are fsynced per append, but a freshly created file's NAME
+  // lives in the directory — without a directory fsync the whole journal
+  // can vanish after power loss even though every record was durable.
+  fsyncParentDir(path);
   const bool resuming = resumeFrom != nullptr && resumeFrom->usable;
   const off_t keep =
       resuming ? static_cast<off_t>(resumeFrom->validBytes) : 0;
@@ -307,7 +347,7 @@ SweepJournal::SweepJournal(const std::string& path, std::size_t points,
                           std::strerror(err));
   }
   if (!resuming) {
-    appendLine(headerBody(points, baseSeed, configDigest));
+    appendLine(journalHeaderBody(points, baseSeed, configDigest));
   }
 }
 
@@ -316,14 +356,11 @@ SweepJournal::~SweepJournal() {
 }
 
 void SweepJournal::appendPoint(std::size_t index, std::string_view payload) {
-  std::ostringstream os;
-  os << "{\"type\":\"point\",\"index\":" << index << ",\"payload\":\""
-     << jsonEscape(payload) << "\"}";
-  appendLine(os.str());
+  appendLine(journalPointBody(index, payload));
 }
 
 void SweepJournal::appendLine(const std::string& body) {
-  const std::string line = renderLine(body);
+  const std::string line = renderJournalLine(body);
   std::size_t written = 0;
   while (written < line.size()) {
     const ssize_t n =

@@ -1,0 +1,277 @@
+// fefet-sweepd — crash-safe multi-process sweep daemon.
+//
+// Runs the paper's §3 thickness characterization as a sharded sweep: the
+// point space is split into contiguous shards coordinated through an
+// append-only lease board (sim/shard_lease.h), N worker processes lease
+// and run disjoint ranges, and a supervisor (sim/shard_supervisor.h)
+// restarts crashed workers under an exponential-backoff restart budget.
+// Any process — worker or supervisor — can be SIGKILLed at any moment;
+// rerunning the same command resumes from the journals and the merged
+// results CRC is bit-identical to a single-process run.
+//
+//   fefet-sweepd --dir=/tmp/board --points=17 --shards=4 --workers=2
+//   fefet-sweepd --dir=/tmp/board ... --chaos-kill-p=0.3   # kill storm
+//
+// The binary re-execs itself with --worker for each worker process; the
+// {slot}-stable owner name keeps chaos streams reproducible across
+// restarts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/design_space.h"
+#include "core/materials.h"
+#include "sim/shard_lease.h"
+#include "sim/shard_supervisor.h"
+
+using namespace fefet;
+
+namespace {
+
+constexpr double kVread = 0.40;
+constexpr double kThicknessMin = 1.0e-9;
+constexpr double kThicknessMax = 2.6e-9;
+
+struct Cli {
+  std::string dir = "sweepd-board";
+  std::size_t points = 17;
+  int shards = 4;
+  int workers = 2;
+  double leaseTtlSeconds = 5.0;
+  double pollSeconds = 0.2;
+  int restartBudget = 16;
+  double deadlineSeconds = 0.0;  // 0 = unlimited
+  double chaosKillP = 0.0;
+  std::uint64_t chaosSeed = 0;
+  std::uint64_t baseSeed = 1;
+  bool worker = false;
+  std::string owner;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--dir=PATH] [--points=N] [--shards=N] [--workers=N]\n"
+      "          [--lease-ttl-s=S] [--poll-s=S] [--restart-budget=N]\n"
+      "          [--deadline-seconds=S] [--chaos-kill-p=P] [--chaos-seed=N]\n"
+      "          [--base-seed=N] [--worker --owner=NAME]\n",
+      argv0);
+}
+
+bool parseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+Cli parseCli(int argc, char** argv) {
+  Cli cli;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--worker") == 0) {
+      cli.worker = true;
+    } else if (parseFlag(arg, "--dir", &v)) {
+      cli.dir = v;
+    } else if (parseFlag(arg, "--points", &v)) {
+      cli.points = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (parseFlag(arg, "--shards", &v)) {
+      cli.shards = std::atoi(v.c_str());
+    } else if (parseFlag(arg, "--workers", &v)) {
+      cli.workers = std::atoi(v.c_str());
+    } else if (parseFlag(arg, "--lease-ttl-s", &v)) {
+      cli.leaseTtlSeconds = std::atof(v.c_str());
+    } else if (parseFlag(arg, "--poll-s", &v)) {
+      cli.pollSeconds = std::atof(v.c_str());
+    } else if (parseFlag(arg, "--restart-budget", &v)) {
+      cli.restartBudget = std::atoi(v.c_str());
+    } else if (parseFlag(arg, "--deadline-seconds", &v)) {
+      cli.deadlineSeconds = std::atof(v.c_str());
+    } else if (parseFlag(arg, "--chaos-kill-p", &v)) {
+      cli.chaosKillP = std::atof(v.c_str());
+    } else if (parseFlag(arg, "--chaos-seed", &v)) {
+      cli.chaosSeed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parseFlag(arg, "--base-seed", &v)) {
+      cli.baseSeed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parseFlag(arg, "--owner", &v)) {
+      cli.owner = v;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "fefet-sweepd: unknown flag %s\n", arg);
+      usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  FEFET_REQUIRE(cli.points >= 1, "fefet-sweepd needs --points >= 1");
+  FEFET_REQUIRE(cli.shards >= 1, "fefet-sweepd needs --shards >= 1");
+  FEFET_REQUIRE(cli.workers >= 1, "fefet-sweepd needs --workers >= 1");
+  return cli;
+}
+
+std::vector<double> thicknessGrid(std::size_t points) {
+  std::vector<double> ts;
+  ts.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f =
+        points > 1 ? static_cast<double>(i) / static_cast<double>(points - 1)
+                   : 0.0;
+    ts.push_back(kThicknessMin + f * (kThicknessMax - kThicknessMin));
+  }
+  return ts;
+}
+
+std::uint64_t configDigest(const std::vector<double>& thicknesses) {
+  std::uint64_t h = stats::splitmix64(0x5EE9D000u);
+  const auto fold = [&h](double x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    h = stats::splitmix64(h ^ bits);
+  };
+  fold(kVread);
+  for (double t : thicknesses) fold(t);
+  return h;
+}
+
+// Hexfloat payloads: bit-exact across re-runs, so duplicate points from
+// reclaimed leases merge first-wins without ever differing.
+std::string encodePoint(const core::DesignPoint& p) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%a,%d,%d,%a,%a,%a,%a,%a", p.feThickness,
+                p.hysteretic ? 1 : 0, p.nonvolatile ? 1 : 0,
+                p.upSwitchVoltage, p.downSwitchVoltage, p.windowWidth,
+                p.onOffRatio, p.standaloneCoerciveVoltage);
+  return std::string(buf);
+}
+
+sim::ShardBoardConfig boardConfig(const Cli& cli,
+                                  const std::vector<double>& thicknesses) {
+  sim::ShardBoardConfig board;
+  board.dir = cli.dir;
+  board.points = cli.points;
+  board.shards = cli.shards;
+  board.baseSeed = cli.baseSeed;
+  board.configDigest = configDigest(thicknesses);
+  return board;
+}
+
+int runWorker(const Cli& cli) {
+  const auto thicknesses = thicknessGrid(cli.points);
+  core::FefetParams base;
+  base.lk = core::fefetMaterial();
+
+  sim::ShardWorkerOptions options;
+  options.board = boardConfig(cli, thicknesses);
+  options.owner = cli.owner;
+  options.leaseTtlSeconds = cli.leaseTtlSeconds;
+  options.pollSeconds = cli.pollSeconds;
+  options.chaosKillP = cli.chaosKillP;
+  options.chaosSeed = cli.chaosSeed;
+  if (cli.deadlineSeconds > 0.0) {
+    options.deadline = Deadline::after(cli.deadlineSeconds);
+  }
+
+  const auto report = sim::runShardWorker(
+      options, [&](std::size_t i, const sim::SweepContext&) {
+        return encodePoint(
+            core::characterizeThickness(base, thicknesses[i], kVread));
+      });
+  std::fprintf(stderr,
+               "fefet-sweepd worker %s: ran=%zu skipped=%zu completed=%d "
+               "acquired=%d stolen=%d\n",
+               cli.owner.c_str(), report.pointsRun, report.pointsSkipped,
+               report.shardsCompleted, report.leasesAcquired,
+               report.leasesStolen);
+  return 0;
+}
+
+int runSupervisor(const Cli& cli, const char* argv0) {
+  const auto thicknesses = thicknessGrid(cli.points);
+
+  sim::ShardSupervisorOptions options;
+  options.board = boardConfig(cli, thicknesses);
+  options.workers = cli.workers;
+  options.restartBudget = cli.restartBudget;
+  options.leaseTtlSeconds = cli.leaseTtlSeconds;
+  if (cli.deadlineSeconds > 0.0) {
+    options.deadline = Deadline::after(cli.deadlineSeconds);
+  }
+
+  char buf[64];
+  std::vector<std::string> workerArgv;
+  workerArgv.push_back(argv0);
+  workerArgv.push_back("--worker");
+  workerArgv.push_back("--owner=w{slot}");
+  workerArgv.push_back("--dir=" + cli.dir);
+  std::snprintf(buf, sizeof(buf), "--points=%zu", cli.points);
+  workerArgv.push_back(buf);
+  std::snprintf(buf, sizeof(buf), "--shards=%d", cli.shards);
+  workerArgv.push_back(buf);
+  std::snprintf(buf, sizeof(buf), "--base-seed=%llu",
+                static_cast<unsigned long long>(cli.baseSeed));
+  workerArgv.push_back(buf);
+  std::snprintf(buf, sizeof(buf), "--lease-ttl-s=%g", cli.leaseTtlSeconds);
+  workerArgv.push_back(buf);
+  std::snprintf(buf, sizeof(buf), "--poll-s=%g", cli.pollSeconds);
+  workerArgv.push_back(buf);
+  if (cli.chaosKillP > 0.0) {
+    std::snprintf(buf, sizeof(buf), "--chaos-kill-p=%g", cli.chaosKillP);
+    workerArgv.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "--chaos-seed=%llu",
+                  static_cast<unsigned long long>(cli.chaosSeed));
+    workerArgv.push_back(buf);
+  }
+  if (cli.deadlineSeconds > 0.0) {
+    std::snprintf(buf, sizeof(buf), "--deadline-seconds=%g",
+                  cli.deadlineSeconds);
+    workerArgv.push_back(buf);
+  }
+
+  sim::ShardSupervisor supervisor(options);
+  const auto report = supervisor.run(workerArgv);
+
+  // Per-shard tallies, then the machine-readable summary lines.
+  std::printf("shard,points,duplicates,token,owner,complete\n");
+  for (const auto& tally : report.merge.shards) {
+    std::printf("%d,%zu,%zu,%llu,%s,%d\n", tally.shard, tally.points,
+                tally.duplicates,
+                static_cast<unsigned long long>(tally.token),
+                tally.owner.c_str(), tally.complete ? 1 : 0);
+  }
+  std::printf(
+      "PERF {\"bench\":\"fefet_sweepd\",\"v\":3,\"mode\":\"sharded\","
+      "\"points\":%zu,\"shards\":%d,\"workers\":%d,\"ok\":%zu,"
+      "\"missing\":%zu,\"duplicates\":%zu,\"spawns\":%d,\"restarts\":%d,"
+      "\"crashes\":%d,\"stalls\":%d,\"complete\":%s,"
+      "\"results_crc\":\"%08x\"}\n",
+      cli.points, cli.shards, cli.workers, report.merge.records.size(),
+      report.merge.missing, report.merge.duplicates, report.spawns,
+      report.restarts, report.crashes, report.stalls,
+      report.complete() ? "true" : "false", report.merge.resultsCrc);
+  std::printf(
+      "REPORT {\"tool\":\"fefet_sweepd\",\"complete\":%s,"
+      "\"restart_budget_exhausted\":%s,\"deadline_expired\":%s}\n",
+      report.complete() ? "true" : "false",
+      report.restartBudgetExhausted ? "true" : "false",
+      report.deadlineExpired ? "true" : "false");
+  return report.complete() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli = parseCli(argc, argv);
+    return cli.worker ? runWorker(cli) : runSupervisor(cli, argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fefet-sweepd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,296 @@
+// Shard lease board unit tests: board create/resume/mismatch wipe, torn
+// lease-journal recovery, fencing-token monotonicity across steals, the
+// expiry→reclaim race under two concurrent claimants, and the property
+// the whole subsystem exists for — a first-wins merge over overlapping
+// ownership epochs that is bit-identical to a single-process run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "sim/shard_lease.h"
+#include "sim/sweep_engine.h"
+#include "sim/sweep_journal.h"
+
+namespace fefet {
+namespace {
+
+/// The deterministic toy payload every test worker computes: a pure
+/// function of (index, baseSeed), which is what makes duplicate points
+/// from reclaimed leases bit-identical.
+std::string testPayload(std::uint64_t baseSeed, std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(stats::splitmix64(
+                    sim::SweepEngine::pointSeed(baseSeed, index))));
+  return buf;
+}
+
+std::uint32_t referenceCrc(std::uint64_t baseSeed, std::size_t points) {
+  std::string all;
+  for (std::size_t i = 0; i < points; ++i) {
+    all += testPayload(baseSeed, i);
+    all += '\n';
+  }
+  return sim::crc32(all);
+}
+
+sim::ShardPointFn testPointFn(std::uint64_t baseSeed) {
+  return [baseSeed](std::size_t i, const sim::SweepContext& ctx) {
+    EXPECT_EQ(ctx.seed, sim::SweepEngine::pointSeed(baseSeed, i));
+    return testPayload(baseSeed, i);
+  };
+}
+
+class ShardLeaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "shard_lease_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+    config_.dir = dir_;
+    config_.points = 8;
+    config_.shards = 2;
+    config_.baseSeed = 42;
+    config_.configDigest = 0xD16E57;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+  }
+
+  void appendRaw(const std::string& path, const std::string& bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << bytes;
+  }
+
+  std::string dir_;
+  sim::ShardBoardConfig config_;
+};
+
+TEST_F(ShardLeaseTest, CreateResumeAndMismatchWipe) {
+  sim::ShardLeaseBoard::create(config_);
+  {
+    sim::ShardLeaseBoard board(config_);
+    ASSERT_TRUE(board.tryClaim("w0", 30.0).has_value());
+  }
+  // Matching create() resumes: the claim above survives.
+  sim::ShardLeaseBoard::create(config_);
+  {
+    sim::ShardLeaseBoard board(config_);
+    const auto state = board.state();
+    ASSERT_EQ(state.shards.size(), 2u);
+    EXPECT_TRUE(state.shards[0].held || state.shards[1].held);
+  }
+  // A different run shape wipes the stale board…
+  sim::ShardBoardConfig other = config_;
+  other.points = 9;
+  sim::ShardLeaseBoard::create(other);
+  {
+    sim::ShardLeaseBoard board(other);
+    const auto state = board.state();
+    for (const auto& s : state.shards) EXPECT_FALSE(s.held);
+  }
+  // …so opening with the old shape now fails the header check.
+  EXPECT_THROW(sim::ShardLeaseBoard board(config_), SimulationError);
+}
+
+TEST_F(ShardLeaseTest, BalancedRangesPartitionThePointSpace) {
+  config_.points = 10;
+  config_.shards = 3;
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardLeaseBoard board(config_);
+  std::size_t covered = 0;
+  std::size_t expectBegin = 0;
+  for (int k = 0; k < config_.shards; ++k) {
+    const auto range = board.rangeOf(k);
+    EXPECT_EQ(range.begin, expectBegin);
+    EXPECT_GE(range.size(), config_.points / config_.shards);
+    covered += range.size();
+    expectBegin = range.end;
+  }
+  EXPECT_EQ(covered, config_.points);
+  EXPECT_EQ(expectBegin, config_.points);
+}
+
+TEST_F(ShardLeaseTest, TornTailInLeaseJournalIsSkipped) {
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardLeaseBoard board(config_);
+  const auto claim = board.tryClaim("w0", 30.0);
+  ASSERT_TRUE(claim.has_value());
+  // A crashed writer leaves an unterminated fragment; the next record is
+  // '\n'-prefixed, so replay skips the damage and keeps both epochs.
+  appendRaw(board.leaseJournalPath(), "{\"crc\":\"dead");
+  const auto state = board.state();
+  EXPECT_TRUE(state.shards[claim->shard].held);
+  EXPECT_EQ(state.shards[claim->shard].owner, "w0");
+  // The board still accepts appends after the torn tail.
+  board.release(*claim, "w0", /*complete=*/true);
+  EXPECT_TRUE(board.state().shards[claim->shard].complete);
+}
+
+TEST_F(ShardLeaseTest, FencingTokensAreMonotonicAcrossSteals) {
+  config_.shards = 1;
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardLeaseBoard board(config_);
+
+  const auto first = board.tryClaim("w0", 30.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->token, 1u);
+  EXPECT_FALSE(first->stolen);
+  // A validly held shard is not claimable.
+  EXPECT_FALSE(board.tryClaim("wx", 30.0).has_value());
+  board.release(*first, "w0", /*complete=*/false);
+
+  // Re-acquire after release: next epoch, not a steal.
+  const auto second = board.tryClaim("w1", 0.05);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->shard, first->shard);
+  EXPECT_EQ(second->token, 2u);
+  EXPECT_FALSE(second->stolen);
+
+  // Renewing does not advance the epoch…
+  ASSERT_TRUE(board.renew(*second, "w1", 0.05));
+  EXPECT_EQ(board.state().shards[second->shard].token, 2u);
+
+  // …but stealing after expiry does, and fences the old holder out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  const auto third = board.tryClaim("w2", 30.0);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->shard, second->shard);
+  EXPECT_EQ(third->token, 3u);
+  EXPECT_TRUE(third->stolen);
+  EXPECT_FALSE(board.renew(*second, "w1", 30.0));
+  EXPECT_EQ(board.state().shards[third->shard].owner, "w2");
+}
+
+TEST_F(ShardLeaseTest, ExpiryReclaimRaceHasExactlyOneWinner) {
+  config_.shards = 1;
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardLeaseBoard holderBoard(config_);
+  const auto holder = holderBoard.tryClaim("holder", 0.05);
+  ASSERT_TRUE(holder.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  std::atomic<int> winners{0};
+  std::atomic<int> stolen{0};
+  std::vector<std::thread> racers;
+  for (int t = 0; t < 2; ++t) {
+    racers.emplace_back([&, t] {
+      sim::ShardLeaseBoard board(config_);
+      const auto claim = board.tryClaim("racer" + std::to_string(t), 30.0);
+      if (claim) {
+        winners.fetch_add(1);
+        if (claim->stolen) stolen.fetch_add(1);
+      }
+    });
+  }
+  for (auto& r : racers) r.join();
+
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(stolen.load(), 1);
+  // The lapsed holder is fenced out by the winner's higher token.
+  EXPECT_FALSE(holderBoard.renew(*holder, "holder", 30.0));
+}
+
+TEST_F(ShardLeaseTest, WorkerCompletesBoardAndMergeMatchesReference) {
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardWorkerOptions options;
+  options.board = config_;
+  options.owner = "solo";
+  const auto report = sim::runShardWorker(options, testPointFn(42));
+
+  EXPECT_TRUE(report.allComplete);
+  EXPECT_EQ(report.pointsRun, config_.points);
+  EXPECT_EQ(report.pointsSkipped, 0u);
+  EXPECT_EQ(report.shardsCompleted, config_.shards);
+  EXPECT_FALSE(report.deadlineExpired);
+
+  const auto merge = sim::mergeShardJournals(config_);
+  EXPECT_TRUE(merge.complete);
+  EXPECT_EQ(merge.records.size(), config_.points);
+  EXPECT_EQ(merge.missing, 0u);
+  EXPECT_EQ(merge.duplicates, 0u);
+  EXPECT_EQ(merge.resultsCrc, referenceCrc(42, config_.points));
+}
+
+TEST_F(ShardLeaseTest, DuplicatePointsMergeFirstWinsBitIdentical) {
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardLeaseBoard board(config_);
+
+  // A dead predecessor journaled part of shard 0 — including one point
+  // twice (its own crash-retry) — then vanished without releasing.
+  {
+    sim::ShardJournalWriter writer(board.shardJournalPath(0), config_);
+    writer.appendPoint(0, testPayload(42, 0));
+    writer.appendPoint(1, testPayload(42, 1));
+    writer.appendPoint(1, testPayload(42, 1));
+  }
+  // A survivor works the whole board: it skips the durable points and
+  // fills the gaps.
+  sim::ShardWorkerOptions options;
+  options.board = config_;
+  options.owner = "survivor";
+  const auto report = sim::runShardWorker(options, testPointFn(42));
+  EXPECT_TRUE(report.allComplete);
+  EXPECT_EQ(report.pointsSkipped, 2u);  // in-range uniques found durable
+  EXPECT_EQ(report.pointsRun, config_.points - 2);
+
+  const auto merge = sim::mergeShardJournals(config_);
+  EXPECT_TRUE(merge.complete);
+  EXPECT_EQ(merge.records.size(), config_.points);
+  EXPECT_GE(merge.duplicates, 1u);
+  EXPECT_EQ(merge.resultsCrc, referenceCrc(42, config_.points));
+}
+
+TEST_F(ShardLeaseTest, ExpiredDeadlineStopsTheWorkerBeforeAnyPoint) {
+  sim::ShardLeaseBoard::create(config_);
+  sim::ShardWorkerOptions options;
+  options.board = config_;
+  options.owner = "late";
+  options.deadline = Deadline::after(-1.0);
+  const auto report = sim::runShardWorker(options, testPointFn(42));
+  EXPECT_TRUE(report.deadlineExpired);
+  EXPECT_EQ(report.pointsRun, 0u);
+  EXPECT_FALSE(sim::mergeShardJournals(config_).complete);
+}
+
+TEST_F(ShardLeaseTest, LenientLoadSkipsDamageStrictStops) {
+  const std::string path = dir_;  // reuse the tempdir name for one file
+  std::string journalPath = path + ".journal";
+  std::remove(journalPath.c_str());
+  {
+    sim::SweepJournal journal(journalPath, 3, 7, 99);
+    journal.appendPoint(0, "alpha");
+  }
+  appendRaw(journalPath, "garbage without structure\n");
+  {
+    // Reopen in append mode and add a valid successor record.
+    sim::ShardBoardConfig cfg;
+    cfg.points = 3;
+    cfg.baseSeed = 7;
+    cfg.configDigest = 99;
+    sim::ShardJournalWriter writer(journalPath, cfg);
+    writer.appendPoint(2, "gamma");
+  }
+  const auto strict = sim::SweepJournal::load(journalPath, 3, 7, 99,
+                                              sim::JournalLoadMode::kStrict);
+  EXPECT_EQ(strict.records.size(), 1u);  // stops at the damage
+  const auto lenient = sim::SweepJournal::load(journalPath, 3, 7, 99,
+                                               sim::JournalLoadMode::kLenient);
+  EXPECT_EQ(lenient.records.size(), 2u);  // skips it and keeps scanning
+  EXPECT_GE(lenient.skippedLines, 1u);
+  std::remove(journalPath.c_str());
+}
+
+}  // namespace
+}  // namespace fefet

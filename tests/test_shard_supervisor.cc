@@ -1,0 +1,233 @@
+// Shard supervisor end-to-end tests: the binary re-execs itself as the
+// worker process (a custom main dispatches on --shard-test-worker before
+// gtest ever sees argv), so these tests exercise real fork/exec/SIGKILL
+// process supervision — including the acceptance property: a worker
+// SIGKILLed mid-range is restarted, its lease reclaimed, and the merged
+// results CRC is bit-identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/shard_lease.h"
+#include "sim/shard_supervisor.h"
+#include "sim/sweep_engine.h"
+#include "sim/sweep_journal.h"
+
+namespace fefet {
+namespace {
+
+// The one run shape every test (and the worker mode) agrees on.
+constexpr std::size_t kPoints = 12;
+constexpr int kShards = 4;
+constexpr std::uint64_t kBaseSeed = 5;
+constexpr std::uint64_t kDigest = 0x5B0A7D;
+constexpr double kPointSleepSeconds = 0.05;  ///< makes ranges span time
+
+std::string selfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+std::string testPayload(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(stats::splitmix64(
+                    sim::SweepEngine::pointSeed(kBaseSeed, index))));
+  return buf;
+}
+
+std::uint32_t referenceCrc() {
+  std::string all;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    all += testPayload(i);
+    all += '\n';
+  }
+  return sim::crc32(all);
+}
+
+sim::ShardBoardConfig boardConfig(const std::string& dir) {
+  sim::ShardBoardConfig config;
+  config.dir = dir;
+  config.points = kPoints;
+  config.shards = kShards;
+  config.baseSeed = kBaseSeed;
+  config.configDigest = kDigest;
+  return config;
+}
+
+/// Worker-process entry point (reached from main() before gtest runs).
+int shardTestWorkerMain(int argc, char** argv) {
+  sim::ShardWorkerOptions options;
+  options.leaseTtlSeconds = 0.5;
+  options.pollSeconds = 0.05;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--dir=", 6) == 0) {
+      dir = arg + 6;
+    } else if (std::strncmp(arg, "--owner=", 8) == 0) {
+      options.owner = arg + 8;
+    } else if (std::strncmp(arg, "--kill-after=", 13) == 0) {
+      options.killAfterPoints = std::atoi(arg + 13);
+    } else if (std::strncmp(arg, "--marker=", 9) == 0) {
+      options.killMarkerPath = arg + 9;
+    }
+  }
+  if (dir.empty()) return 2;
+  options.board = boardConfig(dir);
+  try {
+    sim::runShardWorker(options,
+                        [](std::size_t i, const sim::SweepContext&) {
+                          std::this_thread::sleep_for(
+                              std::chrono::duration<double>(
+                                  kPointSleepSeconds));
+                          return testPayload(i);
+                        });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard test worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+class ShardSupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "shard_supervisor_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+    ASSERT_FALSE(selfExePath().empty());
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+  }
+
+  std::vector<std::string> workerArgv() const {
+    return {selfExePath(), "--shard-test-worker", "--dir=" + dir_,
+            "--owner=w{slot}"};
+  }
+
+  sim::ShardSupervisorOptions supervisorOptions() const {
+    sim::ShardSupervisorOptions options;
+    options.board = boardConfig(dir_);
+    options.workers = 2;
+    options.leaseTtlSeconds = 0.5;
+    options.backoffInitialSeconds = 0.02;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardSupervisorTest, CleanRunMergesBitIdenticalToReference) {
+  sim::ShardSupervisor supervisor(supervisorOptions());
+  const auto report = supervisor.run(workerArgv());
+
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.spawns, 2);
+  EXPECT_EQ(report.crashes, 0);
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_EQ(report.merge.records.size(), kPoints);
+  EXPECT_EQ(report.merge.missing, 0u);
+  EXPECT_EQ(report.merge.resultsCrc, referenceCrc());
+}
+
+TEST_F(ShardSupervisorTest, SelfSigkilledWorkerIsRestartedMergeIdentical) {
+  // The first worker incarnation to journal 2 points SIGKILLs itself
+  // mid-range (every shard holds 3) — the marker file makes the kill
+  // happen exactly once, so the restarted worker finishes the board.
+  auto argv = workerArgv();
+  argv.push_back("--kill-after=2");
+  argv.push_back("--marker=" + dir_ + "/kill.marker");
+
+  sim::ShardSupervisor supervisor(supervisorOptions());
+  const auto report = supervisor.run(argv);
+
+  EXPECT_GE(report.crashes, 1);
+  EXPECT_GE(report.restarts, 1);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.merge.missing, 0u);
+  EXPECT_EQ(report.merge.resultsCrc, referenceCrc());
+}
+
+TEST_F(ShardSupervisorTest, ExternallySigkilledWorkerLeaseIsReclaimed) {
+  // SIGKILL the first spawned worker from outside once it is mid-range;
+  // its lease expires and is reclaimed (by its restarted self or the
+  // peer), and the merge stays bit-identical.
+  std::atomic<pid_t> firstPid{-1};
+  auto options = supervisorOptions();
+  options.onSpawn = [&firstPid](int, pid_t pid) {
+    pid_t expected = -1;
+    firstPid.compare_exchange_strong(expected, pid);
+  };
+  std::thread killer([&firstPid] {
+    while (firstPid.load() < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    ::kill(firstPid.load(), SIGKILL);
+  });
+
+  sim::ShardSupervisor supervisor(options);
+  const auto report = supervisor.run(workerArgv());
+  killer.join();
+
+  EXPECT_GE(report.crashes, 1);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.merge.missing, 0u);
+  EXPECT_EQ(report.merge.resultsCrc, referenceCrc());
+}
+
+TEST_F(ShardSupervisorTest, ExhaustedRestartBudgetDegradesToPartial) {
+  // With a zero restart budget a single self-kill cannot be repaired:
+  // the supervisor degrades to a partial merge instead of throwing, and
+  // the points journaled before the kill survive.
+  auto argv = workerArgv();
+  argv.push_back("--kill-after=2");
+  argv.push_back("--marker=" + dir_ + "/kill.marker");
+
+  auto options = supervisorOptions();
+  options.workers = 1;
+  options.restartBudget = 0;
+  sim::ShardSupervisor supervisor(options);
+  const auto report = supervisor.run(argv);
+
+  EXPECT_GE(report.crashes, 1);
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_TRUE(report.restartBudgetExhausted);
+  EXPECT_FALSE(report.complete());
+  EXPECT_GT(report.merge.missing, 0u);
+  // Whatever was durably appended before the kill survives the merge.
+  EXPECT_GE(report.merge.records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fefet
+
+// Custom main: dispatch worker mode before gtest parses argv.  Defining
+// main here keeps the linker from pulling gtest_main's copy in.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard-test-worker") == 0) {
+      return fefet::shardTestWorkerMain(argc, argv);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
