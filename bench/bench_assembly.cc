@@ -3,17 +3,22 @@
 // the dense->sparse crossover, i.e. the configuration where assembly cost
 // used to rival the LU itself).
 //
-// Measures the assemble and solve phases separately for both engines over
-// identical iterates, checks residual parity between them (a wrong-answer
-// speedup is worthless), and emits one machine-readable PERF line:
+// Measures the assemble and solve phases separately for three engines —
+// legacy virtual dispatch, compiled scalar slot replay, and compiled with
+// SoA batched device kernels — over identical iterates, checks residual
+// parity between them (a wrong-answer speedup is worthless), and emits
+// one machine-readable PERF line:
 //
 //   PERF {"bench":"bench_assembly","unknowns":...,"reps":...,
 //         "legacy_assemble_s":...,"compiled_assemble_s":...,
-//         "assembly_speedup":...,"legacy_solve_s":...,
-//         "compiled_solve_s":...,"stamps_per_sec":...}
+//         "batched_assemble_s":...,"assembly_speedup":...,
+//         "batched_speedup":...,"batched_vs_compiled":...,
+//         "legacy_solve_s":...,"compiled_solve_s":...,
+//         "stamps_per_sec":...}
 //
 // scripts/check.sh runs this as its perf smoke and asserts
-// assembly_speedup >= 1.5 on an optimized build.
+// assembly_speedup >= 1.5 and batched_speedup >= 1.5 on an optimized
+// build.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -83,6 +88,10 @@ int run() {
   const auto compiledAssemble = [&] {
     compiled.assemble(n, view, /*dc=*/false, kTime, kDt, kMethod, kGmin);
   };
+  const auto batchedAssemble = [&] {
+    compiled.assemble(n, view, /*dc=*/false, kTime, kDt, kMethod, kGmin,
+                      /*useBatchedKernels=*/true);
+  };
 
   // Parity sanity before timing: a fast wrong answer is not a result.
   legacyAssemble();
@@ -91,6 +100,15 @@ int run() {
     const auto u = static_cast<std::size_t>(i);
     if (legacy.residual()[u] != compiled.residual()[u]) {
       std::fprintf(stderr, "FAIL: residual parity broke at row %d\n", i);
+      return 1;
+    }
+  }
+  batchedAssemble();
+  for (int i = 0; i < unknowns; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    if (legacy.residual()[u] != compiled.residual()[u]) {
+      std::fprintf(stderr, "FAIL: batched residual parity broke at row %d\n",
+                   i);
       return 1;
     }
   }
@@ -107,6 +125,10 @@ int run() {
   for (int r = 0; r < kReps; ++r) compiledAssemble();
   const double compiledAssembleS = tCompiledAsm.seconds();
 
+  bench::WallTimer tBatchedAsm;
+  for (int r = 0; r < kReps; ++r) batchedAssemble();
+  const double batchedAssembleS = tBatchedAsm.seconds();
+
   bench::WallTimer tLegacySolve;
   for (int r = 0; r < kReps; ++r) legacy.solveForUpdate(dx);
   const double legacySolveS = tLegacySolve.seconds();
@@ -119,6 +141,10 @@ int run() {
 
   const double speedup =
       compiledAssembleS > 0.0 ? legacyAssembleS / compiledAssembleS : 0.0;
+  const double batchedSpeedup =
+      batchedAssembleS > 0.0 ? legacyAssembleS / batchedAssembleS : 0.0;
+  const double batchedVsCompiled =
+      batchedAssembleS > 0.0 ? compiledAssembleS / batchedAssembleS : 0.0;
   const auto mode = stampModeFor(/*dc=*/false, kMethod);
   const std::size_t stampsPerAssembly =
       n.stampPattern().jacobianCalls(mode).size();
@@ -128,22 +154,27 @@ int run() {
           : 0.0;
 
   std::printf("assemble: legacy %.1f us/iter, compiled %.1f us/iter "
-              "(%.2fx)\n",
+              "(%.2fx), batched %.1f us/iter (%.2fx)\n",
               legacyAssembleS / kReps * 1e6, compiledAssembleS / kReps * 1e6,
-              speedup);
+              speedup, batchedAssembleS / kReps * 1e6, batchedSpeedup);
   std::printf("solve:    legacy %.1f us/iter, compiled %.1f us/iter\n",
               legacySolveS / kReps * 1e6, compiledSolveS / kReps * 1e6);
   std::printf(
       "PERF {\"bench\":\"bench_assembly\",\"unknowns\":%d,\"reps\":%d,"
       "\"legacy_assemble_s\":%.4f,\"compiled_assemble_s\":%.4f,"
-      "\"assembly_speedup\":%.2f,\"legacy_solve_s\":%.4f,"
+      "\"batched_assemble_s\":%.4f,\"assembly_speedup\":%.2f,"
+      "\"batched_speedup\":%.2f,\"batched_vs_compiled\":%.2f,"
+      "\"legacy_solve_s\":%.4f,"
       "\"compiled_solve_s\":%.4f,\"stamps_per_sec\":%.3g}\n",
-      unknowns, kReps, legacyAssembleS, compiledAssembleS, speedup,
-      legacySolveS, compiledSolveS, stampsPerSec);
+      unknowns, kReps, legacyAssembleS, compiledAssembleS, batchedAssembleS,
+      speedup, batchedSpeedup, batchedVsCompiled, legacySolveS,
+      compiledSolveS, stampsPerSec);
 
   telemetry.report().addCount("unknowns", static_cast<std::uint64_t>(unknowns));
   telemetry.report().addCount("reps", static_cast<std::uint64_t>(kReps));
   telemetry.report().addNumber("assembly_speedup", speedup);
+  telemetry.report().addNumber("batched_speedup", batchedSpeedup);
+  telemetry.report().addNumber("batched_vs_compiled", batchedVsCompiled);
   telemetry.report().addNumber("stamps_per_sec", stampsPerSec);
   telemetry.finish();
   return 0;

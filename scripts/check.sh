@@ -15,8 +15,8 @@
 #     tally, wall-clock and from_journal fields excluded) to match an
 #     uninterrupted run bit for bit;
 #  4. assembly perf smoke: bench_assembly on an optimized build must show
-#     the compiled stamp pipeline beating legacy dispatch by >= 1.5x on
-#     an array-scale (sparse-path) netlist;
+#     the compiled stamp pipeline AND the SoA batched kernels each beating
+#     legacy dispatch by >= 1.5x on an array-scale (sparse-path) netlist;
 #  5. observability smoke: a traced bench_variability sweep must emit a
 #     metrics-JSON report with nonzero newton/assembler/sweep/controller
 #     counters and a Chrome trace with the nested span taxonomy (both
@@ -119,7 +119,14 @@ if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
   echo "FAIL: assembly speedup $SPEEDUP is below the 1.5x floor" >&2
   exit 1
 fi
-echo "assembly perf smoke passed (speedup ${SPEEDUP}x)"
+BATCHED_SPEEDUP=$(echo "$PERF_OUT" | grep '^PERF ' \
+  | sed -E 's/.*"batched_speedup":([0-9.]+).*/\1/')
+if ! awk -v s="$BATCHED_SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
+  echo "FAIL: batched speedup $BATCHED_SPEEDUP is below the 1.5x floor" >&2
+  exit 1
+fi
+echo "assembly perf smoke passed (compiled ${SPEEDUP}x," \
+     "batched ${BATCHED_SPEEDUP}x)"
 
 echo "== observability smoke: metrics + trace capture, near-free telemetry =="
 cmake --build "$PERF_BUILD_DIR" -j"$(nproc)" --target bench_variability

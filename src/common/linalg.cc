@@ -120,6 +120,43 @@ void DenseLuFactorizer::solve(std::span<const double> b,
   detail::denseLuSolve(lu_, perm_, b, x);
 }
 
+void DenseLuFactorizer::solveMulti(std::span<const double> b,
+                                   std::span<double> x,
+                                   std::size_t nrhs) const {
+  FEFET_REQUIRE(factored_,
+                "DenseLuFactorizer::solveMulti called before factor()");
+  const std::size_t n = lu_.rows();
+  FEFET_REQUIRE(b.size() == n * nrhs && x.size() == n * nrhs,
+                "DenseLuFactorizer::solveMulti: size mismatch");
+  // Permutation, column by column.
+  for (std::size_t c = 0; c < nrhs; ++c) {
+    for (std::size_t i = 0; i < n; ++i) x[c * n + i] = b[c * n + perm_[i]];
+  }
+  // Forward substitution on unit-lower L, blocked over columns.  For every
+  // column the updates to x[c*n + i] happen in the same j order as the
+  // scalar kernel's register accumulation, so the results are
+  // bit-identical per column.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double l = lu_.at(i, j);
+      for (std::size_t c = 0; c < nrhs; ++c) {
+        x[c * n + i] -= l * x[c * n + j];
+      }
+    }
+  }
+  // Backward substitution on U.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double u = lu_.at(i, j);
+      for (std::size_t c = 0; c < nrhs; ++c) {
+        x[c * n + i] -= u * x[c * n + j];
+      }
+    }
+    const double diag = lu_.at(i, i);
+    for (std::size_t c = 0; c < nrhs; ++c) x[c * n + i] /= diag;
+  }
+}
+
 void SparseMatrix::setZero() {
   for (auto& row : rows_) row.clear();
 }
@@ -517,6 +554,54 @@ void SparseLuFactorizer::solve(std::span<const double> b,
   }
 }
 
+void SparseLuFactorizer::solveMulti(std::span<const double> b,
+                                    std::span<double> x,
+                                    std::size_t nrhs) const {
+  FEFET_REQUIRE(factored_,
+                "SparseLuFactorizer::solveMulti called before factor()");
+  FEFET_REQUIRE(b.size() == n_ * nrhs && x.size() == n_ * nrhs,
+                "SparseLuFactorizer::solveMulti: size mismatch");
+  for (std::size_t c = 0; c < nrhs; ++c) {
+    for (std::size_t i = 0; i < n_; ++i) x[c * n_ + i] = b[c * n_ + perm_[i]];
+  }
+  // Forward substitution, blocked over columns: every (i, j) elimination
+  // step is applied to all right-hand sides before moving on, so each
+  // column sees the identical operation sequence as the scalar solve().
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t r = perm_[i];
+    const auto& cols = fullCols_[r];
+    const auto& v = vals_[r];
+    for (std::size_t j = 0; j < cols.size() && cols[j] < i; ++j) {
+      const double l = v[j];
+      const std::size_t cj = cols[j];
+      for (std::size_t c = 0; c < nrhs; ++c) {
+        x[c * n_ + i] -= l * x[c * n_ + cj];
+      }
+    }
+  }
+  // Backward substitution on U.
+  for (std::size_t i = n_; i-- > 0;) {
+    const std::size_t r = perm_[i];
+    const auto& cols = fullCols_[r];
+    const auto& v = vals_[r];
+    double diag = 0.0;
+    const std::size_t start = static_cast<std::size_t>(
+        std::lower_bound(cols.begin(), cols.end(), i) - cols.begin());
+    for (std::size_t j = start; j < cols.size(); ++j) {
+      if (cols[j] == i) {
+        diag = v[j];
+        continue;
+      }
+      const double u = v[j];
+      const std::size_t cj = cols[j];
+      for (std::size_t c = 0; c < nrhs; ++c) {
+        x[c * n_ + i] -= u * x[c * n_ + cj];
+      }
+    }
+    for (std::size_t c = 0; c < nrhs; ++c) x[c * n_ + i] /= diag;
+  }
+}
+
 void LinearSolver::solve(const SparseMatrix& a, std::span<const double> b,
                          std::vector<double>& x, bool reuseStructure) {
   x.resize(n_);
@@ -559,6 +644,38 @@ void LinearSolver::solve(const CsrView& a, std::span<const double> b,
   }
   SparseLu lu(rowMap);
   x = lu.solve(b);
+}
+
+void LinearSolver::solveMulti(const CsrView& a, std::span<const double> b,
+                              std::vector<double>& x, std::size_t nrhs,
+                              bool reuseStructure) {
+  x.resize(n_ * nrhs);
+  if (reuseStructure) {
+    sparseFactor_.factor(a);
+    sparseFactor_.solveMulti(b, x, nrhs);
+    return;
+  }
+  // Diagnostic path: one fresh factorization, column-at-a-time solves —
+  // still factor-once, matching the scalar no-reuse path per column.
+  SparseMatrix rowMap(a.n);
+  for (std::size_t r = 0; r < a.n; ++r) {
+    for (std::size_t p = a.rowPtr[r]; p < a.rowPtr[r + 1]; ++p) {
+      rowMap.add(r, a.colIdx[p], a.values[p]);
+    }
+  }
+  SparseLu lu(rowMap);
+  for (std::size_t c = 0; c < nrhs; ++c) {
+    const std::vector<double> col = lu.solve(b.subspan(c * n_, n_));
+    std::copy(col.begin(), col.end(), x.begin() + static_cast<std::ptrdiff_t>(c * n_));
+  }
+}
+
+void LinearSolver::solveMulti(std::span<const double> rowMajor,
+                              std::span<const double> b,
+                              std::vector<double>& x, std::size_t nrhs) {
+  x.resize(n_ * nrhs);
+  denseFactor_.factor(n_, rowMajor);
+  denseFactor_.solveMulti(b, x, nrhs);
 }
 
 double normInf(std::span<const double> v) {

@@ -98,6 +98,14 @@ class DenseLuFactorizer {
   /// Solve A x = b with the most recent factorization (x sized n).
   void solve(std::span<const double> b, std::span<double> x) const;
 
+  /// Multi-RHS solve: b and x hold `nrhs` column-contiguous right-hand
+  /// sides / solutions (column c occupies [c*n, (c+1)*n)).  The blocked
+  /// substitution walks the factor once and applies every elimination step
+  /// to all columns, so each column's arithmetic sequence — and therefore
+  /// its IEEE result — is bit-identical to a scalar solve() of that column.
+  void solveMulti(std::span<const double> b, std::span<double> x,
+                  std::size_t nrhs) const;
+
   bool factored() const { return factored_; }
 
  private:
@@ -192,6 +200,12 @@ class SparseLuFactorizer {
   /// Allocation-free overload: x must be sized n.
   void solve(std::span<const double> b, std::span<double> x) const;
 
+  /// Multi-RHS solve over `nrhs` column-contiguous right-hand sides (see
+  /// DenseLuFactorizer::solveMulti).  One traversal of the cached factor
+  /// serves all columns; per-column results are bit-identical to solve().
+  void solveMulti(std::span<const double> b, std::span<double> x,
+                  std::size_t nrhs) const;
+
   bool factored() const { return factored_; }
 
   /// Diagnostics: how many full (symbolic + numeric) factorizations and
@@ -270,6 +284,15 @@ class LinearSolver {
   /// without it the matrix is copied into a row-map and factored fresh.
   void solve(const CsrView& a, std::span<const double> b,
              std::vector<double>& x, bool reuseStructure);
+
+  /// Multi-RHS variants: factor A once and solve `nrhs` column-contiguous
+  /// right-hand sides in one blocked substitution pass.  Each column is
+  /// bit-identical to the corresponding single-RHS solve() call.
+  void solveMulti(const CsrView& a, std::span<const double> b,
+                  std::vector<double>& x, std::size_t nrhs,
+                  bool reuseStructure);
+  void solveMulti(std::span<const double> rowMajor, std::span<const double> b,
+                  std::vector<double>& x, std::size_t nrhs);
 
   /// Structure-cache diagnostics (zeros on the dense path).
   const SparseLuFactorizer& sparseFactorizer() const { return sparseFactor_; }

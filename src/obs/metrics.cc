@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -54,6 +55,14 @@ Histogram::Histogram(std::span<const double> edges)
 }
 
 void Histogram::observe(double value) {
+  if (std::isnan(value)) {
+    // A NaN fails every `value <= edge` comparison (so it would count as
+    // overflow) and turns the running sum into NaN permanently.  Drop it
+    // from the distribution and tally it separately.
+    shards_[static_cast<std::size_t>(shardIndex())].nan.fetch_add(
+        1, std::memory_order_relaxed);
+    return;
+  }
   std::size_t bucket = edges_.size();  // overflow unless an edge catches it
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     if (value <= edges_[i]) {
@@ -97,6 +106,14 @@ double Histogram::sum() const {
   return total;
 }
 
+std::uint64_t Histogram::nanCount() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.nan.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void Histogram::reset() {
   for (auto& shard : shards_) {
     for (std::size_t i = 0; i < bucketCount(); ++i) {
@@ -104,6 +121,7 @@ void Histogram::reset() {
     }
     shard.count.store(0, std::memory_order_relaxed);
     shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.nan.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -152,6 +170,7 @@ MetricsSnapshot Metrics::snapshot() {
     h.buckets = histogram->bucketTotals();
     h.count = histogram->count();
     h.sum = histogram->sum();
+    h.nan = histogram->nanCount();
     snap.histograms.push_back(std::move(h));
   }
   return snap;  // std::map iterates sorted, so the vectors are sorted
@@ -204,7 +223,8 @@ std::string MetricsSnapshot::toJson() const {
       out += std::to_string(h.buckets[i]);
     }
     out += "],\"count\":" + std::to_string(h.count) +
-           ",\"sum\":" + strings::jsonNumber(h.sum) + '}';
+           ",\"sum\":" + strings::jsonNumber(h.sum) +
+           ",\"nan\":" + std::to_string(h.nan) + '}';
   }
   out += "}}";
   return out;

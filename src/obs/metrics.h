@@ -91,6 +91,12 @@ class Gauge {
 /// overflow bucket catches v > edges.back().  Edges are fixed at
 /// registration; observe() is a linear scan over <= ~16 edges plus one
 /// relaxed fetch_add — allocation-free.
+///
+/// NaN observations are dropped from the buckets, count and sum (a NaN
+/// would land in the overflow bucket — every `v <= edge` comparison is
+/// false — and poison the running sum forever) and tallied separately in
+/// nanCount(), so a producer emitting garbage is visible without
+/// corrupting the distribution.
 class Histogram {
  public:
   explicit Histogram(std::span<const double> edges);
@@ -107,6 +113,8 @@ class Histogram {
   std::vector<std::uint64_t> bucketTotals() const;
   std::uint64_t count() const;
   double sum() const;
+  /// NaN observations dropped (excluded from buckets/count/sum).
+  std::uint64_t nanCount() const;
 
   void reset();
 
@@ -116,6 +124,7 @@ class Histogram {
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> nan{0};
   };
   std::vector<double> edges_;
   std::array<Shard, kMetricShards> shards_;
@@ -138,6 +147,7 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;  ///< edges.size() + 1 (overflow last)
     std::uint64_t count = 0;
     double sum = 0.0;
+    std::uint64_t nan = 0;  ///< NaN observations dropped
   };
   std::vector<CounterValue> counters;    ///< sorted by name
   std::vector<GaugeValue> gauges;        ///< sorted by name
@@ -150,7 +160,7 @@ struct MetricsSnapshot {
   /// PERF-v2-style JSON object:
   /// {"counters":{name:value,...},"gauges":{...},
   ///  "histograms":{name:{"edges":[...],"buckets":[...],
-  ///                      "count":N,"sum":S},...}}
+  ///                      "count":N,"sum":S,"nan":N},...}}
   std::string toJson() const;
 };
 

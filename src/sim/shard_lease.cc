@@ -175,8 +175,22 @@ void writeAllAndSync(int fd, const std::string& path, const std::string& data) {
 }  // namespace
 
 std::uint64_t shardClockNanos() {
+  // CLOCK_BOOTTIME, not CLOCK_MONOTONIC: lease heartbeat deadlines must
+  // keep counting across a system suspend.  CLOCK_MONOTONIC freezes while
+  // the host sleeps, so a worker SIGKILLed just before a laptop lid close
+  // would hold its lease for the entire suspended interval and stall every
+  // survivor on wake.  BOOTTIME includes suspended time (same boot epoch,
+  // still comparable across processes on one host).  Fall back to
+  // MONOTONIC on kernels/filesystems where BOOTTIME is unavailable —
+  // the clocks are identical on hosts that never suspend.
   timespec ts{};
+#ifdef CLOCK_BOOTTIME
+  if (::clock_gettime(CLOCK_BOOTTIME, &ts) != 0) {
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  }
+#else
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
+#endif
   return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
          static_cast<std::uint64_t>(ts.tv_nsec);
 }

@@ -14,8 +14,9 @@
 // The point space [0, points) is partitioned into `shards` contiguous
 // ranges.  A worker acquires a shard by appending an `acquire` record
 // carrying a monotonic *fencing token* and a heartbeat deadline
-// (CLOCK_MONOTONIC nanoseconds — comparable across processes on one
-// host), then owns the range until it releases it, marks it complete, or
+// (CLOCK_BOOTTIME nanoseconds — comparable across processes on one
+// host, and still advancing across suspend), then owns the range until
+// it releases it, marks it complete, or
 // lets the lease expire.  Races are resolved without locks: after
 // appending, the claimant re-reads the journal, and the FIRST acquire
 // record at the winning token is the owner (O_APPEND gives a total file
@@ -49,10 +50,13 @@
 
 namespace fefet::sim {
 
-/// CLOCK_MONOTONIC nanoseconds: the shared lease clock.  Unlike
+/// CLOCK_BOOTTIME nanoseconds (CLOCK_MONOTONIC fallback where BOOTTIME
+/// is unavailable): the shared lease clock.  Unlike
 /// fefet::monotonicNanos() (process-start epoch), this epoch is the host
 /// boot, so heartbeat deadlines written by one process are comparable in
-/// another.
+/// another.  BOOTTIME keeps advancing while the host is suspended, so a
+/// dead worker's lease expires on wall time rather than surviving a
+/// suspend interval frozen (CLOCK_MONOTONIC stops during suspend).
 std::uint64_t shardClockNanos();
 
 /// One run shape, shared by the board header, every shard journal header

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "spice/device_batch.h"
 
 namespace fefet::spice {
 
@@ -17,13 +18,15 @@ struct AssemblerTelemetry {
   obs::Counter& assemblies;
   obs::Counter& stamps;
   obs::Counter& patternReuseHits;
+  obs::Counter& batchedAssemblies;
 };
 
 AssemblerTelemetry& assemblerTelemetry() {
   static AssemblerTelemetry t{
       obs::Metrics::counter("fefet.assembler.assemblies"),
       obs::Metrics::counter("fefet.assembler.stamps"),
-      obs::Metrics::counter("fefet.assembler.pattern_reuse_hits")};
+      obs::Metrics::counter("fefet.assembler.pattern_reuse_hits"),
+      obs::Metrics::counter("fefet.assembler.batched_assemblies")};
   return t;
 }
 
@@ -72,7 +75,8 @@ Assembler::Assembler(const StampPattern& pattern, bool useSparse)
 
 void Assembler::assemble(const Netlist& netlist, const SystemView& view,
                          bool dc, double time, double dt,
-                         IntegrationMethod method, double gmin) {
+                         IntegrationMethod method, double gmin,
+                         bool useBatchedKernels) {
   const auto& devices = netlist.devices();
   FEFET_REQUIRE(devices.size() == pattern_.deviceCount(),
                 "compiled stamp pipeline: netlist device list changed after "
@@ -93,16 +97,21 @@ void Assembler::assemble(const Netlist& netlist, const SystemView& view,
   buffer_.slotEnd_ = slots.data() + slots.size();
 
   EvalContext ctx{view, dc, time, dt, method, gmin, &buffer_, nullptr};
-  for (std::size_t i = 0; i < devices.size(); ++i) {
-    devices[i]->stamp(ctx);
-    if (buffer_.jacobianCalls() != ends[i]) {
-      std::ostringstream os;
-      os << "compiled stamp pipeline: device '" << devices[i]->name()
-         << "' emitted " << buffer_.jacobianCalls() - (i > 0 ? ends[i - 1] : 0)
-         << " Jacobian entries but the recorded pattern has "
-         << ends[i] - (i > 0 ? ends[i - 1] : 0)
-         << " — stamp sequences must be a fixed function of (dc, method)";
-      throw NumericalError(os.str());
+  if (useBatchedKernels) {
+    netlist.deviceBatches().stampAll(ctx, ends);
+  } else {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      devices[i]->stamp(ctx);
+      if (buffer_.jacobianCalls() != ends[i]) {
+        std::ostringstream os;
+        os << "compiled stamp pipeline: device '" << devices[i]->name()
+           << "' emitted "
+           << buffer_.jacobianCalls() - (i > 0 ? ends[i - 1] : 0)
+           << " Jacobian entries but the recorded pattern has "
+           << ends[i] - (i > 0 ? ends[i - 1] : 0)
+           << " — stamp sequences must be a fixed function of (dc, method)";
+        throw NumericalError(os.str());
+      }
     }
   }
 
@@ -111,6 +120,7 @@ void Assembler::assemble(const Netlist& netlist, const SystemView& view,
     t.assemblies.increment();
     t.stamps.add(devices.size());
     if (modeUsed_[static_cast<std::size_t>(m)]) t.patternReuseHits.increment();
+    if (useBatchedKernels) t.batchedAssemblies.increment();
   }
   modeUsed_[static_cast<std::size_t>(m)] = true;
 

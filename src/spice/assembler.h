@@ -37,10 +37,12 @@ class Assembler {
   /// Assemble one Newton evaluation: zero the storage, stamp every device
   /// through the slot program of (dc, method) and apply gmin.  Throws
   /// NumericalError naming the culprit device if a call sequence deviates
-  /// from the recorded pattern.
+  /// from the recorded pattern.  With useBatchedKernels the device loop is
+  /// replaced by the SoA batch path (netlist.deviceBatches().stampAll) —
+  /// bit-identical scatter order, type-major evaluation.
   void assemble(const Netlist& netlist, const SystemView& view, bool dc,
                 double time, double dt, IntegrationMethod method,
-                double gmin);
+                double gmin, bool useBatchedKernels = false);
 
   /// Solve J dx = -F into dx (resized to the system size).  Throws
   /// NumericalError when the Jacobian is singular.

@@ -26,16 +26,31 @@ inline constexpr NodeId kGround = 0;
 enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
 
 /// Read access to the current Newton iterate.
+/// Indexing convention (audited, PR 7): the unknown vector is laid out as
+/// node rows first, aux rows after —
+///   x[row] with row = node - 1        for node voltages (node 1 -> row 0;
+///                                     ground is node 0 and has no row), and
+///   x[auxRow]                         for auxiliary unknowns, where auxRow
+///                                     is ABSOLUTE (>= nodeCount): the
+///                                     AuxAllocator starts at nodeCount(),
+///                                     so allocated rows are passed through
+///                                     unshifted.
+/// nodeVoltage() applies the -1 shift; aux() does not.  Passing a node id
+/// to aux() or an aux row to nodeVoltage() is therefore always a bug —
+/// rowOfNode(node) == node - 1 is the only node-to-row mapping, and
+/// SetupContext::allocateAux() results are the only valid aux() inputs.
 class SystemView {
  public:
   SystemView(std::span<const double> x, int nodeCount)
       : x_(x), nodeCount_(nodeCount) {}
 
-  /// Voltage of a node (ground returns 0).
+  /// Voltage of a node (ground returns 0).  `node` is a node id, not a
+  /// row: the -1 shift happens here.
   double nodeVoltage(NodeId node) const {
     return node == kGround ? 0.0 : x_[static_cast<std::size_t>(node - 1)];
   }
-  /// Value of an auxiliary unknown by absolute row index.
+  /// Value of an auxiliary unknown by absolute row index (as returned by
+  /// SetupContext::allocateAux — already >= nodeCount, no shift applied).
   double aux(int auxRow) const { return x_[static_cast<std::size_t>(auxRow)]; }
 
   int nodeCount() const { return nodeCount_; }

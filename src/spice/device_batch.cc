@@ -1,0 +1,522 @@
+#include "spice/device_batch.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "ferro/lk_model.h"
+#include "spice/extras.h"
+#include "spice/fecap_device.h"
+#include "spice/mosfet_device.h"
+#include "spice/netlist.h"
+#include "spice/passives.h"
+#include "spice/sources.h"
+
+namespace fefet::spice {
+
+DeviceBatches::DeviceBatches(const Netlist& netlist) {
+  const auto& devices = netlist.devices();
+  order_.reserve(devices.size());
+  refs_.reserve(devices.size());
+
+  const auto lane = [](std::size_t size) {
+    return static_cast<std::uint32_t>(size);
+  };
+  for (const auto& owned : devices) {
+    Device* device = owned.get();
+    order_.push_back(device);
+    Ref ref;
+    if (auto* r = dynamic_cast<Resistor*>(device)) {
+      ref = {Kind::kResistor, lane(resistors_.a.size())};
+      resistors_.a.push_back(r->a_);
+      resistors_.b.push_back(r->b_);
+      resistors_.g.push_back(1.0 / r->resistance_);
+    } else if (auto* c = dynamic_cast<Capacitor*>(device)) {
+      ref = {Kind::kCapacitor, lane(capacitors_.a.size())};
+      capacitors_.dev.push_back(c);
+      capacitors_.a.push_back(c->a_);
+      capacitors_.b.push_back(c->b_);
+      capacitors_.c.push_back(c->capacitance_);
+    } else if (auto* v = dynamic_cast<VoltageSource*>(device)) {
+      ref = {Kind::kVoltageSource, lane(vsources_.plus.size())};
+      vsources_.dev.push_back(v);
+      vsources_.plus.push_back(v->plus_);
+      vsources_.minus.push_back(v->minus_);
+      vsources_.auxRow.push_back(v->auxRow_);
+    } else if (auto* i = dynamic_cast<CurrentSource*>(device)) {
+      ref = {Kind::kCurrentSource, lane(isources_.from.size())};
+      isources_.dev.push_back(i);
+      isources_.from.push_back(i->from_);
+      isources_.to.push_back(i->to_);
+    } else if (auto* d = dynamic_cast<Diode*>(device)) {
+      ref = {Kind::kDiode, lane(diodes_.anode.size())};
+      diodes_.anode.push_back(d->anode_);
+      diodes_.cathode.push_back(d->cathode_);
+      // Same expression sequence as Diode::stamp, evaluated once.
+      const double vt = constants::kBoltzmann * d->params_.temperature /
+                        constants::kElementaryCharge *
+                        d->params_.idealityFactor;
+      diodes_.isat.push_back(d->params_.saturationCurrent);
+      diodes_.vt.push_back(vt);
+      diodes_.vmax.push_back(40.0 * vt);
+    } else if (auto* m = dynamic_cast<MosfetDevice*>(device)) {
+      ref = {Kind::kMosfet, lane(mosfets_.dev.size())};
+      mosfets_.dev.push_back(m);
+      mosfets_.drain.push_back(m->drain_);
+      mosfets_.gate.push_back(m->gate_);
+      mosfets_.source.push_back(m->source_);
+      mosfets_.model.push_back(&m->model_);
+      mosfets_.gateLeak.push_back(m->gateLeak_);
+      mosfets_.overlapCap.push_back(m->overlapCap_);
+      mosfets_.junctionCap.push_back(m->junctionCap_);
+      mosfets_.gateArea.push_back(m->model_.gateArea());
+    } else if (auto* f = dynamic_cast<FeCapDevice*>(device)) {
+      ref = {Kind::kFeCap, lane(fecaps_.dev.size())};
+      fecaps_.dev.push_back(f);
+      fecaps_.a.push_back(f->a_);
+      fecaps_.b.push_back(f->b_);
+      fecaps_.auxRow.push_back(f->auxRow_);
+      fecaps_.tFe.push_back(f->geom_.thickness);
+      fecaps_.area.push_back(f->geom_.area);
+      fecaps_.rho.push_back(f->lk_.coefficients().rho);
+      fecaps_.backgroundCap.push_back(f->backgroundCap_);
+      fecaps_.lk.push_back(&f->lk_);
+    } else {
+      ref = {Kind::kGeneric, 0};
+    }
+    if (ref.kind != Kind::kGeneric) ++batchedCount_;
+    refs_.push_back(ref);
+  }
+
+  // Size the scratch lanes once — assemble-time phases never allocate.
+  resistors_.i.resize(resistors_.a.size());
+  capacitors_.i.resize(capacitors_.a.size());
+  capacitors_.g.resize(capacitors_.a.size());
+  vsources_.v.resize(vsources_.plus.size());
+  isources_.i.resize(isources_.from.size());
+  diodes_.i.resize(diodes_.anode.size());
+  diodes_.g.resize(diodes_.anode.size());
+  const std::size_t nm = mosfets_.dev.size();
+  mosfets_.vd.resize(nm);
+  mosfets_.vg.resize(nm);
+  mosfets_.vs.resize(nm);
+  mosfets_.op.resize(nm);
+  mosfets_.qDensity.resize(nm);
+  mosfets_.cDensity.resize(nm);
+  mosfets_.chanI.resize(nm);
+  mosfets_.chanG.resize(nm);
+  mosfets_.ovlGdI.resize(nm);
+  mosfets_.ovlGdG.resize(nm);
+  mosfets_.ovlGsI.resize(nm);
+  mosfets_.ovlGsG.resize(nm);
+  mosfets_.junDI.resize(nm);
+  mosfets_.junDG.resize(nm);
+  mosfets_.junSI.resize(nm);
+  mosfets_.junSG.resize(nm);
+  const std::size_t nf = fecaps_.dev.size();
+  fecaps_.p.resize(nf);
+  fecaps_.pPrev.resize(nf);
+  fecaps_.field.resize(nf);
+  fecaps_.slope.resize(nf);
+  fecaps_.dPdt.resize(nf);
+  fecaps_.dRatedP.resize(nf);
+  fecaps_.bgI.resize(nf);
+  fecaps_.bgG.resize(nf);
+}
+
+void DeviceBatches::stampAll(const EvalContext& ctx,
+                             std::span<const std::size_t> jacobianEnds) {
+  // Phase 1: type-major kernels into scratch.
+  evalResistors(ctx);
+  evalCapacitors(ctx);
+  evalVoltageSources(ctx);
+  evalCurrentSources(ctx);
+  evalDiodes(ctx);
+  evalMosfets(ctx);
+  evalFeCaps(ctx);
+
+  // Phase 2: scatter in netlist order — the accumulation order (and
+  // therefore the floating-point result) matches the scalar engine.
+  StampBuffer* buffer = ctx.buffer;
+  for (std::size_t i = 0; i < refs_.size(); ++i) {
+    const Ref ref = refs_[i];
+    switch (ref.kind) {
+      case Kind::kResistor: scatterResistor(ref.lane, ctx); break;
+      case Kind::kCapacitor: scatterCapacitor(ref.lane, ctx); break;
+      case Kind::kVoltageSource: scatterVoltageSource(ref.lane, ctx); break;
+      case Kind::kCurrentSource: scatterCurrentSource(ref.lane, ctx); break;
+      case Kind::kDiode: scatterDiode(ref.lane, ctx); break;
+      case Kind::kMosfet: scatterMosfet(ref.lane, ctx); break;
+      case Kind::kFeCap: scatterFeCap(ref.lane, ctx); break;
+      case Kind::kGeneric: order_[i]->stamp(ctx); break;
+    }
+    if (buffer != nullptr && buffer->jacobianCalls() != jacobianEnds[i]) {
+      throwCountMismatch(i, buffer->jacobianCalls(), jacobianEnds);
+    }
+  }
+}
+
+void DeviceBatches::throwCountMismatch(
+    std::size_t deviceIndex, std::size_t consumed,
+    std::span<const std::size_t> jacobianEnds) const {
+  const std::size_t before =
+      deviceIndex > 0 ? jacobianEnds[deviceIndex - 1] : 0;
+  std::ostringstream os;
+  os << "compiled stamp pipeline: device '" << order_[deviceIndex]->name()
+     << "' emitted " << consumed - before
+     << " Jacobian entries but the recorded pattern has "
+     << jacobianEnds[deviceIndex] - before
+     << " — stamp sequences must be a fixed function of (dc, method)";
+  throw NumericalError(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: batch kernels.  Every lane evaluates the same expression
+// sequence as the corresponding scalar Device::stamp — bit-identity
+// depends on it.
+
+void DeviceBatches::evalResistors(const EvalContext& ctx) {
+  ResistorBatch& batch = resistors_;
+  const SystemView& view = ctx.view;
+  const std::size_t n = batch.a.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double va = view.nodeVoltage(batch.a[k]);
+    const double vb = view.nodeVoltage(batch.b[k]);
+    batch.i[k] = batch.g[k] * (va - vb);
+  }
+}
+
+void DeviceBatches::evalCapacitors(const EvalContext& ctx) {
+  if (ctx.dc) return;  // scalar Capacitor::stamp is a no-op in DC
+  CapacitorBatch& batch = capacitors_;
+  const SystemView& view = ctx.view;
+  const std::size_t n = batch.a.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double v =
+        view.nodeVoltage(batch.a[k]) - view.nodeVoltage(batch.b[k]);
+    const double q = batch.c[k] * v;
+    const auto [i, dIdQ] = batch.dev[k]->charge_.currentFor(q, ctx);
+    batch.i[k] = i;
+    batch.g[k] = dIdQ * batch.c[k];
+  }
+}
+
+void DeviceBatches::evalVoltageSources(const EvalContext& ctx) {
+  VoltageSourceBatch& batch = vsources_;
+  const std::size_t n = batch.plus.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    batch.v[k] = batch.dev[k]->shape_(ctx.time);
+  }
+}
+
+void DeviceBatches::evalCurrentSources(const EvalContext& ctx) {
+  CurrentSourceBatch& batch = isources_;
+  const std::size_t n = batch.from.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    batch.i[k] = batch.dev[k]->shape_(ctx.time);
+  }
+}
+
+void DeviceBatches::evalDiodes(const EvalContext& ctx) {
+  DiodeBatch& batch = diodes_;
+  const SystemView& view = ctx.view;
+  const std::size_t n = batch.anode.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double v = view.nodeVoltage(batch.anode[k]) -
+                     view.nodeVoltage(batch.cathode[k]);
+    const double isat = batch.isat[k];
+    const double vt = batch.vt[k];
+    const double vmax = batch.vmax[k];
+    // Exponential with linear continuation above vmax (Diode::currentAt).
+    if (v <= vmax) {
+      batch.i[k] = isat * (std::exp(v / vt) - 1.0);
+      batch.g[k] = isat * std::exp(v / vt) / vt;
+    } else {
+      const double iMax = isat * (std::exp(vmax / vt) - 1.0);
+      const double gMax = isat * std::exp(vmax / vt) / vt;
+      batch.i[k] = iMax + gMax * (v - vmax);
+      batch.g[k] = gMax;
+    }
+  }
+}
+
+void DeviceBatches::evalMosfets(const EvalContext& ctx) {
+  MosfetBatch& batch = mosfets_;
+  const SystemView& view = ctx.view;
+  const std::size_t n = batch.dev.size();
+  if (n == 0) return;
+  for (std::size_t k = 0; k < n; ++k) {
+    batch.vd[k] = view.nodeVoltage(batch.drain[k]);
+    batch.vg[k] = view.nodeVoltage(batch.gate[k]);
+    batch.vs[k] = view.nodeVoltage(batch.source[k]);
+  }
+  xtor::MosfetModel::evaluateBatch(n, batch.model.data(), batch.vd.data(),
+                                   batch.vg.data(), batch.vs.data(),
+                                   batch.op.data());
+  if (ctx.dc) return;  // charge elements vanish in DC
+
+  // Intrinsic gate charge: vgs lanes reuse the qDensity scratch before the
+  // kernel overwrites it with the charge density.
+  for (std::size_t k = 0; k < n; ++k) {
+    batch.qDensity[k] = batch.vg[k] - batch.vs[k];
+  }
+  xtor::MosfetModel::gateChargeBatch(n, batch.model.data(),
+                                     batch.qDensity.data(),
+                                     batch.qDensity.data(),
+                                     batch.cDensity.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const MosfetDevice& dev = *batch.dev[k];
+    const double q = batch.gateArea[k] * batch.qDensity[k];
+    const auto [i, dIdQ] = dev.chanCharge_.currentFor(q, ctx);
+    batch.chanI[k] = i;
+    batch.chanG[k] = dIdQ * (batch.gateArea[k] * batch.cDensity[k]);
+  }
+  // Linear charge elements (same companion arithmetic as stampLinearCap).
+  for (std::size_t k = 0; k < n; ++k) {
+    const MosfetDevice& dev = *batch.dev[k];
+    const double vd = batch.vd[k];
+    const double vg = batch.vg[k];
+    const double vs = batch.vs[k];
+    const double ovl = batch.overlapCap[k];
+    const double jun = batch.junctionCap[k];
+    {
+      const auto [i, dIdQ] = dev.ovlGd_.currentFor(ovl * (vg - vd), ctx);
+      batch.ovlGdI[k] = i;
+      batch.ovlGdG[k] = dIdQ * ovl;
+    }
+    {
+      const auto [i, dIdQ] = dev.ovlGs_.currentFor(ovl * (vg - vs), ctx);
+      batch.ovlGsI[k] = i;
+      batch.ovlGsG[k] = dIdQ * ovl;
+    }
+    {
+      const auto [i, dIdQ] = dev.junD_.currentFor(jun * vd, ctx);
+      batch.junDI[k] = i;
+      batch.junDG[k] = dIdQ * jun;
+    }
+    {
+      const auto [i, dIdQ] = dev.junS_.currentFor(jun * vs, ctx);
+      batch.junSI[k] = i;
+      batch.junSG[k] = dIdQ * jun;
+    }
+  }
+}
+
+void DeviceBatches::evalFeCaps(const EvalContext& ctx) {
+  FeCapBatch& batch = fecaps_;
+  const SystemView& view = ctx.view;
+  const std::size_t n = batch.dev.size();
+  if (n == 0) return;
+  for (std::size_t k = 0; k < n; ++k) {
+    batch.p[k] = view.aux(batch.auxRow[k]);
+    batch.pPrev[k] = batch.dev[k]->pCommitted_;
+  }
+  // dP/dt companion form: the LK state always integrates backward Euler
+  // (FeCapDevice::rateFor — trapezoidal rings on the negative-capacitance
+  // branch).
+  if (ctx.dc || ctx.dt <= 0.0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      batch.dPdt[k] = 0.0;
+      batch.dRatedP[k] = 0.0;
+    }
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      batch.dPdt[k] = (batch.p[k] - batch.pPrev[k]) / ctx.dt;
+      batch.dRatedP[k] = 1.0 / ctx.dt;
+    }
+  }
+  ferro::LandauKhalatnikov::staticFieldBatch(n, batch.lk.data(),
+                                             batch.p.data(),
+                                             batch.field.data(),
+                                             batch.slope.data());
+  if (!ctx.dc) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double bc = batch.backgroundCap[k];
+      if (bc <= 0.0) continue;
+      const double v =
+          view.nodeVoltage(batch.a[k]) - view.nodeVoltage(batch.b[k]);
+      const auto [ib, dIdQ] =
+          batch.dev[k]->background_.currentFor(bc * v, ctx);
+      batch.bgI[k] = ib;
+      batch.bgG[k] = dIdQ * bc;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: netlist-order scatter.  Call sequences mirror the scalar stamp
+// implementations entry for entry.
+
+void DeviceBatches::scatterResistor(std::uint32_t lane,
+                                    const EvalContext& ctx) const {
+  const ResistorBatch& batch = resistors_;
+  const double g = batch.g[lane];
+  const double i = batch.i[lane];
+  const int ra = Stamper::rowOfNode(batch.a[lane]);
+  const int rb = Stamper::rowOfNode(batch.b[lane]);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
+}
+
+void DeviceBatches::scatterCapacitor(std::uint32_t lane,
+                                     const EvalContext& ctx) const {
+  if (ctx.dc) return;
+  const CapacitorBatch& batch = capacitors_;
+  const double i = batch.i[lane];
+  const double g = batch.g[lane];
+  const int ra = Stamper::rowOfNode(batch.a[lane]);
+  const int rb = Stamper::rowOfNode(batch.b[lane]);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
+}
+
+void DeviceBatches::scatterVoltageSource(std::uint32_t lane,
+                                         const EvalContext& ctx) const {
+  const VoltageSourceBatch& batch = vsources_;
+  const int rp = Stamper::rowOfNode(batch.plus[lane]);
+  const int rm = Stamper::rowOfNode(batch.minus[lane]);
+  const int aux = batch.auxRow[lane];
+  const double i = ctx.view.aux(aux);
+  const double vp = ctx.view.nodeVoltage(batch.plus[lane]);
+  const double vm = ctx.view.nodeVoltage(batch.minus[lane]);
+  ctx.addResidual(rp, i);
+  ctx.addResidual(rm, -i);
+  ctx.addJacobian(rp, aux, 1.0);
+  ctx.addJacobian(rm, aux, -1.0);
+  ctx.addResidual(aux, vp - vm - batch.v[lane]);
+  ctx.addJacobian(aux, rp, 1.0);
+  ctx.addJacobian(aux, rm, -1.0);
+}
+
+void DeviceBatches::scatterCurrentSource(std::uint32_t lane,
+                                         const EvalContext& ctx) const {
+  const CurrentSourceBatch& batch = isources_;
+  const double i = batch.i[lane];
+  ctx.addResidual(Stamper::rowOfNode(batch.from[lane]), i);
+  ctx.addResidual(Stamper::rowOfNode(batch.to[lane]), -i);
+}
+
+void DeviceBatches::scatterDiode(std::uint32_t lane,
+                                 const EvalContext& ctx) const {
+  const DiodeBatch& batch = diodes_;
+  const double i = batch.i[lane];
+  const double g = batch.g[lane];
+  const int ra = Stamper::rowOfNode(batch.anode[lane]);
+  const int rb = Stamper::rowOfNode(batch.cathode[lane]);
+  ctx.addResidual(ra, i);
+  ctx.addResidual(rb, -i);
+  ctx.addJacobian(ra, ra, g);
+  ctx.addJacobian(ra, rb, -g);
+  ctx.addJacobian(rb, ra, -g);
+  ctx.addJacobian(rb, rb, g);
+}
+
+void DeviceBatches::scatterMosfet(std::uint32_t lane,
+                                  const EvalContext& ctx) const {
+  const MosfetBatch& batch = mosfets_;
+  const int rd = Stamper::rowOfNode(batch.drain[lane]);
+  const int rg = Stamper::rowOfNode(batch.gate[lane]);
+  const int rs = Stamper::rowOfNode(batch.source[lane]);
+
+  const xtor::MosOperatingPoint& op = batch.op[lane];
+  const double gms = -(op.gm + op.gds);
+  ctx.addResidual(rd, op.ids);
+  ctx.addResidual(rs, -op.ids);
+  ctx.addJacobian(rd, rd, op.gds);
+  ctx.addJacobian(rd, rg, op.gm);
+  ctx.addJacobian(rd, rs, gms);
+  ctx.addJacobian(rs, rd, -op.gds);
+  ctx.addJacobian(rs, rg, -op.gm);
+  ctx.addJacobian(rs, rs, -gms);
+
+  const double gateLeak = batch.gateLeak[lane];
+  if (gateLeak > 0.0) {
+    const double il = gateLeak * (batch.vg[lane] - batch.vs[lane]);
+    ctx.addResidual(rg, il);
+    ctx.addResidual(rs, -il);
+    ctx.addJacobian(rg, rg, gateLeak);
+    ctx.addJacobian(rg, rs, -gateLeak);
+    ctx.addJacobian(rs, rg, -gateLeak);
+    ctx.addJacobian(rs, rs, gateLeak);
+  }
+
+  if (ctx.dc) return;
+
+  {
+    const double i = batch.chanI[lane];
+    const double g = batch.chanG[lane];
+    ctx.addResidual(rg, i);
+    ctx.addResidual(rs, -i);
+    ctx.addJacobian(rg, rg, g);
+    ctx.addJacobian(rg, rs, -g);
+    ctx.addJacobian(rs, rg, -g);
+    ctx.addJacobian(rs, rs, g);
+  }
+  const auto scatterCap = [&ctx](double i, double g, int ra, int rb) {
+    ctx.addResidual(ra, i);
+    ctx.addResidual(rb, -i);
+    ctx.addJacobian(ra, ra, g);
+    ctx.addJacobian(ra, rb, -g);
+    ctx.addJacobian(rb, ra, -g);
+    ctx.addJacobian(rb, rb, g);
+  };
+  const int rground = Stamper::rowOfNode(kGround);
+  if (batch.overlapCap[lane] > 0.0) {
+    scatterCap(batch.ovlGdI[lane], batch.ovlGdG[lane], rg, rd);
+    scatterCap(batch.ovlGsI[lane], batch.ovlGsG[lane], rg, rs);
+  }
+  if (batch.junctionCap[lane] > 0.0) {
+    scatterCap(batch.junDI[lane], batch.junDG[lane], rd, rground);
+    scatterCap(batch.junSI[lane], batch.junSG[lane], rs, rground);
+  }
+}
+
+void DeviceBatches::scatterFeCap(std::uint32_t lane,
+                                 const EvalContext& ctx) const {
+  const FeCapBatch& batch = fecaps_;
+  const int ra = Stamper::rowOfNode(batch.a[lane]);
+  const int rb = Stamper::rowOfNode(batch.b[lane]);
+  const int aux = batch.auxRow[lane];
+  const double tFe = batch.tFe[lane];
+  const double rho = batch.rho[lane];
+  const double dPdt = batch.dPdt[lane];
+  const double dRatedP = batch.dRatedP[lane];
+  const double va = ctx.view.nodeVoltage(batch.a[lane]);
+  const double vb = ctx.view.nodeVoltage(batch.b[lane]);
+
+  ctx.addResidual(aux, va - vb - tFe * (batch.field[lane] + rho * dPdt));
+  ctx.addJacobian(aux, ra, 1.0);
+  ctx.addJacobian(aux, rb, -1.0);
+  ctx.addJacobian(aux, aux, -tFe * (batch.slope[lane] + rho * dRatedP));
+
+  if (!ctx.dc) {
+    const double i = batch.area[lane] * dPdt;
+    ctx.addResidual(ra, i);
+    ctx.addResidual(rb, -i);
+    const double dIdP = batch.area[lane] * dRatedP;
+    ctx.addJacobian(ra, aux, dIdP);
+    ctx.addJacobian(rb, aux, -dIdP);
+
+    if (batch.backgroundCap[lane] > 0.0) {
+      const double ib = batch.bgI[lane];
+      const double g = batch.bgG[lane];
+      ctx.addResidual(ra, ib);
+      ctx.addResidual(rb, -ib);
+      ctx.addJacobian(ra, ra, g);
+      ctx.addJacobian(ra, rb, -g);
+      ctx.addJacobian(rb, ra, -g);
+      ctx.addJacobian(rb, rb, g);
+    }
+  }
+}
+
+}  // namespace fefet::spice

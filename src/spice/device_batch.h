@@ -1,0 +1,185 @@
+// device_batch.h — structure-of-arrays device batches for the compiled
+// stamp pipeline.
+//
+// Netlist::freeze() groups homogeneous devices (resistors, capacitors,
+// sources, diodes, MOSFETs, FE capacitors) into SoA parameter/state
+// arrays.  Each assembly then runs in two phases:
+//
+//  1. eval — type-major batch kernels sweep the SoA arrays and write every
+//     lane's currents/conductances into preallocated scratch.  The model
+//     evaluations (xtor::MosfetModel::evaluateBatch, gateChargeBatch,
+//     ferro::LandauKhalatnikov::staticFieldBatch) run as tight non-virtual
+//     loops in the model translation units, so the scalar kernels inline
+//     into them.
+//  2. scatter — devices replay in netlist order through the slot program
+//     (or legacy Stamper), reading their scratch lanes.
+//
+// The phase split is what keeps the batched engine bit-identical to the
+// scalar one: every lane's arithmetic is the same expression sequence the
+// scalar Device::stamp evaluates (phase 1 calls the same inline helpers,
+// e.g. ChargeIntegrator::currentFor), and phase 2 accumulates into shared
+// CSR slots / residual rows in the original device order, so the
+// floating-point accumulation order never changes.  A type-major single
+// pass would reorder those additions and drift in the last ulp.
+//
+// Devices with mutable call-sequence behaviour or no batch kernel
+// (TimedSwitch, Inductor, Vcvs, Vccs, custom test devices) fall back to
+// their virtual stamp() inside the scatter loop, preserving order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spice/device.h"
+#include "xtor/mosfet_model.h"
+
+namespace fefet::ferro {
+class LandauKhalatnikov;
+}  // namespace fefet::ferro
+
+namespace fefet::spice {
+
+class Netlist;
+class Resistor;
+class Capacitor;
+class VoltageSource;
+class CurrentSource;
+class Diode;
+class MosfetDevice;
+class FeCapDevice;
+
+class DeviceBatches {
+ public:
+  /// Build the batches for a frozen netlist (auxiliary rows assigned).
+  /// The netlist owns both; device pointers stay valid for its lifetime.
+  explicit DeviceBatches(const Netlist& netlist);
+
+  DeviceBatches(const DeviceBatches&) = delete;
+  DeviceBatches& operator=(const DeviceBatches&) = delete;
+
+  /// One full batched assembly pass: eval every batch kernel at the
+  /// iterate, then scatter all devices in netlist order through the
+  /// context's sink.  `jacobianEnds` is the active mode's cumulative
+  /// per-device Jacobian call count (StampPattern::deviceJacobianEnds);
+  /// on the compiled path every device's consumed slot count is verified
+  /// against it, naming the culprit on mismatch.  Performs no heap
+  /// allocation (scratch was sized at construction).
+  void stampAll(const EvalContext& ctx,
+                std::span<const std::size_t> jacobianEnds);
+
+  /// Devices covered by a typed batch kernel (the rest use the generic
+  /// virtual fallback inside the scatter loop).
+  std::size_t batchedDeviceCount() const { return batchedCount_; }
+  std::size_t deviceCount() const { return order_.size(); }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kGeneric,
+    kResistor,
+    kCapacitor,
+    kVoltageSource,
+    kCurrentSource,
+    kDiode,
+    kMosfet,
+    kFeCap,
+  };
+  /// Per-device dispatch record, netlist order: which batch, which lane.
+  struct Ref {
+    Kind kind = Kind::kGeneric;
+    std::uint32_t lane = 0;
+  };
+
+  struct ResistorBatch {
+    std::vector<NodeId> a, b;
+    std::vector<double> g;  ///< 1/R, precomputed at freeze
+    std::vector<double> i;  ///< scratch: branch current per lane
+  };
+
+  struct CapacitorBatch {
+    std::vector<const Capacitor*> dev;  ///< integrator state access
+    std::vector<NodeId> a, b;
+    std::vector<double> c;
+    std::vector<double> i, g;  ///< scratch: companion current/conductance
+  };
+
+  struct VoltageSourceBatch {
+    std::vector<const VoltageSource*> dev;  ///< shape evaluation
+    std::vector<NodeId> plus, minus;
+    std::vector<int> auxRow;
+    std::vector<double> v;  ///< scratch: shape(t) per lane
+  };
+
+  struct CurrentSourceBatch {
+    std::vector<const CurrentSource*> dev;  ///< shape evaluation
+    std::vector<NodeId> from, to;
+    std::vector<double> i;  ///< scratch: shape(t) per lane
+  };
+
+  struct DiodeBatch {
+    std::vector<NodeId> anode, cathode;
+    std::vector<double> isat, vt, vmax;  ///< precomputed at freeze
+    std::vector<double> i, g;            ///< scratch
+  };
+
+  struct MosfetBatch {
+    std::vector<const MosfetDevice*> dev;  ///< integrator state access
+    std::vector<NodeId> drain, gate, source;
+    std::vector<const xtor::MosfetModel*> model;
+    std::vector<double> gateLeak, overlapCap, junctionCap, gateArea;
+    // Scratch, one lane per device:
+    std::vector<double> vd, vg, vs;
+    std::vector<xtor::MosOperatingPoint> op;
+    std::vector<double> qDensity, cDensity;  ///< gate charge model
+    std::vector<double> chanI, chanG;        ///< intrinsic charge companion
+    std::vector<double> ovlGdI, ovlGdG, ovlGsI, ovlGsG;
+    std::vector<double> junDI, junDG, junSI, junSG;
+  };
+
+  struct FeCapBatch {
+    std::vector<const FeCapDevice*> dev;  ///< committed state access
+    std::vector<NodeId> a, b;
+    std::vector<int> auxRow;
+    std::vector<double> tFe, area, rho, backgroundCap;
+    std::vector<const ferro::LandauKhalatnikov*> lk;
+    // Scratch, one lane per device:
+    std::vector<double> p, pPrev;
+    std::vector<double> field, slope;  ///< E_s(P), dE_s/dP
+    std::vector<double> dPdt, dRatedP;
+    std::vector<double> bgI, bgG;  ///< background dielectric companion
+  };
+
+  void evalResistors(const EvalContext& ctx);
+  void evalCapacitors(const EvalContext& ctx);
+  void evalVoltageSources(const EvalContext& ctx);
+  void evalCurrentSources(const EvalContext& ctx);
+  void evalDiodes(const EvalContext& ctx);
+  void evalMosfets(const EvalContext& ctx);
+  void evalFeCaps(const EvalContext& ctx);
+
+  void scatterResistor(std::uint32_t lane, const EvalContext& ctx) const;
+  void scatterCapacitor(std::uint32_t lane, const EvalContext& ctx) const;
+  void scatterVoltageSource(std::uint32_t lane, const EvalContext& ctx) const;
+  void scatterCurrentSource(std::uint32_t lane, const EvalContext& ctx) const;
+  void scatterDiode(std::uint32_t lane, const EvalContext& ctx) const;
+  void scatterMosfet(std::uint32_t lane, const EvalContext& ctx) const;
+  void scatterFeCap(std::uint32_t lane, const EvalContext& ctx) const;
+
+  [[noreturn]] void throwCountMismatch(
+      std::size_t deviceIndex, std::size_t consumed,
+      std::span<const std::size_t> jacobianEnds) const;
+
+  std::vector<Device*> order_;  ///< netlist order (generic fallback + names)
+  std::vector<Ref> refs_;       ///< parallel to order_
+  std::size_t batchedCount_ = 0;
+
+  ResistorBatch resistors_;
+  CapacitorBatch capacitors_;
+  VoltageSourceBatch vsources_;
+  CurrentSourceBatch isources_;
+  DiodeBatch diodes_;
+  MosfetBatch mosfets_;
+  FeCapBatch fecaps_;
+};
+
+}  // namespace fefet::spice

@@ -1,5 +1,6 @@
 #include "spice/netlist.h"
 
+#include "spice/device_batch.h"
 #include "spice/stamp_pattern.h"
 
 namespace fefet::spice {
@@ -62,8 +63,15 @@ int Netlist::freeze() {
       pattern_ = std::make_unique<StampPattern>(devices_, unknownCount(),
                                                 nodeCount());
     }
+    batches_ = std::make_unique<DeviceBatches>(*this);
   }
   return unknownCount();
+}
+
+DeviceBatches& Netlist::deviceBatches() const {
+  FEFET_REQUIRE(frozen_ && batches_ != nullptr,
+                "deviceBatches() requires a frozen netlist");
+  return *batches_;
 }
 
 const StampPattern& Netlist::stampPattern() const {

@@ -16,6 +16,7 @@ namespace fefet::spice {
 /// devices are owned by the netlist.  After freeze() the unknown layout
 /// (node rows followed by auxiliary rows) is fixed.
 class StampPattern;
+class DeviceBatches;
 
 class Netlist {
  public:
@@ -83,6 +84,11 @@ class Netlist {
   /// pipeline's pattern (see stamp_pattern.h).  Requires frozen().
   const StampPattern& stampPattern() const;
 
+  /// Structure-of-arrays device batches built at freeze() (see
+  /// device_batch.h).  Mutable — stampAll writes into its preallocated
+  /// scratch.  Requires frozen().
+  DeviceBatches& deviceBatches() const;
+
  private:
   class AuxAllocator;
 
@@ -92,6 +98,7 @@ class Netlist {
   std::map<std::string, std::size_t> deviceIndex_;
   std::vector<std::string> auxLabels_;
   std::unique_ptr<StampPattern> pattern_;
+  std::unique_ptr<DeviceBatches> batches_;
   bool frozen_ = false;
 };
 

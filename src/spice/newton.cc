@@ -65,6 +65,14 @@ bool defaultUseCompiledStamps() {
   return value;
 }
 
+bool defaultUseBatchedKernels() {
+  static const bool value = [] {
+    const char* env = std::getenv("FEFET_BATCHED_KERNELS");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return value;
+}
+
 NewtonSolver::NewtonSolver(Netlist& netlist, const NewtonOptions& options)
     : netlist_(netlist), options_(options) {
   const int unknowns = netlist_.freeze();
@@ -164,7 +172,8 @@ NewtonStats NewtonSolver::solveWithGmin(std::vector<double>& x, bool dc,
       const obs::Span span("newton.assemble");
       const std::uint64_t t0 = timed ? monotonicNanos() : 0;
       if (assembler_) {
-        assembler_->assemble(netlist_, view, dc, time, dt, method, gmin);
+        assembler_->assemble(netlist_, view, dc, time, dt, method, gmin,
+                             options_.useBatchedKernels);
       } else {
         system_->clear();
         EvalContext ctx{view, dc, time, dt, method, gmin, nullptr, &*system_};

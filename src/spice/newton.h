@@ -28,6 +28,10 @@ inline constexpr int kDenseToSparseCrossover = 160;
 /// without recompiling or threading an option through every harness).
 bool defaultUseCompiledStamps();
 
+/// Session default for NewtonOptions::useBatchedKernels: true unless the
+/// environment sets FEFET_BATCHED_KERNELS=0.
+bool defaultUseBatchedKernels();
+
 struct NewtonOptions {
   int maxIterations = 80;
   double voltageAbsTol = 1e-6;    ///< [V] update tolerance on node voltages
@@ -48,6 +52,13 @@ struct NewtonOptions {
   /// virtual dispatch into MnaSystem.  The two engines produce bit-
   /// identical waveforms; the legacy path remains as the parity oracle.
   bool useCompiledStamps = defaultUseCompiledStamps();
+  /// Evaluate homogeneous devices through the structure-of-arrays batch
+  /// kernels (see device_batch.h) instead of per-device virtual stamp()
+  /// dispatch.  Only effective with useCompiledStamps (the batched path
+  /// scatters through the compiled slot programs).  Bit-identical to the
+  /// scalar path: evaluation is type-major but the scatter into the shared
+  /// slots/rows happens in original netlist order.
+  bool useBatchedKernels = defaultUseBatchedKernels();
 };
 
 struct NewtonStats {

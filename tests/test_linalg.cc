@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "common/error.h"
 #include "common/stats.h"
 
@@ -119,6 +123,134 @@ TEST_P(SparseVsDense, AgreeOnRandomSystems) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SparseVsDense,
                          ::testing::Values(2, 5, 10, 25, 60, 120));
+
+// ---------------------------------------------------------------------------
+// Multi-RHS solves: one factorization, K column-contiguous right-hand
+// sides in a single blocked-substitution pass.  The contract is
+// bit-identity per column against the scalar solve() — the blocked inner
+// loop applies the same elimination steps in the same order.
+
+/// Random test system with pivoting stress; returns (dense, sparse) pair.
+void buildRandomSystem(int n, std::uint64_t seed, DenseMatrix* d,
+                       SparseMatrix* s) {
+  stats::Rng rng(seed);
+  *d = DenseMatrix(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  *s = SparseMatrix(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double diag = rng.uniform(0.5, 2.0);
+    d->at(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += diag;
+    s->add(static_cast<std::size_t>(i), static_cast<std::size_t>(i), diag);
+    for (int k = 0; k < 3; ++k) {
+      const int j = rng.uniformInt(0, n - 1);
+      const double v = rng.uniform(-3.0, 3.0);
+      d->at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) += v;
+      s->add(static_cast<std::size_t>(i), static_cast<std::size_t>(j), v);
+    }
+  }
+}
+
+TEST(MultiRhs, DenseSolveMultiIsBitIdenticalPerColumn) {
+  constexpr int kN = 37;
+  constexpr std::size_t kRhs = 5;
+  DenseMatrix d;
+  SparseMatrix s;
+  buildRandomSystem(kN, 20260809u, &d, &s);
+  stats::Rng rng(7u);
+  std::vector<double> b(kRhs * kN);
+  for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+
+  DenseLuFactorizer lu;
+  lu.factor(d);
+  std::vector<double> multi(kRhs * kN);
+  lu.solveMulti(b, multi, kRhs);
+
+  std::vector<double> single(kN);
+  for (std::size_t c = 0; c < kRhs; ++c) {
+    lu.solve(std::span<const double>(b).subspan(c * kN, kN), single);
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_EQ(multi[c * kN + static_cast<std::size_t>(i)],
+                single[static_cast<std::size_t>(i)])
+          << "col " << c << " row " << i;
+    }
+  }
+}
+
+TEST(MultiRhs, SparseSolveMultiIsBitIdenticalPerColumn) {
+  constexpr int kN = 80;
+  constexpr std::size_t kRhs = 7;
+  DenseMatrix d;
+  SparseMatrix s;
+  buildRandomSystem(kN, 20260810u, &d, &s);
+  stats::Rng rng(11u);
+  std::vector<double> b(kRhs * kN);
+  for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+
+  SparseLuFactorizer lu;
+  lu.factor(s);
+  std::vector<double> multi(kRhs * kN);
+  lu.solveMulti(b, multi, kRhs);
+
+  std::vector<double> single(kN);
+  for (std::size_t c = 0; c < kRhs; ++c) {
+    lu.solve(std::span<const double>(b).subspan(c * kN, kN), single);
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_EQ(multi[c * kN + static_cast<std::size_t>(i)],
+                single[static_cast<std::size_t>(i)])
+          << "col " << c << " row " << i;
+    }
+  }
+}
+
+TEST(MultiRhs, LinearSolverFacadeMatchesBackends) {
+  constexpr int kN = 24;
+  constexpr std::size_t kRhs = 3;
+  DenseMatrix d;
+  SparseMatrix s;
+  buildRandomSystem(kN, 99u, &d, &s);
+  stats::Rng rng(3u);
+  std::vector<double> b(kRhs * kN);
+  for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+
+  // Dense facade overload vs direct factorizer.
+  LinearSolver dense(kN, /*sparse=*/false);
+  std::vector<double> xDense;
+  dense.solveMulti(d.data(), b, xDense, kRhs);
+  DenseLuFactorizer dlu;
+  dlu.factor(d);
+  std::vector<double> xRef(kRhs * kN);
+  dlu.solveMulti(b, xRef, kRhs);
+  ASSERT_EQ(xDense.size(), xRef.size());
+  for (std::size_t i = 0; i < xRef.size(); ++i) ASSERT_EQ(xDense[i], xRef[i]);
+
+  // CSR facade overload (reuse on) vs direct sparse factorizer, and the
+  // no-reuse diagnostic path solving the same system to tolerance.
+  std::vector<std::size_t> rowPtr{0};
+  std::vector<std::size_t> colIdx;
+  std::vector<double> values;
+  for (int r = 0; r < kN; ++r) {
+    for (const auto& [c, v] : s.row(static_cast<std::size_t>(r))) {
+      colIdx.push_back(c);
+      values.push_back(v);
+    }
+    rowPtr.push_back(colIdx.size());
+  }
+  const CsrView csr{static_cast<std::size_t>(kN), rowPtr, colIdx, values};
+  LinearSolver sparse(kN, /*sparse=*/true);
+  std::vector<double> xCsr;
+  sparse.solveMulti(csr, b, xCsr, kRhs, /*reuseStructure=*/true);
+  SparseLuFactorizer slu;
+  slu.factor(s);
+  std::vector<double> xSref(kRhs * kN);
+  slu.solveMulti(b, xSref, kRhs);
+  for (std::size_t i = 0; i < xSref.size(); ++i) ASSERT_EQ(xCsr[i], xSref[i]);
+
+  LinearSolver sparseNoReuse(kN, /*sparse=*/true);
+  std::vector<double> xNoReuse;
+  sparseNoReuse.solveMulti(csr, b, xNoReuse, kRhs, /*reuseStructure=*/false);
+  for (std::size_t i = 0; i < xSref.size(); ++i) {
+    ASSERT_NEAR(xNoReuse[i], xSref[i], 1e-9);
+  }
+}
 
 }  // namespace
 }  // namespace fefet::linalg

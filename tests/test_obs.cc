@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
@@ -243,6 +244,40 @@ TEST(Metrics, HistogramBucketEdgesAreLeSemantics) {
   EXPECT_EQ(buckets[3], 2u);
   EXPECT_EQ(h.count(), 7u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 1e9);
+}
+
+TEST(Metrics, HistogramDropsNanObservations) {
+  // Regression: a NaN fails every `v <= edge` comparison, so it used to
+  // land in the overflow bucket and poison the running sum into NaN for
+  // the histogram's whole lifetime.  NaNs are now dropped from the
+  // distribution and tallied in nanCount().
+  static constexpr double kEdges[] = {1.0, 10.0};
+  Histogram& h = Metrics::histogram("test.obs.nan_hist", kEdges);
+  h.reset();
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(20.0);
+  h.observe(std::nan(""));
+  const auto buckets = h.bucketTotals();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(buckets[2], 1u);  // overflow holds only the genuine 20.0
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.nanCount(), 2u);
+  // The sum stays finite and exact — no NaN poisoning.
+  EXPECT_DOUBLE_EQ(h.sum(), 20.5);
+  // Snapshot/JSON carry the dropped-NaN tally.
+  const MetricsSnapshot snap = Metrics::snapshot();
+  for (const auto& hv : snap.histograms) {
+    if (hv.name == "test.obs.nan_hist") EXPECT_EQ(hv.nan, 2u);
+  }
+  const std::string json = snap.toJson();
+  EXPECT_TRUE(isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"nan\":2"), std::string::npos);
+  // reset() clears the NaN tally too.
+  h.reset();
+  EXPECT_EQ(h.nanCount(), 0u);
 }
 
 TEST(Metrics, ShardedMergeMatchesSingleThreadReference) {

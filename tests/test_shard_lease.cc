@@ -77,6 +77,32 @@ class ShardLeaseTest : public ::testing::Test {
   sim::ShardBoardConfig config_;
 };
 
+TEST(ShardClock, AdvancesAndTracksWallTime) {
+  // The lease clock is CLOCK_BOOTTIME (MONOTONIC fallback): it must never
+  // go backwards, and over a short awake interval it must advance by at
+  // least the suspend-free wall time (BOOTTIME >= MONOTONIC elapsed; a
+  // clock that froze — or one that jumped like CLOCK_REALTIME under NTP —
+  // would break lease-expiry ordering).
+  const std::uint64_t t0 = sim::shardClockNanos();
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::uint64_t t1 = sim::shardClockNanos();
+  const auto wallElapsedNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count());
+  ASSERT_GE(t1, t0);
+  // Awake time counts fully; allow generous scheduler slack on the top.
+  EXPECT_GE(t1 - t0, wallElapsedNs / 2);
+  // Consecutive reads are non-decreasing.
+  std::uint64_t prev = sim::shardClockNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = sim::shardClockNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
 TEST_F(ShardLeaseTest, CreateResumeAndMismatchWipe) {
   sim::ShardLeaseBoard::create(config_);
   {

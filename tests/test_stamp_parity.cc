@@ -90,8 +90,10 @@ const Mode kModes[] = {
 // residual, row scale and every Jacobian entry.  The compiled CSR pattern
 // is a superset of the legacy pattern (the legacy path drops exact-zero
 // contributions), so compiled-only entries must carry 0.0 and legacy
-// entries must all exist in the pattern.
-void expectParityAtIterates(bool sparseLegacy) {
+// entries must all exist in the pattern.  With `batched` the compiled
+// engine evaluates through the SoA device batches (type-major kernels,
+// netlist-order scatter) — still required to be bit-identical.
+void expectParityAtIterates(bool sparseLegacy, bool batched = false) {
   Netlist n;
   buildZoo(n);
   const int unknowns = n.freeze();
@@ -117,6 +119,7 @@ void expectParityAtIterates(bool sparseLegacy) {
     for (const Mode& mode : kModes) {
       SCOPED_TRACE(std::string("mode=") + mode.name +
                    (sparseLegacy ? " legacy=sparse" : " legacy=dense") +
+                   (batched ? " batched" : " scalar") +
                    " iterate=" + std::to_string(iterate));
 
       legacy.clear();
@@ -126,7 +129,7 @@ void expectParityAtIterates(bool sparseLegacy) {
       legacy.addGmin(gmin, view, nodes);
 
       compiled.assemble(n, view, mode.dc, mode.time, mode.dt, mode.method,
-                        gmin);
+                        gmin, batched);
 
       const auto residual = compiled.residual();
       const auto rowScale = compiled.rowScale();
@@ -183,6 +186,19 @@ TEST(StampParity, EveryDeviceMatchesSparseOracleAtRandomIterates) {
   expectParityAtIterates(/*sparseLegacy=*/true);
 }
 
+// Same coverage (every device type x all three stamp modes x randomized
+// iterates), but the compiled engine assembles through the SoA batch
+// kernels.  The zoo includes the batched types (R, C, V, I, diode,
+// MOSFET, FeCap) and the generic-fallback types (switch, inductor,
+// VCVS, VCCS), so both dispatch paths and their interleaving run.
+TEST(StampParity, BatchedKernelsMatchDenseOracleAtRandomIterates) {
+  expectParityAtIterates(/*sparseLegacy=*/false, /*batched=*/true);
+}
+
+TEST(StampParity, BatchedKernelsMatchSparseOracleAtRandomIterates) {
+  expectParityAtIterates(/*sparseLegacy=*/true, /*batched=*/true);
+}
+
 void expectWaveformsIdentical(const Waveform& a, const Waveform& b) {
   ASSERT_EQ(a.sampleCount(), b.sampleCount());
   const auto ta = a.time();
@@ -203,7 +219,7 @@ void expectWaveformsIdentical(const Waveform& a, const Waveform& b) {
 // Long RC ladder: > kDenseToSparseCrossover unknowns, so this is the
 // sparse-storage path with LU structure reuse — exactly the array-scale
 // configuration the pipeline was built for.
-TransientResult runLadder(bool compiledStamps) {
+TransientResult runLadder(bool compiledStamps, bool batchedKernels) {
   Netlist n;
   constexpr int kStages = 200;
   n.add<VoltageSource>("V1", n.node("s0"), n.ground(),
@@ -216,6 +232,7 @@ TransientResult runLadder(bool compiledStamps) {
   }
   NewtonOptions newton;
   newton.useCompiledStamps = compiledStamps;
+  newton.useBatchedKernels = batchedKernels;
   Simulator sim(n, newton);
   EXPECT_EQ(sim.newton().usesCompiledStamps(), compiledStamps);
   sim.initializeUic();
@@ -227,34 +244,83 @@ TransientResult runLadder(bool compiledStamps) {
 }
 
 TEST(StampParity, LadderTransientIsBitIdenticalAcrossEngines) {
-  const auto compiled = runLadder(true);
-  const auto legacy = runLadder(false);
+  // Three engines: legacy oracle, compiled-scalar, compiled-batched.
+  const auto legacy = runLadder(false, false);
+  const auto compiled = runLadder(true, false);
+  const auto batched = runLadder(true, true);
   expectWaveformsIdentical(compiled.waveform, legacy.waveform);
+  expectWaveformsIdentical(batched.waveform, legacy.waveform);
   EXPECT_EQ(compiled.stats.newtonIterations, legacy.stats.newtonIterations);
   EXPECT_EQ(compiled.stats.steps, legacy.stats.steps);
+  EXPECT_EQ(batched.stats.newtonIterations, legacy.stats.newtonIterations);
+  EXPECT_EQ(batched.stats.steps, legacy.stats.steps);
 }
 
 // Full 2T-cell write -> hold -> read: the FEFET gate stack (MOSFET +
 // FeCap aux unknown) through pulse edges, dt control and state commits.
+// Engine 0 = compiled + batched, engine 1 = compiled scalar, engine 2 =
+// legacy oracle; all three must agree bit for bit.
 TEST(StampParity, Cell2TWriteHoldReadIsBitIdenticalAcrossEngines) {
-  core::CellOpResult ops[2][3];
-  for (int engine = 0; engine < 2; ++engine) {
+  core::CellOpResult ops[3][3];
+  for (int engine = 0; engine < 3; ++engine) {
     core::Cell2TConfig config;
-    config.newton.useCompiledStamps = engine == 0;
+    config.newton.useCompiledStamps = engine < 2;
+    config.newton.useBatchedKernels = engine == 0;
     core::Cell2T cell(config);
     cell.setStoredBit(false);
     ops[engine][0] = cell.write(true, 1e-9);
     ops[engine][1] = cell.hold(1e-9);
     ops[engine][2] = cell.read();
   }
-  for (int op = 0; op < 3; ++op) {
-    SCOPED_TRACE("op " + std::to_string(op));
-    expectWaveformsIdentical(ops[0][op].waveform, ops[1][op].waveform);
-    ASSERT_EQ(ops[0][op].finalPolarization, ops[1][op].finalPolarization);
-    ASSERT_EQ(ops[0][op].bitAfter, ops[1][op].bitAfter);
-    ASSERT_EQ(ops[0][op].readCurrent, ops[1][op].readCurrent);
-    ASSERT_EQ(ops[0][op].totalEnergy, ops[1][op].totalEnergy);
+  for (int engine = 0; engine < 2; ++engine) {
+    for (int op = 0; op < 3; ++op) {
+      SCOPED_TRACE("engine " + std::to_string(engine) + " op " +
+                   std::to_string(op));
+      expectWaveformsIdentical(ops[engine][op].waveform, ops[2][op].waveform);
+      ASSERT_EQ(ops[engine][op].finalPolarization,
+                ops[2][op].finalPolarization);
+      ASSERT_EQ(ops[engine][op].bitAfter, ops[2][op].bitAfter);
+      ASSERT_EQ(ops[engine][op].readCurrent, ops[2][op].readCurrent);
+      ASSERT_EQ(ops[engine][op].totalEnergy, ops[2][op].totalEnergy);
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// SystemView node/aux indexing convention (audited in PR 7, see device.h):
+// node i reads x[i - 1]; aux rows are ABSOLUTE indices >= nodeCount handed
+// out by the AuxAllocator, read unshifted.  A mixed node/aux iterate run
+// through a real assembly pins the convention end to end.
+TEST(StampParity, MixedNodeAuxIterateFollowsRowConvention) {
+  Netlist n;
+  n.add<VoltageSource>("V1", n.node("in"), n.ground(), shapes::dc(1.0));
+  n.add<Resistor>("R1", n.node("in"), n.ground(), 1e3);
+  const int unknowns = n.freeze();
+  ASSERT_EQ(n.nodeCount(), 1);   // "in"
+  ASSERT_EQ(unknowns, 2);        // + the source's branch-current aux
+  // The aux row is absolute: the allocator starts at nodeCount().
+  ASSERT_EQ(n.auxLabels().size(), 1u);
+
+  // Distinct values so a swapped read cannot cancel: node voltage 0.7 at
+  // row 0, branch current 0.3 at (absolute) row 1.
+  std::vector<double> x{0.7, 0.3};
+  const SystemView view(x, n.nodeCount());
+  EXPECT_EQ(view.nodeVoltage(n.node("in")), 0.7);   // node 1 -> x[0]
+  EXPECT_EQ(view.nodeVoltage(kGround), 0.0);
+  EXPECT_EQ(view.aux(1), 0.3);                      // absolute row, no shift
+
+  // Assemble and check both rows land where the convention says:
+  //   row 0 (KCL at "in"): resistor current v/R plus the branch current
+  //   aux — 0.7/1e3 + 0.3;
+  //   row 1 (source constraint): v(in) - 1.0 = -0.3.
+  Assembler compiled(n.stampPattern(), /*useSparse=*/false);
+  compiled.assemble(n, view, /*dc=*/true, 0.0, 0.0,
+                    IntegrationMethod::kBackwardEuler, /*gmin=*/0.0,
+                    /*useBatchedKernels=*/true);
+  const auto residual = compiled.residual();
+  ASSERT_EQ(residual.size(), 2u);
+  EXPECT_EQ(residual[0], 0.7 / 1e3 + 0.3);
+  EXPECT_EQ(residual[1], 0.7 - 1.0);
 }
 
 // Gmin continuation: the hard-start diode string must traverse the same
