@@ -1,0 +1,430 @@
+// bench_macro_service — chaos/throughput bench of the serving layer
+// (src/serve, DESIGN.md §6.6).
+//
+// Traffic generators reuse the NVP study's vocabulary: each submitter
+// thread runs one MiBench-named workload profile (nvp/workload.h) — its
+// backupWords sets the checkpoint cadence — and, with --trace-windows,
+// power-fail storm windows follow the outages of a synthetic Wi-Fi
+// harvester trace (nvp/power_trace.h) through setStormProbability().
+//
+// The bench verifies the serving layer's crash-consistency contract
+// end-to-end and exits non-zero on any violation:
+//   * acked_lost   — a durably acknowledged write that does not read back
+//                    with its exact value after the storm (must be 0);
+//   * torn_served  — a read returning a value never written to that key
+//                    (a torn word leaking through replay+scrub; must be 0);
+//   * every submission completes exactly once.
+//
+// Output: one PERF JSON line with sustained IOPS, p50/p99/p999 latency
+// per op class (read/write/checkpoint), shed/retry/replay counters, plus
+// the TelemetrySession REPORT line (fefet.serve.* metrics).
+//
+// The scripts/check.sh chaos gate runs: --storm-p=0.2 --ops=6000 and
+// asserts exit 0 (no acked loss, no torn read) and a bounded shed rate.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "nvp/power_trace.h"
+#include "nvp/workload.h"
+#include "serve/request.h"
+#include "serve/service.h"
+
+namespace fefet {
+namespace {
+
+struct ServiceCli {
+  int shards = 4;
+  int ops = 20000;
+  int threads = 2;           ///< submitter threads
+  int qdepth = 64;           ///< queue capacity per shard
+  int dataWords = 256;       ///< slots per shard
+  double stormP = 0.0;       ///< per-op power-fail probability
+  double readFrac = 0.5;
+  double deadlineMs = 0.0;   ///< per-op budget (0 = unlimited)
+  std::uint64_t seed = 1;
+  bool traceWindows = false; ///< drive storms from power-trace outages
+};
+
+ServiceCli parseCli(int argc, char** argv) {
+  ServiceCli cli;
+  const auto valueOf = [](const char* arg, const char* flag) -> const char* {
+    const std::size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = valueOf(arg, "--shards=")) {
+      cli.shards = std::atoi(v);
+    } else if (const char* v = valueOf(arg, "--ops=")) {
+      cli.ops = std::atoi(v);
+    } else if (const char* v = valueOf(arg, "--threads=")) {
+      cli.threads = std::atoi(v);
+    } else if (const char* v = valueOf(arg, "--qdepth=")) {
+      cli.qdepth = std::atoi(v);
+    } else if (const char* v = valueOf(arg, "--data-words=")) {
+      cli.dataWords = std::atoi(v);
+    } else if (const char* v = valueOf(arg, "--storm-p=")) {
+      cli.stormP = std::atof(v);
+    } else if (const char* v = valueOf(arg, "--read-frac=")) {
+      cli.readFrac = std::atof(v);
+    } else if (const char* v = valueOf(arg, "--deadline-ms=")) {
+      cli.deadlineMs = std::atof(v);
+    } else if (const char* v = valueOf(arg, "--seed=")) {
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--trace-windows") == 0) {
+      cli.traceWindows = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--shards=N] [--ops=N] "
+                   "[--threads=N] [--qdepth=N] [--data-words=N] "
+                   "[--storm-p=P] [--read-frac=F] [--deadline-ms=M] "
+                   "[--seed=S] [--trace-windows]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Storm windows from a power trace: outage segments carry the full storm
+/// probability, powered segments none.  Thread 0 walks the trace as the
+/// run progresses (submitted fraction -> trace time).
+class StormWindows {
+ public:
+  StormWindows(const nvp::PowerTrace& trace, double stormP)
+      : stormP_(stormP) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < trace.segmentCount(); ++i) {
+      starts_.push_back(t);
+      outage_.push_back(trace.segmentPower(i) <= 0.0);
+      t += trace.segmentDuration(i);
+    }
+    total_ = t;
+  }
+
+  double probabilityAt(double fraction) const {
+    if (starts_.empty()) return stormP_;
+    const double t = fraction * total_;
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+    const std::size_t seg =
+        it == starts_.begin() ? 0 : static_cast<std::size_t>(it - starts_.begin() - 1);
+    return outage_[seg] ? stormP_ : 0.0;
+  }
+
+ private:
+  double stormP_;
+  double total_ = 0.0;
+  std::vector<double> starts_;
+  std::vector<bool> outage_;
+};
+
+std::uint64_t mix64(std::uint64_t x) { return serve::chaosMix(x); }
+
+}  // namespace
+
+int run(const ServiceCli& cli) {
+  bench::banner("macro service: sharded serving under power-fail storms");
+  bench::TelemetrySession telemetry("bench_macro_service");
+
+  serve::ServiceConfig cfg;
+  cfg.shards = cli.shards;
+  cfg.store.dataWords = cli.dataWords;
+  cfg.store.ringSlots = 32;
+  cfg.store.macro.rows = 128;
+  cfg.store.macro.cols = 128;
+  cfg.admission.queueCapacityPerShard = cli.qdepth;
+  cfg.storm.opFailProbability = cli.traceWindows ? 0.0 : cli.stormP;
+  cfg.storm.seed = cli.seed;
+  cfg.maxAttempts = 8;
+  cfg.retryBackoffSeconds = 20e-6;
+  cfg.retryBackoffMaxSeconds = 500e-6;
+  serve::MacroService service(cfg);
+
+  const auto suite = nvp::mibenchSuite();
+  const std::int64_t keyCount =
+      std::min<std::int64_t>(service.capacityKeys(), 4096);
+  // Each submitter owns a disjoint key range (single-writer histories).
+  const int threads = static_cast<int>(
+      std::min<std::int64_t>(std::max(1, cli.threads), keyCount));
+  const int opsPerThread = std::max(1, cli.ops / threads);
+  const int totalOps = opsPerThread * threads;
+  const std::int64_t keysPerThread = keyCount / threads;
+
+  // Per-key write history (owner submitter thread only) and last-acked
+  // value (owning shard worker only): single-writer slots, joined/drained
+  // before the verification pass reads them.
+  std::vector<std::vector<std::uint32_t>> written(
+      static_cast<std::size_t>(keyCount));
+  // Index into written[key] of the newest ACKED write (-1 = none).  A
+  // later unacked write may legally overwrite an acked one (its redo-ring
+  // entry committed before the crash), so the loss check is "the stored
+  // value appears in the history at or after the last ack", not equality.
+  std::vector<std::int32_t> ackedIdx(static_cast<std::size_t>(keyCount), -1);
+  // Per-op completion slots (worker threads write distinct indices).
+  std::vector<double> latency(static_cast<std::size_t>(totalOps), -1.0);
+  std::vector<unsigned char> opOf(static_cast<std::size_t>(totalOps), 0);
+  std::vector<unsigned char> statusOf(static_cast<std::size_t>(totalOps), 255);
+  std::atomic<std::uint64_t> completions{0};
+  std::atomic<std::uint64_t> submittedSoFar{0};
+  std::atomic<std::uint64_t> clientRetries{0};
+  std::atomic<std::uint64_t> gaveUp{0};
+
+  nvp::WifiTraceParams traceParams;
+  traceParams.seed = cli.seed;
+  const nvp::PowerTrace trace = nvp::makeWifiTrace(traceParams);
+  const StormWindows windows(trace, cli.stormP);
+
+  bench::WallTimer timer;
+  std::vector<std::thread> submitters;
+  submitters.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    submitters.emplace_back([&, t] {
+      const nvp::Workload workload =
+          suite[static_cast<std::size_t>(t) % suite.size()];
+      const std::int64_t keyBase = t * keysPerThread;
+      int writesSinceCheckpoint = 0;
+      for (int i = 0; i < opsPerThread; ++i) {
+        const int index = t * opsPerThread + i;
+        const std::uint64_t soFar =
+            submittedSoFar.fetch_add(1, std::memory_order_relaxed);
+        if (cli.traceWindows && t == 0 && (i & 63) == 0) {
+          const double fraction = static_cast<double>(soFar) /
+                                  static_cast<double>(totalOps);
+          service.setStormProbability(windows.probabilityAt(fraction));
+        }
+        const std::uint64_t h = mix64(cli.seed ^ (0x9E37u + static_cast<std::uint64_t>(index)));
+        const std::int64_t key =
+            keyBase + static_cast<std::int64_t>(
+                          h % static_cast<std::uint64_t>(keysPerThread));
+        serve::Request req;
+        req.cls = (t & 1) ? serve::TrafficClass::kStorageMode
+                          : serve::TrafficClass::kCacheMode;
+        req.budgetSeconds = cli.deadlineMs * 1e-3;
+        // The workload's backup footprint sets the checkpoint cadence:
+        // one checkpoint per backupWords written words (ODAB-style).
+        if (writesSinceCheckpoint >= workload.backupWords) {
+          writesSinceCheckpoint = 0;
+          req.op = serve::OpType::kCheckpoint;
+          req.address = static_cast<std::uint64_t>(index % cli.shards);
+        } else if ((mix64(h) >> 8) % 1000 <
+                   static_cast<std::uint64_t>(cli.readFrac * 1000)) {
+          req.op = serve::OpType::kRead;
+          req.address = static_cast<std::uint64_t>(key);
+        } else {
+          req.op = serve::OpType::kWrite;
+          req.address = static_cast<std::uint64_t>(key);
+          req.value = static_cast<std::uint32_t>(mix64(h ^ 0xF00Du)) | 1u;
+          written[static_cast<std::size_t>(key)].push_back(req.value);
+          ++writesSinceCheckpoint;
+        }
+        opOf[static_cast<std::size_t>(index)] =
+            static_cast<unsigned char>(req.op);
+        const bool isWrite = req.op == serve::OpType::kWrite;
+        const std::int32_t historyIdx =
+            isWrite ? static_cast<std::int32_t>(
+                          written[static_cast<std::size_t>(key)].size()) -
+                          1
+                    : -1;
+        // Closed-loop client: a shed completes synchronously with a
+        // retry-after hint; honor the backpressure and resubmit (bounded).
+        // `rejected`/`retryAfter` are written only on the synchronous
+        // rejection path, so the submitter may read them after a false
+        // return; async (worker-thread) completions never touch them.
+        bool rejected = false;
+        double retryAfter = 0.0;
+        const auto done = [&, index, key, historyIdx, isWrite](
+                              const serve::Response& r) {
+          statusOf[static_cast<std::size_t>(index)] =
+              static_cast<unsigned char>(r.status);
+          latency[static_cast<std::size_t>(index)] =
+              r.queueSeconds + r.serviceSeconds;
+          if (r.status == serve::Status::kRejectedOverload ||
+              r.status == serve::Status::kRejectedReadOnly) {
+            rejected = true;
+            retryAfter = r.retryAfterSeconds;
+          }
+          if (isWrite && r.ok()) {
+            // Shard workers execute one key's writes in admission order,
+            // so the last callback carries the newest acked index.
+            ackedIdx[static_cast<std::size_t>(key)] = historyIdx;
+          }
+          completions.fetch_add(1, std::memory_order_relaxed);
+        };
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          rejected = false;
+          const bool admitted = service.submit(req, done);
+          if (admitted || !rejected) break;
+          if (attempt == 99) {
+            gaveUp.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          clientRetries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(retryAfter, 2e-3)));
+        }
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  service.drain();
+  const double wallSeconds = timer.seconds();
+  service.setStormProbability(0.0);
+
+  // --- verification pass: replay the oracle against the stores ---------
+  std::uint64_t ackedLost = 0;
+  std::uint64_t tornServed = 0;
+  std::uint64_t verifiedKeys = 0;
+  for (std::int64_t key = 0; key < keyCount; ++key) {
+    const auto& history = written[static_cast<std::size_t>(key)];
+    if (history.empty()) continue;
+    ++verifiedKeys;
+    serve::Request read;
+    read.op = serve::OpType::kRead;
+    read.address = static_cast<std::uint64_t>(key);
+    std::uint32_t got = 0;
+    bool ok = false;
+    service.submit(read, [&](const serve::Response& r) {
+      got = r.value;
+      ok = r.ok();
+    });
+    service.drain();
+    if (!ok) continue;
+    const std::int32_t lastAck = ackedIdx[static_cast<std::size_t>(key)];
+    if (lastAck >= 0 &&
+        std::find(history.begin() + lastAck, history.end(), got) ==
+            history.end()) {
+      ++ackedLost;
+      std::fprintf(stderr,
+                   "ACKED WRITE LOST key=%lld got=%08x last acked=%08x\n",
+                   static_cast<long long>(key), got,
+                   history[static_cast<std::size_t>(lastAck)]);
+    }
+    if (got != 0 &&
+        std::find(history.begin(), history.end(), got) == history.end()) {
+      ++tornServed;
+      std::fprintf(stderr, "TORN WORD SERVED key=%lld got=%08x\n",
+                   static_cast<long long>(key), got);
+    }
+  }
+
+  // --- aggregate ------------------------------------------------------
+  const auto stats = service.stats();
+  const std::uint64_t completed = completions.load();
+  std::vector<double> lat[3];
+  std::uint64_t okCount[3] = {0, 0, 0};
+  for (int i = 0; i < totalOps; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    if (statusOf[s] != static_cast<unsigned char>(serve::Status::kOk)) continue;
+    const int op = std::min<int>(opOf[s], 2);
+    ++okCount[op];
+    if (latency[s] >= 0.0) lat[op].push_back(latency[s]);
+  }
+  const double iops =
+      wallSeconds > 0.0 ? static_cast<double>(stats.completedOk) / wallSeconds
+                        : 0.0;
+  const std::uint64_t shed = stats.shedOverload + stats.shedReadOnly;
+  const std::uint64_t attempts =
+      static_cast<std::uint64_t>(totalOps) + clientRetries.load();
+  const double shedRate =
+      static_cast<double>(shed) / static_cast<double>(attempts);
+
+  std::printf("workload suite: %zu profiles, %d submitters, %lld keys\n",
+              suite.size(), threads, static_cast<long long>(keyCount));
+  std::printf("storm: p=%.3f%s  power fails=%llu  recoveries=%llu  "
+              "replayed=%llu  scrubbed=%llu\n",
+              cli.stormP, cli.traceWindows ? " (trace windows)" : "",
+              static_cast<unsigned long long>(stats.powerFails),
+              static_cast<unsigned long long>(stats.recoveries),
+              static_cast<unsigned long long>(stats.ringReplayed),
+              static_cast<unsigned long long>(stats.scrubbedWords));
+  std::printf("verified %llu written keys: acked_lost=%llu torn_served=%llu\n",
+              static_cast<unsigned long long>(verifiedKeys),
+              static_cast<unsigned long long>(ackedLost),
+              static_cast<unsigned long long>(tornServed));
+
+  const char* opNames[3] = {"read", "write", "checkpoint"};
+  std::string classJson;
+  for (int op = 0; op < 3; ++op) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"ok\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+                  "\"p999_us\":%.1f}",
+                  op == 0 ? "" : ",", opNames[op],
+                  static_cast<unsigned long long>(okCount[op]),
+                  percentile(lat[op], 0.50) * 1e6,
+                  percentile(lat[op], 0.99) * 1e6,
+                  percentile(lat[op], 0.999) * 1e6);
+    classJson += buf;
+  }
+  std::printf(
+      "PERF {\"bench\":\"macro_service\",\"shards\":%d,\"ops\":%d,"
+      "\"threads\":%d,\"storm_p\":%.3f,\"wall_s\":%.3f,\"iops\":%.0f,"
+      "\"acked\":%llu,\"retries\":%llu,\"power_fails\":%llu,"
+      "\"recoveries\":%llu,\"replayed\":%llu,\"scrubbed\":%llu,"
+      "\"checkpoints\":%llu,\"shed\":%llu,\"client_retries\":%llu,"
+      "\"gave_up\":%llu,\"shed_rate\":%.4f,"
+      "\"deadline_expired\":%llu,\"dropped\":%llu,\"completions\":%llu,"
+      "\"acked_lost\":%llu,\"torn_served\":%llu,\"classes\":{%s}}\n",
+      cli.shards, totalOps, threads, cli.stormP, wallSeconds, iops,
+      static_cast<unsigned long long>(stats.ackedWrites),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.powerFails),
+      static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.ringReplayed),
+      static_cast<unsigned long long>(stats.scrubbedWords),
+      static_cast<unsigned long long>(stats.checkpoints),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(clientRetries.load()),
+      static_cast<unsigned long long>(gaveUp.load()), shedRate,
+      static_cast<unsigned long long>(stats.deadlineExpired),
+      static_cast<unsigned long long>(stats.powerFailDropped),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(ackedLost),
+      static_cast<unsigned long long>(tornServed), classJson.c_str());
+
+  telemetry.report().addCount("acked", stats.ackedWrites);
+  telemetry.report().addCount("power_fails", stats.powerFails);
+  telemetry.report().addCount("recoveries", stats.recoveries);
+  telemetry.report().addCount("shed", shed);
+  telemetry.report().addCount("acked_lost", ackedLost);
+  telemetry.report().addCount("torn_served", tornServed);
+  service.stop();
+  telemetry.finish();
+
+  // Every submission attempt (first try + honored-backpressure retries)
+  // completes exactly once.
+  const std::uint64_t expected = attempts;
+  const bool exactlyOnce = completed == expected;
+  if (!exactlyOnce) {
+    std::fprintf(stderr, "completions %llu != expected %llu\n",
+                 static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(expected));
+  }
+  return (ackedLost == 0 && tornServed == 0 && exactlyOnce) ? 0 : 1;
+}
+
+}  // namespace fefet
+
+int main(int argc, char** argv) {
+  return fefet::run(fefet::parseCli(argc, argv));
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Sanitizer + resilience + perf + observability gate, seven stages:
+# Sanitizer + resilience + perf + observability gate, eight stages:
 #
 #  1. ASan + UBSan (FEFET_SANITIZE=address) over the full test suite —
 #     memory errors and UB in the netlist/device ownership chain (the
@@ -26,7 +26,11 @@
 #     processes with --chaos-kill-p self-SIGKILLs, leases reclaimed and
 #     crashed workers restarted — the merged results CRC must be
 #     bit-identical to the unsharded run's;
-#  7. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
+#  7. serving-layer chaos gate: bench_macro_service under a power-fail
+#     storm (--storm-p=0.2) — every acked write must read back exactly
+#     (acked_lost=0), no torn word may be served (torn_served=0), and the
+#     shed rate of backpressure-honoring clients must stay bounded;
+#  8. clang-tidy (performance-* as errors + modernize subset, .clang-tidy)
 #     over src/spice and src/common — skipped with a notice when
 #     clang-tidy is not installed.
 #
@@ -54,13 +58,13 @@ cmake -B "$TSAN_BUILD_DIR" -S . -DFEFET_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" \
   --target test_sim_sweep test_lu_reuse test_variability test_stamp_parity \
-  test_obs test_shard_lease
+  test_obs test_shard_lease test_serve test_serve_concurrent
 
 # The ^(...)\. anchors keep the test_obs suites from pulling in unbuilt
 # binaries with similar names (Trace vs PowerTrace, LogJson vs Logistic).
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$(nproc)" \
-  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity|ShardLease|^(JsonChecker|Metrics|Trace|RunReport|ObsAlloc|LogPrefix|LogJson)\.' "$@"
+  -R 'ThreadPool|SweepEngine|SparseLuFactorizer|LuReuse|Variability|StampParity|ShardLease|ServeConcurrent|MacroService|ShardStore|StormStream|^(JsonChecker|Metrics|Trace|RunReport|ObsAlloc|LogPrefix|LogJson|Admission)\.' "$@"
 
 echo "== kill-and-resume smoke: journaled sweep survives SIGKILL =="
 cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target bench_fault_resilience
@@ -222,6 +226,39 @@ if echo "$STORM_PERF" | grep -q '"restarts":0'; then
   echo "WARN: chaos produced no worker restarts this run" >&2
 fi
 echo "kill-storm smoke passed (CRC $STORM_CRC matches unsharded reference)"
+
+echo "== serve chaos gate: acked writes survive power-fail storms =="
+cmake --build "$PERF_BUILD_DIR" -j"$(nproc)" --target bench_macro_service
+SERVE_OUT="$SMOKE_DIR/serve.out"
+# The bench itself exits non-zero on any acked-write loss, torn read, or
+# lost completion; the PERF fields are re-asserted here so a regression
+# in the bench's own exit-code logic cannot mask one in the service.
+if ! "$PERF_BUILD_DIR/bench/bench_macro_service" --ops=6000 --storm-p=0.2 \
+    --seed=11 > "$SERVE_OUT"; then
+  echo "FAIL: bench_macro_service chaos run violated a durability invariant" >&2
+  cat "$SERVE_OUT" >&2
+  exit 1
+fi
+SERVE_PERF=$(grep '^PERF ' "$SERVE_OUT")
+echo "$SERVE_PERF"
+for field in acked_lost torn_served; do
+  if ! echo "$SERVE_PERF" | grep -Eq "\"$field\":0[,}]"; then
+    echo "FAIL: serve chaos gate: $field is nonzero" >&2
+    exit 1
+  fi
+done
+if echo "$SERVE_PERF" | grep -q '"power_fails":0,'; then
+  echo "FAIL: serve chaos gate: the storm injected no power failures" >&2
+  exit 1
+fi
+SERVE_SHED_RATE=$(echo "$SERVE_PERF" \
+  | sed -E 's/.*"shed_rate":([0-9.]+).*/\1/')
+if ! awk -v s="$SERVE_SHED_RATE" 'BEGIN { exit !(s <= 0.5) }'; then
+  echo "FAIL: serve chaos gate: shed rate $SERVE_SHED_RATE exceeds 0.5" >&2
+  exit 1
+fi
+echo "serve chaos gate passed (no acked write lost, no torn word served," \
+     "shed rate ${SERVE_SHED_RATE})"
 
 echo "== clang-tidy: performance + modernize over the solver hot path =="
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -18,6 +18,7 @@ struct ControllerTelemetry {
   obs::Counter& writeRetries;
   obs::Counter& uncorrectableBits;
   obs::Counter& remappedRows;
+  obs::Counter& sparePoolExhausted;
   obs::Counter& eccCorrections;
   obs::Counter& detectedDoubleBits;
 };
@@ -29,6 +30,7 @@ ControllerTelemetry& controllerTelemetry() {
       obs::Metrics::counter("fefet.controller.write_retries"),
       obs::Metrics::counter("fefet.controller.uncorrectable_bits"),
       obs::Metrics::counter("fefet.controller.remapped_rows"),
+      obs::Metrics::counter("fefet.controller.spare_pool_exhausted"),
       obs::Metrics::counter("fefet.controller.ecc_corrections"),
       obs::Metrics::counter("fefet.controller.detected_double_bits")};
   return t;
@@ -116,6 +118,15 @@ std::optional<int> MemoryController::remapRow(int logicalRow,
       return spare;
     }
   }
+  // Spare pool drained mid-burst: degrade gracefully — record the denied
+  // remap in the resilience ledger (the caller keeps the uncorrected-bit
+  // accounting) instead of surfacing an unclassified error.
+  ++report_.sparePoolExhausted;
+  if (obs::Metrics::enabled()) {
+    controllerTelemetry().sparePoolExhausted.increment();
+  }
+  FEFET_WARN() << "controller: spare pool exhausted remapping row "
+               << logicalRow << " (phys " << failedPhysRow << ")";
   return std::nullopt;
 }
 

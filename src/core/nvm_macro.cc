@@ -16,6 +16,7 @@ namespace {
 struct MacroTelemetry {
   obs::Counter& writeRetries;
   obs::Counter& spareRemaps;
+  obs::Counter& sparePoolExhausted;
   obs::Counter& uncorrectableBits;
   obs::Counter& eccCorrections;
   obs::Counter& detectedDoubleBits;
@@ -25,6 +26,7 @@ MacroTelemetry& macroTelemetry() {
   static MacroTelemetry t{
       obs::Metrics::counter("fefet.macro.write_retries"),
       obs::Metrics::counter("fefet.macro.spare_remaps"),
+      obs::Metrics::counter("fefet.macro.spare_pool_exhausted"),
       obs::Metrics::counter("fefet.macro.uncorrectable_bits"),
       obs::Metrics::counter("fefet.macro.ecc_corrections"),
       obs::Metrics::counter("fefet.macro.detected_double_bits")};
@@ -119,7 +121,16 @@ bool NvmMacro::writeStoredBit(int physWord, int bit, bool target) {
 }
 
 std::optional<int> NvmMacro::allocateSpare(int address) {
-  if (nextSpare_ >= resilience_.spareWords) return std::nullopt;
+  if (nextSpare_ >= resilience_.spareWords) {
+    // Graceful degradation, not an unclassified error: the burst that
+    // drained the pool is recorded in the ledger, and the caller falls
+    // back to the uncorrected-bit accounting below.
+    ++report_.sparePoolExhausted;
+    if (obs::Metrics::enabled()) {
+      macroTelemetry().sparePoolExhausted.increment();
+    }
+    return std::nullopt;
+  }
   const int spare = physicalWordCount_ - resilience_.spareWords +
                     nextSpare_;
   ++nextSpare_;

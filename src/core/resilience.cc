@@ -9,7 +9,8 @@ std::string ResilienceReport::summary() const {
   os << wordWrites << " writes / " << wordReads << " reads: "
      << writeRetries << " retries, " << correctedBits << " ECC-corrected, "
      << detectedDoubleBits << " double-detected, " << remappedRows
-     << " rows remapped, " << uncorrectedBits << " uncorrected";
+     << " rows remapped, " << sparePoolExhausted << " spare-exhausted, "
+     << uncorrectedBits << " uncorrected";
   return os.str();
 }
 

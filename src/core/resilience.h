@@ -38,6 +38,7 @@ struct ResilienceReport {
   int correctedBits = 0;       ///< ECC single-bit corrections on read
   int detectedDoubleBits = 0;  ///< ECC double-bit detections (uncorrected)
   int remappedRows = 0;        ///< rows retired to spares
+  int sparePoolExhausted = 0;  ///< remap requests denied: spare pool empty
   int uncorrectedBits = 0;     ///< verified-wrong bits with no remedy left
   double retryEnergy = 0.0;    ///< [J] energy spent on retries/migration
 

@@ -1,7 +1,16 @@
 #include "nvp/checkpoint.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "sim/sweep_journal.h"
 
 namespace fefet::nvp {
 
@@ -130,6 +139,129 @@ BackupResult CheckpointManager::backup(
   epoch_ = newEpoch;
   standby_ ^= 1;
   return r;
+}
+
+namespace {
+
+constexpr std::uint32_t kBankMagic = 0x46454643u;  // "FEFC"
+
+bool writeAllWords(int fd, const std::vector<std::uint32_t>& words) {
+  const char* data = reinterpret_cast<const char*>(words.data());
+  std::size_t remaining = words.size() * sizeof(std::uint32_t);
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n <= 0) return false;
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FileCheckpointStore::FileCheckpointStore(const std::string& directory,
+                                         int stateWords)
+    : directory_(directory), stateWords_(stateWords) {
+  FEFET_REQUIRE(!directory_.empty(), "checkpoint store needs a directory");
+  FEFET_REQUIRE(stateWords_ > 0, "checkpoint state must be at least one word");
+  if (::mkdir(directory_.c_str(), 0755) == 0) {
+    // The directory itself is a fresh name in ITS parent — same rule.
+    sim::fsyncParentDir(directory_);
+  }
+  // Resume the epoch sequence from whatever banks already verify.
+  std::uint32_t best = 0;
+  int bestBank = -1;
+  for (int bank = 0; bank < 2; ++bank) {
+    std::uint32_t epoch = 0;
+    if (readBank(bank, &epoch) && epoch > best) {
+      best = epoch;
+      bestBank = bank;
+    }
+  }
+  epoch_ = best;
+  standby_ = bestBank == 0 ? 1 : 0;
+}
+
+std::string FileCheckpointStore::bankPath(int bank) const {
+  return directory_ + "/bank" + std::to_string(bank) + ".ckpt";
+}
+
+std::optional<std::vector<std::uint32_t>> FileCheckpointStore::readBank(
+    int bank, std::uint32_t* epochOut) const {
+  *epochOut = 0;
+  const std::string path = bankPath(bank);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint32_t> raw(static_cast<std::size_t>(stateWords_) + 4);
+  const std::size_t want = raw.size() * sizeof(std::uint32_t);
+  char* data = reinterpret_cast<char*>(raw.data());
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::read(fd, data + got, want - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (got != want) return std::nullopt;  // truncated (torn) bank
+  if (raw[0] != kBankMagic ||
+      raw[1] != static_cast<std::uint32_t>(stateWords_)) {
+    return std::nullopt;
+  }
+  const std::uint32_t epoch = raw[2];
+  std::vector<std::uint32_t> state(raw.begin() + 4, raw.end());
+  if (epoch == 0 || raw[3] != checkpointChecksum(state, epoch)) {
+    return std::nullopt;
+  }
+  *epochOut = epoch;
+  return state;
+}
+
+bool FileCheckpointStore::save(const std::vector<std::uint32_t>& state) {
+  FEFET_REQUIRE(static_cast<int>(state.size()) == stateWords_,
+                "checkpoint state size mismatch");
+  const std::uint32_t newEpoch = epoch_ + 1;
+  std::vector<std::uint32_t> image;
+  image.reserve(state.size() + 4);
+  image.push_back(kBankMagic);
+  image.push_back(static_cast<std::uint32_t>(stateWords_));
+  image.push_back(newEpoch);
+  image.push_back(checkpointChecksum(state, newEpoch));
+  image.insert(image.end(), state.begin(), state.end());
+  const std::string path = bankPath(standby_);
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool written = writeAllWords(fd, image) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!written) return false;
+  if (!existed) {
+    // The bank's data is durable but its directory entry is not until the
+    // parent directory is fsynced (the PR 6 sweep-journal fix): skip this
+    // and a power loss can vanish the whole fsynced file.
+    sim::fsyncParentDir(path);
+  }
+  epoch_ = newEpoch;
+  standby_ ^= 1;
+  return true;
+}
+
+std::optional<std::vector<std::uint32_t>> FileCheckpointStore::restore() {
+  std::uint32_t bestEpoch = 0;
+  int bestBank = -1;
+  std::vector<std::uint32_t> bestData;
+  for (int bank = 0; bank < 2; ++bank) {
+    std::uint32_t epoch = 0;
+    auto data = readBank(bank, &epoch);
+    if (data && epoch > bestEpoch) {
+      bestEpoch = epoch;
+      bestBank = bank;
+      bestData = std::move(*data);
+    }
+  }
+  if (bestBank < 0) return std::nullopt;
+  epoch_ = bestEpoch;
+  standby_ = bestBank == 0 ? 1 : 0;
+  return bestData;
 }
 
 std::optional<std::vector<std::uint32_t>> CheckpointManager::restore() {

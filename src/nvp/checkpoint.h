@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/nvm_macro.h"
@@ -73,5 +74,49 @@ class CheckpointManager {
 /// with the epoch), so a torn image cannot alias a committed one.
 std::uint32_t checkpointChecksum(const std::vector<std::uint32_t>& state,
                                  std::uint32_t epoch);
+
+/// File-backed double-bank checkpoint store: the same commit discipline as
+/// CheckpointManager, persisted as two bank files on a host filesystem
+/// (external snapshot of a macro's state for cold restarts and tooling).
+///
+/// A save streams [magic, stateWords, epoch, checksum, words...] into the
+/// standby bank file and fsyncs it; restore picks the bank with the
+/// highest epoch whose checksum verifies, so a torn or interrupted save
+/// loses at most the in-flight image.  Durability detail inherited from
+/// the sweep-journal fix (PR 6): a freshly created bank file's NAME lives
+/// in the parent directory, so the store fsyncs the parent directory
+/// after creating a file — without that, a power loss can vanish a fully
+/// fsynced bank wholesale.  Not thread-safe.
+class FileCheckpointStore {
+ public:
+  /// Store banks under `directory` (created, and made durable in ITS
+  /// parent, if missing) for images of `stateWords` words.  Resumes the
+  /// epoch sequence from any banks already present.
+  FileCheckpointStore(const std::string& directory, int stateWords);
+
+  int stateWords() const { return stateWords_; }
+  std::string bankPath(int bank) const;
+
+  /// Persist `state` into the standby bank.  True when the image is
+  /// durable (written, fsynced, directory entry fsynced on first
+  /// creation); false on any I/O failure — the previous bank is intact.
+  bool save(const std::vector<std::uint32_t>& state);
+
+  /// Newest intact image, or nullopt when no bank verifies.
+  std::optional<std::vector<std::uint32_t>> restore();
+
+  /// Epoch of the latest committed save (0 = none yet).
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  /// Parse one bank file; nullopt unless magic/size/checksum verify.
+  std::optional<std::vector<std::uint32_t>> readBank(
+      int bank, std::uint32_t* epochOut) const;
+
+  std::string directory_;
+  int stateWords_ = 0;
+  std::uint32_t epoch_ = 0;
+  int standby_ = 0;
+};
 
 }  // namespace fefet::nvp

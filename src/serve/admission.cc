@@ -1,0 +1,107 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fefet::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         int shards)
+    : config_(config), shards_(shards) {
+  FEFET_REQUIRE(shards_ >= 1 && shards_ <= kMaxShards,
+                "admission controller shard count out of range");
+  FEFET_REQUIRE(config_.queueCapacityPerShard >= 1,
+                "shard queue capacity must be at least 1");
+  FEFET_REQUIRE(config_.brownoutEnterUtilization >
+                    config_.brownoutExitUtilization,
+                "brownout thresholds must have hysteresis (enter > exit)");
+  for (int c = 0; c < kTrafficClasses; ++c) {
+    classCap_[c] = std::max(
+        1, static_cast<int>(config_.queueCapacityPerShard *
+                            config_.classShare[c]));
+  }
+}
+
+AdmitDecision AdmissionController::admit(OpType op, TrafficClass cls,
+                                         int shard) {
+  const int c = static_cast<int>(cls);
+  // Brownout: mutating ops are refused at the door; reads keep flowing
+  // (still subject to the queue bound below).
+  if (op != OpType::kRead && readOnly()) {
+    shedReadOnly_[c].value.fetch_add(1, std::memory_order_relaxed);
+    return AdmitDecision::kShedReadOnly;
+  }
+  const int s = shardIndex(shard);
+  const int depth =
+      shardDepth_[s].value.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth > config_.queueCapacityPerShard) {
+    shardDepth_[s].value.fetch_sub(1, std::memory_order_relaxed);
+    shedOverload_[c].value.fetch_add(1, std::memory_order_relaxed);
+    return AdmitDecision::kShedOverload;
+  }
+  const int classDepth =
+      classDepth_[s][c].value.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (classDepth > classCap_[c]) {
+    classDepth_[s][c].value.fetch_sub(1, std::memory_order_relaxed);
+    shardDepth_[s].value.fetch_sub(1, std::memory_order_relaxed);
+    shedOverload_[c].value.fetch_add(1, std::memory_order_relaxed);
+    return AdmitDecision::kShedOverload;
+  }
+  const int total = totalDepth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  updateBrownout(total);
+  admitted_[c].value.fetch_add(1, std::memory_order_relaxed);
+  return AdmitDecision::kAdmit;
+}
+
+void AdmissionController::release(TrafficClass cls, int shard) {
+  const int s = shardIndex(shard);
+  const int c = static_cast<int>(cls);
+  classDepth_[s][c].value.fetch_sub(1, std::memory_order_relaxed);
+  shardDepth_[s].value.fetch_sub(1, std::memory_order_relaxed);
+  const int total = totalDepth_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  updateBrownout(total);
+}
+
+void AdmissionController::updateBrownout(int totalQueued) {
+  const double utilization =
+      static_cast<double>(totalQueued) /
+      static_cast<double>(shards_ * config_.queueCapacityPerShard);
+  if (utilization >= config_.brownoutEnterUtilization) {
+    bool expected = false;
+    if (readOnly_.compare_exchange_strong(expected, true,
+                                          std::memory_order_relaxed)) {
+      brownoutEntries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (utilization <= config_.brownoutExitUtilization) {
+    bool expected = true;
+    if (readOnly_.compare_exchange_strong(expected, false,
+                                          std::memory_order_relaxed)) {
+      brownoutExits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+double AdmissionController::retryAfterSeconds(int shard) const {
+  const double utilization =
+      static_cast<double>(queuedAt(shard)) /
+      static_cast<double>(config_.queueCapacityPerShard);
+  return config_.retryAfterBaseSeconds * (1.0 + 4.0 * utilization);
+}
+
+AdmissionSnapshot AdmissionController::snapshot() const {
+  AdmissionSnapshot snap;
+  for (int c = 0; c < kTrafficClasses; ++c) {
+    snap.admitted[c] = admitted_[c].value.load(std::memory_order_relaxed);
+    snap.shedOverload[c] =
+        shedOverload_[c].value.load(std::memory_order_relaxed);
+    snap.shedReadOnly[c] =
+        shedReadOnly_[c].value.load(std::memory_order_relaxed);
+  }
+  snap.brownoutEntries = brownoutEntries_.load(std::memory_order_relaxed);
+  snap.brownoutExits = brownoutExits_.load(std::memory_order_relaxed);
+  snap.readOnly = readOnly();
+  return snap;
+}
+
+}  // namespace fefet::serve

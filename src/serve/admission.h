@@ -1,0 +1,124 @@
+// admission.h — admission control and brownout degradation for the
+// serving layer.
+//
+// Overload must never turn into unbounded queueing: every shard queue is
+// bounded, every traffic class has its own quota inside that bound (so a
+// cache-mode flood cannot starve storage-mode traffic), and a request
+// that does not fit is rejected IMMEDIATELY with a retry-after hint —
+// shed at the door, accounted per class, never silently dropped.
+//
+// On top of the per-queue bounds sits a two-state brownout machine:
+//
+//     kNormal --(utilization >= enterUtilization)--> kReadOnly
+//     kReadOnly --(utilization <= exitUtilization)--> kNormal
+//
+// In kReadOnly the service degrades gracefully: reads keep flowing,
+// writes and checkpoints are rejected with kRejectedReadOnly.  The
+// hysteresis gap keeps the machine from flapping at the threshold.
+//
+// Thread-safe: admit()/release() are called concurrently from submitting
+// threads and shard workers; all state is atomics (the brownout flip is
+// a CAS, so the enter/exit counters are exact).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/request.h"
+
+namespace fefet::serve {
+
+struct AdmissionConfig {
+  /// Bounded queue depth per shard (all classes together).
+  int queueCapacityPerShard = 64;
+  /// Per-class quota as a fraction of the shard queue capacity.  The
+  /// quotas may sum above 1.0 (work-conserving overcommit) — the total
+  /// bound still holds; they exist to guarantee each class a floor.
+  double classShare[kTrafficClasses] = {0.6, 0.6};
+  /// Fleet-wide queue utilization (queued / total capacity) that enters
+  /// and exits read-only brownout.  enter > exit: hysteresis.
+  double brownoutEnterUtilization = 0.9;
+  double brownoutExitUtilization = 0.45;
+  /// Base of the retry-after hint handed to shed requests; scales with
+  /// how overloaded the rejecting queue is.
+  double retryAfterBaseSeconds = 1e-3;
+};
+
+enum class AdmitDecision { kAdmit, kShedOverload, kShedReadOnly };
+
+/// Per-class admission/rejection tallies (monotonic totals).
+struct AdmissionSnapshot {
+  std::uint64_t admitted[kTrafficClasses] = {0, 0};
+  std::uint64_t shedOverload[kTrafficClasses] = {0, 0};
+  std::uint64_t shedReadOnly[kTrafficClasses] = {0, 0};
+  std::uint64_t brownoutEntries = 0;
+  std::uint64_t brownoutExits = 0;
+  bool readOnly = false;
+
+  std::uint64_t totalShed() const {
+    std::uint64_t n = 0;
+    for (int c = 0; c < kTrafficClasses; ++c) {
+      n += shedOverload[c] + shedReadOnly[c];
+    }
+    return n;
+  }
+  std::uint64_t totalAdmitted() const {
+    return admitted[0] + admitted[1];
+  }
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config, int shards);
+
+  /// Decide for one request against shard `shard`'s queue.  kAdmit
+  /// reserves one slot (per-shard and per-class) that release() must
+  /// return after the request leaves the queue.
+  AdmitDecision admit(OpType op, TrafficClass cls, int shard);
+
+  /// Return the slot reserved by a successful admit().
+  void release(TrafficClass cls, int shard);
+
+  bool readOnly() const {
+    return readOnly_.load(std::memory_order_relaxed);
+  }
+
+  /// Backpressure hint for a shed request: grows with the utilization of
+  /// the rejecting shard's queue.
+  double retryAfterSeconds(int shard) const;
+
+  int queuedAt(int shard) const {
+    return shardDepth_[shardIndex(shard)].value.load(std::memory_order_relaxed);
+  }
+  int capacityPerShard() const { return config_.queueCapacityPerShard; }
+
+  AdmissionSnapshot snapshot() const;
+
+ private:
+  static constexpr int kMaxShards = 64;
+  struct alignas(64) PaddedInt {
+    std::atomic<int> value{0};
+  };
+  struct alignas(64) PaddedCount {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  int shardIndex(int shard) const { return shard % shards_; }
+  /// Re-evaluate the brownout machine against the current total depth.
+  void updateBrownout(int totalQueued);
+
+  AdmissionConfig config_;
+  int shards_;
+  int classCap_[kTrafficClasses];
+  PaddedInt shardDepth_[kMaxShards];
+  PaddedInt classDepth_[kMaxShards][kTrafficClasses];
+  std::atomic<int> totalDepth_{0};
+  std::atomic<bool> readOnly_{false};
+  PaddedCount admitted_[kTrafficClasses];
+  PaddedCount shedOverload_[kTrafficClasses];
+  PaddedCount shedReadOnly_[kTrafficClasses];
+  std::atomic<std::uint64_t> brownoutEntries_{0};
+  std::atomic<std::uint64_t> brownoutExits_{0};
+};
+
+}  // namespace fefet::serve

@@ -1,0 +1,86 @@
+// chaos.h — deterministic power-fail storm injection for the serving
+// layer.
+//
+// A storm is a per-operation Bernoulli draw: with probability p the
+// shard's supply dies somewhere inside the operation.  WHERE it dies is
+// drawn uniformly over the operation's word-write sequence — before the
+// redo-ring entry, between ring words, mid data word (a torn word), or
+// mid checkpoint stream — so every truncation point of the crash-
+// consistency protocol gets exercised, exactly like CheckpointManager's
+// failAfterWords hook but driven statistically.
+//
+// Draws are a pure function of (seed, shard, operation ordinal): a storm
+// replays identically for a given seed regardless of thread timing, which
+// keeps the chaos gate in scripts/check.sh reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fefet::serve {
+
+/// One injected power failure.
+struct PowerFailPoint {
+  /// The supply dies after this many macro word writes of the current
+  /// operation have fully committed.  The next word write is the victim:
+  /// for a data word it tears (tearMask selects which bits committed),
+  /// for ring/checkpoint words it is simply absent.
+  int failAfterWords = 0;
+  /// Which bits of the in-flight word committed before the supply died.
+  std::uint32_t tearMask = 0;
+};
+
+/// Storm shape: per-op failure probability, deterministic seed.
+struct StormConfig {
+  double opFailProbability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// SplitMix64 — the repo-standard cheap stateless mixer (same idiom as
+/// the shard-lease chaos stream): full 64-bit avalanche, so consecutive
+/// ordinals give independent draws.
+inline std::uint64_t chaosMix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-shard storm stream.  Not thread-safe; owned by one
+/// shard worker.
+class StormStream {
+ public:
+  StormStream(const StormConfig& config, int shard)
+      : config_(config), shard_(static_cast<std::uint64_t>(shard)) {}
+
+  /// Draw for operation `ordinal` of this shard with `opWords` word
+  /// writes ahead of it (the fail point lands uniformly in [0, opWords)).
+  /// The probability can be overridden per call (storm windows driven by
+  /// a power trace).
+  std::optional<PowerFailPoint> draw(std::uint64_t ordinal, int opWords,
+                                     double probability) {
+    if (probability <= 0.0 || opWords <= 0) return std::nullopt;
+    const std::uint64_t h =
+        chaosMix(config_.seed ^ chaosMix(shard_ * 0x5851F42D4C957F2Dull +
+                                         ordinal));
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= probability) return std::nullopt;
+    PowerFailPoint p;
+    const std::uint64_t h2 = chaosMix(h);
+    p.failAfterWords = static_cast<int>(h2 % static_cast<std::uint64_t>(opWords));
+    p.tearMask = static_cast<std::uint32_t>(chaosMix(h2));
+    return p;
+  }
+
+  std::optional<PowerFailPoint> draw(std::uint64_t ordinal, int opWords) {
+    return draw(ordinal, opWords, config_.opFailProbability);
+  }
+
+ private:
+  StormConfig config_;
+  std::uint64_t shard_;
+};
+
+}  // namespace fefet::serve

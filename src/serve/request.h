@@ -1,0 +1,103 @@
+// request.h — the async request/response vocabulary of the memory-macro
+// serving layer (DESIGN.md §6.6).
+//
+// A Request is one word-level operation (read / write / checkpoint)
+// tagged with a traffic class and a wall-clock deadline budget.  The
+// service answers asynchronously through a completion callback invoked on
+// the owning shard's worker thread; every submitted request is completed
+// exactly once, with a Status that classifies the outcome — there is no
+// unclassified failure path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fefet::serve {
+
+/// Operation kind.  kCheckpoint forces the owning shard to commit a
+/// double-banked checkpoint of its full state (nvp/CheckpointManager).
+enum class OpType { kRead, kWrite, kCheckpoint };
+
+/// Traffic class, after the hybrid volatile/non-volatile FeFET bit-cell
+/// work (arxiv 2606.19918): cache-mode traffic is latency-sensitive and
+/// bursty, storage-mode traffic is durability-sensitive.  Admission
+/// control gives each class its own share of every shard queue so one
+/// class flooding cannot starve the other.
+enum class TrafficClass { kCacheMode, kStorageMode };
+inline constexpr int kTrafficClasses = 2;
+
+inline const char* opTypeName(OpType op) {
+  switch (op) {
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kCheckpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+inline const char* trafficClassName(TrafficClass cls) {
+  return cls == TrafficClass::kCacheMode ? "cache" : "storage";
+}
+
+/// Terminal classification of one request.  Every completion carries
+/// exactly one of these; the admission layer tallies the rejection kinds
+/// per traffic class (AdmissionController::snapshot()).
+enum class Status {
+  kOk,                ///< operation applied (writes: durably acknowledged)
+  kRejectedOverload,  ///< queue/class quota full — honor retryAfterSeconds
+  kRejectedReadOnly,  ///< brownout: service degraded to read-only
+  kDeadlineExpired,   ///< budget ran out in queue or during retries
+  kPowerFailDropped,  ///< dropped by a power failure, retry budget exhausted
+  kFailed,            ///< store-level failure (uncorrectable word)
+  kCancelled,         ///< service stopped before the request ran
+};
+
+inline const char* statusName(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejectedOverload: return "rejected_overload";
+    case Status::kRejectedReadOnly: return "rejected_readonly";
+    case Status::kDeadlineExpired: return "deadline_expired";
+    case Status::kPowerFailDropped: return "power_fail_dropped";
+    case Status::kFailed: return "failed";
+    case Status::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// One word-level operation against the service's logical address space.
+struct Request {
+  OpType op = OpType::kRead;
+  TrafficClass cls = TrafficClass::kCacheMode;
+  std::uint64_t address = 0;     ///< logical word address (service-wide)
+  std::uint32_t value = 0;       ///< write payload (ignored for reads)
+  /// Wall-clock budget from submit() to completion.  <= 0 means
+  /// unlimited; the scheduler treats unlimited requests as
+  /// latest-deadline (EDF places them behind every bounded request).
+  double budgetSeconds = 0.0;
+};
+
+/// Completion record.  For kOk reads, `value` is the word read; for kOk
+/// writes it echoes the durably acknowledged payload.  `ackSeq` is the
+/// shard-local durability sequence number of an acknowledged write
+/// (0 otherwise) — the replay verifier keys its oracle on it.
+struct Response {
+  Status status = Status::kCancelled;
+  std::uint32_t value = 0;
+  std::uint64_t ackSeq = 0;
+  int shard = -1;                ///< shard that executed (or rejected) it
+  int attempts = 0;              ///< execution attempts (retries + 1)
+  double retryAfterSeconds = 0;  ///< backpressure hint on kRejectedOverload
+  double queueSeconds = 0.0;     ///< admission -> dequeue wall time
+  double serviceSeconds = 0.0;   ///< dequeue -> completion wall time
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Invoked exactly once per submitted request, on the shard worker (or on
+/// the submitting thread for admission rejections).  Must be cheap and
+/// must not call back into the service.
+using Completion = std::function<void(const Response&)>;
+
+}  // namespace fefet::serve

@@ -1,0 +1,493 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace fefet::serve {
+namespace {
+
+constexpr std::uint64_t kNoDeadline =
+    std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint32_t kSlotBits = 20;
+constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1u;
+
+// Host-side end-to-end latency edges [s]: 1 us .. 1 s, log-ish spacing.
+constexpr double kLatencyEdges[] = {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+                                    1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+                                    1.0};
+
+obs::Histogram& latencyHistogram(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return obs::Metrics::histogram("fefet.serve.latency_read_s",
+                                     kLatencyEdges);
+    case OpType::kWrite:
+      return obs::Metrics::histogram("fefet.serve.latency_write_s",
+                                     kLatencyEdges);
+    case OpType::kCheckpoint:
+      break;
+  }
+  return obs::Metrics::histogram("fefet.serve.latency_checkpoint_s",
+                                 kLatencyEdges);
+}
+
+std::uint64_t absoluteDeadlineNs(std::uint64_t nowNs, double budgetSeconds) {
+  if (budgetSeconds <= 0.0) return kNoDeadline;
+  const double ns = budgetSeconds * 1e9;
+  if (ns >= static_cast<double>(kNoDeadline - nowNs)) return kNoDeadline;
+  return nowNs + static_cast<std::uint64_t>(ns);
+}
+
+}  // namespace
+
+MacroService::MacroService(const ServiceConfig& config)
+    : config_(config),
+      admission_(config.admission, config.shards),
+      stormProbability_(config.storm.opFailProbability) {
+  FEFET_REQUIRE(config_.shards >= 1 && config_.shards <= 64,
+                "service shard count out of range");
+  FEFET_REQUIRE(config_.store.dataWords <= static_cast<int>(kSlotMask),
+                "shard dataWords exceeds the directory slot field");
+  FEFET_REQUIRE(config_.maxAttempts >= 1, "service needs at least 1 attempt");
+  directory_ = std::make_unique<DirectoryStripe[]>(kDirectoryStripes);
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  nextSlot_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->store = std::make_unique<ShardStore>(config_.store);
+    shard->storm = std::make_unique<StormStream>(config_.storm, i);
+    shard->wearCycles.store(shard->store->wearCycles(),
+                            std::memory_order_relaxed);
+    shards_.push_back(std::move(shard));
+    nextSlot_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_[static_cast<std::size_t>(i)]->worker =
+        std::thread([this, i] { workerLoop(i); });
+  }
+}
+
+MacroService::~MacroService() { stop(); }
+
+int MacroService::leastWornShardWithSpace() const {
+  int best = -1;
+  double bestWear = 0.0;
+  for (int s = 0; s < config_.shards; ++s) {
+    if (nextSlot_[static_cast<std::size_t>(s)]->load(
+            std::memory_order_relaxed) >= config_.store.dataWords) {
+      continue;
+    }
+    const double wear = shards_[static_cast<std::size_t>(s)]->wearCycles.load(
+        std::memory_order_relaxed);
+    if (best < 0 || wear < bestWear) {
+      best = s;
+      bestWear = wear;
+    }
+  }
+  return best;
+}
+
+bool MacroService::route(const Request& request, int* shard, int* slot,
+                         bool* steered) {
+  *steered = false;
+  if (request.op == OpType::kCheckpoint) {
+    *shard = static_cast<int>(request.address %
+                              static_cast<std::uint64_t>(config_.shards));
+    *slot = -1;
+    return true;
+  }
+  DirectoryStripe& stripe =
+      directory_[request.address % static_cast<std::uint64_t>(
+                                       kDirectoryStripes)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (auto it = stripe.map.find(request.address); it != stripe.map.end()) {
+    *shard = static_cast<int>(it->second >> kSlotBits);
+    *slot = static_cast<int>(it->second & kSlotMask);
+    return true;
+  }
+  if (request.op == OpType::kRead) {
+    *shard = -1;
+    *slot = -1;
+    return false;
+  }
+  // First write of this key: place it.  Default owner is key % shards;
+  // steer to the least-worn shard when the default has burned notably
+  // more endurance than the fleet minimum (the published wear meters are
+  // atomics — routing never touches a macro cross-thread).
+  int owner = static_cast<int>(request.address %
+                               static_cast<std::uint64_t>(config_.shards));
+  double minWear = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < config_.shards; ++s) {
+    minWear = std::min(minWear,
+                       shards_[static_cast<std::size_t>(s)]->wearCycles.load(
+                           std::memory_order_relaxed));
+  }
+  const double ownerWear =
+      shards_[static_cast<std::size_t>(owner)]->wearCycles.load(
+          std::memory_order_relaxed);
+  if (ownerWear >
+      minWear * config_.wearSteerFactor + config_.wearSteerFloor) {
+    const int candidate = leastWornShardWithSpace();
+    if (candidate >= 0 && candidate != owner) {
+      owner = candidate;
+      *steered = true;
+    }
+  }
+  // Claim a slot on the owner; overflow to the least-worn shard with
+  // space, then give up (capacity exhausted).
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<int>& next = *nextSlot_[static_cast<std::size_t>(owner)];
+    int cur = next.load(std::memory_order_relaxed);
+    while (cur < config_.store.dataWords) {
+      if (next.compare_exchange_weak(cur, cur + 1,
+                                     std::memory_order_relaxed)) {
+        stripe.map[request.address] =
+            (static_cast<std::uint32_t>(owner) << kSlotBits) |
+            static_cast<std::uint32_t>(cur);
+        *shard = owner;
+        *slot = cur;
+        return true;
+      }
+    }
+    const int fallback = leastWornShardWithSpace();
+    if (fallback < 0 || fallback == owner) break;
+    owner = fallback;
+    *steered = true;
+  }
+  *shard = -1;
+  *slot = -1;
+  return false;
+}
+
+int MacroService::shardOf(std::uint64_t key) const {
+  const DirectoryStripe& stripe =
+      directory_[key % static_cast<std::uint64_t>(kDirectoryStripes)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (auto it = stripe.map.find(key); it != stripe.map.end()) {
+    return static_cast<int>(it->second >> kSlotBits);
+  }
+  return -1;
+}
+
+bool MacroService::submit(const Request& request, Completion done) {
+  static obs::Counter& cSubmitted =
+      obs::Metrics::counter("fefet.serve.submitted");
+  static obs::Counter& cShedOverload =
+      obs::Metrics::counter("fefet.serve.shed_overload");
+  static obs::Counter& cShedReadOnly =
+      obs::Metrics::counter("fefet.serve.shed_readonly");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  cSubmitted.increment();
+  Response response;
+  if (stopping_.load(std::memory_order_acquire)) {
+    response.status = Status::kCancelled;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    if (done) done(response);
+    return false;
+  }
+  int shard = -1;
+  int slot = -1;
+  bool steered = false;
+  if (!route(request, &shard, &slot, &steered)) {
+    if (request.op == OpType::kRead) {
+      // Never-written key: reads as zero without touching a shard.
+      response.status = Status::kOk;
+      response.value = 0;
+      completedOk_.fetch_add(1, std::memory_order_relaxed);
+      if (done) done(response);
+      return false;
+    }
+    response.status = Status::kFailed;  // capacity exhausted
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (done) done(response);
+    return false;
+  }
+  const AdmitDecision decision =
+      admission_.admit(request.op, request.cls, shard);
+  if (decision != AdmitDecision::kAdmit) {
+    response.shard = shard;
+    response.retryAfterSeconds = admission_.retryAfterSeconds(shard);
+    if (decision == AdmitDecision::kShedOverload) {
+      response.status = Status::kRejectedOverload;
+      cShedOverload.increment();
+    } else {
+      response.status = Status::kRejectedReadOnly;
+      cShedReadOnly.increment();
+    }
+    if (done) done(response);
+    return false;
+  }
+  if (steered) {
+    steeredWrites_.fetch_add(1, std::memory_order_relaxed);
+    obs::Metrics::counter("fefet.serve.steered_writes").increment();
+  }
+  Pending pending;
+  pending.req = request;
+  pending.done = std::move(done);
+  pending.shard = shard;
+  pending.slot = slot;
+  pending.enqueueNs = monotonicNanos();
+  pending.deadlineNs = absoluteDeadlineNs(pending.enqueueNs,
+                                          request.budgetSeconds);
+  pending.admitSeq = admitSeq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    ++inflight_;
+  }
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    sh.queue.push(std::move(pending));
+  }
+  sh.work.notify_one();
+  return true;
+}
+
+void MacroService::workerLoop(int shardIndex) {
+  static obs::Gauge& gDepth = obs::Metrics::gauge("fefet.serve.queue_depth");
+  Shard& sh = *shards_[static_cast<std::size_t>(shardIndex)];
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(sh.mutex);
+      sh.work.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !sh.queue.empty();
+      });
+      if (sh.queue.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      pending = std::move(const_cast<Pending&>(sh.queue.top()));
+      sh.queue.pop();
+    }
+    admission_.release(pending.req.cls, pending.shard);
+    gDepth.set(static_cast<double>(admission_.queuedAt(shardIndex)));
+    if (stopping_.load(std::memory_order_acquire)) {
+      Response response;
+      response.status = Status::kCancelled;
+      response.shard = pending.shard;
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      complete(pending, response);
+      continue;
+    }
+    execute(sh, pending);
+  }
+}
+
+void MacroService::execute(Shard& sh, Pending& pending) {
+  static obs::Counter& cPowerFails =
+      obs::Metrics::counter("fefet.serve.power_fails");
+  static obs::Counter& cRetries = obs::Metrics::counter("fefet.serve.retries");
+  static obs::Counter& cReplayed =
+      obs::Metrics::counter("fefet.serve.ring_replayed");
+  static obs::Counter& cScrubbed =
+      obs::Metrics::counter("fefet.serve.scrubbed_words");
+  static obs::Counter& cRecoveries =
+      obs::Metrics::counter("fefet.serve.recoveries");
+  static obs::Counter& cAcked =
+      obs::Metrics::counter("fefet.serve.acked_writes");
+  static obs::Counter& cDeadline =
+      obs::Metrics::counter("fefet.serve.deadline_expired");
+  static obs::Counter& cDropped =
+      obs::Metrics::counter("fefet.serve.power_fail_dropped");
+  static obs::Counter& cOk = obs::Metrics::counter("fefet.serve.completed_ok");
+  static obs::Counter& cFailed = obs::Metrics::counter("fefet.serve.failed");
+
+  const std::uint64_t startNs = monotonicNanos();
+  ShardStore& store = *sh.store;
+  Response response;
+  response.shard = pending.shard;
+  response.queueSeconds =
+      static_cast<double>(startNs - pending.enqueueNs) / 1e9;
+
+  auto finish = [&](Status status) {
+    response.status = status;
+    response.serviceSeconds =
+        static_cast<double>(monotonicNanos() - startNs) / 1e9;
+    switch (status) {
+      case Status::kOk:
+        completedOk_.fetch_add(1, std::memory_order_relaxed);
+        cOk.increment();
+        break;
+      case Status::kDeadlineExpired:
+        deadlineExpired_.fetch_add(1, std::memory_order_relaxed);
+        cDeadline.increment();
+        break;
+      case Status::kPowerFailDropped:
+        powerFailDropped_.fetch_add(1, std::memory_order_relaxed);
+        cDropped.increment();
+        break;
+      case Status::kFailed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        cFailed.increment();
+        break;
+      default:
+        break;
+    }
+    if (obs::Metrics::enabled()) {
+      latencyHistogram(pending.req.op)
+          .observe(response.queueSeconds + response.serviceSeconds);
+    }
+    complete(pending, response);
+  };
+
+  if (startNs >= pending.deadlineNs) {
+    response.attempts = 0;
+    finish(Status::kDeadlineExpired);
+    return;
+  }
+
+  const double stormP = stormProbability_.load(std::memory_order_relaxed);
+  auto recoverShard = [&] {
+    const ShardRecoveryReport report = store.recover();
+    cRecoveries.increment();
+    cReplayed.add(static_cast<std::uint64_t>(report.ringReplayed));
+    cScrubbed.add(static_cast<std::uint64_t>(report.scrubbed));
+  };
+
+  try {
+    for (int attempt = 1; attempt <= config_.maxAttempts; ++attempt) {
+      response.attempts = attempt;
+      const std::uint64_t ordinal = sh.opOrdinal++;
+      bool hitPowerFail = false;
+      switch (pending.req.op) {
+        case OpType::kRead: {
+          // A power blip can drop an in-flight read, but it writes
+          // nothing, so there is nothing to recover — just retry.
+          if (sh.storm->draw(ordinal, 1, stormP).has_value()) {
+            hitPowerFail = true;
+            break;
+          }
+          response.value = store.read(pending.slot);
+          break;
+        }
+        case OpType::kWrite: {
+          const auto fail =
+              sh.storm->draw(ordinal, store.nextWriteOpWords(), stormP);
+          const ShardWriteResult result = store.write(
+              pending.slot, pending.req.value, fail ? &*fail : nullptr);
+          if (result.powerFailed) {
+            hitPowerFail = true;
+            recoverShard();
+            break;
+          }
+          response.value = pending.req.value;
+          response.ackSeq = result.seq;
+          ackedWrites_.fetch_add(1, std::memory_order_relaxed);
+          cAcked.increment();
+          break;
+        }
+        case OpType::kCheckpoint: {
+          const auto fail =
+              sh.storm->draw(ordinal, store.checkpointOpWords(), stormP);
+          if (!store.checkpoint(fail ? &*fail : nullptr)) {
+            hitPowerFail = true;
+            recoverShard();
+          }
+          break;
+        }
+      }
+      sh.wearCycles.store(store.wearCycles(), std::memory_order_relaxed);
+      if (!hitPowerFail) {
+        finish(Status::kOk);
+        return;
+      }
+      powerFails_.fetch_add(1, std::memory_order_relaxed);
+      cPowerFails.increment();
+      if (attempt == config_.maxAttempts) break;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      cRetries.increment();
+      // Exponential backoff, clipped to the remaining deadline budget.
+      const double backoff = std::min(
+          config_.retryBackoffSeconds * std::pow(2.0, attempt - 1),
+          config_.retryBackoffMaxSeconds);
+      const std::uint64_t now = monotonicNanos();
+      if (now >= pending.deadlineNs) {
+        finish(Status::kDeadlineExpired);
+        return;
+      }
+      const double remaining =
+          static_cast<double>(pending.deadlineNs - now) / 1e9;
+      const double sleepSeconds = std::min(backoff, remaining);
+      if (sleepSeconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleepSeconds));
+      }
+      if (monotonicNanos() >= pending.deadlineNs) {
+        finish(Status::kDeadlineExpired);
+        return;
+      }
+    }
+    finish(Status::kPowerFailDropped);
+  } catch (const Error&) {
+    // Store-level failure (uncorrectable word, exhausted spares surfaced
+    // as a hard error): classified, never silently dropped.
+    if (store.failed()) recoverShard();
+    finish(Status::kFailed);
+  }
+}
+
+void MacroService::complete(Pending& pending, Response response) {
+  if (pending.done) pending.done(response);
+  finishOne();
+}
+
+void MacroService::finishOne() {
+  std::lock_guard<std::mutex> lock(inflightMutex_);
+  --inflight_;
+  if (inflight_ == 0) inflightDone_.notify_all();
+}
+
+void MacroService::drain() {
+  std::unique_lock<std::mutex> lock(inflightMutex_);
+  inflightDone_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void MacroService::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    return;
+  }
+  for (auto& shard : shards_) shard->work.notify_all();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+ServiceStats MacroService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completedOk = completedOk_.load(std::memory_order_relaxed);
+  stats.deadlineExpired = deadlineExpired_.load(std::memory_order_relaxed);
+  stats.powerFailDropped = powerFailDropped_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.ackedWrites = ackedWrites_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.powerFails = powerFails_.load(std::memory_order_relaxed);
+  stats.steeredWrites = steeredWrites_.load(std::memory_order_relaxed);
+  stats.admission = admission_.snapshot();
+  for (int c = 0; c < kTrafficClasses; ++c) {
+    stats.shedOverload += stats.admission.shedOverload[c];
+    stats.shedReadOnly += stats.admission.shedReadOnly[c];
+  }
+  for (const auto& shard : shards_) {
+    const ShardStoreStats& s = shard->store->stats();
+    stats.recoveries += s.recoveries;
+    stats.ringReplayed += s.ringReplayed;
+    stats.scrubbedWords += s.scrubbedWords;
+    stats.checkpoints += s.checkpoints;
+  }
+  return stats;
+}
+
+}  // namespace fefet::serve

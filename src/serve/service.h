@@ -1,0 +1,213 @@
+// service.h — the fault-tolerant memory-macro service (DESIGN.md §6.6):
+// N ShardStore instances, each owned by one worker thread behind a
+// bounded earliest-deadline-first queue, fronted by admission control
+// (serve/admission.h), wear-aware write routing, per-op retry with
+// exponential backoff, and a chaos layer injecting power-fail storms
+// (serve/chaos.h).
+//
+// Threading model: submit() may be called from any thread; it routes,
+// admits (or sheds synchronously) and enqueues.  Each shard worker owns
+// its ShardStore exclusively — every macro access, checkpoint and
+// recovery for a shard happens on that one thread, which is what keeps
+// the endurance meter and ResilienceReport tallies exact with no lost
+// updates.  Completions run on the worker thread (or the submitting
+// thread for shed requests) and must not call back into the service.
+//
+// Addressing: requests name opaque 64-bit keys.  A key's owner shard and
+// slot are assigned on first write — by default key % shards, steered to
+// the least-worn shard when the default owner's write wear is a
+// configurable factor above the fleet minimum (the endurance meter is
+// published per shard as an atomic, so routing never touches a macro
+// cross-thread).  Reads of never-written keys complete immediately with
+// value 0 without touching a shard.  kCheckpoint requests target the
+// shard `key % shards`.
+//
+// Power-fail storms: each executed operation draws from a deterministic
+// per-shard storm stream; a hit kills the shard's supply mid-operation
+// (see shard_store.h for the truncation semantics).  The worker then
+// power-cycles the shard — CheckpointManager double-bank restore, redo
+// ring replay, data scrub — and retries the victim under its deadline
+// budget with exponential backoff.  Queued requests stay queued (the
+// front-end survives; only the macro supply blips).  A dropped read
+// retries without recovery: it wrote nothing, so there is nothing to
+// replay.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/chaos.h"
+#include "serve/request.h"
+#include "serve/shard_store.h"
+
+namespace fefet::serve {
+
+struct ServiceConfig {
+  int shards = 4;
+  ShardStoreConfig store;        ///< per-shard store geometry
+  AdmissionConfig admission;
+  StormConfig storm;
+  /// Execution attempts per request (first try + retries); backoff
+  /// doubles per retry from `retryBackoffSeconds`, capped at
+  /// `retryBackoffMaxSeconds`, and never sleeps past the deadline.
+  int maxAttempts = 4;
+  double retryBackoffSeconds = 100e-6;
+  double retryBackoffMaxSeconds = 2e-3;
+  /// Steer a new key away from its default shard when that shard's
+  /// worst-case write cycles exceed fleet-min * factor + floor.
+  double wearSteerFactor = 2.0;
+  double wearSteerFloor = 256.0;
+};
+
+/// Aggregated service tallies.  The status/admission counters are live
+/// (atomics); the store-derived fields (recoveries, replay, scrub,
+/// checkpoints, per-shard reports) are collected from the shard stores
+/// and are only exact when the service is quiescent — call after
+/// drain().
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completedOk = 0;
+  std::uint64_t shedOverload = 0;
+  std::uint64_t shedReadOnly = 0;
+  std::uint64_t deadlineExpired = 0;
+  std::uint64_t powerFailDropped = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t ackedWrites = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t powerFails = 0;
+  std::uint64_t steeredWrites = 0;
+  // Quiescent-only (summed over shard stores):
+  std::uint64_t recoveries = 0;
+  std::uint64_t ringReplayed = 0;
+  std::uint64_t scrubbedWords = 0;
+  std::uint64_t checkpoints = 0;
+  AdmissionSnapshot admission;
+};
+
+class MacroService {
+ public:
+  explicit MacroService(const ServiceConfig& config);
+  ~MacroService();
+
+  MacroService(const MacroService&) = delete;
+  MacroService& operator=(const MacroService&) = delete;
+
+  /// Submit one request.  The completion is invoked exactly once —
+  /// synchronously for shed/invalid requests, on the owning shard's
+  /// worker otherwise.  Returns true when the request was admitted to a
+  /// queue (false = completed synchronously with a rejection).
+  bool submit(const Request& request, Completion done);
+
+  /// Block until every admitted request has completed.
+  void drain();
+
+  /// Stop the workers.  Requests still queued complete with kCancelled.
+  void stop();
+
+  int shards() const { return config_.shards; }
+  /// Logical capacity: keys the service can hold.
+  std::int64_t capacityKeys() const {
+    return static_cast<std::int64_t>(config_.shards) *
+           config_.store.dataWords;
+  }
+
+  /// Storm probability override (power-trace-driven storm windows).
+  void setStormProbability(double p) {
+    stormProbability_.store(p, std::memory_order_relaxed);
+  }
+  double stormProbability() const {
+    return stormProbability_.load(std::memory_order_relaxed);
+  }
+
+  /// Owner shard of `key` right now (-1 when unmapped).  For tests.
+  int shardOf(std::uint64_t key) const;
+
+  /// Quiescent-only (after drain()): the shard stores for inspection.
+  const ShardStore& shard(int i) const { return *shards_[i]->store; }
+
+  ServiceStats stats() const;
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  struct Pending {
+    Request req;
+    Completion done;
+    int shard = -1;
+    int slot = -1;
+    std::uint64_t enqueueNs = 0;
+    std::uint64_t deadlineNs = 0;  ///< absolute monotonic ns (EDF key)
+    std::uint64_t admitSeq = 0;    ///< FIFO tie-break within a deadline
+  };
+  struct EdfLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.deadlineNs != b.deadlineNs) return a.deadlineNs > b.deadlineNs;
+      return a.admitSeq > b.admitSeq;
+    }
+  };
+  struct Shard {
+    std::unique_ptr<ShardStore> store;
+    std::unique_ptr<StormStream> storm;
+    std::mutex mutex;
+    std::condition_variable work;
+    std::priority_queue<Pending, std::vector<Pending>, EdfLater> queue;
+    std::thread worker;
+    std::uint64_t opOrdinal = 0;        ///< chaos stream position
+    std::atomic<double> wearCycles{0.0};  ///< published endurance meter
+  };
+
+  /// Route `key`: existing mapping, or (writes) allocate a slot with
+  /// wear steering.  Returns false when no slot is available (reads of
+  /// unmapped keys also return false with *slot = -1).
+  bool route(const Request& request, int* shard, int* slot, bool* steered);
+  int leastWornShardWithSpace() const;
+
+  void workerLoop(int shardIndex);
+  /// Execute one dequeued request on its shard (retry loop inside).
+  void execute(Shard& shard, Pending& pending);
+  void complete(Pending& pending, Response response);
+  void finishOne();
+
+  ServiceConfig config_;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<double> stormProbability_;
+  std::atomic<bool> stopping_{false};
+
+  // Key directory: striped maps key -> (shard, slot).
+  static constexpr int kDirectoryStripes = 16;
+  struct alignas(64) DirectoryStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::uint32_t> map;  ///< shard<<20|slot
+  };
+  std::unique_ptr<DirectoryStripe[]> directory_;
+  std::vector<std::unique_ptr<std::atomic<int>>> nextSlot_;  ///< per shard
+
+  // Live tallies.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completedOk_{0};
+  std::atomic<std::uint64_t> deadlineExpired_{0};
+  std::atomic<std::uint64_t> powerFailDropped_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> ackedWrites_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> powerFails_{0};
+  std::atomic<std::uint64_t> steeredWrites_{0};
+  std::atomic<std::uint64_t> admitSeq_{0};
+
+  // Drain bookkeeping: admitted-but-incomplete requests.
+  std::mutex inflightMutex_;
+  std::condition_variable inflightDone_;
+  std::uint64_t inflight_ = 0;
+};
+
+}  // namespace fefet::serve

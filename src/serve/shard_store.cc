@@ -1,0 +1,220 @@
+#include "serve/shard_store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/ecc.h"
+
+namespace fefet::serve {
+
+core::MacroConfig shardMacroConfig(const ShardStoreConfig& config) {
+  FEFET_REQUIRE(config.dataWords > 0, "shard store needs at least one word");
+  FEFET_REQUIRE(config.ringSlots > 0, "shard store needs at least one ring slot");
+  core::MacroConfig macro = config.macro;
+  macro.wordBits = 32;  // CheckpointManager requires 32-bit words
+  const int bankWords = (config.dataWords + 1) + 2;
+  const int totalWords =
+      2 * bankWords + 4 * config.ringSlots + config.dataWords;
+  const int storedBits =
+      32 + (config.resilience.enabled && config.resilience.eccEnabled
+                ? core::SecdedCodec(32).parityBits()
+                : 0);
+  const int spareWords =
+      config.resilience.enabled ? config.resilience.spareWords : 0;
+  if (macro.cols <= 0) macro.cols = 256;
+  const long long bitsNeeded =
+      static_cast<long long>(totalWords + spareWords) * storedBits;
+  const int rowsNeeded = static_cast<int>(
+      (bitsNeeded + macro.cols - 1) / macro.cols);
+  macro.rows = std::max(macro.rows, rowsNeeded + 1);
+  return macro;
+}
+
+ShardStore::ShardStore(const ShardStoreConfig& config)
+    : config_(config),
+      macro_(config.technology, shardMacroConfig(config), config.resilience),
+      manager_(macro_, config.dataWords + 1),
+      shadow_(static_cast<std::size_t>(config.dataWords), 0u) {}
+
+bool ShardStore::checkpointDue() const {
+  // The entry about to be written (seq_ + 1) lands in slot (seq_) % R,
+  // overwriting the entry with sequence seq_ + 1 - R; that entry must be
+  // retired (covered by the last checkpoint) before it can be recycled.
+  return seq_ + 1 - checkpointSeq_ > static_cast<std::uint32_t>(config_.ringSlots);
+}
+
+int ShardStore::nextWriteOpWords() const {
+  return (checkpointDue() ? manager_.bankWords() : 0) + 5;
+}
+
+std::uint32_t ShardStore::ringCheck(std::uint32_t addr, std::uint32_t value,
+                                    std::uint32_t seq) {
+  return static_cast<std::uint32_t>(
+      chaosMix(addr ^ chaosMix(value ^ chaosMix(seq))));
+}
+
+bool ShardStore::wordWrite(int address, std::uint32_t value,
+                           const PowerFailPoint* fail) {
+  if (fail != nullptr && opWrites_ == fail->failAfterWords) {
+    // The supply dies on THIS word write: the bits selected by tearMask
+    // committed before the rail collapsed, the rest retain their old
+    // state — a torn word, repaired by recover()'s replay + scrub.
+    const std::uint32_t old = macro_.readWord(address).value;
+    const std::uint32_t torn =
+        (value & fail->tearMask) | (old & ~fail->tearMask);
+    if (torn != old) macro_.writeWord(address, torn);
+    down_ = true;
+    return false;
+  }
+  const auto access = macro_.writeWord(address, value);
+  stats_.modeledLatency += access.latency;
+  ++opWrites_;
+  return true;
+}
+
+bool ShardStore::checkpointLocked(const PowerFailPoint* fail, bool forced) {
+  std::vector<std::uint32_t> state;
+  state.reserve(shadow_.size() + 1);
+  state.push_back(seq_);
+  state.insert(state.end(), shadow_.begin(), shadow_.end());
+  int failAfter = -1;
+  if (fail != nullptr) {
+    const int remaining = fail->failAfterWords - opWrites_;
+    if (remaining < manager_.bankWords()) failAfter = std::max(0, remaining);
+  }
+  const auto result = manager_.backup(state, failAfter);
+  opWrites_ += result.wordsWritten;
+  stats_.modeledLatency += result.latency;
+  if (!result.committed) {
+    down_ = true;
+    return false;
+  }
+  checkpointSeq_ = seq_;
+  ++stats_.checkpoints;
+  if (forced) ++stats_.forcedCheckpoints;
+  return true;
+}
+
+ShardWriteResult ShardStore::write(int address, std::uint32_t value,
+                                   const PowerFailPoint* fail) {
+  FEFET_REQUIRE(!down_, "shard store is power-failed; recover() first");
+  FEFET_REQUIRE(address >= 0 && address < config_.dataWords,
+                "shard store write address out of range");
+  ShardWriteResult result;
+  opWrites_ = 0;
+  if (checkpointDue() && !checkpointLocked(fail, /*forced=*/true)) {
+    ++stats_.powerFails;
+    result.powerFailed = true;
+    return result;
+  }
+  const std::uint32_t seq = seq_ + 1;
+  const int base = ringSlotBase(seq);
+  const std::uint32_t addr = static_cast<std::uint32_t>(address);
+  // Ring entry: addr, value, check — then seq LAST (the commit point; a
+  // torn or absent seq word leaves the slot's previous, retired entry).
+  const bool committed = wordWrite(base + 0, addr, fail) &&
+                         wordWrite(base + 1, value, fail) &&
+                         wordWrite(base + 2, ringCheck(addr, value, seq), fail) &&
+                         wordWrite(base + 3, seq, fail);
+  if (!committed) {
+    ++stats_.powerFails;
+    result.powerFailed = true;
+    return result;
+  }
+  // The redo entry is durable: even if the data word below tears, replay
+  // reconstructs it.  The ack is therefore safe from here on — but we
+  // only ack once the data word also landed, so an unacked write may
+  // still surface after recovery (allowed: unacked implies either
+  // outcome, never a torn word).
+  if (!wordWrite(dataBase() + address, value, fail)) {
+    seq_ = seq;  // the ring entry committed; recovery will finish the op
+    ++stats_.powerFails;
+    result.powerFailed = true;
+    return result;
+  }
+  seq_ = seq;
+  shadow_[static_cast<std::size_t>(address)] = value;
+  ++stats_.writes;
+  result.acked = true;
+  result.seq = seq;
+  return result;
+}
+
+std::uint32_t ShardStore::read(int address) {
+  FEFET_REQUIRE(!down_, "shard store is power-failed; recover() first");
+  FEFET_REQUIRE(address >= 0 && address < config_.dataWords,
+                "shard store read address out of range");
+  const auto access = macro_.readWord(dataBase() + address);
+  stats_.modeledLatency += access.latency;
+  ++stats_.reads;
+  return access.value;
+}
+
+bool ShardStore::checkpoint(const PowerFailPoint* fail) {
+  FEFET_REQUIRE(!down_, "shard store is power-failed; recover() first");
+  opWrites_ = 0;
+  if (checkpointLocked(fail, /*forced=*/false)) return true;
+  ++stats_.powerFails;
+  return false;
+}
+
+ShardRecoveryReport ShardStore::recover() {
+  ShardRecoveryReport report;
+  ++stats_.recoveries;
+  // 1. Newest intact checkpoint (double-bank replay): the state vector is
+  // [seq, data image]; a mid-backup power failure left the previous
+  // committed bank untouched.
+  std::uint32_t checkpointSeq = 0;
+  if (auto image = manager_.restore()) {
+    checkpointSeq = (*image)[0];
+    std::copy(image->begin() + 1, image->end(), shadow_.begin());
+    report.restoredCheckpoint = true;
+  } else {
+    std::fill(shadow_.begin(), shadow_.end(), 0u);
+  }
+  report.checkpointSeq = checkpointSeq;
+  // 2. Replay committed ring entries newer than the checkpoint, in
+  // sequence order.  A torn slot fails its check word; a recycled slot
+  // fails the seq filter.
+  struct Entry {
+    std::uint32_t seq, addr, value;
+  };
+  std::vector<Entry> live;
+  for (int slot = 0; slot < config_.ringSlots; ++slot) {
+    const int base = ringBase() + 4 * slot;
+    const std::uint32_t addr = macro_.readWord(base + 0).value;
+    const std::uint32_t value = macro_.readWord(base + 1).value;
+    const std::uint32_t check = macro_.readWord(base + 2).value;
+    const std::uint32_t seq = macro_.readWord(base + 3).value;
+    if (seq == 0 || seq <= checkpointSeq) continue;
+    if (check != ringCheck(addr, value, seq)) continue;
+    if (addr >= static_cast<std::uint32_t>(config_.dataWords)) continue;
+    live.push_back({seq, addr, value});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::uint32_t maxSeq = checkpointSeq;
+  for (const Entry& e : live) {
+    shadow_[e.addr] = e.value;
+    maxSeq = std::max(maxSeq, e.seq);
+    ++report.ringReplayed;
+  }
+  seq_ = maxSeq;
+  checkpointSeq_ = checkpointSeq;
+  // 3. Scrub: the reconstructed image is the truth; any data word that
+  // disagrees (the torn in-flight word, or an unacked suffix) is
+  // rewritten so a torn word can never be served.
+  for (int a = 0; a < config_.dataWords; ++a) {
+    const std::uint32_t current = macro_.readWord(dataBase() + a).value;
+    if (current != shadow_[static_cast<std::size_t>(a)]) {
+      macro_.writeWord(dataBase() + a, shadow_[static_cast<std::size_t>(a)]);
+      ++report.scrubbed;
+    }
+  }
+  stats_.ringReplayed += static_cast<std::uint64_t>(report.ringReplayed);
+  stats_.scrubbedWords += static_cast<std::uint64_t>(report.scrubbed);
+  down_ = false;
+  return report;
+}
+
+}  // namespace fefet::serve

@@ -1,0 +1,164 @@
+// shard_store.h — one shard's crash-consistent word store: an NvmMacro
+// partitioned into checkpoint banks, a redo ring and a data region, with
+// a write protocol whose acknowledgements survive power failure at ANY
+// word boundary.
+//
+// Macro address layout (all word addresses, 32-bit words):
+//
+//   [0, 2*bankWords)            nvp/CheckpointManager double banks over
+//                               the state vector [seq, data[0..N)]
+//   [ringBase, ringBase+4*R)    redo ring: R slots of 4 words
+//                               (addr, value, check, seq — seq LAST)
+//   [dataBase, dataBase+N)      the served data words
+//
+// Write protocol (word writes in order):
+//
+//   1. if the ring would wrap onto a live slot, checkpoint first
+//      (double-banked backup of [seq, data]; retires ring entries);
+//   2. write the slot's addr, value, check words;
+//   3. write the slot's seq word (the COMMIT point — a torn or absent
+//      seq/check leaves the slot's previous, retired entry);
+//   4. write the data word;  5. acknowledge.
+//
+// A power failure after any prefix of these writes — including a torn
+// in-flight word — is recoverable: recover() restores the newest intact
+// checkpoint, replays committed ring entries in sequence order, and
+// scrubs the data region against the reconstructed image.  Invariants:
+// an acknowledged write always has either a checkpointed image or a
+// committed ring entry (so it is never lost), and a torn data word is
+// always repaired before it can be served (the scrub).
+//
+// Not thread-safe: a ShardStore is owned by exactly one shard worker
+// thread (serve/service.h enforces this), which is also what keeps the
+// endurance-meter and ResilienceReport tallies exact under load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nvm_macro.h"
+#include "nvp/checkpoint.h"
+#include "serve/chaos.h"
+
+namespace fefet::serve {
+
+struct ShardStoreConfig {
+  int dataWords = 256;  ///< served logical words per shard
+  int ringSlots = 32;   ///< redo capacity between forced checkpoints
+  core::MacroTechnology technology = core::MacroTechnology::kFefet;
+  /// Base macro geometry; rows are grown automatically when the layout
+  /// (banks + ring + data) does not fit.  wordBits is forced to 32
+  /// (CheckpointManager requirement).
+  core::MacroConfig macro;
+  /// Cell-level fault modeling (PR 1 ECC/retry/spares) — enabled so the
+  /// resilience machinery runs under serving traffic; zero fault rates by
+  /// default keep the store deterministic.
+  core::MacroResilience resilience;
+};
+
+/// Outcome of one write operation.
+struct ShardWriteResult {
+  bool acked = false;        ///< durably committed (ring entry + data word)
+  std::uint32_t seq = 0;     ///< durability sequence of the ack (0 if not)
+  bool powerFailed = false;  ///< an injected failure interrupted the op
+};
+
+/// Outcome of one recovery pass.
+struct ShardRecoveryReport {
+  bool restoredCheckpoint = false;  ///< a committed bank verified
+  std::uint32_t checkpointSeq = 0;  ///< seq captured by that bank
+  int ringReplayed = 0;             ///< committed ring entries re-applied
+  int scrubbed = 0;                 ///< data words repaired by the scrub
+};
+
+struct ShardStoreStats {
+  std::uint64_t writes = 0;          ///< acknowledged writes
+  std::uint64_t reads = 0;
+  std::uint64_t checkpoints = 0;     ///< committed checkpoint backups
+  std::uint64_t forcedCheckpoints = 0;  ///< triggered by ring pressure
+  std::uint64_t powerFails = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t ringReplayed = 0;
+  std::uint64_t scrubbedWords = 0;
+  double modeledLatency = 0.0;  ///< [s] accumulated macro access latency
+};
+
+class ShardStore {
+ public:
+  explicit ShardStore(const ShardStoreConfig& config);
+
+  int dataWords() const { return config_.dataWords; }
+  int ringSlots() const { return config_.ringSlots; }
+
+  /// Word writes the next write operation will issue (forced checkpoint
+  /// included) — the chaos stream sizes its fail-point draw with this.
+  int nextWriteOpWords() const;
+  /// Word writes of an explicit checkpoint operation.
+  int checkpointOpWords() const { return manager_.bankWords(); }
+
+  /// Apply one write.  With `fail` set, the supply dies inside the op at
+  /// the drawn word boundary: the store transitions to the failed state
+  /// and the result reports powerFailed (acked only if the failure landed
+  /// after the full protocol committed).  Callers must recover() before
+  /// issuing further operations after a failure.
+  ShardWriteResult write(int address, std::uint32_t value,
+                         const PowerFailPoint* fail = nullptr);
+
+  /// Serve one word (macro read path, ECC-corrected when enabled).
+  std::uint32_t read(int address);
+
+  /// Explicit checkpoint; false when `fail` interrupted the backup.
+  bool checkpoint(const PowerFailPoint* fail = nullptr);
+
+  /// Power-cycle recovery: restore the newest intact checkpoint, replay
+  /// committed ring entries, scrub the data region.  Idempotent; clears
+  /// the failed state.
+  ShardRecoveryReport recover();
+
+  /// True after an injected power failure until recover() runs.
+  bool failed() const { return down_; }
+
+  std::uint32_t seq() const { return seq_; }
+  const ShardStoreStats& stats() const { return stats_; }
+  const core::NvmMacro& macro() const { return macro_; }
+  const core::ResilienceReport& report() const { return macro_.report(); }
+  /// Worst-case program/erase cycles of the underlying macro — the
+  /// endurance meter the wear-aware router consults (via the service's
+  /// published atomic, never this accessor cross-thread).
+  double wearCycles() const { return macro_.worstCaseCycles(); }
+
+ private:
+  int ringBase() const { return 2 * manager_.bankWords(); }
+  int ringSlotBase(std::uint32_t seq) const {
+    return ringBase() +
+           4 * static_cast<int>((seq - 1) % static_cast<std::uint32_t>(
+                                               config_.ringSlots));
+  }
+  int dataBase() const { return ringBase() + 4 * config_.ringSlots; }
+  bool checkpointDue() const;
+
+  /// One macro word write under the fail plan.  Returns false when the
+  /// supply died instead (the word is absent or — `tearable` — torn).
+  bool wordWrite(int address, std::uint32_t value, const PowerFailPoint* fail);
+
+  /// Internal checkpoint with the op-relative fail plan; true on commit.
+  bool checkpointLocked(const PowerFailPoint* fail, bool forced);
+
+  static std::uint32_t ringCheck(std::uint32_t addr, std::uint32_t value,
+                                 std::uint32_t seq);
+
+  ShardStoreConfig config_;
+  core::NvmMacro macro_;
+  nvp::CheckpointManager manager_;
+  std::vector<std::uint32_t> shadow_;  ///< committed logical image
+  std::uint32_t seq_ = 0;              ///< last durably committed sequence
+  std::uint32_t checkpointSeq_ = 0;    ///< seq captured by the last commit
+  bool down_ = false;
+  int opWrites_ = 0;  ///< word writes committed in the current op
+  ShardStoreStats stats_;
+};
+
+/// The macro geometry (rows grown as needed) serving `config`'s layout.
+core::MacroConfig shardMacroConfig(const ShardStoreConfig& config);
+
+}  // namespace fefet::serve

@@ -144,5 +144,34 @@ TEST(Controller, RejectsBadGeometry) {
   EXPECT_THROW(ctl.readWord(0, -1), InvalidArgumentError);
 }
 
+TEST(Controller, SparePoolExhaustionDuringBurstIsRecordedNotThrown) {
+  // Stuck-at-one cells everywhere and a single spare row: a burst of
+  // zero-writes drains the pool.  Regression for the unclassified-error
+  // path — writeWord must return false with the exhaustion recorded in
+  // the ResilienceReport, never throw.
+  core::ArrayConfig cfg;
+  cfg.rows = 3;  // 2 logical + 1 spare
+  cfg.cols = 2;
+  cfg.faults.stuckAtOneRate = 1.0;
+  core::ControllerConfig cc;
+  cc.wordWidth = 2;
+  cc.retry.maxRetries = 0;  // bound the circuit-sim count
+  cc.eccEnabled = false;
+  cc.spareRows = 1;
+  core::MemoryController ctl(cfg, cc);
+  bool allGood = true;
+  for (int row = 0; row < ctl.rows(); ++row) {
+    EXPECT_NO_THROW(allGood = ctl.writeWord(row, 0, 0b00u) && allGood);
+  }
+  EXPECT_FALSE(allGood);  // degraded, not silently fine
+  const auto& report = ctl.report();
+  EXPECT_GT(report.sparePoolExhausted, 0);
+  EXPECT_GT(report.uncorrectedBits, 0);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(ctl.stats().uncorrectable, report.uncorrectedBits);
+  // The ledger names the cause in its human-readable summary.
+  EXPECT_NE(report.summary().find("spare-exhausted"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fefet

@@ -91,5 +91,32 @@ TEST(NvmMacro, CustomGeometry) {
   EXPECT_LT(macro.numbers().writeEnergy, big.numbers().writeEnergy);
 }
 
+TEST(NvmMacro, SparePoolExhaustionDegradesGracefullyAndIsRecorded) {
+  // Every cell stuck at one and only two spares: a burst of zero-writes
+  // must burn through the pool, then degrade to recorded uncorrected bits
+  // — the write path never throws, and the ledger names the cause.
+  MacroConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 64;
+  cfg.wordBits = 32;
+  MacroResilience res;
+  res.enabled = true;
+  res.faults.stuckAtOneRate = 1.0;
+  res.retry.maxRetries = 0;
+  res.eccEnabled = false;
+  res.spareWords = 2;
+  NvmMacro macro(MacroTechnology::kFefet, cfg, res);
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_NO_THROW(macro.writeWord(a, 0x0u));
+  }
+  const auto& report = macro.report();
+  EXPECT_EQ(report.remappedRows, 2);          // the whole pool was spent
+  EXPECT_GT(report.sparePoolExhausted, 0);    // and its exhaustion recorded
+  EXPECT_GT(report.uncorrectedBits, 0);       // the leak is accounted, not lost
+  EXPECT_FALSE(report.clean());
+  // Reads still serve (the stuck value), no crash.
+  EXPECT_NO_THROW(macro.readWord(0));
+}
+
 }  // namespace
 }  // namespace fefet::core

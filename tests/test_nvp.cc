@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "core/nvm_macro.h"
@@ -299,6 +301,84 @@ TEST(Checkpoint, RejectsBadGeometry) {
   EXPECT_THROW(CheckpointManager(macro, 10000), InvalidArgumentError);
   CheckpointManager mgr(macro, 4);
   EXPECT_THROW(mgr.backup(sampleState(5, 1)), InvalidArgumentError);
+}
+
+// --- file-backed double-bank store ---------------------------------------
+
+class FileCheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "file_ckpt_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(FileCheckpointStoreTest, FirstBootHasNothingToRestore) {
+  FileCheckpointStore store(dir_, 8);
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_FALSE(store.restore().has_value());
+}
+
+TEST_F(FileCheckpointStoreTest, SaveRestoreRoundTripAndAlternatingBanks) {
+  FileCheckpointStore store(dir_, 8);
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    const auto state = sampleState(8, 50 + k);
+    ASSERT_TRUE(store.save(state));
+    EXPECT_EQ(store.epoch(), k);
+    EXPECT_EQ(*store.restore(), state);
+  }
+  // Both bank files exist (the store alternates) and carry data.
+  EXPECT_GT(std::filesystem::file_size(store.bankPath(0)), 0u);
+  EXPECT_GT(std::filesystem::file_size(store.bankPath(1)), 0u);
+}
+
+TEST_F(FileCheckpointStoreTest, TornNewestBankFallsBackToPrevious) {
+  const auto older = sampleState(8, 1);
+  std::string newestPath;
+  {
+    FileCheckpointStore store(dir_, 8);
+    ASSERT_TRUE(store.save(older));
+    ASSERT_TRUE(store.save(sampleState(8, 2)));
+    // Epoch 2 landed in bank 1 (the first save used bank 0).
+    newestPath = store.bankPath(1);
+  }
+  // Tear the newest bank at every truncation length: restore must always
+  // return the older committed image, never a torn one.
+  const auto full = std::filesystem::file_size(newestPath);
+  for (std::uintmax_t keep = 0; keep < full; keep += 7) {
+    std::filesystem::resize_file(newestPath, keep);
+    FileCheckpointStore reborn(dir_, 8);
+    ASSERT_TRUE(reborn.restore().has_value()) << keep;
+    EXPECT_EQ(*reborn.restore(), older) << keep;
+    EXPECT_EQ(reborn.epoch(), 1u) << keep;
+  }
+}
+
+TEST_F(FileCheckpointStoreTest, RebuiltStoreResumesTheEpochSequence) {
+  const auto state = sampleState(4, 9);
+  {
+    FileCheckpointStore store(dir_, 4);
+    ASSERT_TRUE(store.save(state));
+    ASSERT_TRUE(store.save(sampleState(4, 10)));
+  }
+  FileCheckpointStore reborn(dir_, 4);
+  EXPECT_EQ(reborn.epoch(), 2u);
+  ASSERT_TRUE(reborn.save(sampleState(4, 11)));
+  EXPECT_EQ(reborn.epoch(), 3u);
+  EXPECT_EQ(*reborn.restore(), sampleState(4, 11));
+}
+
+TEST_F(FileCheckpointStoreTest, StateSizeMismatchIsRejected) {
+  FileCheckpointStore store(dir_, 4);
+  EXPECT_THROW(store.save(sampleState(5, 1)), InvalidArgumentError);
+  ASSERT_TRUE(store.save(sampleState(4, 1)));
+  // A store opened with a different geometry does not accept the banks.
+  FileCheckpointStore other(dir_, 8);
+  EXPECT_EQ(other.epoch(), 0u);
+  EXPECT_FALSE(other.restore().has_value());
 }
 
 }  // namespace

@@ -1,0 +1,482 @@
+// Tests of the serving layer (src/serve): deterministic chaos streams,
+// the crash-consistent shard store (power failure at every truncation
+// point), admission control with brownout hysteresis, and the MacroService
+// front-end (async completions, deadlines, retries, wear-aware routing).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "serve/admission.h"
+#include "serve/chaos.h"
+#include "serve/request.h"
+#include "serve/service.h"
+#include "serve/shard_store.h"
+
+namespace fefet::serve {
+namespace {
+
+ShardStoreConfig smallStore(int dataWords = 16, int ringSlots = 4) {
+  ShardStoreConfig cfg;
+  cfg.dataWords = dataWords;
+  cfg.ringSlots = ringSlots;
+  cfg.macro.rows = 64;
+  cfg.macro.cols = 64;
+  return cfg;
+}
+
+// --- chaos ----------------------------------------------------------------
+
+TEST(StormStream, DeterministicPerSeedShardOrdinal) {
+  StormConfig cfg;
+  cfg.opFailProbability = 0.5;
+  cfg.seed = 42;
+  StormStream a(cfg, 3);
+  StormStream b(cfg, 3);
+  StormStream other(cfg, 4);
+  int hits = 0;
+  int diverged = 0;
+  for (std::uint64_t ordinal = 0; ordinal < 200; ++ordinal) {
+    const auto da = a.draw(ordinal, 7);
+    const auto db = b.draw(ordinal, 7);
+    ASSERT_EQ(da.has_value(), db.has_value()) << ordinal;
+    if (da) {
+      ++hits;
+      EXPECT_EQ(da->failAfterWords, db->failAfterWords);
+      EXPECT_EQ(da->tearMask, db->tearMask);
+      EXPECT_GE(da->failAfterWords, 0);
+      EXPECT_LT(da->failAfterWords, 7);
+    }
+    if (da.has_value() != other.draw(ordinal, 7).has_value()) ++diverged;
+  }
+  EXPECT_GT(hits, 60);   // p = 0.5 over 200 draws
+  EXPECT_LT(hits, 140);
+  EXPECT_GT(diverged, 0);  // different shards get different streams
+}
+
+TEST(StormStream, ProbabilityEndpoints) {
+  StormConfig cfg;
+  cfg.seed = 7;
+  StormStream s(cfg, 0);
+  for (std::uint64_t ordinal = 0; ordinal < 50; ++ordinal) {
+    EXPECT_FALSE(s.draw(ordinal, 5, 0.0).has_value());
+    EXPECT_TRUE(s.draw(ordinal, 5, 1.0).has_value());
+  }
+}
+
+// --- shard store ----------------------------------------------------------
+
+TEST(ShardStore, WriteReadRoundTripAndSequence) {
+  ShardStore store(smallStore());
+  const auto r1 = store.write(3, 0xAABBCCDDu);
+  EXPECT_TRUE(r1.acked);
+  EXPECT_EQ(r1.seq, 1u);
+  const auto r2 = store.write(7, 0x11223344u);
+  EXPECT_EQ(r2.seq, 2u);
+  EXPECT_EQ(store.read(3), 0xAABBCCDDu);
+  EXPECT_EQ(store.read(7), 0x11223344u);
+  EXPECT_EQ(store.read(0), 0u);
+  EXPECT_EQ(store.stats().writes, 2u);
+  EXPECT_EQ(store.stats().reads, 3u);
+}
+
+TEST(ShardStore, ForcedCheckpointRetiresRingBeforeWrap) {
+  auto cfg = smallStore(/*dataWords=*/8, /*ringSlots=*/4);
+  ShardStore store(cfg);
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(store.write(k % cfg.dataWords, 0x1000u + k).acked);
+  }
+  EXPECT_GT(store.stats().forcedCheckpoints, 0u);
+  // Every written value still served correctly after the wraps.
+  for (int k = 2; k < 10; ++k) {
+    EXPECT_EQ(store.read(k % cfg.dataWords), 0x1000u + static_cast<unsigned>(k));
+  }
+}
+
+TEST(ShardStore, PowerFailAtEveryTruncationPointLosesNoAckedWrite) {
+  // Drive the store through writes with an injected power failure at
+  // every possible word boundary (including forced-checkpoint words and
+  // a torn in-flight word), recovering each time.  Invariants: every
+  // previously ACKED value is served after recovery, and no address ever
+  // serves a torn word (value must be the acked value or, for the
+  // interrupted op's target, old-or-new — never a mix).
+  auto cfg = smallStore(/*dataWords=*/8, /*ringSlots=*/4);
+  ShardStore store(cfg);
+  std::map<int, std::uint32_t> oracle;  // acked values
+  std::uint32_t salt = 1;
+  int failures = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int address = round % cfg.dataWords;
+    const std::uint32_t value = 0xC0DE0000u + salt++;
+    const int opWords = store.nextWriteOpWords();
+    PowerFailPoint fail;
+    fail.failAfterWords = round % (opWords + 1);  // opWords = no failure
+    fail.tearMask = 0x0F0F0F0Fu * (static_cast<std::uint32_t>(round) & 1u);
+    const bool inject = fail.failAfterWords < opWords;
+    const auto result =
+        store.write(address, value, inject ? &fail : nullptr);
+    if (result.acked) {
+      oracle[address] = value;
+      EXPECT_FALSE(store.failed());
+      continue;
+    }
+    ASSERT_TRUE(inject);
+    ASSERT_TRUE(result.powerFailed);
+    ASSERT_TRUE(store.failed());
+    ++failures;
+    const auto report = store.recover();
+    EXPECT_FALSE(store.failed());
+    // The interrupted op may or may not have become durable (its ring
+    // entry may have committed); either full-old or full-new is legal.
+    const std::uint32_t got = store.read(address);
+    const std::uint32_t old = oracle.count(address) ? oracle[address] : 0u;
+    EXPECT_TRUE(got == old || got == value)
+        << "torn word served at round " << round << ": got " << std::hex
+        << got << " old " << old << " new " << value;
+    if (got == value) oracle[address] = value;
+    // Every other acked word must read back exactly.
+    for (const auto& [a, v] : oracle) {
+      if (a == address) continue;
+      EXPECT_EQ(store.read(a), v) << "acked write lost at round " << round;
+    }
+    (void)report;
+  }
+  EXPECT_GT(failures, 10);
+  EXPECT_GT(store.stats().recoveries, 0u);
+}
+
+TEST(ShardStore, CheckpointInterruptionKeepsPreviousImage) {
+  auto cfg = smallStore(/*dataWords=*/6, /*ringSlots=*/8);
+  ShardStore store(cfg);
+  for (int a = 0; a < 6; ++a) ASSERT_TRUE(store.write(a, 0x500u + a).acked);
+  ASSERT_TRUE(store.checkpoint());
+  // Interrupt an explicit checkpoint at an early word: double banking
+  // must keep the committed image; recovery serves every acked value.
+  PowerFailPoint fail;
+  fail.failAfterWords = 2;
+  fail.tearMask = 0xFFFF0000u;
+  EXPECT_FALSE(store.checkpoint(&fail));
+  EXPECT_TRUE(store.failed());
+  store.recover();
+  for (int a = 0; a < 6; ++a) {
+    EXPECT_EQ(store.read(a), 0x500u + static_cast<unsigned>(a));
+  }
+}
+
+TEST(ShardStore, RejectsOpsWhileDown) {
+  ShardStore store(smallStore());
+  PowerFailPoint fail;
+  fail.failAfterWords = 0;
+  ASSERT_FALSE(store.write(0, 1, &fail).acked);
+  EXPECT_THROW(store.write(1, 2), InvalidArgumentError);
+  EXPECT_THROW(store.read(0), InvalidArgumentError);
+  store.recover();
+  EXPECT_TRUE(store.write(1, 2).acked);
+}
+
+// --- admission ------------------------------------------------------------
+
+TEST(Admission, BoundedQueueShedsWithRetryAfter) {
+  AdmissionConfig cfg;
+  cfg.queueCapacityPerShard = 4;
+  cfg.classShare[0] = 1.0;
+  cfg.classShare[1] = 1.0;
+  AdmissionController ctl(cfg, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ctl.admit(OpType::kWrite, TrafficClass::kCacheMode, 0),
+              AdmitDecision::kAdmit);
+  }
+  EXPECT_EQ(ctl.admit(OpType::kWrite, TrafficClass::kCacheMode, 0),
+            AdmitDecision::kShedOverload);
+  EXPECT_GT(ctl.retryAfterSeconds(0), cfg.retryAfterBaseSeconds);
+  // The other shard's queue is independent.
+  EXPECT_EQ(ctl.admit(OpType::kWrite, TrafficClass::kCacheMode, 1),
+            AdmitDecision::kAdmit);
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.admitted[0], 5u);
+  EXPECT_EQ(snap.shedOverload[0], 1u);
+}
+
+TEST(Admission, ClassQuotaProtectsTheOtherClass) {
+  AdmissionConfig cfg;
+  cfg.queueCapacityPerShard = 10;
+  cfg.classShare[0] = 0.5;  // cache-mode floor: 5 slots
+  cfg.classShare[1] = 0.5;
+  AdmissionController ctl(cfg, 1);
+  int cacheAdmitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ctl.admit(OpType::kWrite, TrafficClass::kCacheMode, 0) ==
+        AdmitDecision::kAdmit) {
+      ++cacheAdmitted;
+    }
+  }
+  EXPECT_EQ(cacheAdmitted, 5);  // quota, not the whole queue
+  // Storage-mode traffic still has room despite the cache-mode flood.
+  EXPECT_EQ(ctl.admit(OpType::kWrite, TrafficClass::kStorageMode, 0),
+            AdmitDecision::kAdmit);
+}
+
+TEST(Admission, BrownoutHysteresisEntersAndExitsOnce) {
+  AdmissionConfig cfg;
+  cfg.queueCapacityPerShard = 10;
+  cfg.classShare[0] = 1.0;
+  cfg.classShare[1] = 1.0;
+  cfg.brownoutEnterUtilization = 0.8;
+  cfg.brownoutExitUtilization = 0.3;
+  AdmissionController ctl(cfg, 1);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(ctl.admit(OpType::kRead, TrafficClass::kCacheMode, 0),
+              AdmitDecision::kAdmit);
+  }
+  EXPECT_TRUE(ctl.readOnly());
+  // In brownout: reads flow, writes and checkpoints shed.
+  EXPECT_EQ(ctl.admit(OpType::kWrite, TrafficClass::kStorageMode, 0),
+            AdmitDecision::kShedReadOnly);
+  EXPECT_EQ(ctl.admit(OpType::kCheckpoint, TrafficClass::kStorageMode, 0),
+            AdmitDecision::kShedReadOnly);
+  EXPECT_EQ(ctl.admit(OpType::kRead, TrafficClass::kStorageMode, 0),
+            AdmitDecision::kAdmit);
+  // Draining to just above the exit threshold keeps read-only latched
+  // (hysteresis); crossing it exits exactly once.
+  for (int i = 0; i < 5; ++i) ctl.release(TrafficClass::kCacheMode, 0);
+  EXPECT_TRUE(ctl.readOnly());
+  for (int i = 0; i < 3; ++i) ctl.release(TrafficClass::kCacheMode, 0);
+  ctl.release(TrafficClass::kStorageMode, 0);
+  EXPECT_FALSE(ctl.readOnly());
+  const auto snap = ctl.snapshot();
+  EXPECT_EQ(snap.brownoutEntries, 1u);
+  EXPECT_EQ(snap.brownoutExits, 1u);
+  EXPECT_EQ(snap.shedReadOnly[1], 2u);
+}
+
+TEST(Admission, RejectsBrokenConfigs) {
+  AdmissionConfig cfg;
+  cfg.brownoutEnterUtilization = 0.3;
+  cfg.brownoutExitUtilization = 0.5;  // no hysteresis
+  EXPECT_THROW(AdmissionController(cfg, 1), InvalidArgumentError);
+  AdmissionConfig ok;
+  EXPECT_THROW(AdmissionController(ok, 0), InvalidArgumentError);
+  EXPECT_THROW(AdmissionController(ok, 65), InvalidArgumentError);
+}
+
+// --- service --------------------------------------------------------------
+
+ServiceConfig smallService(int shards = 2) {
+  ServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.store = smallStore(/*dataWords=*/32, /*ringSlots=*/8);
+  cfg.admission.queueCapacityPerShard = 256;
+  return cfg;
+}
+
+Response submitAndWait(MacroService& service, const Request& request) {
+  std::optional<Response> out;
+  service.submit(request, [&](const Response& r) { out = r; });
+  service.drain();
+  EXPECT_TRUE(out.has_value());
+  return out.value_or(Response{});
+}
+
+TEST(MacroService, WriteReadRoundTripWithAcks) {
+  MacroService service(smallService());
+  Request w;
+  w.op = OpType::kWrite;
+  w.address = 11;
+  w.value = 0xFEEDBEEFu;
+  const auto wr = submitAndWait(service, w);
+  EXPECT_EQ(wr.status, Status::kOk);
+  EXPECT_GT(wr.ackSeq, 0u);
+  EXPECT_EQ(wr.attempts, 1);
+  EXPECT_GE(wr.shard, 0);
+  Request r;
+  r.op = OpType::kRead;
+  r.address = 11;
+  const auto rr = submitAndWait(service, r);
+  EXPECT_EQ(rr.status, Status::kOk);
+  EXPECT_EQ(rr.value, 0xFEEDBEEFu);
+  EXPECT_EQ(rr.shard, wr.shard);
+  // Unmapped key: reads as zero without touching a shard.
+  Request u;
+  u.op = OpType::kRead;
+  u.address = 9999;
+  const auto ur = submitAndWait(service, u);
+  EXPECT_EQ(ur.status, Status::kOk);
+  EXPECT_EQ(ur.value, 0u);
+  EXPECT_EQ(ur.shard, -1);
+  service.stop();
+}
+
+TEST(MacroService, CheckpointOpCommitsOnTheTargetShard) {
+  MacroService service(smallService(2));
+  Request w;
+  w.op = OpType::kWrite;
+  w.address = 4;
+  w.value = 77;
+  ASSERT_EQ(submitAndWait(service, w).status, Status::kOk);
+  Request c;
+  c.op = OpType::kCheckpoint;
+  c.address = static_cast<std::uint64_t>(service.shardOf(4));
+  EXPECT_EQ(submitAndWait(service, c).status, Status::kOk);
+  service.drain();
+  EXPECT_GE(service.stats().checkpoints, 1u);
+  service.stop();
+}
+
+TEST(MacroService, TinyDeadlineExpiresInsteadOfServing) {
+  MacroService service(smallService(1));
+  Request r;
+  r.op = OpType::kWrite;
+  r.address = 1;
+  r.value = 5;
+  r.budgetSeconds = 1e-12;  // expires before any worker can run it
+  const auto resp = submitAndWait(service, r);
+  EXPECT_EQ(resp.status, Status::kDeadlineExpired);
+  EXPECT_EQ(service.stats().deadlineExpired, 1u);
+  service.stop();
+}
+
+TEST(MacroService, StormySubmissionNeverLosesAckedWrites) {
+  auto cfg = smallService(2);
+  cfg.storm.opFailProbability = 0.3;
+  cfg.storm.seed = 2026;
+  cfg.maxAttempts = 8;
+  cfg.retryBackoffSeconds = 1e-6;
+  MacroService service(cfg);
+  constexpr std::uint64_t kKeys = 48;
+  // One slot per key: each completion (worker thread) writes only its own
+  // slot, and drain() provides the happens-before for reading them here.
+  std::vector<char> acked(kKeys, 0);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    Request w;
+    w.op = OpType::kWrite;
+    w.address = key;
+    w.value = 0xAB000000u + static_cast<std::uint32_t>(key);
+    service.submit(w, [&acked, key](const Response& r) {
+      if (r.ok()) acked[key] = 1;
+    });
+  }
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_GT(stats.powerFails, 0u) << "storm did not fire; weak test";
+  EXPECT_GT(stats.recoveries, 0u);
+  std::uint64_t ackedCount = 0;
+  for (const char f : acked) ackedCount += static_cast<std::uint64_t>(f);
+  EXPECT_EQ(stats.ackedWrites, ackedCount);
+  // Every acknowledged write must be served back exactly; non-acked keys
+  // must read all-old or all-new, never torn.
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::uint32_t value = 0xAB000000u + static_cast<std::uint32_t>(key);
+    Request r;
+    r.op = OpType::kRead;
+    r.address = key;
+    const auto resp = submitAndWait(service, r);
+    ASSERT_EQ(resp.status, Status::kOk) << key;
+    if (acked[key]) {
+      EXPECT_EQ(resp.value, value) << "acked write lost, key " << key;
+    } else {
+      EXPECT_TRUE(resp.value == 0u || resp.value == value)
+          << "torn word served, key " << key;
+    }
+  }
+  service.stop();
+}
+
+TEST(MacroService, WearAwareRoutingSteersNewKeysOffWornShards) {
+  auto cfg = smallService(2);
+  cfg.wearSteerFactor = 2.0;
+  cfg.wearSteerFloor = 64.0;
+  MacroService service(cfg);
+  // Key 0 lands on shard 0 by default; hammer it until shard 0's
+  // endurance meter is far above shard 1's.
+  Request w;
+  w.op = OpType::kWrite;
+  w.address = 0;
+  for (int i = 0; i < 400; ++i) {
+    w.value = static_cast<std::uint32_t>(i);
+    service.submit(w, nullptr);
+  }
+  service.drain();
+  ASSERT_EQ(service.shardOf(0), 0);
+  // A NEW key whose default owner is the worn shard 0 must be steered to
+  // the idle shard 1.
+  Request fresh;
+  fresh.op = OpType::kWrite;
+  fresh.address = 2;  // 2 % 2 == 0: default owner is the worn shard
+  fresh.value = 123;
+  const auto resp = submitAndWait(service, fresh);
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.shard, 1);
+  EXPECT_EQ(service.shardOf(2), 1);
+  EXPECT_GE(service.stats().steeredWrites, 1u);
+  // The mapping is sticky: the next write of the same key follows it.
+  fresh.value = 124;
+  EXPECT_EQ(submitAndWait(service, fresh).shard, 1);
+  service.stop();
+}
+
+TEST(MacroService, OverloadShedsSynchronouslyWithBackpressureHint) {
+  auto cfg = smallService(1);
+  cfg.admission.queueCapacityPerShard = 2;
+  cfg.admission.classShare[0] = 1.0;
+  cfg.admission.classShare[1] = 1.0;
+  // Keep brownout out of the way: this test isolates the overload path
+  // (a full queue at 100% utilization would otherwise latch read-only).
+  cfg.admission.brownoutEnterUtilization = 2.0;
+  cfg.admission.brownoutExitUtilization = 0.5;
+  // Stall the worker with a deep backlog of slow (retrying) writes so the
+  // queue genuinely fills: storm every op, long backoff.
+  cfg.storm.opFailProbability = 1.0;
+  cfg.maxAttempts = 4;
+  cfg.retryBackoffSeconds = 2e-3;
+  cfg.retryBackoffMaxSeconds = 10e-3;
+  MacroService service(cfg);
+  int shed = 0;
+  double hint = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    Request w;
+    w.op = OpType::kWrite;
+    w.address = static_cast<std::uint64_t>(i);
+    w.value = 1;
+    service.submit(w, [&](const Response& r) {
+      if (r.status == Status::kRejectedOverload) {
+        ++shed;  // synchronous: runs on this thread before submit returns
+        hint = r.retryAfterSeconds;
+      }
+    });
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(hint, 0.0);
+  service.drain();
+  EXPECT_EQ(service.stats().shedOverload, static_cast<std::uint64_t>(shed));
+  service.stop();
+}
+
+TEST(MacroService, StopCancelsQueuedRequestsExactlyOnce) {
+  auto cfg = smallService(1);
+  cfg.storm.opFailProbability = 1.0;  // every op retries: queue backs up
+  cfg.maxAttempts = 4;
+  cfg.retryBackoffSeconds = 2e-3;
+  MacroService service(cfg);
+  std::atomic<int> completions{0};
+  for (int i = 0; i < 16; ++i) {
+    Request w;
+    w.op = OpType::kWrite;
+    w.address = static_cast<std::uint64_t>(i);
+    w.value = 1;
+    service.submit(w, [&](const Response&) {
+      completions.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  service.stop();
+  service.drain();
+  EXPECT_EQ(completions.load(), 16);  // exactly once each, no lost callbacks
+}
+
+}  // namespace
+}  // namespace fefet::serve
